@@ -1,0 +1,138 @@
+use serde::{Deserialize, Serialize};
+
+use crate::saturation::SaturationDetector;
+
+/// Per-epoch Activation Density series for one layer.
+///
+/// This is what the paper plots in Figs 1/3/4 and what the saturation check
+/// of Algorithm 1 runs on.
+///
+/// # Example
+///
+/// ```
+/// use adq_ad::{DensityHistory, SaturationDetector};
+///
+/// let mut history = DensityHistory::new();
+/// for ad in [0.9, 0.6, 0.45, 0.41, 0.405, 0.404] {
+///     history.record(ad);
+/// }
+/// assert!(history.is_saturated(&SaturationDetector::new(3, 0.01)));
+/// assert_eq!(history.latest(), Some(0.404));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DensityHistory {
+    samples: Vec<f64>,
+}
+
+impl DensityHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one epoch's density.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density` is outside `[0, 1]` or NaN — densities come from
+    /// [`crate::DensityMeter`], which can only produce values in range, so an
+    /// out-of-range sample indicates a caller bug.
+    pub fn record(&mut self, density: f64) {
+        assert!(
+            (0.0..=1.0).contains(&density),
+            "density {density} outside [0, 1]"
+        );
+        self.samples.push(density);
+    }
+
+    /// All recorded samples, oldest first.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// The most recent sample, if any.
+    pub fn latest(&self) -> Option<f64> {
+        self.samples.last().copied()
+    }
+
+    /// Number of recorded epochs.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no epochs have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Applies a [`SaturationDetector`] to the series.
+    pub fn is_saturated(&self, detector: &SaturationDetector) -> bool {
+        detector.is_saturated(&self.samples)
+    }
+
+    /// Clears the series (used when a new quantization iteration begins and
+    /// the saturation clock restarts).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_history() {
+        let h = DensityHistory::new();
+        assert!(h.is_empty());
+        assert_eq!(h.latest(), None);
+    }
+
+    #[test]
+    fn record_appends_in_order() {
+        let mut h = DensityHistory::new();
+        h.record(0.5);
+        h.record(0.4);
+        assert_eq!(h.samples(), &[0.5, 0.4]);
+        assert_eq!(h.latest(), Some(0.4));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_density_panics() {
+        DensityHistory::new().record(1.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_density_panics() {
+        DensityHistory::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn saturation_delegates_to_detector() {
+        let mut h = DensityHistory::new();
+        for d in [0.9, 0.5, 0.5, 0.5] {
+            h.record(d);
+        }
+        assert!(h.is_saturated(&SaturationDetector::new(3, 0.0)));
+        assert!(!h.is_saturated(&SaturationDetector::new(4, 0.0)));
+    }
+
+    #[test]
+    fn clear_restarts_series() {
+        let mut h = DensityHistory::new();
+        h.record(0.3);
+        h.clear();
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn boundary_densities_accepted() {
+        let mut h = DensityHistory::new();
+        h.record(0.0);
+        h.record(1.0);
+        assert_eq!(h.len(), 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! Activation Density (AD) measurement — eqn 2 of the paper.
+//!
+//! ```text
+//! AD = #nonzero activations / #total activations
+//! ```
+//!
+//! AD is measured per layer by streaming every (post-ReLU) activation tensor
+//! produced while the training set passes through the network. The key
+//! empirical observation the paper builds on (its Fig 1) is that per-layer AD
+//! *saturates* to a value below 1 as training progresses; the quantization
+//! controller in `adq-core` watches for that saturation before every
+//! re-quantization step.
+//!
+//! This crate provides:
+//!
+//! * [`DensityMeter`] — streaming non-zero/total counts for one layer,
+//! * [`DensityHistory`] — per-epoch AD series with [`SaturationDetector`],
+//! * [`NetworkDensity`] — aggregation across layers (the "Total AD" column
+//!   of Tables II/III).
+//!
+//! # Example
+//!
+//! ```
+//! use adq_ad::DensityMeter;
+//! use adq_tensor::Tensor;
+//!
+//! let mut meter = DensityMeter::new();
+//! meter.observe(&Tensor::from_slice(&[0.0, 1.5, 0.0, 2.0]));
+//! assert_eq!(meter.density(), 0.5);
+//! ```
+
+mod history;
+mod meter;
+mod network;
+mod saturation;
+
+pub use history::DensityHistory;
+pub use meter::DensityMeter;
+pub use network::NetworkDensity;
+pub use saturation::SaturationDetector;

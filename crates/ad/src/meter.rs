@@ -1,0 +1,188 @@
+use adq_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Streaming Activation Density counter for a single layer (eqn 2).
+///
+/// Feed it every activation tensor the layer emits during an epoch; read
+/// [`DensityMeter::density`] at the epoch boundary and [`DensityMeter::reset`]
+/// for the next one.
+///
+/// An activation counts as non-zero iff it differs from exactly `0.0` — the
+/// natural definition downstream of ReLU, which produces exact zeros.
+///
+/// # Example
+///
+/// ```
+/// use adq_ad::DensityMeter;
+/// use adq_tensor::Tensor;
+///
+/// let mut meter = DensityMeter::new();
+/// meter.observe(&Tensor::from_slice(&[0.0, 3.0]));
+/// meter.observe(&Tensor::from_slice(&[0.0, 0.0]));
+/// assert_eq!(meter.density(), 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DensityMeter {
+    nonzero: u64,
+    total: u64,
+}
+
+impl DensityMeter {
+    /// Creates a meter with zero counts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates the non-zero/total counts of one activation tensor.
+    pub fn observe(&mut self, activations: &Tensor) {
+        self.nonzero += activations.count_nonzero() as u64;
+        self.total += activations.len() as u64;
+    }
+
+    /// Accumulates counts from a raw slice (useful off the tensor path).
+    pub fn observe_slice(&mut self, activations: &[f32]) {
+        self.nonzero += activations.iter().filter(|&&x| x != 0.0).count() as u64;
+        self.total += activations.len() as u64;
+    }
+
+    /// Merges another meter's counts into this one (order-invariant).
+    pub fn merge(&mut self, other: &DensityMeter) {
+        self.nonzero += other.nonzero;
+        self.total += other.total;
+    }
+
+    /// Activation Density: non-zero / total, or 0 if nothing observed.
+    pub fn density(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.nonzero as f64 / self.total as f64
+        }
+    }
+
+    /// Number of non-zero activations observed.
+    pub fn nonzero_count(&self) -> u64 {
+        self.nonzero
+    }
+
+    /// Total number of activations observed.
+    pub fn total_count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether any activations have been observed.
+    pub fn has_observations(&self) -> bool {
+        self.total > 0
+    }
+
+    /// Clears the counts for a new measurement window.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_meter_reports_zero() {
+        let m = DensityMeter::new();
+        assert_eq!(m.density(), 0.0);
+        assert!(!m.has_observations());
+    }
+
+    #[test]
+    fn paper_example_100_of_512() {
+        // §II-C: 512 neurons, 100 non-zero -> AD = 0.195...
+        let mut values = vec![0.0f32; 512];
+        for v in values.iter_mut().take(100) {
+            *v = 1.0;
+        }
+        let mut m = DensityMeter::new();
+        m.observe_slice(&values);
+        assert!((m.density() - 100.0 / 512.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_gives_zero() {
+        let mut m = DensityMeter::new();
+        m.observe(&Tensor::zeros(&[4, 4]));
+        assert_eq!(m.density(), 0.0);
+        assert!(m.has_observations());
+    }
+
+    #[test]
+    fn no_zero_gives_one() {
+        let mut m = DensityMeter::new();
+        m.observe(&Tensor::ones(&[3, 3]));
+        assert_eq!(m.density(), 1.0);
+    }
+
+    #[test]
+    fn accumulates_across_batches() {
+        let mut m = DensityMeter::new();
+        m.observe(&Tensor::ones(&[2]));
+        m.observe(&Tensor::zeros(&[2]));
+        assert_eq!(m.density(), 0.5);
+        assert_eq!(m.total_count(), 4);
+        assert_eq!(m.nonzero_count(), 2);
+    }
+
+    #[test]
+    fn merge_equals_sequential_observation() {
+        let a_data = Tensor::from_slice(&[0.0, 1.0, 2.0]);
+        let b_data = Tensor::from_slice(&[0.0, 0.0, 5.0]);
+
+        let mut seq = DensityMeter::new();
+        seq.observe(&a_data);
+        seq.observe(&b_data);
+
+        let mut a = DensityMeter::new();
+        a.observe(&a_data);
+        let mut b = DensityMeter::new();
+        b.observe(&b_data);
+        a.merge(&b);
+
+        assert_eq!(a, seq);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = DensityMeter::new();
+        a.observe_slice(&[1.0, 0.0]);
+        let mut b = DensityMeter::new();
+        b.observe_slice(&[1.0, 1.0, 0.0]);
+
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = DensityMeter::new();
+        m.observe_slice(&[1.0]);
+        m.reset();
+        assert_eq!(m, DensityMeter::new());
+    }
+
+    #[test]
+    fn negatives_count_as_nonzero() {
+        let mut m = DensityMeter::new();
+        m.observe_slice(&[-1.0, 0.0]);
+        assert_eq!(m.density(), 0.5);
+    }
+
+    #[test]
+    fn density_always_in_unit_interval() {
+        let mut m = DensityMeter::new();
+        for i in 0..100 {
+            m.observe_slice(&[i as f32 - 50.0]);
+            let d = m.density();
+            assert!((0.0..=1.0).contains(&d));
+        }
+    }
+}

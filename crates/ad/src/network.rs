@@ -1,0 +1,152 @@
+use serde::{Deserialize, Serialize};
+
+use crate::meter::DensityMeter;
+
+/// Aggregates per-layer Activation Density into the network-level figures
+/// the paper reports.
+///
+/// Table II/III's "Total AD" column is the *mean of per-layer ADs*; eqn 2's
+/// note that AD "can also be calculated for the entire network by
+/// accumulating the statistics of all the layers" is the activation-weighted
+/// [`NetworkDensity::pooled`] variant. Both are exposed.
+///
+/// # Example
+///
+/// ```
+/// use adq_ad::{DensityMeter, NetworkDensity};
+///
+/// let mut a = DensityMeter::new();
+/// a.observe_slice(&[1.0, 0.0]); // AD 0.5, 2 activations
+/// let mut b = DensityMeter::new();
+/// b.observe_slice(&[1.0, 1.0, 1.0, 1.0]); // AD 1.0, 4 activations
+///
+/// let net = NetworkDensity::from_meters([a, b]);
+/// assert_eq!(net.mean(), 0.75);            // (0.5 + 1.0) / 2
+/// assert_eq!(net.pooled(), 5.0 / 6.0);     // 5 nonzero of 6 total
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetworkDensity {
+    per_layer: Vec<f64>,
+    pooled_nonzero: u64,
+    pooled_total: u64,
+}
+
+impl NetworkDensity {
+    /// Builds network density from per-layer meters.
+    pub fn from_meters<I>(meters: I) -> Self
+    where
+        I: IntoIterator<Item = DensityMeter>,
+    {
+        let mut per_layer = Vec::new();
+        let mut nonzero = 0u64;
+        let mut total = 0u64;
+        for m in meters {
+            per_layer.push(m.density());
+            nonzero += m.nonzero_count();
+            total += m.total_count();
+        }
+        Self {
+            per_layer,
+            pooled_nonzero: nonzero,
+            pooled_total: total,
+        }
+    }
+
+    /// Builds network density directly from per-layer densities (pooled
+    /// statistics unavailable; [`NetworkDensity::pooled`] falls back to the
+    /// mean).
+    pub fn from_densities<I>(densities: I) -> Self
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        Self {
+            per_layer: densities.into_iter().collect(),
+            pooled_nonzero: 0,
+            pooled_total: 0,
+        }
+    }
+
+    /// Per-layer densities, in layer order.
+    pub fn per_layer(&self) -> &[f64] {
+        &self.per_layer
+    }
+
+    /// Unweighted mean of per-layer densities — the paper's "Total AD".
+    pub fn mean(&self) -> f64 {
+        if self.per_layer.is_empty() {
+            0.0
+        } else {
+            self.per_layer.iter().sum::<f64>() / self.per_layer.len() as f64
+        }
+    }
+
+    /// Activation-count-weighted density (eqn 2 applied to the whole
+    /// network); falls back to [`NetworkDensity::mean`] when pooled counts
+    /// are unavailable.
+    pub fn pooled(&self) -> f64 {
+        if self.pooled_total == 0 {
+            self.mean()
+        } else {
+            self.pooled_nonzero as f64 / self.pooled_total as f64
+        }
+    }
+
+    /// Number of layers represented.
+    pub fn layer_count(&self) -> usize {
+        self.per_layer.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meter(nonzero: usize, zero: usize) -> DensityMeter {
+        let mut m = DensityMeter::new();
+        m.observe_slice(&vec![1.0; nonzero]);
+        m.observe_slice(&vec![0.0; zero]);
+        m
+    }
+
+    #[test]
+    fn empty_network_is_zero() {
+        let n = NetworkDensity::from_meters([]);
+        assert_eq!(n.mean(), 0.0);
+        assert_eq!(n.pooled(), 0.0);
+        assert_eq!(n.layer_count(), 0);
+    }
+
+    #[test]
+    fn mean_is_unweighted() {
+        // tiny dense layer + huge sparse layer
+        let n = NetworkDensity::from_meters([meter(1, 0), meter(0, 1000)]);
+        assert_eq!(n.mean(), 0.5);
+    }
+
+    #[test]
+    fn pooled_is_weighted() {
+        let n = NetworkDensity::from_meters([meter(1, 0), meter(0, 999)]);
+        assert!((n.pooled() - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_densities_mean() {
+        let n = NetworkDensity::from_densities([0.2, 0.4, 0.6]);
+        assert!((n.mean() - 0.4).abs() < 1e-12);
+        // pooled falls back to mean
+        assert_eq!(n.pooled(), n.mean());
+    }
+
+    #[test]
+    fn single_layer_mean_equals_pooled() {
+        let n = NetworkDensity::from_meters([meter(3, 1)]);
+        assert_eq!(n.mean(), n.pooled());
+        assert_eq!(n.mean(), 0.75);
+    }
+
+    #[test]
+    fn per_layer_preserves_order() {
+        let n = NetworkDensity::from_meters([meter(1, 1), meter(1, 0)]);
+        assert_eq!(n.per_layer(), &[0.5, 1.0]);
+    }
+}

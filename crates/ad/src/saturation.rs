@@ -1,0 +1,138 @@
+use serde::{Deserialize, Serialize};
+
+/// Decides when an Activation Density series has *saturated* (Fig 1 / the
+/// "Break if AD is saturated for all layers" step of Algorithm 1).
+///
+/// A series is saturated when the last `window` samples all lie within
+/// `tolerance` of each other (max − min ≤ tolerance). This is robust to the
+/// slow drift and per-epoch noise visible in the paper's Fig 1/3 plots.
+///
+/// # Example
+///
+/// ```
+/// use adq_ad::SaturationDetector;
+///
+/// let det = SaturationDetector::new(3, 0.01);
+/// assert!(!det.is_saturated(&[0.9, 0.5, 0.4, 0.35]));
+/// assert!(det.is_saturated(&[0.9, 0.5, 0.400, 0.401, 0.399]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaturationDetector {
+    window: usize,
+    tolerance: f64,
+}
+
+impl SaturationDetector {
+    /// Creates a detector requiring the last `window` samples to agree
+    /// within `tolerance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 2` or `tolerance` is negative or NaN.
+    pub fn new(window: usize, tolerance: f64) -> Self {
+        assert!(window >= 2, "saturation window must be at least 2");
+        assert!(
+            tolerance >= 0.0 && !tolerance.is_nan(),
+            "tolerance must be non-negative"
+        );
+        Self { window, tolerance }
+    }
+
+    /// The number of trailing samples inspected.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The maximum spread tolerated inside the window.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// Whether the trailing window of `series` has saturated.
+    ///
+    /// Series shorter than the window are never saturated — the detector
+    /// refuses to fire before it has seen enough evidence.
+    pub fn is_saturated(&self, series: &[f64]) -> bool {
+        if series.len() < self.window {
+            return false;
+        }
+        let tail = &series[series.len() - self.window..];
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &x in tail {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        hi - lo <= self.tolerance
+    }
+}
+
+impl Default for SaturationDetector {
+    /// Window of 5 epochs, tolerance 0.01 — the defaults used by the
+    /// workspace's experiments (ablated in `ablation_saturation`).
+    fn default() -> Self {
+        Self::new(5, 0.01)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_series_not_saturated() {
+        let det = SaturationDetector::new(4, 0.1);
+        assert!(!det.is_saturated(&[0.5, 0.5, 0.5]));
+    }
+
+    #[test]
+    fn flat_series_saturated() {
+        let det = SaturationDetector::new(3, 0.0);
+        assert!(det.is_saturated(&[0.7, 0.7, 0.7]));
+    }
+
+    #[test]
+    fn only_tail_matters() {
+        let det = SaturationDetector::new(2, 0.01);
+        assert!(det.is_saturated(&[0.9, 0.1, 0.5, 0.5]));
+    }
+
+    #[test]
+    fn drifting_series_not_saturated() {
+        let det = SaturationDetector::new(3, 0.01);
+        assert!(!det.is_saturated(&[0.5, 0.45, 0.40]));
+    }
+
+    #[test]
+    fn tolerance_is_inclusive() {
+        let det = SaturationDetector::new(2, 0.1);
+        assert!(det.is_saturated(&[0.5, 0.6]));
+        assert!(!det.is_saturated(&[0.5, 0.601]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn window_of_one_panics() {
+        SaturationDetector::new(1, 0.1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_tolerance_panics() {
+        SaturationDetector::new(2, -0.1);
+    }
+
+    #[test]
+    fn default_is_five_epochs() {
+        let det = SaturationDetector::default();
+        assert_eq!(det.window(), 5);
+        assert_eq!(det.tolerance(), 0.01);
+    }
+
+    #[test]
+    fn wider_tolerance_saturates_sooner() {
+        let series = [0.5, 0.47, 0.44];
+        assert!(!SaturationDetector::new(3, 0.01).is_saturated(&series));
+        assert!(SaturationDetector::new(3, 0.1).is_saturated(&series));
+    }
+}

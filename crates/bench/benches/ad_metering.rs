@@ -1,0 +1,34 @@
+//! Criterion benchmarks for Activation Density metering — the per-batch
+//! overhead Algorithm 1 adds to every training forward pass.
+
+use adq_ad::{DensityMeter, SaturationDetector};
+use adq_tensor::init;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_ad_metering(c: &mut Criterion) {
+    let mut rng = init::rng(4);
+    // a realistic post-ReLU activation tensor: ~half zeros
+    let activations = init::normal(&[8 * 64 * 16 * 16], 0.0, 1.0, &mut rng).map(|x| x.max(0.0));
+
+    let mut group = c.benchmark_group("ad_metering");
+    group.bench_function("observe_128k_activations", |b| {
+        b.iter_batched(
+            DensityMeter::new,
+            |mut meter| {
+                meter.observe(black_box(&activations));
+                black_box(meter.density())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    let series: Vec<f64> = (0..200).map(|i| 0.5 + 0.4 / (1.0 + i as f64)).collect();
+    let detector = SaturationDetector::new(5, 0.01);
+    group.bench_function("saturation_check_200_epochs", |b| {
+        b.iter(|| black_box(detector.is_saturated(black_box(&series))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ad_metering);
+criterion_main!(benches);

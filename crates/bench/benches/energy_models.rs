@@ -1,0 +1,62 @@
+//! Criterion benchmarks for whole-network energy evaluation — these run
+//! inside every controller iteration (MAC-reduction bookkeeping) and in all
+//! table regenerators.
+
+use adq_core::builders::pim_mappings_from_spec;
+use adq_core::paper;
+use adq_energy::EnergyModel;
+use adq_pim::{NetworkEnergyReport, PimEnergyModel};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_energy_models(c: &mut Criterion) {
+    let vgg = paper::vgg19_spec(
+        "vgg19",
+        32,
+        10,
+        &paper::TABLE2A_ITER2_BITS,
+        &paper::VGG19_CHANNELS,
+        &[],
+    );
+    let resnet = paper::resnet18_spec(
+        "resnet18",
+        32,
+        100,
+        &paper::TABLE2B_ITER3_BITS,
+        &paper::RESNET18_CHANNELS,
+    );
+    let analytical = EnergyModel::paper_45nm();
+    let pim = PimEnergyModel::paper_table4();
+
+    let mut group = c.benchmark_group("energy_models");
+    group.bench_function("analytical_vgg19", |b| {
+        b.iter(|| black_box(vgg.energy_pj(black_box(&analytical))))
+    });
+    group.bench_function("analytical_resnet18", |b| {
+        b.iter(|| black_box(resnet.energy_pj(black_box(&analytical))))
+    });
+    group.bench_function("pim_report_vgg19", |b| {
+        b.iter(|| {
+            black_box(NetworkEnergyReport::new(
+                "vgg",
+                pim_mappings_from_spec(black_box(&vgg)),
+                &pim,
+            ))
+        })
+    });
+    group.bench_function("spec_construction_vgg19", |b| {
+        b.iter(|| {
+            black_box(paper::vgg19_spec(
+                "vgg19",
+                32,
+                10,
+                &paper::TABLE2A_ITER2_BITS,
+                &paper::VGG19_CHANNELS,
+                &[],
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_energy_models);
+criterion_main!(benches);

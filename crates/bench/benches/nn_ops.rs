@@ -1,0 +1,49 @@
+//! Criterion benchmarks for the training substrate: conv forward/backward
+//! (the wall-clock of every table's dynamic runs) and matmul.
+
+use adq_nn::{ConvBlock, ConvBlockConfig};
+use adq_tensor::{init, matmul, Conv2dGeom, Tensor};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = init::rng(2);
+    let a = init::normal(&[128, 256], 0.0, 1.0, &mut rng);
+    let b = init::normal(&[256, 128], 0.0, 1.0, &mut rng);
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(30);
+    group.bench_function("128x256x128", |bch| {
+        bch.iter(|| black_box(matmul(black_box(&a), black_box(&b)).expect("shapes agree")))
+    });
+    group.finish();
+}
+
+fn bench_conv_block(c: &mut Criterion) {
+    let mut rng = init::rng(3);
+    let cfg = ConvBlockConfig {
+        geom: Conv2dGeom::new(16, 32, 3, 1, 1),
+        batch_norm: true,
+        relu: true,
+    };
+    let mut block = ConvBlock::new("bench", cfg, &mut rng);
+    let input = init::normal(&[8, 16, 16, 16], 0.0, 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("conv_block");
+    group.sample_size(20);
+    group.bench_function("forward_fp", |b| {
+        b.iter(|| black_box(block.forward(black_box(&input), false)))
+    });
+    block.set_bits(Some(adq_quant::BitWidth::new(4).expect("valid")));
+    group.bench_function("forward_4bit_qat", |b| {
+        b.iter(|| black_box(block.forward(black_box(&input), false)))
+    });
+    group.bench_function("forward_backward_4bit", |b| {
+        b.iter(|| {
+            let y = block.forward(black_box(&input), true);
+            black_box(block.backward(&Tensor::ones(y.dims())))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_conv_block);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmarks for the PIM bit-serial MAC simulation — the cost of
+//! bit-exact hardware verification scales as k² per dot-product element.
+
+use adq_pim::BitSerialMac;
+use adq_quant::HwPrecision;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_bit_serial_mac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pim_bit_serial_mac");
+    group.sample_size(30);
+    for precision in HwPrecision::ALL {
+        let limit = (1u64 << precision.bits()) - 1;
+        let weights: Vec<u64> = (0..512).map(|i| (i * 7) as u64 % (limit + 1)).collect();
+        let acts: Vec<u64> = (0..512).map(|i| (i * 13) as u64 % (limit + 1)).collect();
+        let mac = BitSerialMac::new(precision);
+        group.bench_function(format!("dot512_{precision}"), |b| {
+            b.iter(|| black_box(mac.dot(black_box(&weights), black_box(&acts))))
+        });
+    }
+    // reference integer dot for comparison
+    let weights: Vec<u64> = (0..512).map(|i| i as u64 % 16).collect();
+    let acts: Vec<u64> = (0..512).map(|i| (i * 3) as u64 % 16).collect();
+    group.bench_function("dot512_reference", |b| {
+        b.iter(|| {
+            black_box(BitSerialMac::dot_reference(
+                black_box(&weights),
+                black_box(&acts),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bit_serial_mac);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks for the eqn-1 quantizer — the innermost operation
+//! of quantization-aware training (it runs over every weight and activation
+//! every step).
+
+use adq_quant::{BitWidth, QuantRange, Quantizer};
+use adq_tensor::{init, Tensor};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_quantizer(c: &mut Criterion) {
+    let mut rng = init::rng(1);
+    let tensor = init::normal(&[64 * 32 * 32], 0.0, 1.0, &mut rng);
+    let mut group = c.benchmark_group("quantizer");
+    group.sample_size(20);
+    for bits in [2u32, 4, 8, 16] {
+        let q = Quantizer::new(
+            BitWidth::new(bits).expect("valid"),
+            QuantRange::new(-4.0, 4.0).expect("valid"),
+        );
+        group.bench_function(format!("fake_quantize_64k_{bits}bit"), |b| {
+            b.iter(|| black_box(q.fake_quantize_tensor(black_box(&tensor))))
+        });
+    }
+    let q = Quantizer::new(
+        BitWidth::new(4).expect("valid"),
+        QuantRange::new(-4.0, 4.0).expect("valid"),
+    );
+    group.bench_function("quantize_codes_64k_4bit", |b| {
+        b.iter(|| black_box(q.quantize_tensor(black_box(&tensor))))
+    });
+    group.bench_function("fit_range_64k", |b| {
+        b.iter(|| {
+            black_box(
+                Quantizer::fit(BitWidth::new(4).expect("valid"), black_box(tensor.data()))
+                    .expect("finite data"),
+            )
+        })
+    });
+    group.finish();
+
+    // in-place variant used by the training hot path
+    let mut group = c.benchmark_group("quantizer_inplace");
+    group.sample_size(20);
+    group.bench_function("fake_quantize_inplace_64k_4bit", |b| {
+        b.iter_batched(
+            || tensor.clone(),
+            |mut t: Tensor| {
+                q.fake_quantize_tensor_inplace(&mut t);
+                black_box(t)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantizer);
+criterion_main!(benches);

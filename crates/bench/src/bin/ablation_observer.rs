@@ -1,0 +1,169 @@
+//! Ablation — quantizer range tracking (DESIGN.md §6.2).
+//!
+//! Compares min/max vs exponential-moving-average range observers on
+//! realistic activation streams (clean, drifting, and outlier-contaminated)
+//! by the RMS fake-quantization error each calibrated range produces on
+//! in-distribution data.
+
+use adq_datasets::SyntheticSpec;
+use adq_nn::{ActRangeMode, Vgg};
+use adq_quant::{BitWidth, MinMaxObserver, MovingAverageObserver, Quantizer, RangeObserver};
+use adq_tensor::init;
+
+use serde_json::json;
+
+fn rms_error(q: &Quantizer, data: &[f32]) -> f64 {
+    let sum: f64 = data
+        .iter()
+        .map(|&x| {
+            let e = f64::from(q.fake_quantize(x) - x);
+            e * e
+        })
+        .sum();
+    (sum / data.len() as f64).sqrt()
+}
+
+fn main() {
+    let mut rng = init::rng(11);
+    let bits = BitWidth::new(4).expect("valid");
+
+    // three stream regimes
+    let regimes: Vec<(&str, Vec<Vec<f32>>)> = vec![
+        (
+            "stationary",
+            (0..50)
+                .map(|_| init::normal(&[256], 0.0, 1.0, &mut rng).into_vec())
+                .collect(),
+        ),
+        (
+            "drifting scale",
+            (0..50)
+                .map(|i| {
+                    let scale = 1.0 + i as f32 * 0.05;
+                    init::normal(&[256], 0.0, scale, &mut rng).into_vec()
+                })
+                .collect(),
+        ),
+        (
+            "outlier-contaminated",
+            (0..50)
+                .map(|i| {
+                    let mut batch = init::normal(&[256], 0.0, 1.0, &mut rng).into_vec();
+                    if i == 25 {
+                        batch[0] = 60.0;
+                    }
+                    batch
+                })
+                .collect(),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut payload = Vec::new();
+    for (name, batches) in &regimes {
+        let mut minmax = MinMaxObserver::new();
+        let mut ema = MovingAverageObserver::new(0.1);
+        for batch in batches {
+            minmax.observe(batch);
+            ema.observe(batch);
+        }
+        // held-out in-distribution data (the last regime's nominal dist)
+        let eval = init::normal(&[4096], 0.0, 1.0, &mut rng).into_vec();
+        let q_minmax = Quantizer::new(bits, minmax.range().expect("observed"));
+        let q_ema = Quantizer::new(bits, ema.range().expect("observed"));
+        let err_minmax = rms_error(&q_minmax, &eval);
+        let err_ema = rms_error(&q_ema, &eval);
+        rows.push(vec![
+            name.to_string(),
+            format!(
+                "[{:.2}, {:.2}]",
+                q_minmax.range().min(),
+                q_minmax.range().max()
+            ),
+            format!("{err_minmax:.4}"),
+            format!("[{:.2}, {:.2}]", q_ema.range().min(), q_ema.range().max()),
+            format!("{err_ema:.4}"),
+            if err_ema < err_minmax {
+                "EMA"
+            } else {
+                "min/max"
+            }
+            .to_string(),
+        ]);
+        payload.push(json!({
+            "regime": name,
+            "minmax_rms": err_minmax,
+            "ema_rms": err_ema,
+        }));
+    }
+    adq_bench::print_table(
+        "ablation — range observer vs stream regime (4-bit RMS error on clean data)",
+        &[
+            "stream",
+            "min/max range",
+            "min/max RMS",
+            "EMA range",
+            "EMA RMS",
+            "winner",
+        ],
+        &rows,
+    );
+    println!(
+        "\nreading: min/max is exact on stationary streams but a single outlier\n\
+         inflates its range and the whole stream's quantization error; the EMA\n\
+         observer trades a little bias for robustness. The workspace defaults to\n\
+         per-batch dynamic ranges (equivalent to min/max per batch), which is why\n\
+         outliers only hurt the batch containing them."
+    );
+    // end-to-end: train the same quantized VGG with per-batch vs EMA
+    // activation ranges wired into every ConvBlock
+    let (train, test) = SyntheticSpec::cifar10_like()
+        .with_classes(4)
+        .with_resolution(8)
+        .with_samples(16, 8)
+        .with_noise(0.7)
+        .generate();
+    let mut dynamic_rows = Vec::new();
+    for (label, ema) in [("per-batch min/max", false), ("EMA (momentum 0.1)", true)] {
+        let mut model = Vgg::tiny(3, 8, 4, 51);
+        let cfg = adq_core::AdqConfig {
+            max_iterations: 3,
+            max_epochs_per_iteration: 5,
+            min_epochs_per_iteration: 2,
+            batch_size: 16,
+            ..adq_core::AdqConfig::paper_default()
+        };
+        if ema {
+            set_all_ema(&mut model);
+        }
+        let outcome = adq_core::AdQuantizer::new(cfg).run(&mut model, &train, &test);
+        let last = outcome.final_record();
+        dynamic_rows.push(vec![
+            label.to_string(),
+            format!("{:.1}%", 100.0 * last.test_accuracy),
+            format!("{:.3}", last.total_ad),
+            adq_bench::fmt_bits_list(&last.bits),
+        ]);
+        payload.push(serde_json::json!({
+            "dynamic": label,
+            "accuracy": last.test_accuracy,
+            "total_ad": last.total_ad,
+        }));
+    }
+    adq_bench::print_table(
+        "ablation (end-to-end) — activation range mode during Algorithm 1",
+        &["range mode", "test acc", "total AD", "final bits"],
+        &dynamic_rows,
+    );
+    adq_bench::write_json("ablation_observer", &payload);
+}
+
+/// Switches every conv block of a VGG to EMA activation ranges.
+fn set_all_ema(model: &mut Vgg) {
+    let count = model.conv_blocks().len();
+    for idx in 0..count {
+        model
+            .conv_block_mut(idx)
+            .set_act_range_mode(ActRangeMode::Ema(MovingAverageObserver::new(0.1)));
+    }
+}

@@ -1,0 +1,77 @@
+//! Ablation — the AD saturation detector (DESIGN.md §6.1).
+//!
+//! Sweeps the detector's window and tolerance and reports how many epochs
+//! each iteration trains, the final bit assignment and accuracy: lax
+//! detectors re-quantize early (cheaper, riskier), strict ones train longer
+//! per iteration.
+
+use adq_ad::SaturationDetector;
+use adq_core::{AdQuantizer, AdqConfig};
+use adq_datasets::SyntheticSpec;
+use adq_nn::Vgg;
+use serde_json::json;
+
+fn main() {
+    let (train, test) = SyntheticSpec::cifar10_like()
+        .with_resolution(16)
+        .with_samples(24, 8)
+        .with_noise(0.5)
+        .generate();
+
+    let sweeps = [
+        (2usize, 0.10f64),
+        (2, 0.02),
+        (4, 0.05),
+        (4, 0.01),
+        (6, 0.01),
+    ];
+    let mut rows = Vec::new();
+    let mut payload = Vec::new();
+    for (window, tolerance) in sweeps {
+        let config = AdqConfig {
+            max_iterations: 3,
+            max_epochs_per_iteration: 10,
+            min_epochs_per_iteration: window,
+            saturation: SaturationDetector::new(window, tolerance),
+            batch_size: 24,
+            lr: 1.5e-3,
+            ..AdqConfig::paper_default()
+        };
+        let mut model = Vgg::small(3, 16, 10, 3);
+        let outcome = AdQuantizer::new(config).run(&mut model, &train, &test);
+        let epochs: Vec<usize> = outcome
+            .iterations
+            .iter()
+            .map(|r| r.epochs_trained)
+            .collect();
+        let last = outcome.final_record();
+        rows.push(vec![
+            format!("w={window} tol={tolerance}"),
+            format!("{epochs:?}"),
+            format!("{}", outcome.total_epochs()),
+            format!("{:.3}x", outcome.training_complexity),
+            format!("{:.1}%", 100.0 * last.test_accuracy),
+            adq_bench::fmt_bits_list(&last.bits),
+        ]);
+        payload.push(json!({
+            "window": window,
+            "tolerance": tolerance,
+            "epochs": epochs,
+            "training_complexity": outcome.training_complexity,
+            "accuracy": last.test_accuracy,
+        }));
+    }
+    adq_bench::print_table(
+        "ablation — saturation detector (window, tolerance)",
+        &[
+            "detector",
+            "epochs/iter",
+            "total epochs",
+            "train complexity",
+            "test acc",
+            "final bits",
+        ],
+        &rows,
+    );
+    adq_bench::write_json("ablation_saturation", &payload);
+}

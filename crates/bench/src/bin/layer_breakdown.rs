@@ -1,0 +1,84 @@
+//! Per-layer energy breakdown of the paper's flagship operating point
+//! (VGG19/CIFAR-10, Table II (a) iter 2) on both hardware models — shows
+//! *where* the mixed-precision savings come from.
+
+use adq_core::builders::pim_mappings_from_spec;
+use adq_core::paper;
+use adq_energy::{EnergyModel, LayerSpec};
+use adq_pim::{NetworkEnergyReport, PimEnergyModel};
+use serde_json::json;
+
+fn main() {
+    let analytical = EnergyModel::paper_45nm();
+    let pim = PimEnergyModel::paper_table4();
+    let base = paper::vgg19_baseline(32, 10, 16);
+    let mixed = paper::vgg19_spec(
+        "vgg19-iter2",
+        32,
+        10,
+        &paper::TABLE2A_ITER2_BITS,
+        &paper::VGG19_CHANNELS,
+        &[],
+    );
+    let mixed_pim = NetworkEnergyReport::new("m", pim_mappings_from_spec(&mixed), &pim);
+    let base_pim = NetworkEnergyReport::new("b", pim_mappings_from_spec(&base), &pim);
+
+    let mut rows = Vec::new();
+    let mut payload = Vec::new();
+    for (i, (layer, base_layer)) in mixed.layers().iter().zip(base.layers()).enumerate() {
+        let name = match layer {
+            LayerSpec::Conv { .. } => format!("conv{}", i + 1),
+            LayerSpec::Fc { .. } => "fc".to_string(),
+        };
+        let analytical_uj = layer.energy_pj(&analytical) / 1e6;
+        let analytical_base_uj = base_layer.energy_pj(&analytical) / 1e6;
+        let pim_uj = mixed_pim.per_layer_uj()[i];
+        let pim_base_uj = base_pim.per_layer_uj()[i];
+        rows.push(vec![
+            name.clone(),
+            format!("{}", layer.bits().get()),
+            format!("{}", mixed_pim.layers()[i].precision.bits()),
+            format!("{:.2}", layer.mac_count() as f64 / 1e6),
+            format!("{analytical_uj:.3}"),
+            format!("{:.2}x", analytical_base_uj / analytical_uj),
+            format!("{pim_uj:.4}"),
+            format!("{:.2}x", pim_base_uj / pim_uj),
+        ]);
+        payload.push(json!({
+            "layer": name,
+            "bits": layer.bits().get(),
+            "macs": layer.mac_count(),
+            "analytical_uj": analytical_uj,
+            "pim_uj": pim_uj,
+        }));
+    }
+    adq_bench::print_table(
+        "per-layer energy — VGG19/CIFAR-10, Table II (a) iter 2",
+        &[
+            "layer",
+            "bits",
+            "hw bits",
+            "MMACs",
+            "analytical (uJ)",
+            "vs 16-bit",
+            "PIM (uJ)",
+            "vs 16-bit",
+        ],
+        &rows,
+    );
+    println!(
+        "\ntotals: analytical {:.3} uJ (baseline {:.3}), PIM {:.3} uJ (baseline {:.3})",
+        mixed.energy_uj(&analytical),
+        base.energy_uj(&analytical),
+        mixed_pim.total_uj(),
+        base_pim.total_uj(),
+    );
+    println!(
+        "reading: the 2-bit mid-network layers (conv6-8) see the largest per-layer\n\
+         reductions (~94x on PIM); after quantization the hardware budget\n\
+         concentrates in conv3, whose trained 5 bits legalise to a full 8-bit\n\
+         datapath — precision legalisation, not MAC count, decides the new\n\
+         bottleneck."
+    );
+    adq_bench::write_json("layer_breakdown", &payload);
+}

@@ -1,0 +1,50 @@
+//! Table I — the analytical 45 nm energy constants and the derived
+//! per-bit-width energies.
+
+use adq_energy::EnergyModel;
+use adq_quant::BitWidth;
+use serde_json::json;
+
+fn main() {
+    let model = EnergyModel::paper_45nm();
+    let rows = vec![
+        vec!["k-bit memory access (E_Mem|k)".into(), "2.5·k pJ".into()],
+        vec![
+            "32-bit multiply (E_Mult|32)".into(),
+            format!("{} pJ", model.mult32_pj),
+        ],
+        vec![
+            "32-bit add (E_Add|32)".into(),
+            format!("{} pJ", model.add32_pj),
+        ],
+        vec!["k-bit MAC (E_MAC|k)".into(), "3.1·k/32 + 0.1 pJ".into()],
+    ];
+    adq_bench::print_table(
+        "Table I — energy consumption estimates (45 nm CMOS)",
+        &["operation", "estimated energy"],
+        &rows,
+    );
+
+    let mut derived = Vec::new();
+    for bits in [1u32, 2, 3, 4, 5, 8, 16, 32] {
+        let k = BitWidth::new(bits).expect("valid");
+        derived.push(vec![
+            format!("{bits}"),
+            format!("{:.3}", model.mem_access_pj(k)),
+            format!("{:.4}", model.mac_pj(k)),
+        ]);
+    }
+    adq_bench::print_table(
+        "derived per-bit-width energies",
+        &["k", "E_Mem (pJ)", "E_MAC (pJ)"],
+        &derived,
+    );
+    adq_bench::write_json(
+        "table1_energy_model",
+        &json!({
+            "mult32_pj": model.mult32_pj,
+            "add32_pj": model.add32_pj,
+            "mem_per_bit_pj": model.mem_per_bit_pj,
+        }),
+    );
+}

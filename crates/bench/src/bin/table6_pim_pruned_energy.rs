@@ -1,0 +1,76 @@
+//! Table VI — PIM hardware MAC energy of the pruned mixed-precision models
+//! vs the unpruned full-precision baselines.
+
+use adq_core::builders::pim_mappings_from_spec;
+use adq_core::paper;
+use adq_pim::{NetworkEnergyReport, PimEnergyModel};
+use serde_json::json;
+
+fn main() {
+    let model = PimEnergyModel::paper_table4();
+
+    let cases = [
+        (
+            "VGG19 on CIFAR-10",
+            paper::vgg19_spec(
+                "vgg19-table3a",
+                32,
+                10,
+                &paper::TABLE3A_ITER2_BITS,
+                &paper::TABLE3A_ITER2_CHANNELS,
+                &[],
+            ),
+            paper::vgg19_baseline(32, 10, 16),
+            (0.558, 110.154, "197.55x"),
+        ),
+        (
+            "ResNet18 on CIFAR-100",
+            paper::resnet18_spec(
+                "resnet18-table3b",
+                32,
+                100,
+                &paper::expand_bits18_to_26(&paper::TABLE3B_ITER3_BITS),
+                &paper::TABLE3B_ITER3_CHANNELS,
+            ),
+            paper::resnet18_baseline(32, 100, 16),
+            (3.630, 159.501, "43.941x"),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut payload = Vec::new();
+    for (label, pruned, base, (paper_pruned, paper_base, paper_red)) in cases {
+        let pruned_report =
+            NetworkEnergyReport::new("pruned", pim_mappings_from_spec(&pruned), &model);
+        let base_report = NetworkEnergyReport::new("base", pim_mappings_from_spec(&base), &model);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.4}", pruned_report.total_uj()),
+            format!("{paper_pruned}"),
+            format!("{:.3}", base_report.total_uj()),
+            format!("{paper_base}"),
+            format!("{:.2}x", pruned_report.reduction_vs(&base_report)),
+            paper_red.to_string(),
+        ]);
+        payload.push(json!({
+            "network": label,
+            "pruned_uj": pruned_report.total_uj(),
+            "baseline_uj": base_report.total_uj(),
+            "reduction": pruned_report.reduction_vs(&base_report),
+        }));
+    }
+    adq_bench::print_table(
+        "Table VI — PIM MAC energy, pruned mixed-precision vs unpruned baseline",
+        &[
+            "network & dataset",
+            "pruned (uJ)",
+            "paper pruned (uJ)",
+            "baseline (uJ)",
+            "paper baseline (uJ)",
+            "reduction",
+            "paper reduction",
+        ],
+        &rows,
+    );
+    adq_bench::write_json("table6_pim_pruned_energy", &payload);
+}

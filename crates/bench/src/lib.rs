@@ -1,0 +1,111 @@
+//! Shared reporting helpers for the table/figure regenerator binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §4) and prints it in a paper-comparable layout;
+//! results are also dumped as JSON under `results/` so EXPERIMENTS.md can
+//! cite exact numbers.
+
+pub mod plot;
+
+use std::fs;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// Prints an aligned plain-text table.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:<w$}"))
+        .collect();
+    println!("{}", header_line.join(" | "));
+    println!("{}", "-".repeat(header_line.join(" | ").len()));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        println!("{}", line.join(" | "));
+    }
+}
+
+/// Serialises a result payload to `results/<name>.json`, creating the
+/// directory if needed. Failures are reported but not fatal — the printed
+/// table is the primary artefact.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = Path::new("results");
+    if let Err(err) = fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create results dir: {err}");
+        return;
+    }
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            let path = dir.join(format!("{name}.json"));
+            if let Err(err) = fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {err}", path.display());
+            } else {
+                println!("(wrote results/{name}.json)");
+            }
+        }
+        Err(err) => eprintln!("warning: cannot serialise {name}: {err}"),
+    }
+}
+
+/// Formats an optional bit-width column entry.
+pub fn fmt_bits(bits: Option<adq_quant::BitWidth>) -> String {
+    bits.map_or_else(|| "fp32".to_string(), |b| format!("{}", b.get()))
+}
+
+/// Formats a bit-width vector like the paper's tables:
+/// `[16, 4, 5, 4, ..., 16]`.
+pub fn fmt_bits_list(bits: &[Option<adq_quant::BitWidth>]) -> String {
+    let inner: Vec<String> = bits
+        .iter()
+        .map(|b| b.map_or_else(|| "fp".into(), |b| b.get().to_string()))
+        .collect();
+    format!("[{}]", inner.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adq_quant::BitWidth;
+
+    #[test]
+    fn fmt_bits_handles_both_cases() {
+        assert_eq!(fmt_bits(None), "fp32");
+        assert_eq!(fmt_bits(Some(BitWidth::new(5).unwrap())), "5");
+    }
+
+    #[test]
+    fn fmt_bits_list_matches_paper_style() {
+        let bits = vec![
+            Some(BitWidth::SIXTEEN),
+            Some(BitWidth::new(4).unwrap()),
+            None,
+        ];
+        assert_eq!(fmt_bits_list(&bits), "[16, 4, fp]");
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_rows_panic() {
+        print_table("t", &["a", "b"], &[vec!["x".into()]]);
+    }
+}

@@ -1,0 +1,309 @@
+//! Comparison baselines from the paper's §I framing.
+//!
+//! The paper positions in-training AD quantization against two families:
+//!
+//! 1. **Homogeneous-precision networks trained from scratch** — same
+//!    bit-width everywhere ("Binarized or homogeneous precision network
+//!    implementations … generally suffer from accuracy loss as compared to
+//!    mixed-precision models").
+//! 2. **Train → quantize → retrain** — the conventional pipeline that
+//!    needs a fully trained full-precision model first ("the prerequisite
+//!    of a large fully trained network as a starting point is a significant
+//!    overhead").
+//!
+//! Both are implemented here with the same instrumentation as the main
+//! controller so the `baseline_comparison` bench can line all three up on
+//! accuracy, epochs and training complexity.
+
+use adq_energy::EnergyModel;
+use adq_nn::train::{evaluate, train_epoch, Dataset};
+use adq_nn::{Adam, QuantModel};
+use adq_quant::BitWidth;
+use serde::{Deserialize, Serialize};
+
+use crate::builders::network_spec_from_stats;
+use crate::complexity::{training_complexity, IterationCost};
+
+/// Result of a homogeneous-precision run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HomogeneousRecord {
+    /// The uniform bit-width trained at.
+    pub bits: BitWidth,
+    /// Epochs trained.
+    pub epochs: usize,
+    /// Final test accuracy.
+    pub test_accuracy: f64,
+    /// Final mean Activation Density.
+    pub total_ad: f64,
+    /// eqn-4 complexity of the schedule vs `baseline_epochs` at 16-bit.
+    pub training_complexity: f64,
+}
+
+/// Trains `model` from scratch at a single uniform precision (quantizing
+/// every layer, including the first and last, as homogeneous baselines do).
+///
+/// # Example
+///
+/// ```no_run
+/// use adq_core::baselines::train_homogeneous;
+/// use adq_datasets::SyntheticSpec;
+/// use adq_nn::Vgg;
+/// use adq_quant::BitWidth;
+///
+/// # fn main() -> Result<(), adq_quant::QuantError> {
+/// let (train, test) = SyntheticSpec::cifar10_like().generate();
+/// let mut model = Vgg::small(3, 16, 10, 1);
+/// let record = train_homogeneous(
+///     &mut model, &train, &test, BitWidth::new(4)?, 10, 32, 2e-3, 0, 20,
+/// );
+/// println!("4-bit from scratch: {:.1}%", 100.0 * record.test_accuracy);
+/// # Ok(())
+/// # }
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn train_homogeneous(
+    model: &mut dyn QuantModel,
+    train: &Dataset,
+    test: &Dataset,
+    bits: BitWidth,
+    epochs: usize,
+    batch_size: usize,
+    lr: f32,
+    seed: u64,
+    baseline_epochs: usize,
+) -> HomogeneousRecord {
+    for idx in 0..model.layer_count() {
+        model.set_bits_of(idx, Some(bits));
+    }
+    let mut optimizer = Adam::new(lr);
+    let mut rng = adq_tensor::init::rng(seed);
+    for _ in 0..epochs {
+        model.reset_densities();
+        train_epoch(model, train, &mut optimizer, batch_size, &mut rng);
+    }
+    let stats = evaluate(model, test, batch_size);
+    let densities: Vec<f64> = (0..model.layer_count())
+        .map(|i| model.density_of(i))
+        .collect();
+    let total_ad = densities.iter().sum::<f64>() / densities.len().max(1) as f64;
+
+    // energy-based step-cost reduction of the k-bit model vs the 16-bit one
+    let energy_model = EnergyModel::paper_45nm();
+    let spec = network_spec_from_stats("homogeneous", &model.layer_stats(), bits);
+    let reduction = spec
+        .with_uniform_bits(BitWidth::SIXTEEN)
+        .energy_pj(&energy_model)
+        / spec.energy_pj(&energy_model).max(f64::MIN_POSITIVE);
+    let complexity = training_complexity(
+        &[IterationCost::new(reduction.max(1e-9), epochs)],
+        baseline_epochs,
+    );
+    HomogeneousRecord {
+        bits,
+        epochs,
+        test_accuracy: stats.accuracy,
+        total_ad,
+        training_complexity: complexity,
+    }
+}
+
+/// Configuration of the conventional train → quantize → retrain pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PtqConfig {
+    /// Epochs of full-precision pre-training (the expensive prerequisite).
+    pub pretrain_epochs: usize,
+    /// Epochs of retraining after one-shot quantization.
+    pub retrain_epochs: usize,
+    /// The precision the model pre-trains at.
+    pub initial_bits: BitWidth,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// eqn-4 normalisation.
+    pub baseline_epochs: usize,
+}
+
+impl Default for PtqConfig {
+    fn default() -> Self {
+        Self {
+            pretrain_epochs: 10,
+            retrain_epochs: 5,
+            initial_bits: BitWidth::SIXTEEN,
+            batch_size: 32,
+            lr: 2e-3,
+            seed: 0,
+            baseline_epochs: 20,
+        }
+    }
+}
+
+/// Result of a train → quantize → retrain run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PtqRecord {
+    /// Test accuracy of the fully trained full-precision model.
+    pub pretrained_accuracy: f64,
+    /// Test accuracy immediately after one-shot quantization (the "drop"
+    /// conventional pipelines retrain to recover).
+    pub quantized_accuracy: f64,
+    /// Test accuracy after retraining.
+    pub final_accuracy: f64,
+    /// Per-layer bit-widths chosen by the one-shot heuristic.
+    pub bits: Vec<Option<BitWidth>>,
+    /// eqn-4 training complexity of the whole pipeline.
+    pub training_complexity: f64,
+    /// Total epochs spent (pretrain + retrain).
+    pub total_epochs: usize,
+}
+
+/// Runs the conventional pipeline the paper contrasts with: fully train at
+/// `initial_bits`, assign mixed precision *once* with the AD heuristic
+/// (eqn 3, same rule as Algorithm 1 but applied post-hoc), then retrain.
+///
+/// First and last layers stay at the initial precision, as in Algorithm 1.
+// indexed loop: `idx` addresses densities and the model interface together
+#[allow(clippy::needless_range_loop)]
+pub fn train_quantize_retrain(
+    model: &mut dyn QuantModel,
+    train: &Dataset,
+    test: &Dataset,
+    config: &PtqConfig,
+) -> PtqRecord {
+    let count = model.layer_count();
+    for idx in 0..count {
+        model.set_bits_of(idx, Some(config.initial_bits));
+    }
+    let mut optimizer = Adam::new(config.lr);
+    let mut rng = adq_tensor::init::rng(config.seed);
+    // 1. expensive full-precision pre-training
+    for _ in 0..config.pretrain_epochs {
+        model.reset_densities();
+        train_epoch(model, train, &mut optimizer, config.batch_size, &mut rng);
+    }
+    let pretrained_accuracy = evaluate(model, test, config.batch_size).accuracy;
+    let densities: Vec<f64> = (0..count).map(|i| model.density_of(i)).collect();
+
+    // 2. one-shot post-training quantization with the eqn-3 heuristic
+    for idx in 1..count.saturating_sub(1) {
+        let current = model.bits_of(idx).unwrap_or(config.initial_bits);
+        model.set_bits_of(idx, Some(current.scaled_by_density(densities[idx])));
+    }
+    let quantized_accuracy = evaluate(model, test, config.batch_size).accuracy;
+
+    // 3. retraining to recover the drop
+    for _ in 0..config.retrain_epochs {
+        model.reset_densities();
+        train_epoch(model, train, &mut optimizer, config.batch_size, &mut rng);
+    }
+    let final_accuracy = evaluate(model, test, config.batch_size).accuracy;
+
+    let energy_model = EnergyModel::paper_45nm();
+    let spec = network_spec_from_stats("ptq", &model.layer_stats(), config.initial_bits);
+    let reduction = spec
+        .with_uniform_bits(config.initial_bits)
+        .energy_pj(&energy_model)
+        / spec.energy_pj(&energy_model).max(f64::MIN_POSITIVE);
+    let complexity = training_complexity(
+        &[
+            IterationCost::new(1.0, config.pretrain_epochs),
+            IterationCost::new(reduction.max(1e-9), config.retrain_epochs),
+        ],
+        config.baseline_epochs,
+    );
+    PtqRecord {
+        pretrained_accuracy,
+        quantized_accuracy,
+        final_accuracy,
+        bits: (0..count).map(|i| model.bits_of(i)).collect(),
+        training_complexity: complexity,
+        total_epochs: config.pretrain_epochs + config.retrain_epochs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adq_datasets::SyntheticSpec;
+    use adq_nn::Vgg;
+
+    fn tiny_task() -> (Dataset, Dataset) {
+        SyntheticSpec::cifar10_like()
+            .with_classes(4)
+            .with_resolution(8)
+            .with_samples(10, 4)
+            .generate()
+    }
+
+    #[test]
+    fn homogeneous_sets_every_layer() {
+        let (train, test) = tiny_task();
+        let mut model = Vgg::tiny(3, 8, 4, 1);
+        let bits = BitWidth::new(4).unwrap();
+        let record = train_homogeneous(&mut model, &train, &test, bits, 2, 8, 2e-3, 0, 4);
+        assert_eq!(record.bits, bits);
+        for i in 0..model.layer_count() {
+            assert_eq!(model.bits_of(i), Some(bits));
+        }
+        assert!((0.0..=1.0).contains(&record.test_accuracy));
+    }
+
+    #[test]
+    fn homogeneous_low_precision_is_cheaper() {
+        let (train, test) = tiny_task();
+        let mut m4 = Vgg::tiny(3, 8, 4, 2);
+        let r4 = train_homogeneous(
+            &mut m4,
+            &train,
+            &test,
+            BitWidth::new(4).unwrap(),
+            2,
+            8,
+            2e-3,
+            0,
+            4,
+        );
+        let mut m16 = Vgg::tiny(3, 8, 4, 2);
+        let r16 = train_homogeneous(&mut m16, &train, &test, BitWidth::SIXTEEN, 2, 8, 2e-3, 0, 4);
+        assert!(r4.training_complexity < r16.training_complexity);
+    }
+
+    #[test]
+    fn ptq_pipeline_runs_all_three_phases() {
+        let (train, test) = tiny_task();
+        let mut model = Vgg::tiny(3, 8, 4, 3);
+        let config = PtqConfig {
+            pretrain_epochs: 3,
+            retrain_epochs: 2,
+            batch_size: 8,
+            baseline_epochs: 5,
+            ..PtqConfig::default()
+        };
+        let record = train_quantize_retrain(&mut model, &train, &test, &config);
+        assert_eq!(record.total_epochs, 5);
+        // ends pinned at initial precision, interior quantized by eqn 3
+        assert_eq!(record.bits[0], Some(BitWidth::SIXTEEN));
+        let interior_quantized = record.bits[1..record.bits.len() - 1]
+            .iter()
+            .flatten()
+            .any(|b| *b < BitWidth::SIXTEEN);
+        assert!(interior_quantized, "{:?}", record.bits);
+    }
+
+    #[test]
+    fn ptq_complexity_exceeds_pretrain_fraction() {
+        // the pipeline can never be cheaper than its full-precision phase
+        let (train, test) = tiny_task();
+        let mut model = Vgg::tiny(3, 8, 4, 4);
+        let config = PtqConfig {
+            pretrain_epochs: 4,
+            retrain_epochs: 2,
+            batch_size: 8,
+            baseline_epochs: 6,
+            ..PtqConfig::default()
+        };
+        let record = train_quantize_retrain(&mut model, &train, &test, &config);
+        assert!(record.training_complexity >= 4.0 / 6.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Glue between live [`adq_nn::QuantModel`]s and the energy models.
+//!
+//! The analytical ([`adq_energy`]) and PIM ([`adq_pim`]) models consume
+//! architecture descriptions, not networks; these builders derive those
+//! descriptions from a model's [`LayerStat`] snapshot so dynamically trained
+//! mixed-precision models can be costed with the same code paths as the
+//! paper presets.
+
+use adq_energy::{LayerSpec, NetworkSpec};
+use adq_nn::{LayerKind, LayerStat};
+use adq_pim::LayerMapping;
+use adq_quant::BitWidth;
+
+/// Builds an analytical-energy network spec from model layer snapshots.
+///
+/// Layers without an explicit bit-width (full precision) are costed at
+/// `default_bits` — the paper costs its FP baselines at 16-bit (32-bit for
+/// the TinyImagenet baseline). Junction pseudo-layers contribute only when
+/// they carry a projection convolution.
+pub fn network_spec_from_stats(
+    name: impl Into<String>,
+    stats: &[LayerStat],
+    default_bits: BitWidth,
+) -> NetworkSpec {
+    let mut layers = Vec::new();
+    for stat in stats {
+        let bits = stat.bits.unwrap_or(default_bits);
+        match stat.kind {
+            LayerKind::Conv => {
+                let geom = stat.geom.expect("conv layers always carry geometry");
+                layers.push(LayerSpec::conv(geom, stat.input_hw, bits));
+            }
+            LayerKind::Junction => {
+                if let Some(geom) = stat.geom {
+                    layers.push(LayerSpec::conv(geom, stat.input_hw, bits));
+                }
+            }
+            LayerKind::Linear => {
+                layers.push(LayerSpec::fc(stat.in_features, stat.out_channels, bits));
+            }
+        }
+    }
+    NetworkSpec::new(name, layers)
+}
+
+/// Maps an analytical network spec onto the PIM accelerator: one
+/// [`LayerMapping`] per layer, with bit-widths legalised to {2, 4, 8, 16}.
+pub fn pim_mappings_from_spec(spec: &NetworkSpec) -> Vec<LayerMapping> {
+    spec.layers()
+        .iter()
+        .enumerate()
+        .map(|(i, layer)| LayerMapping::new(i, layer.mac_count(), layer.bits()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adq_nn::{QuantModel, ResNet, Vgg};
+    use adq_quant::HwPrecision;
+
+    fn bw(bits: u32) -> BitWidth {
+        BitWidth::new(bits).unwrap()
+    }
+
+    #[test]
+    fn vgg_spec_has_layer_per_stat() {
+        let net = Vgg::tiny(3, 8, 4, 1);
+        let spec = network_spec_from_stats("vgg", &net.layer_stats(), bw(16));
+        // 3 convs + 1 fc
+        assert_eq!(spec.layers().len(), 4);
+        assert!(spec.mac_count() > 0);
+    }
+
+    #[test]
+    fn resnet_spec_counts_projections_only() {
+        let net = ResNet::tiny(3, 8, 4, 2);
+        let spec = network_spec_from_stats("resnet", &net.layer_stats(), bw(16));
+        // stem + 2 blocks * 2 convs + 1 projection (block 1) + fc = 7
+        assert_eq!(spec.layers().len(), 7);
+    }
+
+    #[test]
+    fn explicit_bits_override_default() {
+        let mut net = Vgg::tiny(3, 8, 4, 3);
+        net.set_bits_of(1, Some(bw(4)));
+        let spec = network_spec_from_stats("vgg", &net.layer_stats(), bw(16));
+        assert_eq!(spec.layers()[1].bits(), bw(4));
+        assert_eq!(spec.layers()[0].bits(), bw(16));
+    }
+
+    #[test]
+    fn pim_mappings_match_spec() {
+        let net = Vgg::tiny(3, 8, 4, 4);
+        let spec = network_spec_from_stats("vgg", &net.layer_stats(), bw(16));
+        let maps = pim_mappings_from_spec(&spec);
+        assert_eq!(maps.len(), spec.layers().len());
+        assert_eq!(maps.iter().map(|m| m.macs).sum::<u64>(), spec.mac_count());
+        assert!(maps.iter().all(|m| m.precision == HwPrecision::B16));
+    }
+
+    #[test]
+    fn pim_mapping_legalizes_odd_bits() {
+        let mut net = Vgg::tiny(3, 8, 4, 5);
+        net.set_bits_of(0, Some(bw(3)));
+        let spec = network_spec_from_stats("vgg", &net.layer_stats(), bw(16));
+        let maps = pim_mappings_from_spec(&spec);
+        assert_eq!(maps[0].precision, HwPrecision::B4);
+    }
+}

@@ -1,0 +1,130 @@
+use serde::{Deserialize, Serialize};
+
+/// Cost of one quantization iteration for the training-complexity metric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationCost {
+    /// `MAC reduction_i`: how many times cheaper one training step of this
+    /// iteration's model is than a baseline full-precision step
+    /// (1.0 for the initial-precision iteration).
+    pub mac_reduction: f64,
+    /// Epochs trained in this iteration.
+    pub epochs: usize,
+}
+
+impl IterationCost {
+    /// Creates an iteration cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mac_reduction` is not positive and finite.
+    pub fn new(mac_reduction: f64, epochs: usize) -> Self {
+        assert!(
+            mac_reduction > 0.0 && mac_reduction.is_finite(),
+            "MAC reduction must be positive, got {mac_reduction}"
+        );
+        Self {
+            mac_reduction,
+            epochs,
+        }
+    }
+}
+
+/// Training complexity (eqn 4), normalised against a baseline schedule:
+///
+/// ```text
+/// complexity = Σ_i (MAC reduction_i)⁻¹ · #epochs_i  /  baseline_epochs
+/// ```
+///
+/// The baseline trains the full-precision model (`MAC reduction = 1`) for
+/// `baseline_epochs`, so its own complexity is exactly 1.0. Values below 1
+/// mean the in-training quantization schedule was cheaper than baseline
+/// training — the paper reports ≈ 0.5 for VGG19/CIFAR-10.
+///
+/// # Panics
+///
+/// Panics if `baseline_epochs` is zero.
+///
+/// # Example
+///
+/// ```
+/// use adq_core::{training_complexity, IterationCost};
+///
+/// // paper Table II (a): 100 epochs at 1x, then 70 epochs at 4.16x cheaper,
+/// // against a 210-epoch baseline schedule
+/// let c = training_complexity(
+///     &[IterationCost::new(1.0, 100), IterationCost::new(4.16, 70)],
+///     210,
+/// );
+/// assert!((c - 0.556).abs() < 0.01);
+/// ```
+pub fn training_complexity(iterations: &[IterationCost], baseline_epochs: usize) -> f64 {
+    assert!(baseline_epochs > 0, "baseline epochs must be positive");
+    let cost: f64 = iterations
+        .iter()
+        .map(|it| it.epochs as f64 / it.mac_reduction)
+        .sum();
+    cost / baseline_epochs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_complexity_is_one() {
+        let c = training_complexity(&[IterationCost::new(1.0, 210)], 210);
+        assert!((c - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cheaper_iterations_reduce_complexity() {
+        let c = training_complexity(
+            &[IterationCost::new(1.0, 100), IterationCost::new(4.0, 100)],
+            200,
+        );
+        assert!((c - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_vgg19_schedule_is_about_half() {
+        // Table II (a): 100 @ 1x + 70 @ ~4.16x vs 210-epoch baseline -> ~0.52-0.56
+        let c = training_complexity(
+            &[IterationCost::new(1.0, 100), IterationCost::new(4.16, 70)],
+            210,
+        );
+        assert!((0.5..0.6).contains(&c), "complexity {c}");
+    }
+
+    #[test]
+    fn zero_epochs_iteration_is_free() {
+        let c = training_complexity(
+            &[IterationCost::new(1.0, 50), IterationCost::new(4.0, 0)],
+            100,
+        );
+        assert!((c - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_schedule_costs_nothing() {
+        assert_eq!(training_complexity(&[], 100), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_reduction_panics() {
+        IterationCost::new(0.0, 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_baseline_panics() {
+        training_complexity(&[IterationCost::new(1.0, 1)], 0);
+    }
+
+    #[test]
+    fn complexity_monotone_in_reduction() {
+        let lo = training_complexity(&[IterationCost::new(2.0, 100)], 100);
+        let hi = training_complexity(&[IterationCost::new(4.0, 100)], 100);
+        assert!(hi < lo);
+    }
+}

@@ -1,0 +1,463 @@
+//! Deployment: lowering a trained mixed-precision VGG onto the integer
+//! datapath of the PIM accelerator.
+//!
+//! Training simulates quantization in floating point (fake quantization);
+//! the accelerator executes integer code arithmetic. This module performs
+//! the standard lowering steps —
+//!
+//! 1. **BN folding**: batch-norm running statistics are folded into the
+//!    preceding convolution's weights and bias,
+//! 2. **weight quantization** at each layer's trained bit-width,
+//! 3. **activation re-quantization** between layers at the *producing*
+//!    layer's bit-width (mirroring the training-time convention),
+//!
+//! — and runs inference entirely through [`adq_pim::QuantizedConv2d`] /
+//! [`adq_pim::QuantizedLinear`], returning logits plus the accelerator
+//! activity and energy of the run.
+
+use adq_nn::{ConvBlock, GlobalAvgPool, LinearHead, MaxPool2d, ResNet, Vgg};
+use adq_pim::{MacStats, PimEnergyModel, QuantizedConv2d, QuantizedLinear};
+use adq_quant::{BitWidth, HwPrecision, QuantError, Quantizer};
+use adq_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Accelerator-side cost of one deployed inference pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeployStats {
+    /// Aggregate datapath activity.
+    pub mac_stats: MacStats,
+    /// Total MAC count executed.
+    pub macs: u64,
+    /// MAC energy in microjoules (Table IV model).
+    pub energy_uj: f64,
+}
+
+struct DeployedBlock {
+    conv: QuantizedConv2d,
+    pool: bool,
+    /// Precision this block's *output* is carried at into the next layer.
+    out_bits: BitWidth,
+}
+
+/// Folds a [`ConvBlock`]'s batch-norm into its convolution and quantizes
+/// the result at the block's bit-width.
+fn lower_conv_block(block: &ConvBlock) -> Result<(QuantizedConv2d, BitWidth), QuantError> {
+    let conv = block.conv();
+    let geom = conv.geom();
+    let bits = block.bits().unwrap_or(BitWidth::SIXTEEN);
+    let (scale, shift) = match block.bn() {
+        Some(bn) => bn.fold_factors(),
+        None => (vec![1.0; geom.out_channels], vec![0.0; geom.out_channels]),
+    };
+    let fan_in = geom.in_channels * geom.kernel * geom.kernel;
+    let mut weight = Tensor::zeros(&[geom.out_channels, fan_in]);
+    let mut bias = vec![0.0f32; geom.out_channels];
+    for o in 0..geom.out_channels {
+        for i in 0..fan_in {
+            *weight.at2_mut(o, i) = conv.weight.value.at2(o, i) * scale[o];
+        }
+        bias[o] = conv.bias.value.data()[o] * scale[o] + shift[o];
+    }
+    Ok((
+        QuantizedConv2d::from_float(geom, &weight, &bias, bits)?,
+        bits,
+    ))
+}
+
+/// Quantizes a classifier head's weights at its bit-width.
+fn lower_head(head: &LinearHead) -> Result<QuantizedLinear, QuantError> {
+    let bits = head.bits().unwrap_or(BitWidth::SIXTEEN);
+    let linear = head.linear();
+    QuantizedLinear::from_float(&linear.weight.value, linear.bias.value.data(), bits)
+}
+
+/// Per-batch activation quantizer at a carried precision; a degenerate
+/// all-equal tensor falls back to the point range.
+fn act_quantizer(bits: BitWidth, data: &[f32]) -> Quantizer {
+    Quantizer::fit(bits, data).unwrap_or_else(|_| Quantizer::new(bits, Default::default()))
+}
+
+/// A trained [`Vgg`] lowered to integer-only inference.
+///
+/// # Example
+///
+/// ```no_run
+/// use adq_core::deploy::DeployedVgg;
+/// use adq_datasets::SyntheticSpec;
+/// use adq_nn::{QuantModel, Vgg};
+///
+/// # fn main() -> Result<(), adq_quant::QuantError> {
+/// let (train, _) = SyntheticSpec::cifar10_like().generate();
+/// let mut model = Vgg::small(3, 16, 10, 1);
+/// // ... train / quantize the model ...
+/// let deployed = DeployedVgg::from_trained(&model)?;
+/// let (logits, stats) = deployed.run(&train.images);
+/// println!("{} MACs, {:.4} uJ", stats.macs, stats.energy_uj);
+/// # let _ = logits;
+/// # Ok(())
+/// # }
+/// ```
+pub struct DeployedVgg {
+    blocks: Vec<DeployedBlock>,
+    head: QuantizedLinear,
+    energy_model: PimEnergyModel,
+}
+
+impl DeployedVgg {
+    /// Lowers a trained model. Blocks without an assigned bit-width (full
+    /// precision) are deployed at 16-bit, the accelerator's widest mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError`] if any layer's weights are empty or
+    /// non-finite.
+    pub fn from_trained(model: &Vgg) -> Result<Self, QuantError> {
+        let mut blocks = Vec::new();
+        for (index, block) in model.conv_blocks().iter().enumerate() {
+            let (conv, out_bits) = lower_conv_block(block)?;
+            blocks.push(DeployedBlock {
+                conv,
+                pool: model.pool_after(index),
+                out_bits,
+            });
+        }
+        Ok(Self {
+            blocks,
+            head: lower_head(model.head())?,
+            energy_model: PimEnergyModel::paper_table4(),
+        })
+    }
+
+    /// Overrides the per-MAC energy model (defaults to Table IV).
+    pub fn with_energy_model(mut self, energy_model: PimEnergyModel) -> Self {
+        self.energy_model = energy_model;
+        self
+    }
+
+    /// Number of deployed convolution layers.
+    pub fn conv_layer_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Precisions the layers execute at, conv blocks then classifier.
+    pub fn precisions(&self) -> Vec<HwPrecision> {
+        let mut out: Vec<HwPrecision> = self.blocks.iter().map(|b| b.conv.precision()).collect();
+        out.push(self.head.precision());
+        out
+    }
+
+    /// Integer-only inference: returns logits `[N, classes]` and the
+    /// accelerator cost of the pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is not `[N, C, H, W]` matching the model.
+    pub fn run(&self, images: &Tensor) -> (Tensor, DeployStats) {
+        let mut stats = DeployStats::default();
+        let mut x = images.clone();
+        // network input is carried at the accelerator's full width
+        let mut carry_bits = BitWidth::SIXTEEN;
+        for block in &self.blocks {
+            let act_q = act_quantizer(carry_bits, x.data());
+            let (mut y, mac_stats) = block.conv.run(&x, &act_q);
+            account(
+                &self.energy_model,
+                &mut stats,
+                mac_stats,
+                block.conv.precision(),
+            );
+            y.map_inplace(|v| v.max(0.0));
+            if block.pool {
+                let mut pool = MaxPool2d::new(2);
+                y = pool.forward(&y);
+            }
+            carry_bits = block.out_bits;
+            x = y;
+        }
+        let n = x.dims()[0];
+        let features = x.len() / n.max(1);
+        let flat = x.reshaped(&[n, features]).expect("flatten preserves count");
+        let act_q = act_quantizer(carry_bits, flat.data());
+        let (logits, mac_stats) = self.head.run(&flat, &act_q);
+        account(
+            &self.energy_model,
+            &mut stats,
+            mac_stats,
+            self.head.precision(),
+        );
+        (logits, stats)
+    }
+}
+
+fn account(
+    energy_model: &PimEnergyModel,
+    stats: &mut DeployStats,
+    mac_stats: MacStats,
+    precision: HwPrecision,
+) {
+    let k = u64::from(precision.bits());
+    let macs = mac_stats.cell_ops / (k * k).max(1);
+    stats.macs += macs;
+    stats.energy_uj += energy_model.macs_uj(macs, precision);
+    stats.mac_stats.merge(&mac_stats);
+}
+
+struct DeployedBasicBlock {
+    conv1: QuantizedConv2d,
+    conv1_bits: BitWidth,
+    conv2: QuantizedConv2d,
+    proj: Option<QuantizedConv2d>,
+    junction_bits: BitWidth,
+}
+
+/// A trained [`ResNet`] lowered to integer-only inference.
+///
+/// Residual additions and ReLUs run in the dequantized domain (the
+/// accelerator's shift-accumulator outputs), with the skip branch quantized
+/// at the destination precision per Fig 2.
+pub struct DeployedResNet {
+    stem: QuantizedConv2d,
+    stem_bits: BitWidth,
+    blocks: Vec<DeployedBasicBlock>,
+    head: QuantizedLinear,
+    energy_model: PimEnergyModel,
+}
+
+impl DeployedResNet {
+    /// Lowers a trained model; full-precision layers deploy at 16-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError`] if any layer's weights are empty or
+    /// non-finite.
+    pub fn from_trained(model: &ResNet) -> Result<Self, QuantError> {
+        let (stem, stem_bits) = lower_conv_block(model.stem())?;
+        let mut blocks = Vec::new();
+        for index in 0..model.block_count() {
+            let view = model.block_view(index);
+            let (conv1, conv1_bits) = lower_conv_block(view.conv1)?;
+            let (conv2, _) = lower_conv_block(view.conv2)?;
+            let proj = match view.proj {
+                Some(p) => Some(lower_conv_block(p)?.0),
+                None => None,
+            };
+            blocks.push(DeployedBasicBlock {
+                conv1,
+                conv1_bits,
+                conv2,
+                proj,
+                junction_bits: view.junction_bits.unwrap_or(BitWidth::SIXTEEN),
+            });
+        }
+        Ok(Self {
+            stem,
+            stem_bits,
+            blocks,
+            head: lower_head(model.head())?,
+            energy_model: PimEnergyModel::paper_table4(),
+        })
+    }
+
+    /// Overrides the per-MAC energy model (defaults to Table IV).
+    pub fn with_energy_model(mut self, energy_model: PimEnergyModel) -> Self {
+        self.energy_model = energy_model;
+        self
+    }
+
+    /// Precisions of the datapath layers: stem, then per block
+    /// (conv1, conv2, projection if any), then the classifier.
+    pub fn precisions(&self) -> Vec<HwPrecision> {
+        let mut out = vec![self.stem.precision()];
+        for block in &self.blocks {
+            out.push(block.conv1.precision());
+            out.push(block.conv2.precision());
+            if let Some(p) = &block.proj {
+                out.push(p.precision());
+            }
+        }
+        out.push(self.head.precision());
+        out
+    }
+
+    /// Integer-only inference: logits plus accelerator cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` does not match the model's input shape.
+    pub fn run(&self, images: &Tensor) -> (Tensor, DeployStats) {
+        let mut stats = DeployStats::default();
+        // stem
+        let act_q = act_quantizer(BitWidth::SIXTEEN, images.data());
+        let (mut x, mac_stats) = self.stem.run(images, &act_q);
+        account(
+            &self.energy_model,
+            &mut stats,
+            mac_stats,
+            self.stem.precision(),
+        );
+        x.map_inplace(|v| v.max(0.0));
+        let mut carry_bits = self.stem_bits;
+        // blocks
+        for block in &self.blocks {
+            let in_q = act_quantizer(carry_bits, x.data());
+            let (mut main, s1) = block.conv1.run(&x, &in_q);
+            account(&self.energy_model, &mut stats, s1, block.conv1.precision());
+            main.map_inplace(|v| v.max(0.0));
+            let mid_q = act_quantizer(block.conv1_bits, main.data());
+            let (main, s2) = block.conv2.run(&main, &mid_q);
+            account(&self.energy_model, &mut stats, s2, block.conv2.precision());
+            // skip path, quantized at the destination precision (Fig 2)
+            let mut skip = match &block.proj {
+                Some(proj) => {
+                    let (s, sp) = proj.run(&x, &in_q);
+                    account(&self.energy_model, &mut stats, sp, proj.precision());
+                    s
+                }
+                None => x.clone(),
+            };
+            let skip_q = act_quantizer(block.junction_bits, skip.data());
+            skip_q.fake_quantize_tensor_inplace(&mut skip);
+            let mut y = main.add(&skip).expect("main and skip shapes agree");
+            y.map_inplace(|v| v.max(0.0));
+            carry_bits = block.junction_bits;
+            x = y;
+        }
+        // global average pool + classifier
+        let mut gap = GlobalAvgPool::new();
+        let pooled = gap.forward(&x);
+        let act_q = act_quantizer(carry_bits, pooled.data());
+        let (logits, mac_stats) = self.head.run(&pooled, &act_q);
+        account(
+            &self.energy_model,
+            &mut stats,
+            mac_stats,
+            self.head.precision(),
+        );
+        (logits, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adq_datasets::SyntheticSpec;
+    use adq_nn::train::{evaluate, Dataset};
+    use adq_nn::QuantModel;
+    use adq_quant::BitWidth;
+
+    fn trained_model() -> (Vgg, Dataset, Dataset) {
+        let (train, test) = SyntheticSpec::cifar10_like()
+            .with_classes(4)
+            .with_resolution(8)
+            .with_samples(12, 6)
+            .generate();
+        let mut model = Vgg::tiny(3, 8, 4, 3);
+        let cfg = crate::AdqConfig {
+            max_iterations: 2,
+            max_epochs_per_iteration: 4,
+            min_epochs_per_iteration: 2,
+            batch_size: 12,
+            ..crate::AdqConfig::fast()
+        };
+        crate::AdQuantizer::new(cfg).run(&mut model, &train, &test);
+        (model, train, test)
+    }
+
+    #[test]
+    fn deployed_shapes_match_float_model() {
+        let (model, _, test) = trained_model();
+        let deployed = DeployedVgg::from_trained(&model).unwrap();
+        let (logits, stats) = deployed.run(&test.images);
+        assert_eq!(logits.dims(), &[test.len(), 4]);
+        assert!(stats.macs > 0);
+        assert!(stats.energy_uj > 0.0);
+        assert_eq!(deployed.conv_layer_count(), 3);
+        assert_eq!(deployed.precisions().len(), 4);
+    }
+
+    #[test]
+    fn integer_inference_agrees_with_float_path() {
+        let (mut model, _, test) = trained_model();
+        let float_stats = evaluate(&mut model, &test, 12);
+        let deployed = DeployedVgg::from_trained(&model).unwrap();
+        let (logits, _) = deployed.run(&test.images);
+        let mut agree = 0usize;
+        let float_logits = model.forward(&test.images, false);
+        for i in 0..test.len() {
+            if logits.index_axis0(i).argmax() == float_logits.index_axis0(i).argmax() {
+                agree += 1;
+            }
+        }
+        let agreement = agree as f64 / test.len() as f64;
+        assert!(
+            agreement >= 0.75,
+            "integer/float classification agreement only {agreement} (float acc {})",
+            float_stats.accuracy
+        );
+    }
+
+    #[test]
+    fn lower_precision_deployment_costs_less_energy() {
+        let (model, _, test) = trained_model();
+        // force one copy to all-16-bit, one to all-2-bit
+        let mut wide = model.clone();
+        let mut narrow = model;
+        for i in 0..wide.layer_count() {
+            wide.set_bits_of(i, Some(BitWidth::SIXTEEN));
+            narrow.set_bits_of(i, Some(BitWidth::new(2).unwrap()));
+        }
+        let (_, wide_stats) = DeployedVgg::from_trained(&wide).unwrap().run(&test.images);
+        let (_, narrow_stats) = DeployedVgg::from_trained(&narrow)
+            .unwrap()
+            .run(&test.images);
+        assert!(narrow_stats.energy_uj < wide_stats.energy_uj);
+        assert_eq!(narrow_stats.macs, wide_stats.macs);
+    }
+
+    #[test]
+    fn deployed_resnet_agrees_with_float_path() {
+        let (train, test) = SyntheticSpec::cifar10_like()
+            .with_classes(4)
+            .with_resolution(8)
+            .with_samples(12, 6)
+            .generate();
+        let mut model = adq_nn::ResNet::tiny(3, 8, 4, 5);
+        let cfg = crate::AdqConfig {
+            max_iterations: 2,
+            max_epochs_per_iteration: 4,
+            min_epochs_per_iteration: 2,
+            batch_size: 12,
+            ..crate::AdqConfig::fast()
+        };
+        crate::AdQuantizer::new(cfg).run(&mut model, &train, &test);
+        let float_logits = model.forward(&test.images, false);
+        let deployed = DeployedResNet::from_trained(&model).unwrap();
+        let (logits, stats) = deployed.run(&test.images);
+        assert_eq!(logits.dims(), float_logits.dims());
+        assert!(stats.macs > 0 && stats.energy_uj > 0.0);
+        let agree = (0..test.len())
+            .filter(|&i| logits.index_axis0(i).argmax() == float_logits.index_axis0(i).argmax())
+            .count() as f64
+            / test.len() as f64;
+        assert!(agree >= 0.6, "integer/float agreement only {agree}");
+    }
+
+    #[test]
+    fn deployed_resnet_counts_projection_layers() {
+        let model = adq_nn::ResNet::tiny(3, 8, 4, 6);
+        let deployed = DeployedResNet::from_trained(&model).unwrap();
+        // stem + block0 (2 convs, identity) + block1 (2 convs + proj) + head
+        assert_eq!(deployed.precisions().len(), 1 + 2 + 3 + 1);
+    }
+
+    #[test]
+    fn energy_scales_with_batch_size() {
+        let (model, _, test) = trained_model();
+        let deployed = DeployedVgg::from_trained(&model).unwrap();
+        let one = test.batch(&[0]).0;
+        let two = test.batch(&[0, 1]).0;
+        let (_, s1) = deployed.run(&one);
+        let (_, s2) = deployed.run(&two);
+        assert_eq!(s2.macs, 2 * s1.macs);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the controller's arithmetic (DESIGN.md §7):
+//! eqn-3 fixed points, eqn-4 monotonicity, preset-builder invariants.
+
+use adq_core::paper;
+use adq_core::{training_complexity, IterationCost};
+use adq_energy::EnergyModel;
+use adq_quant::BitWidth;
+use proptest::prelude::*;
+
+proptest! {
+    /// Iterating eqn 3 with any density sequence is a monotone decreasing
+    /// chain that reaches a fixed point ≥ 1 bit — Algorithm 1 cannot cycle.
+    #[test]
+    fn eqn3_chains_terminate(
+        start in 1u32..=32,
+        densities in proptest::collection::vec(0.0f64..=1.0, 1..20),
+    ) {
+        let mut bits = BitWidth::new(start).expect("valid");
+        let mut prev = bits;
+        for &d in &densities {
+            bits = bits.scaled_by_density(d);
+            prop_assert!(bits <= prev, "chain increased");
+            prop_assert!(bits.get() >= 1);
+            prev = bits;
+        }
+        // a full-density step is always a fixed point
+        prop_assert_eq!(bits.scaled_by_density(1.0), bits);
+    }
+
+    #[test]
+    fn complexity_additive_in_iterations(
+        reductions in proptest::collection::vec(0.5f64..20.0, 1..6),
+        epochs in proptest::collection::vec(1usize..50, 1..6),
+        baseline in 1usize..500,
+    ) {
+        let n = reductions.len().min(epochs.len());
+        let costs: Vec<IterationCost> = reductions
+            .iter()
+            .zip(&epochs)
+            .take(n)
+            .map(|(&r, &e)| IterationCost::new(r, e))
+            .collect();
+        let total = training_complexity(&costs, baseline);
+        let sum: f64 = costs
+            .iter()
+            .map(|c| training_complexity(std::slice::from_ref(c), baseline))
+            .sum();
+        prop_assert!((total - sum).abs() < 1e-9 * (1.0 + sum));
+    }
+
+    #[test]
+    fn complexity_decreases_with_reduction(
+        epochs in 1usize..100,
+        baseline in 1usize..300,
+        r1 in 1.0f64..10.0,
+        extra in 0.1f64..10.0,
+    ) {
+        let lo = training_complexity(&[IterationCost::new(r1 + extra, epochs)], baseline);
+        let hi = training_complexity(&[IterationCost::new(r1, epochs)], baseline);
+        prop_assert!(lo < hi);
+    }
+
+    /// VGG19 spec invariants under arbitrary (legal) bit assignments.
+    #[test]
+    fn vgg19_spec_macs_independent_of_bits(bits in proptest::collection::vec(1u32..=16, 17)) {
+        let spec = paper::vgg19_spec("p", 32, 10, &bits, &paper::VGG19_CHANNELS, &[]);
+        let base = paper::vgg19_baseline(32, 10, 16);
+        prop_assert_eq!(spec.mac_count(), base.mac_count());
+        prop_assert_eq!(spec.layers().len(), 17);
+    }
+
+    #[test]
+    fn vgg19_lower_uniform_bits_cost_less(bits in 1u32..16) {
+        let model = EnergyModel::paper_45nm();
+        let lower = paper::vgg19_baseline(32, 10, bits);
+        let upper = paper::vgg19_baseline(32, 10, bits + 1);
+        prop_assert!(lower.energy_pj(&model) < upper.energy_pj(&model));
+    }
+
+    /// Channel pruning can only reduce MAC and memory counts.
+    #[test]
+    fn pruned_vgg19_never_costs_more(scale in 1usize..4) {
+        let pruned: Vec<usize> = paper::VGG19_CHANNELS
+            .iter()
+            .map(|&c| (c / (scale + 1)).max(1))
+            .collect();
+        let bits = [16u32; 17];
+        let full = paper::vgg19_spec("f", 32, 10, &bits, &paper::VGG19_CHANNELS, &[]);
+        let cut = paper::vgg19_spec("c", 32, 10, &bits, &pruned, &[]);
+        prop_assert!(cut.mac_count() < full.mac_count());
+        prop_assert!(cut.mem_count() < full.mem_count());
+    }
+
+    #[test]
+    fn expand_bits18_roundtrip(bits in proptest::collection::vec(1u32..=16, 18)) {
+        let expanded = paper::expand_bits18_to_26(&bits);
+        prop_assert_eq!(expanded[0], bits[0]);
+        prop_assert_eq!(expanded[25], bits[17]);
+        for block in 0..8 {
+            prop_assert_eq!(expanded[1 + 3 * block], bits[1 + 2 * block]);
+            prop_assert_eq!(expanded[2 + 3 * block], bits[2 + 2 * block]);
+            prop_assert_eq!(expanded[3 + 3 * block], bits[2 + 2 * block]);
+        }
+    }
+}

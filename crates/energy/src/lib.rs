@@ -1,0 +1,49 @@
+//! Analytical energy estimation — §IV-A and Table I of the paper.
+//!
+//! The paper approximates energy on traditional 45 nm CMOS hardware from
+//! two primitives:
+//!
+//! | operation | energy |
+//! |---|---|
+//! | `k`-bit memory access | `2.5·k` pJ |
+//! | `k`-bit multiply-accumulate | `3.1·k/32 + 0.1` pJ |
+//!
+//! and, per convolution layer with kernel `p×p`, `I` input channels, `O`
+//! output channels, `N×N` input and `M×M` output feature maps:
+//!
+//! ```text
+//! N_mem = N²·I + p²·I·O          (activations + weights fetched)
+//! N_MAC = M²·I·p²·O              (multiply-accumulates)
+//! E_l   = N_mem·E_mem(k_l) + N_MAC·E_MAC(k_l)
+//! ```
+//!
+//! This crate implements that arithmetic over [`LayerSpec`]/[`NetworkSpec`]
+//! descriptions, which `adq-core` builds either from the paper's published
+//! operating points (Tables II/III) or from dynamically trained models.
+//!
+//! The paper's §V point — that this analytical model *over-estimates*
+//! efficiency relative to real hardware because it assumes ideal arbitrary-
+//! width datapaths — is reproduced by comparing against `adq-pim`.
+//!
+//! # Example
+//!
+//! ```
+//! use adq_energy::{EnergyModel, LayerSpec, NetworkSpec};
+//! use adq_quant::BitWidth;
+//! use adq_tensor::Conv2dGeom;
+//!
+//! # fn main() -> Result<(), adq_quant::QuantError> {
+//! let model = EnergyModel::paper_45nm();
+//! let conv = LayerSpec::conv(Conv2dGeom::new(3, 64, 3, 1, 1), 32, BitWidth::new(16)?);
+//! assert_eq!(conv.mac_count(), 32 * 32 * 3 * 9 * 64);
+//! let net = NetworkSpec::new("demo", vec![conv]);
+//! assert!(net.energy_pj(&model) > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod model;
+mod spec;
+
+pub use model::EnergyModel;
+pub use spec::{LayerSpec, NetworkSpec};

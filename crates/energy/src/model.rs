@@ -1,0 +1,87 @@
+use adq_quant::BitWidth;
+use serde::{Deserialize, Serialize};
+
+/// The analytical energy constants of Table I (45 nm CMOS).
+///
+/// All energies are in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy of a 32-bit multiply (Table I: 3.1 pJ).
+    pub mult32_pj: f64,
+    /// Energy of a 32-bit add (Table I: 0.1 pJ).
+    pub add32_pj: f64,
+    /// Memory-access energy per bit (Table I: 2.5 pJ/bit).
+    pub mem_per_bit_pj: f64,
+}
+
+impl EnergyModel {
+    /// The exact constants of Table I.
+    pub fn paper_45nm() -> Self {
+        Self {
+            mult32_pj: 3.1,
+            add32_pj: 0.1,
+            mem_per_bit_pj: 2.5,
+        }
+    }
+
+    /// `E_mem(k) = 2.5·k` pJ — a `k`-bit memory access.
+    pub fn mem_access_pj(&self, bits: BitWidth) -> f64 {
+        self.mem_per_bit_pj * f64::from(bits.get())
+    }
+
+    /// `E_MAC(k) = 3.1·k/32 + 0.1` pJ — a `k`-bit multiply-accumulate
+    /// (multiplier energy scales with width; the accumulate is a full add).
+    pub fn mac_pj(&self, bits: BitWidth) -> f64 {
+        self.mult32_pj * f64::from(bits.get()) / 32.0 + self.add32_pj
+    }
+}
+
+impl Default for EnergyModel {
+    /// Table I constants.
+    fn default() -> Self {
+        Self::paper_45nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bw(bits: u32) -> BitWidth {
+        BitWidth::new(bits).unwrap()
+    }
+
+    #[test]
+    fn table1_mem_values() {
+        let m = EnergyModel::paper_45nm();
+        assert_eq!(m.mem_access_pj(bw(16)), 40.0);
+        assert_eq!(m.mem_access_pj(bw(1)), 2.5);
+    }
+
+    #[test]
+    fn table1_mac_values() {
+        let m = EnergyModel::paper_45nm();
+        // full 32-bit MAC: 3.1 + 0.1
+        assert!((m.mac_pj(bw(32)) - 3.2).abs() < 1e-12);
+        // 16-bit MAC: 1.55 + 0.1
+        assert!((m.mac_pj(bw(16)) - 1.65).abs() < 1e-12);
+        // 8-bit: 0.775 + 0.1
+        assert!((m.mac_pj(bw(8)) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energies_monotone_in_bits() {
+        let m = EnergyModel::paper_45nm();
+        for bits in 1..32u32 {
+            assert!(m.mac_pj(bw(bits)) < m.mac_pj(bw(bits + 1)));
+            assert!(m.mem_access_pj(bw(bits)) < m.mem_access_pj(bw(bits + 1)));
+        }
+    }
+
+    #[test]
+    fn mac_has_add_floor() {
+        // even a 1-bit MAC pays the accumulate
+        let m = EnergyModel::paper_45nm();
+        assert!(m.mac_pj(bw(1)) > m.add32_pj);
+    }
+}

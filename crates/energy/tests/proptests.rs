@@ -1,0 +1,95 @@
+//! Property-based tests for the analytical energy model (DESIGN.md §7):
+//! strict monotonicity in bit-width and operation counts, and scale
+//! invariances of the efficiency ratio.
+
+use adq_energy::{EnergyModel, LayerSpec, NetworkSpec};
+use adq_quant::BitWidth;
+use adq_tensor::Conv2dGeom;
+use proptest::prelude::*;
+
+fn conv_strategy() -> impl Strategy<Value = LayerSpec> {
+    (
+        1usize..16, // in channels
+        1usize..16, // out channels
+        1usize..4,  // kernel
+        1usize..3,  // stride
+        0usize..2,  // padding
+        4usize..33, // input hw
+        1u32..=16,  // bits
+    )
+        .prop_filter_map("kernel must fit", |(i, o, p, s, pad, hw, bits)| {
+            if hw + 2 * pad < p {
+                return None;
+            }
+            Some(LayerSpec::conv(
+                Conv2dGeom::new(i, o, p, s, pad),
+                hw,
+                BitWidth::new(bits).expect("bits in 1..=16"),
+            ))
+        })
+}
+
+proptest! {
+    #[test]
+    fn energy_strictly_monotone_in_bits(layer in conv_strategy()) {
+        let model = EnergyModel::paper_45nm();
+        let bits = layer.bits().get();
+        prop_assume!(bits < 16);
+        let wider = layer.with_bits(BitWidth::new(bits + 1).expect("valid"));
+        prop_assert!(layer.energy_pj(&model) < wider.energy_pj(&model));
+    }
+
+    #[test]
+    fn with_bits_preserves_counts(layer in conv_strategy(), bits in 1u32..=16) {
+        let rebitted = layer.with_bits(BitWidth::new(bits).expect("valid"));
+        prop_assert_eq!(layer.mac_count(), rebitted.mac_count());
+        prop_assert_eq!(layer.mem_count(), rebitted.mem_count());
+    }
+
+    #[test]
+    fn self_efficiency_is_identity(layer in conv_strategy()) {
+        let model = EnergyModel::paper_45nm();
+        let net = NetworkSpec::new("n", vec![layer]);
+        prop_assert!((net.efficiency_vs(&net, &model) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_antisymmetric(a in conv_strategy(), b in conv_strategy()) {
+        let model = EnergyModel::paper_45nm();
+        let na = NetworkSpec::new("a", vec![a]);
+        let nb = NetworkSpec::new("b", vec![b]);
+        let ab = na.efficiency_vs(&nb, &model);
+        let ba = nb.efficiency_vs(&na, &model);
+        prop_assert!((ab * ba - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn network_energy_is_sum_of_layers(layers in proptest::collection::vec(conv_strategy(), 1..6)) {
+        let model = EnergyModel::paper_45nm();
+        let total: f64 = layers.iter().map(|l| l.energy_pj(&model)).sum();
+        let net = NetworkSpec::new("n", layers);
+        prop_assert!((net.energy_pj(&model) - total).abs() < 1e-6 * (1.0 + total));
+    }
+
+    #[test]
+    fn mac_count_monotone_in_channels(
+        i in 1usize..8, o in 1usize..8, hw in 4usize..17, bits in 1u32..=16,
+    ) {
+        let bits = BitWidth::new(bits).expect("valid");
+        let small = LayerSpec::conv(Conv2dGeom::new(i, o, 3, 1, 1), hw, bits);
+        let big = LayerSpec::conv(Conv2dGeom::new(i + 1, o + 1, 3, 1, 1), hw, bits);
+        prop_assert!(small.mac_count() < big.mac_count());
+        prop_assert!(small.mem_count() < big.mem_count());
+    }
+
+    #[test]
+    fn uniform_quantization_efficiency_exceeds_one(
+        layers in proptest::collection::vec(conv_strategy(), 1..5),
+        low in 1u32..8,
+    ) {
+        let model = EnergyModel::paper_45nm();
+        let base = NetworkSpec::new("b", layers).with_uniform_bits(BitWidth::SIXTEEN);
+        let quant = base.with_uniform_bits(BitWidth::new(low).expect("valid"));
+        prop_assert!(quant.efficiency_vs(&base, &model) > 1.0);
+    }
+}

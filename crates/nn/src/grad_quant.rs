@@ -1,0 +1,238 @@
+//! Gradient quantization — communication-efficient training (the paper's
+//! §I background, refs [11] QSGD / [12] federated averaging: *"gradients
+//! can also be quantized which enables communication efficient training in
+//! a distributed learning system"*).
+//!
+//! [`GradientCompressor`] fake-quantizes every parameter gradient to `k`
+//! bits with *stochastic rounding*, which keeps the compressed gradient an
+//! unbiased estimator of the original — the property that lets SGD still
+//! converge. The returned [`CompressionReport`] quantifies the bandwidth
+//! saved had the gradients been shipped to a parameter server.
+
+use adq_quant::{BitWidth, Quantizer};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::model::QuantModel;
+
+/// Bandwidth accounting of one compression pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompressionReport {
+    /// Scalars compressed.
+    pub values: u64,
+    /// Bits a float32 transmission would have used.
+    pub float_bits: u64,
+    /// Bits the quantized transmission uses (codes only; the two range
+    /// floats per tensor are counted too).
+    pub compressed_bits: u64,
+}
+
+impl CompressionReport {
+    /// `float_bits / compressed_bits`.
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_bits == 0 {
+            1.0
+        } else {
+            self.float_bits as f64 / self.compressed_bits as f64
+        }
+    }
+}
+
+/// Quantizes model gradients in place with stochastic rounding.
+///
+/// # Example
+///
+/// ```
+/// use adq_nn::{GradientCompressor, QuantModel, Vgg};
+/// use adq_quant::BitWidth;
+/// use adq_tensor::Tensor;
+///
+/// # fn main() -> Result<(), adq_quant::QuantError> {
+/// let mut model = Vgg::tiny(3, 8, 4, 0);
+/// let mut compressor = GradientCompressor::new(BitWidth::new(4)?, 7);
+/// // ... forward/backward to populate gradients ...
+/// let report = compressor.compress(&mut model);
+/// assert!(report.ratio() >= 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GradientCompressor {
+    bits: BitWidth,
+    rng: ChaCha8Rng,
+}
+
+impl GradientCompressor {
+    /// Creates a compressor targeting `bits` per gradient scalar.
+    pub fn new(bits: BitWidth, seed: u64) -> Self {
+        Self {
+            bits,
+            rng: adq_tensor::init::rng(seed ^ 0x6A7D),
+        }
+    }
+
+    /// The target bit-width.
+    pub fn bits(&self) -> BitWidth {
+        self.bits
+    }
+
+    /// Fake-quantizes every parameter gradient in place (per-tensor range,
+    /// stochastic rounding) and reports the bandwidth accounting.
+    pub fn compress(&mut self, model: &mut dyn QuantModel) -> CompressionReport {
+        let mut report = CompressionReport::default();
+        let bits = self.bits;
+        let rng = &mut self.rng;
+        model.visit_params(&mut |_, param| {
+            let n = param.grad.len() as u64;
+            report.values += n;
+            report.float_bits += 32 * n;
+            // two f32 range endpoints accompany each tensor's codes
+            report.compressed_bits += u64::from(bits.get()) * n + 64;
+            let Ok(q) = Quantizer::fit(bits, param.grad.data()) else {
+                return; // empty or non-finite: leave the gradient untouched
+            };
+            for g in param.grad.data_mut() {
+                let u: f32 = rng.gen_range(0.0..1.0);
+                *g = q.fake_quantize_stochastic(*g, u);
+            }
+        });
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Vgg;
+    use crate::train::Dataset;
+    use crate::Adam;
+    use adq_tensor::{init, Tensor};
+
+    fn populated_model() -> Vgg {
+        let mut model = Vgg::tiny(3, 8, 4, 1);
+        let mut r = init::rng(2);
+        let x = init::normal(&[2, 3, 8, 8], 0.0, 1.0, &mut r);
+        let y = model.forward(&x, true);
+        model.zero_grad();
+        model.backward(&Tensor::ones(y.dims()));
+        model
+    }
+
+    #[test]
+    fn compression_ratio_tracks_bit_width() {
+        let mut model = populated_model();
+        let report = GradientCompressor::new(BitWidth::new(4).unwrap(), 0).compress(&mut model);
+        // 32/4 = 8x, minus the tiny per-tensor range overhead
+        assert!(
+            report.ratio() > 7.0 && report.ratio() <= 8.0,
+            "{}",
+            report.ratio()
+        );
+    }
+
+    #[test]
+    fn compressed_gradients_take_few_values() {
+        let mut model = populated_model();
+        GradientCompressor::new(BitWidth::new(2).unwrap(), 1).compress(&mut model);
+        model.visit_params(&mut |_, p| {
+            let mut distinct: Vec<u32> = p.grad.data().iter().map(|g| g.to_bits()).collect();
+            distinct.sort_unstable();
+            distinct.dedup();
+            assert!(
+                distinct.len() <= 4,
+                "{} levels in {}",
+                distinct.len(),
+                p.name
+            );
+        });
+    }
+
+    #[test]
+    fn compression_is_nearly_unbiased_in_aggregate() {
+        // the mean gradient before and after compression should agree
+        let mut model = populated_model();
+        let mut before = 0.0f64;
+        let mut count = 0u64;
+        model.visit_params(&mut |_, p| {
+            before += p.grad.data().iter().map(|&g| f64::from(g)).sum::<f64>();
+            count += p.grad.len() as u64;
+        });
+        GradientCompressor::new(BitWidth::new(4).unwrap(), 3).compress(&mut model);
+        let mut after = 0.0f64;
+        model.visit_params(&mut |_, p| {
+            after += p.grad.data().iter().map(|&g| f64::from(g)).sum::<f64>();
+        });
+        let scale = (before.abs() / count as f64).max(1e-3);
+        assert!(
+            ((before - after) / count as f64).abs() < 10.0 * scale,
+            "bias too large: {before} vs {after}"
+        );
+    }
+
+    #[test]
+    fn training_with_compressed_gradients_still_learns() {
+        // two-class toy task, gradients quantized to 4 bits every step
+        let mut rng = init::rng(4);
+        let mut images = Tensor::zeros(&[16, 1, 4, 4]);
+        let mut labels = Vec::new();
+        for i in 0..16 {
+            let class = i % 2;
+            let base = if class == 0 { -1.0 } else { 1.0 };
+            for h in 0..4 {
+                for w in 0..4 {
+                    *images.at4_mut(i, 0, h, w) = base + 0.3 * (rng.gen::<f32>() - 0.5);
+                }
+            }
+            labels.push(class);
+        }
+        let data = Dataset::new(images, labels);
+        let mut model = Vgg::tiny(1, 4, 2, 5);
+        let mut adam = Adam::new(5e-3);
+        let mut compressor = GradientCompressor::new(BitWidth::new(4).unwrap(), 6);
+        let mut last = 0.0;
+        for _ in 0..15 {
+            // one epoch with gradient compression injected between
+            // backward and the optimizer step
+            let stats = train_epoch_with_compression(
+                &mut model,
+                &data,
+                &mut adam,
+                &mut compressor,
+                8,
+                &mut rng,
+            );
+            last = stats;
+        }
+        assert!(last > 0.9, "accuracy only {last}");
+    }
+
+    /// Minimal epoch loop with compression between backward and step.
+    fn train_epoch_with_compression(
+        model: &mut Vgg,
+        data: &Dataset,
+        adam: &mut Adam,
+        compressor: &mut GradientCompressor,
+        batch: usize,
+        rng: &mut impl rand::Rng,
+    ) -> f64 {
+        use crate::loss::{accuracy, softmax_cross_entropy};
+        use crate::Optimizer;
+        use rand::seq::SliceRandom;
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        order.shuffle(rng);
+        let mut correct = 0.0;
+        for chunk in order.chunks(batch) {
+            let (images, labels) = data.batch(chunk);
+            let logits = model.forward(&images, true);
+            let out = softmax_cross_entropy(&logits, &labels);
+            correct += accuracy(&logits, &labels) * labels.len() as f64;
+            model.zero_grad();
+            model.backward(&out.grad);
+            compressor.compress(model);
+            adam.begin_step();
+            model.visit_params(&mut |slot, p| adam.step_param(slot, p));
+        }
+        correct / data.len() as f64
+    }
+}

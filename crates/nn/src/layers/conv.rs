@@ -1,0 +1,438 @@
+use adq_tensor::{col2im, im2col, init, matmul, matmul_a_bt, matmul_at_b, Conv2dGeom, Tensor};
+use rand::Rng;
+
+use crate::param::Param;
+
+/// A 2-D convolution with square kernel, implemented as im2col + matmul.
+///
+/// Weights are stored as `[O, I·p·p]` (already flattened for the matmul);
+/// use [`Conv2d::geom`] for the logical `[O, I, p, p]` view.
+///
+/// # Example
+///
+/// ```
+/// use adq_nn::Conv2d;
+/// use adq_tensor::{Conv2dGeom, Tensor};
+///
+/// let mut rng = adq_tensor::init::rng(0);
+/// let mut conv = Conv2d::new(Conv2dGeom::new(3, 8, 3, 1, 1), &mut rng);
+/// let y = conv.forward(&Tensor::zeros(&[2, 3, 16, 16]));
+/// assert_eq!(y.dims(), &[2, 8, 16, 16]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    geom: Conv2dGeom,
+    /// Kernel weights, `[O, I·p·p]`.
+    pub weight: Param,
+    /// Per-output-channel bias, `[O]`.
+    pub bias: Param,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    cols: Tensor,
+    input_dims: Vec<usize>,
+    /// Weights actually used in the forward pass (post fake-quantization)
+    /// so the backward pass differentiates what was computed.
+    used_weight: Tensor,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-initialised weights and zero bias.
+    pub fn new(geom: Conv2dGeom, rng: &mut impl Rng) -> Self {
+        let fan_in = geom.in_channels * geom.kernel * geom.kernel;
+        let weight = init::kaiming(&[geom.out_channels, fan_in], fan_in, rng);
+        Self {
+            geom,
+            weight: Param::new("conv.weight", weight),
+            bias: Param::new("conv.bias", Tensor::zeros(&[geom.out_channels])),
+            cache: None,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn geom(&self) -> Conv2dGeom {
+        self.geom
+    }
+
+    /// Forward pass using the master weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is not `[N, I, H, W]`.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let weight = self.weight.value.clone();
+        self.forward_with_weight(input, weight)
+    }
+
+    /// Forward pass with externally transformed weights (fake-quantized by
+    /// [`crate::ConvBlock`]); gradients will be taken w.r.t. these weights
+    /// and applied to the master copy (straight-through estimation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent with the geometry.
+    pub fn forward_with_weight(&mut self, input: &Tensor, weight: Tensor) -> Tensor {
+        assert_eq!(
+            weight.dims(),
+            self.weight.value.dims(),
+            "transformed weight must keep the master shape"
+        );
+        let (n, h, w) = (input.dims()[0], input.dims()[2], input.dims()[3]);
+        let (oh, ow) = (self.geom.output_size(h), self.geom.output_size(w));
+        let cols = im2col(input, &self.geom).expect("input shape checked by caller");
+        let out_mat = matmul(&weight, &cols).expect("weight/cols shapes agree by construction");
+        let out = rows_to_nchw(
+            &out_mat,
+            n,
+            self.geom.out_channels,
+            oh,
+            ow,
+            self.bias.value.data(),
+        );
+        self.cache = Some(Cache {
+            cols,
+            input_dims: input.dims().to_vec(),
+            used_weight: weight,
+        });
+        out
+    }
+
+    /// Restructures the convolution to keep only the given output channels
+    /// (AD-based channel pruning, eqn 5). Gradients and caches are reset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` is empty or contains an out-of-range index.
+    pub fn retain_out_channels(&mut self, keep: &[usize]) {
+        assert!(!keep.is_empty(), "cannot prune all output channels");
+        let fan_in = self.geom.in_channels * self.geom.kernel * self.geom.kernel;
+        let mut weight = Tensor::zeros(&[keep.len(), fan_in]);
+        let mut bias = Tensor::zeros(&[keep.len()]);
+        for (new_o, &old_o) in keep.iter().enumerate() {
+            assert!(
+                old_o < self.geom.out_channels,
+                "channel {old_o} out of range"
+            );
+            for i in 0..fan_in {
+                *weight.at2_mut(new_o, i) = self.weight.value.at2(old_o, i);
+            }
+            bias.data_mut()[new_o] = self.bias.value.data()[old_o];
+        }
+        self.geom.out_channels = keep.len();
+        self.weight = Param::new("conv.weight", weight);
+        self.bias = Param::new("conv.bias", bias);
+        self.cache = None;
+    }
+
+    /// Restructures the convolution to keep only the given input channels
+    /// (the successor-side half of channel pruning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` is empty or contains an out-of-range index.
+    pub fn retain_in_channels(&mut self, keep: &[usize]) {
+        assert!(!keep.is_empty(), "cannot prune all input channels");
+        let pp = self.geom.kernel * self.geom.kernel;
+        let new_fan_in = keep.len() * pp;
+        let mut weight = Tensor::zeros(&[self.geom.out_channels, new_fan_in]);
+        for o in 0..self.geom.out_channels {
+            for (new_c, &old_c) in keep.iter().enumerate() {
+                assert!(
+                    old_c < self.geom.in_channels,
+                    "channel {old_c} out of range"
+                );
+                for k in 0..pp {
+                    *weight.at2_mut(o, new_c * pp + k) = self.weight.value.at2(o, old_c * pp + k);
+                }
+            }
+        }
+        self.geom.in_channels = keep.len();
+        self.weight = Param::new("conv.weight", weight);
+        self.cache = None;
+    }
+
+    /// Backward pass: accumulates weight/bias gradients, returns the
+    /// input gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward` or with a gradient whose shape does
+    /// not match the last forward output.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("Conv2d::backward called without forward");
+        let (n, o) = (grad_output.dims()[0], grad_output.dims()[1]);
+        let (oh, ow) = (grad_output.dims()[2], grad_output.dims()[3]);
+        assert_eq!(o, self.geom.out_channels, "grad channel mismatch");
+        let dy = nchw_to_rows(grad_output, n, o, oh, ow);
+        // dW = dY · colsᵀ
+        let dw = matmul_a_bt(&dy, &cache.cols).expect("dy/cols shapes agree");
+        self.weight
+            .grad
+            .add_scaled(&dw, 1.0)
+            .expect("gradient shape matches weight");
+        // db = row sums of dY
+        let cols_per_row = dy.dims()[1];
+        for oi in 0..o {
+            let row = &dy.data()[oi * cols_per_row..(oi + 1) * cols_per_row];
+            self.bias.grad.data_mut()[oi] += row.iter().sum::<f32>();
+        }
+        // dCols = Wᵀ · dY, with W the weights actually used forward
+        let dcols = matmul_at_b(&cache.used_weight, &dy).expect("weight/dy shapes agree");
+        col2im(&dcols, &cache.input_dims, &self.geom).expect("cache dims are consistent")
+    }
+}
+
+/// Rearranges `[O, N·OH·OW]` matmul output into NCHW, adding bias.
+fn rows_to_nchw(mat: &Tensor, n: usize, o: usize, oh: usize, ow: usize, bias: &[f32]) -> Tensor {
+    let mut out = Tensor::zeros(&[n, o, oh, ow]);
+    let spatial = oh * ow;
+    let src = mat.data();
+    let dst = out.data_mut();
+    for oi in 0..o {
+        let b = bias[oi];
+        let row = &src[oi * n * spatial..(oi + 1) * n * spatial];
+        for ni in 0..n {
+            let dst_base = (ni * o + oi) * spatial;
+            let src_base = ni * spatial;
+            for s in 0..spatial {
+                dst[dst_base + s] = row[src_base + s] + b;
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`rows_to_nchw`] (without bias): NCHW → `[O, N·OH·OW]`.
+fn nchw_to_rows(t: &Tensor, n: usize, o: usize, oh: usize, ow: usize) -> Tensor {
+    let mut out = Tensor::zeros(&[o, n * oh * ow]);
+    let spatial = oh * ow;
+    let src = t.data();
+    let dst = out.data_mut();
+    for oi in 0..o {
+        let row = &mut dst[oi * n * spatial..(oi + 1) * n * spatial];
+        for ni in 0..n {
+            let src_base = (ni * o + oi) * spatial;
+            let dst_base = ni * spatial;
+            row[dst_base..dst_base + spatial].copy_from_slice(&src[src_base..src_base + spatial]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adq_tensor::init::rng;
+
+    /// Direct (quadruple-loop) convolution used as the reference.
+    fn naive_conv(input: &Tensor, conv: &Conv2d) -> Tensor {
+        let g = conv.geom();
+        let (n, h, w) = (input.dims()[0], input.dims()[2], input.dims()[3]);
+        let (oh, ow) = (g.output_size(h), g.output_size(w));
+        let mut out = Tensor::zeros(&[n, g.out_channels, oh, ow]);
+        for ni in 0..n {
+            for oi in 0..g.out_channels {
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let mut acc = conv.bias.value.data()[oi];
+                        for ci in 0..g.in_channels {
+                            for kh in 0..g.kernel {
+                                for kw in 0..g.kernel {
+                                    let ih = (y * g.stride + kh) as isize - g.padding as isize;
+                                    let iw = (x * g.stride + kw) as isize - g.padding as isize;
+                                    if ih < 0 || iw < 0 || ih >= h as isize || iw >= w as isize {
+                                        continue;
+                                    }
+                                    let wi = (ci * g.kernel + kh) * g.kernel + kw;
+                                    acc += input.at4(ni, ci, ih as usize, iw as usize)
+                                        * conv.weight.value.at2(oi, wi);
+                                }
+                            }
+                        }
+                        *out.at4_mut(ni, oi, y, x) = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn forward_matches_naive() {
+        let mut r = rng(1);
+        let mut conv = Conv2d::new(Conv2dGeom::new(2, 3, 3, 1, 1), &mut r);
+        conv.bias
+            .value
+            .data_mut()
+            .copy_from_slice(&[0.1, -0.2, 0.3]);
+        let x = init::uniform(&[2, 2, 5, 5], -1.0, 1.0, &mut r);
+        let fast = conv.forward(&x);
+        let slow = naive_conv(&x, &conv);
+        assert_eq!(fast.dims(), slow.dims());
+        for (a, b) in fast.data().iter().zip(slow.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn forward_stride_two_matches_naive() {
+        let mut r = rng(2);
+        let mut conv = Conv2d::new(Conv2dGeom::new(3, 4, 3, 2, 1), &mut r);
+        let x = init::uniform(&[1, 3, 8, 8], -1.0, 1.0, &mut r);
+        let fast = conv.forward(&x);
+        let slow = naive_conv(&x, &conv);
+        for (a, b) in fast.data().iter().zip(slow.data()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn one_by_one_conv_is_channel_mix() {
+        let mut r = rng(3);
+        let mut conv = Conv2d::new(Conv2dGeom::new(2, 2, 1, 1, 0), &mut r);
+        let x = init::uniform(&[1, 2, 4, 4], -1.0, 1.0, &mut r);
+        let fast = conv.forward(&x);
+        let slow = naive_conv(&x, &conv);
+        for (a, b) in fast.data().iter().zip(slow.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    /// Finite-difference check of input, weight and bias gradients.
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut r = rng(4);
+        let geom = Conv2dGeom::new(2, 2, 3, 1, 1);
+        let mut conv = Conv2d::new(geom, &mut r);
+        let x = init::uniform(&[1, 2, 4, 4], -1.0, 1.0, &mut r);
+
+        // scalar objective: sum of outputs
+        let y = conv.forward(&x);
+        let dy = Tensor::ones(y.dims());
+        let dx = conv.backward(&dy);
+
+        let eps = 1e-2f32;
+        // input gradient
+        for idx in [0usize, 5, 17, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fp = conv.forward(&xp).sum();
+            conv.cache = None;
+            let fm = conv.forward(&xm).sum();
+            conv.cache = None;
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (dx.data()[idx] - num).abs() < 1e-2,
+                "input grad at {idx}: {} vs {num}",
+                dx.data()[idx]
+            );
+        }
+        // weight gradient
+        for idx in [0usize, 7, 20] {
+            let orig = conv.weight.value.data()[idx];
+            conv.weight.value.data_mut()[idx] = orig + eps;
+            let fp = conv.forward(&x).sum();
+            conv.weight.value.data_mut()[idx] = orig - eps;
+            let fm = conv.forward(&x).sum();
+            conv.weight.value.data_mut()[idx] = orig;
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (conv.weight.grad.data()[idx] - num).abs() < 2e-2,
+                "weight grad at {idx}: {} vs {num}",
+                conv.weight.grad.data()[idx]
+            );
+        }
+        // bias gradient: d(sum)/db_o = #output pixels
+        let pixels = (4 * 4) as f32;
+        for g in conv.bias.grad.data() {
+            assert!((g - pixels).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn backward_accumulates_gradients() {
+        let mut r = rng(5);
+        let mut conv = Conv2d::new(Conv2dGeom::new(1, 1, 3, 1, 1), &mut r);
+        let x = init::uniform(&[1, 1, 4, 4], -1.0, 1.0, &mut r);
+        let y = conv.forward(&x);
+        let dy = Tensor::ones(y.dims());
+        conv.backward(&dy);
+        let first = conv.weight.grad.clone();
+        conv.forward(&x);
+        conv.backward(&dy);
+        // second backward doubles the accumulated gradient
+        for (a, b) in conv.weight.grad.data().iter().zip(first.data()) {
+            assert!((a - 2.0 * b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn backward_without_forward_panics() {
+        let mut r = rng(6);
+        let mut conv = Conv2d::new(Conv2dGeom::new(1, 1, 3, 1, 1), &mut r);
+        conv.backward(&Tensor::zeros(&[1, 1, 4, 4]));
+    }
+
+    #[test]
+    fn retain_out_channels_keeps_selected_filters() {
+        let mut r = rng(8);
+        let mut conv = Conv2d::new(Conv2dGeom::new(1, 3, 1, 1, 0), &mut r);
+        conv.weight
+            .value
+            .data_mut()
+            .copy_from_slice(&[1.0, 2.0, 3.0]);
+        conv.bias.value.data_mut().copy_from_slice(&[0.1, 0.2, 0.3]);
+        conv.retain_out_channels(&[2, 0]);
+        assert_eq!(conv.geom().out_channels, 2);
+        assert_eq!(conv.weight.value.data(), &[3.0, 1.0]);
+        assert_eq!(conv.bias.value.data(), &[0.3, 0.1]);
+    }
+
+    #[test]
+    fn retain_in_channels_keeps_selected_taps() {
+        let mut r = rng(9);
+        let mut conv = Conv2d::new(Conv2dGeom::new(3, 1, 1, 1, 0), &mut r);
+        conv.weight
+            .value
+            .data_mut()
+            .copy_from_slice(&[1.0, 2.0, 3.0]);
+        conv.retain_in_channels(&[1]);
+        assert_eq!(conv.geom().in_channels, 1);
+        assert_eq!(conv.weight.value.data(), &[2.0]);
+    }
+
+    #[test]
+    fn pruned_conv_still_runs() {
+        let mut r = rng(10);
+        let mut conv = Conv2d::new(Conv2dGeom::new(4, 6, 3, 1, 1), &mut r);
+        conv.retain_out_channels(&[0, 2, 4]);
+        conv.retain_in_channels(&[1, 3]);
+        let y = conv.forward(&Tensor::zeros(&[1, 2, 5, 5]));
+        assert_eq!(y.dims(), &[1, 3, 5, 5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn retain_empty_panics() {
+        let mut r = rng(11);
+        let mut conv = Conv2d::new(Conv2dGeom::new(1, 2, 1, 1, 0), &mut r);
+        conv.retain_out_channels(&[]);
+    }
+
+    #[test]
+    fn forward_with_weight_uses_given_weights() {
+        let mut r = rng(7);
+        let mut conv = Conv2d::new(Conv2dGeom::new(1, 1, 1, 1, 0), &mut r);
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let y = conv.forward_with_weight(&x, Tensor::full(&[1, 1], 3.0));
+        assert!(y.data().iter().all(|&v| (v - 3.0).abs() < 1e-6));
+    }
+}

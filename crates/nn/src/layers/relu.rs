@@ -1,0 +1,98 @@
+use adq_tensor::Tensor;
+
+/// Rectified linear unit, `y = max(x, 0)`.
+///
+/// ReLU is the source of the exact zeros that Activation Density (eqn 2)
+/// counts; the AD meter in [`crate::ConvBlock`] taps this layer's output.
+///
+/// # Example
+///
+/// ```
+/// use adq_nn::Relu;
+/// use adq_tensor::Tensor;
+///
+/// let mut relu = Relu::new();
+/// let y = relu.forward(&Tensor::from_slice(&[-1.0, 2.0]));
+/// assert_eq!(y.data(), &[0.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward pass; caches the activation mask for backward.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mask: Vec<bool> = input.data().iter().map(|&x| x > 0.0).collect();
+        let out = input.map(|x| x.max(0.0));
+        self.mask = Some(mask);
+        out
+    }
+
+    /// Backward pass: zeroes gradient where the input was non-positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward` or with a mismatched shape.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mask = self
+            .mask
+            .take()
+            .expect("Relu::backward called without forward");
+        assert_eq!(mask.len(), grad_output.len(), "gradient shape mismatch");
+        let data = grad_output
+            .data()
+            .iter()
+            .zip(&mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad_output.dims()).expect("same element count")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut relu = Relu::new();
+        let y = relu.forward(&Tensor::from_slice(&[-2.0, 0.0, 3.0]));
+        assert_eq!(y.data(), &[0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut relu = Relu::new();
+        relu.forward(&Tensor::from_slice(&[-1.0, 2.0, 0.0]));
+        let dx = relu.backward(&Tensor::from_slice(&[5.0, 5.0, 5.0]));
+        assert_eq!(dx.data(), &[0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_input_has_zero_gradient() {
+        // subgradient convention: d relu(0) = 0
+        let mut relu = Relu::new();
+        relu.forward(&Tensor::from_slice(&[0.0]));
+        let dx = relu.backward(&Tensor::from_slice(&[1.0]));
+        assert_eq!(dx.data(), &[0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn backward_without_forward_panics() {
+        Relu::new().backward(&Tensor::zeros(&[1]));
+    }
+
+    #[test]
+    fn output_density_matches_positive_fraction() {
+        let mut relu = Relu::new();
+        let y = relu.forward(&Tensor::from_slice(&[-1.0, 1.0, -2.0, 2.0]));
+        assert_eq!(y.count_nonzero(), 2);
+    }
+}

@@ -1,0 +1,150 @@
+use adq_tensor::Tensor;
+
+/// Result of a loss evaluation: scalar loss plus gradient w.r.t. the logits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// `∂loss/∂logits`, shaped like the logits.
+    pub grad: Tensor,
+}
+
+/// Softmax cross-entropy over a batch, numerically stabilised.
+///
+/// `logits` is `[N, K]`; `targets` holds `N` class indices.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or a target index is out of range.
+///
+/// # Example
+///
+/// ```
+/// use adq_nn::softmax_cross_entropy;
+/// use adq_tensor::Tensor;
+///
+/// # fn main() -> Result<(), adq_tensor::ShapeError> {
+/// let logits = Tensor::from_vec(vec![10.0, -10.0], &[1, 2])?;
+/// let out = softmax_cross_entropy(&logits, &[0]);
+/// assert!(out.loss < 1e-3); // confidently correct
+/// # Ok(())
+/// # }
+/// ```
+// indexed loops: `ni`/`j` address logits, targets and the gradient together
+#[allow(clippy::needless_range_loop)]
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> LossOutput {
+    assert_eq!(logits.rank(), 2, "logits must be [N, K]");
+    let (n, k) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(targets.len(), n, "one target per sample");
+    let mut grad = Tensor::zeros(&[n, k]);
+    let mut total = 0.0f64;
+    for ni in 0..n {
+        let t = targets[ni];
+        assert!(t < k, "target {t} out of range for {k} classes");
+        let row: Vec<f32> = (0..k).map(|j| logits.at2(ni, j)).collect();
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let denom: f32 = exps.iter().sum();
+        let log_denom = denom.ln();
+        total += f64::from(log_denom - (row[t] - max));
+        for j in 0..k {
+            let softmax = exps[j] / denom;
+            let indicator = if j == t { 1.0 } else { 0.0 };
+            *grad.at2_mut(ni, j) = (softmax - indicator) / n as f32;
+        }
+    }
+    LossOutput {
+        loss: (total / n as f64) as f32,
+        grad,
+    }
+}
+
+/// Fraction of samples whose argmax logit equals the target.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f64 {
+    assert_eq!(logits.rank(), 2, "logits must be [N, K]");
+    let n = logits.dims()[0];
+    assert_eq!(targets.len(), n, "one target per sample");
+    if n == 0 {
+        return 0.0;
+    }
+    let correct = (0..n)
+        .filter(|&ni| logits.index_axis0(ni).argmax() == targets[ni])
+        .count();
+    correct as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Tensor::zeros(&[1, 4]);
+        let out = softmax_cross_entropy(&logits, &[2]);
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[0, 2]);
+        for ni in 0..2 {
+            let s: f32 = (0..3).map(|j| out.grad.at2(ni, j)).sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.2], &[1, 3]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[1]);
+        let eps = 1e-3f32;
+        for idx in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let fp = softmax_cross_entropy(&lp, &[1]).loss;
+            let fm = softmax_cross_entropy(&lm, &[1]).loss;
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((out.grad.data()[idx] - num).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn loss_decreases_with_confidence() {
+        let weak = softmax_cross_entropy(&Tensor::from_vec(vec![0.1, 0.0], &[1, 2]).unwrap(), &[0]);
+        let strong =
+            softmax_cross_entropy(&Tensor::from_vec(vec![5.0, 0.0], &[1, 2]).unwrap(), &[0]);
+        assert!(strong.loss < weak.loss);
+    }
+
+    #[test]
+    fn large_logits_stable() {
+        let logits = Tensor::from_vec(vec![1000.0, -1000.0], &[1, 2]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[0]);
+        assert!(out.loss.is_finite());
+        assert!(out.grad.data().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn target_out_of_range_panics() {
+        softmax_cross_entropy(&Tensor::zeros(&[1, 2]), &[5]);
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[3, 2]).unwrap();
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_empty_batch_is_zero() {
+        assert_eq!(accuracy(&Tensor::zeros(&[0, 3]), &[]), 0.0);
+    }
+}

@@ -1,0 +1,304 @@
+use adq_tensor::Tensor;
+
+use crate::param::Param;
+
+/// A gradient-descent optimizer driven through [`Param`] visitors.
+///
+/// Parameters are visited in a stable order each step; optimizers key their
+/// per-parameter state on that order. After structural changes (pruning),
+/// call [`Optimizer::reset_state`].
+pub trait Optimizer {
+    /// Applies one update step to a parameter at stable index `slot`.
+    fn step_param(&mut self, slot: usize, param: &mut Param);
+
+    /// Discards per-parameter state (momentum, moments).
+    fn reset_state(&mut self);
+}
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+///
+/// # Example
+///
+/// ```
+/// use adq_nn::{Optimizer, Param, Sgd};
+/// use adq_tensor::Tensor;
+///
+/// let mut sgd = Sgd::new(0.1).with_momentum(0.9);
+/// let mut p = Param::new("w", Tensor::ones(&[1]));
+/// p.grad.data_mut()[0] = 1.0;
+/// sgd.step_param(0, &mut p);
+/// assert!((p.value.data()[0] - 0.9).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// Creates plain SGD with learning rate `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        Self {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Enables classical momentum.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        self.momentum = momentum;
+        self
+    }
+
+    /// Enables L2 weight decay.
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step_param(&mut self, slot: usize, param: &mut Param) {
+        if self.velocity.len() <= slot {
+            self.velocity.resize(slot + 1, None);
+        }
+        let wd = self.weight_decay;
+        if self.momentum == 0.0 {
+            if wd > 0.0 {
+                let decay: Vec<f32> = param.value.data().iter().map(|&v| v * wd).collect();
+                for (g, d) in param.grad.data_mut().iter_mut().zip(decay) {
+                    *g += d;
+                }
+            }
+            param.apply_grad(-self.lr);
+            return;
+        }
+        let (momentum, lr) = (self.momentum, self.lr);
+        let v = self.velocity[slot].get_or_insert_with(|| Tensor::zeros(param.value.dims()));
+        if v.dims() != param.value.dims() {
+            *v = Tensor::zeros(param.value.dims());
+        }
+        let grads: Vec<f32> = param
+            .grad
+            .data()
+            .iter()
+            .zip(param.value.data())
+            .map(|(&g, &w)| g + wd * w)
+            .collect();
+        for (vel, g) in v.data_mut().iter_mut().zip(&grads) {
+            *vel = momentum * *vel + g;
+        }
+        for (w, &s) in param.value.data_mut().iter_mut().zip(v.data()) {
+            *w -= lr * s;
+        }
+    }
+
+    fn reset_state(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+/// Adam (Kingma & Ba) — the optimizer the paper trains with
+/// ("The model is trained using Adam optimizer under standard settings").
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    moments: Vec<Option<(Tensor, Tensor)>>,
+}
+
+impl Adam {
+    /// Creates Adam with standard settings (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            moments: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate.
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Advances the shared timestep; call once per optimization step,
+    /// before visiting parameters.
+    pub fn begin_step(&mut self) {
+        self.t += 1;
+    }
+}
+
+impl Optimizer for Adam {
+    fn step_param(&mut self, slot: usize, param: &mut Param) {
+        if self.t == 0 {
+            // tolerate callers that skip begin_step
+            self.t = 1;
+        }
+        if self.moments.len() <= slot {
+            self.moments.resize(slot + 1, None);
+        }
+        let (beta1, beta2, lr, eps, t) = (self.beta1, self.beta2, self.lr, self.eps, self.t);
+        let entry = self.moments[slot].get_or_insert_with(|| {
+            (
+                Tensor::zeros(param.value.dims()),
+                Tensor::zeros(param.value.dims()),
+            )
+        });
+        if entry.0.dims() != param.value.dims() {
+            *entry = (
+                Tensor::zeros(param.value.dims()),
+                Tensor::zeros(param.value.dims()),
+            );
+        }
+        let (m, v) = entry;
+        let bc1 = 1.0 - beta1.powi(t as i32);
+        let bc2 = 1.0 - beta2.powi(t as i32);
+        for ((w, &g), (mi, vi)) in param
+            .value
+            .data_mut()
+            .iter_mut()
+            .zip(param.grad.data())
+            .zip(m.data_mut().iter_mut().zip(v.data_mut().iter_mut()))
+        {
+            *mi = beta1 * *mi + (1.0 - beta1) * g;
+            *vi = beta2 * *vi + (1.0 - beta2) * g * g;
+            let m_hat = *mi / bc1;
+            let v_hat = *vi / bc2;
+            *w -= lr * m_hat / (v_hat.sqrt() + eps);
+        }
+    }
+
+    fn reset_state(&mut self) {
+        self.moments.clear();
+        self.t = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param(x0: f32) -> Param {
+        Param::new("x", Tensor::from_slice(&[x0]))
+    }
+
+    /// Minimise f(x) = x² with the given optimizer.
+    fn minimise(opt: &mut dyn Optimizer, steps: usize, is_adam: Option<&mut Adam>) -> f32 {
+        let _ = is_adam;
+        let mut p = quadratic_param(5.0);
+        for _ in 0..steps {
+            p.zero_grad();
+            p.grad.data_mut()[0] = 2.0 * p.value.data()[0];
+            opt.step_param(0, &mut p);
+        }
+        p.value.data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut sgd = Sgd::new(0.1);
+        let x = minimise(&mut sgd, 100, None);
+        assert!(x.abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut sgd = Sgd::new(0.05).with_momentum(0.9);
+        let x = minimise(&mut sgd, 200, None);
+        assert!(x.abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut adam = Adam::new(0.3);
+        let mut p = quadratic_param(5.0);
+        for _ in 0..300 {
+            adam.begin_step();
+            p.zero_grad();
+            p.grad.data_mut()[0] = 2.0 * p.value.data()[0];
+            adam.step_param(0, &mut p);
+        }
+        assert!(p.value.data()[0].abs() < 1e-2, "x = {}", p.value.data()[0]);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut sgd = Sgd::new(0.1).with_weight_decay(0.5);
+        let mut p = quadratic_param(1.0);
+        p.zero_grad();
+        sgd.step_param(0, &mut p);
+        // w -= lr * wd * w => 1 - 0.05
+        assert!((p.value.data()[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_state_clears_momentum() {
+        let mut sgd = Sgd::new(0.1).with_momentum(0.9);
+        let mut p = quadratic_param(1.0);
+        p.grad.data_mut()[0] = 1.0;
+        sgd.step_param(0, &mut p);
+        sgd.reset_state();
+        assert!(sgd.velocity.is_empty());
+    }
+
+    #[test]
+    fn adam_handles_shape_change_after_pruning() {
+        let mut adam = Adam::new(0.1);
+        let mut p = Param::new("w", Tensor::ones(&[4]));
+        p.grad = Tensor::ones(&[4]);
+        adam.begin_step();
+        adam.step_param(0, &mut p);
+        // simulate pruning: shape shrinks, same slot
+        let mut p2 = Param::new("w", Tensor::ones(&[2]));
+        p2.grad = Tensor::ones(&[2]);
+        adam.begin_step();
+        adam.step_param(0, &mut p2); // must not panic
+        assert!(p2.value.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_lr_panics() {
+        Sgd::new(0.0);
+    }
+}

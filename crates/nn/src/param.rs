@@ -1,0 +1,98 @@
+use adq_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A trainable parameter: master value plus accumulated gradient.
+///
+/// Master values stay full-precision; quantized layers fake-quantize a copy
+/// of the value in their forward pass (straight-through estimation).
+///
+/// # Example
+///
+/// ```
+/// use adq_nn::Param;
+/// use adq_tensor::Tensor;
+///
+/// let mut p = Param::new("w", Tensor::ones(&[2, 2]));
+/// p.grad.data_mut()[0] = 1.0;
+/// p.apply_grad(-0.5);
+/// assert_eq!(p.value.data()[0], 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Name for diagnostics (e.g. `"conv3.weight"`).
+    pub name: String,
+    /// Full-precision master value.
+    pub value: Tensor,
+    /// Gradient accumulated by the most recent backward pass.
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient of matching shape.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Self {
+            name: name.into(),
+            value,
+            grad,
+        }
+    }
+
+    /// Zeroes the gradient in place.
+    pub fn zero_grad(&mut self) {
+        for g in self.grad.data_mut() {
+            *g = 0.0;
+        }
+    }
+
+    /// Adds `scale · grad` into the value (plain SGD step when
+    /// `scale = -lr`).
+    pub fn apply_grad(&mut self, scale: f32) {
+        for (v, &g) in self.value.data_mut().iter_mut().zip(self.grad.data()) {
+            *v += scale * g;
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_zeroes_grad() {
+        let p = Param::new("w", Tensor::ones(&[3]));
+        assert!(p.grad.data().iter().all(|&g| g == 0.0));
+        assert_eq!(p.grad.dims(), p.value.dims());
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new("w", Tensor::ones(&[2]));
+        p.grad.data_mut().copy_from_slice(&[1.0, 2.0]);
+        p.zero_grad();
+        assert!(p.grad.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn apply_grad_is_axpy() {
+        let mut p = Param::new("w", Tensor::from_slice(&[1.0, 2.0]));
+        p.grad.data_mut().copy_from_slice(&[10.0, 20.0]);
+        p.apply_grad(-0.1);
+        assert_eq!(p.value.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn len_counts_scalars() {
+        assert_eq!(Param::new("w", Tensor::zeros(&[2, 3])).len(), 6);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the training substrate (DESIGN.md §7).
+
+use adq_nn::{ConvBlock, ConvBlockConfig, GlobalAvgPool, MaxPool2d, Relu};
+use adq_quant::BitWidth;
+use adq_tensor::{Conv2dGeom, Tensor};
+use proptest::prelude::*;
+
+fn image_strategy() -> impl Strategy<Value = Tensor> {
+    (1usize..3, 1usize..3, 1usize..3)
+        .prop_flat_map(|(n, c, half_hw)| {
+            let hw = half_hw * 2;
+            let len = n * c * hw * hw;
+            (
+                Just((n, c, hw)),
+                proptest::collection::vec(-10.0f32..10.0, len..=len),
+            )
+        })
+        .prop_map(|((n, c, hw), data)| {
+            Tensor::from_vec(data, &[n, c, hw, hw]).expect("sized to fit")
+        })
+}
+
+proptest! {
+    #[test]
+    fn relu_output_is_nonnegative_and_idempotent(x in image_strategy()) {
+        let mut relu = Relu::new();
+        let y = relu.forward(&x);
+        prop_assert!(y.data().iter().all(|&v| v >= 0.0));
+        let mut relu2 = Relu::new();
+        let yy = relu2.forward(&y);
+        prop_assert_eq!(y, yy);
+    }
+
+    #[test]
+    fn relu_grad_is_subset_of_upstream(x in image_strategy()) {
+        let mut relu = Relu::new();
+        relu.forward(&x);
+        let upstream = x.map(|v| v.abs() + 1.0);
+        let g = relu.backward(&upstream);
+        // each gradient is either 0 or exactly the upstream value
+        for (gv, uv) in g.data().iter().zip(upstream.data()) {
+            prop_assert!(*gv == 0.0 || gv == uv);
+        }
+    }
+
+    #[test]
+    fn maxpool_output_bounded_by_input_extremes(x in image_strategy()) {
+        let mut pool = MaxPool2d::new(2);
+        let y = pool.forward(&x);
+        prop_assert!(y.max() <= x.max());
+        prop_assert!(y.min() >= x.min());
+        // pooling preserves batch/channel dims and halves spatial ones
+        prop_assert_eq!(y.dims()[0], x.dims()[0]);
+        prop_assert_eq!(y.dims()[1], x.dims()[1]);
+        prop_assert_eq!(y.dims()[2] * 2, x.dims()[2]);
+    }
+
+    #[test]
+    fn maxpool_gradient_is_sparse(x in image_strategy()) {
+        let mut pool = MaxPool2d::new(2);
+        let y = pool.forward(&x);
+        let g = pool.backward(&Tensor::ones(y.dims()));
+        // exactly one routed gradient per pooling window
+        let nonzero = g.data().iter().filter(|&&v| v != 0.0).count();
+        prop_assert!(nonzero <= y.len());
+        prop_assert!((g.sum() - y.len() as f32).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gap_is_mean_per_plane(x in image_strategy()) {
+        let mut gap = GlobalAvgPool::new();
+        let y = gap.forward(&x);
+        let (n, c) = (x.dims()[0], x.dims()[1]);
+        let area = x.dims()[2] * x.dims()[3];
+        for ni in 0..n {
+            for ci in 0..c {
+                let mut sum = 0.0f32;
+                for h in 0..x.dims()[2] {
+                    for w in 0..x.dims()[3] {
+                        sum += x.at4(ni, ci, h, w);
+                    }
+                }
+                prop_assert!((y.at2(ni, ci) - sum / area as f32).abs() < 1e-3);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn quantized_block_output_level_count_bounded(
+        bits in 1u32..=4,
+        seed in 0u64..100,
+    ) {
+        let mut rng = adq_tensor::init::rng(seed);
+        let cfg = ConvBlockConfig {
+            geom: Conv2dGeom::new(2, 3, 3, 1, 1),
+            batch_norm: false,
+            relu: true,
+        };
+        let mut block = ConvBlock::new("p", cfg, &mut rng);
+        block.set_bits(Some(BitWidth::new(bits).expect("valid")));
+        let x = adq_tensor::init::normal(&[1, 2, 6, 6], 0.0, 1.0, &mut rng);
+        let y = block.forward(&x, false);
+        let mut levels: Vec<u32> = y.data().iter().map(|v| v.to_bits()).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        prop_assert!(
+            levels.len() as u64 <= 1u64 << bits,
+            "{} levels at {} bits",
+            levels.len(),
+            bits
+        );
+    }
+
+    #[test]
+    fn block_density_invariant_under_eval_repeats(seed in 0u64..100) {
+        let mut rng = adq_tensor::init::rng(seed);
+        let cfg = ConvBlockConfig {
+            geom: Conv2dGeom::new(1, 2, 3, 1, 1),
+            batch_norm: true,
+            relu: true,
+        };
+        let mut block = ConvBlock::new("p", cfg, &mut rng);
+        let x = adq_tensor::init::normal(&[1, 1, 4, 4], 0.0, 1.0, &mut rng);
+        block.forward(&x, true);
+        let d = block.density();
+        // eval-mode passes never change the measured density
+        block.forward(&x, false);
+        block.forward(&x, false);
+        prop_assert_eq!(block.density(), d);
+    }
+}

@@ -1,0 +1,257 @@
+use adq_quant::{BitWidth, HwPrecision};
+use serde::{Deserialize, Serialize};
+
+use crate::energy::PimEnergyModel;
+use crate::mac::MacStats;
+
+/// Physical configuration of the PIM block: a 2-D array of 1-bit
+/// memory-and-multiply cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PimArray {
+    /// Word-lines (activation broadcast rows).
+    pub rows: usize,
+    /// Bit-lines (weight-bit columns).
+    pub cols: usize,
+}
+
+impl PimArray {
+    /// A 128×128 array — a typical SRAM-PIM macro size.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "array dimensions must be positive");
+        Self { rows, cols }
+    }
+
+    /// Weights that fit per row-tile at a precision: a `k`-bit weight
+    /// occupies `k` adjacent columns (bit-sliced storage).
+    pub fn weights_per_tile(&self, precision: HwPrecision) -> usize {
+        self.cols / precision.bits() as usize
+    }
+
+    /// Number of (row, column) tiles needed for a layer whose dot products
+    /// have `fan_in` terms and which has `out_count` independent outputs.
+    pub fn tiles_for_layer(&self, fan_in: usize, out_count: usize, precision: HwPrecision) -> u64 {
+        let row_tiles = fan_in.div_ceil(self.rows) as u64;
+        let per_tile = self.weights_per_tile(precision).max(1);
+        let col_tiles = out_count.div_ceil(per_tile) as u64;
+        row_tiles * col_tiles
+    }
+
+    /// Bit-serial cycles to evaluate a layer: each tile streams the
+    /// activation bits once.
+    pub fn cycles_for_layer(&self, fan_in: usize, out_count: usize, precision: HwPrecision) -> u64 {
+        self.tiles_for_layer(fan_in, out_count, precision) * u64::from(precision.bits())
+    }
+}
+
+impl Default for PimArray {
+    /// 128×128 cells.
+    fn default() -> Self {
+        Self::new(128, 128)
+    }
+}
+
+/// One network layer mapped onto the accelerator: its MAC count and the
+/// legalised precision it runs at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerMapping {
+    /// Layer name index (position in the network).
+    pub index: usize,
+    /// Multiply-accumulate operations in the layer.
+    pub macs: u64,
+    /// Hardware precision after legalisation ({2, 4, 8, 16}-bit).
+    pub precision: HwPrecision,
+}
+
+impl LayerMapping {
+    /// Maps a layer, legalising an arbitrary trained bit-width onto the
+    /// supported set (3-bit → 4-bit, 5-bit → 8-bit, …).
+    pub fn new(index: usize, macs: u64, bits: BitWidth) -> Self {
+        Self {
+            index,
+            macs,
+            precision: HwPrecision::legalize(bits),
+        }
+    }
+
+    /// MAC energy of this layer in microjoules.
+    pub fn energy_uj(&self, model: &PimEnergyModel) -> f64 {
+        model.macs_uj(self.macs, self.precision)
+    }
+}
+
+/// Network-level PIM energy accounting (the quantity compared in
+/// Tables V and VI).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkEnergyReport {
+    name: String,
+    layers: Vec<LayerMapping>,
+    per_layer_uj: Vec<f64>,
+    total_uj: f64,
+}
+
+impl NetworkEnergyReport {
+    /// Computes the report for a mapped network.
+    pub fn new(name: impl Into<String>, layers: Vec<LayerMapping>, model: &PimEnergyModel) -> Self {
+        let per_layer_uj: Vec<f64> = layers.iter().map(|l| l.energy_uj(model)).collect();
+        let total_uj = per_layer_uj.iter().sum();
+        Self {
+            name: name.into(),
+            layers,
+            per_layer_uj,
+            total_uj,
+        }
+    }
+
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layer mappings.
+    pub fn layers(&self) -> &[LayerMapping] {
+        &self.layers
+    }
+
+    /// Per-layer energies in microjoules, same order as `layers`.
+    pub fn per_layer_uj(&self) -> &[f64] {
+        &self.per_layer_uj
+    }
+
+    /// Total MAC energy in microjoules.
+    pub fn total_uj(&self) -> f64 {
+        self.total_uj
+    }
+
+    /// Energy reduction of `self` relative to `baseline`
+    /// (`E_baseline / E_self`, the paper's "Energy reduction" column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this network's energy is zero.
+    pub fn reduction_vs(&self, baseline: &NetworkEnergyReport) -> f64 {
+        assert!(self.total_uj > 0.0, "network has zero energy");
+        baseline.total_uj / self.total_uj
+    }
+
+    /// Aggregate datapath activity for the whole network on a given array
+    /// (cycles and cell/shift-add operation counts).
+    pub fn activity(&self, array: &PimArray, fan_in_per_layer: &[usize]) -> MacStats {
+        let mut stats = MacStats::default();
+        for (layer, &fan_in) in self.layers.iter().zip(fan_in_per_layer) {
+            let k = u64::from(layer.precision.bits());
+            let outs = if fan_in == 0 {
+                0
+            } else {
+                (layer.macs / fan_in as u64) as usize
+            };
+            stats.cycles += array.cycles_for_layer(fan_in, outs, layer.precision);
+            stats.cell_ops += layer.macs * k * k;
+            stats.shift_adds += layer.macs * (k * k - 1);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bw(bits: u32) -> BitWidth {
+        BitWidth::new(bits).unwrap()
+    }
+
+    #[test]
+    fn weights_per_tile_depends_on_precision() {
+        let a = PimArray::new(128, 128);
+        assert_eq!(a.weights_per_tile(HwPrecision::B2), 64);
+        assert_eq!(a.weights_per_tile(HwPrecision::B16), 8);
+    }
+
+    #[test]
+    fn tiles_round_up() {
+        let a = PimArray::new(128, 128);
+        // fan_in 130 needs 2 row tiles; 9 outputs at 16-bit (8/tile) need 2
+        assert_eq!(a.tiles_for_layer(130, 9, HwPrecision::B16), 4);
+    }
+
+    #[test]
+    fn cycles_scale_with_precision() {
+        let a = PimArray::default();
+        let lo = a.cycles_for_layer(64, 8, HwPrecision::B2);
+        let hi = a.cycles_for_layer(64, 8, HwPrecision::B16);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn mapping_legalizes_bits() {
+        let m = LayerMapping::new(0, 1000, bw(3));
+        assert_eq!(m.precision, HwPrecision::B4);
+        let m = LayerMapping::new(0, 1000, bw(5));
+        assert_eq!(m.precision, HwPrecision::B8);
+    }
+
+    #[test]
+    fn report_totals_are_sums() {
+        let model = PimEnergyModel::paper_table4();
+        let layers = vec![
+            LayerMapping::new(0, 1_000_000, bw(16)),
+            LayerMapping::new(1, 2_000_000, bw(2)),
+        ];
+        let report = NetworkEnergyReport::new("n", layers, &model);
+        let expected = 1e6 * 276.676 / 1e9 + 2e6 * 2.942 / 1e9;
+        assert!((report.total_uj() - expected).abs() < 1e-9);
+        assert_eq!(report.per_layer_uj().len(), 2);
+    }
+
+    #[test]
+    fn reduction_vs_baseline() {
+        let model = PimEnergyModel::paper_table4();
+        let base = NetworkEnergyReport::new(
+            "base",
+            vec![LayerMapping::new(0, 1_000_000, bw(16))],
+            &model,
+        );
+        let quant = NetworkEnergyReport::new(
+            "quant",
+            vec![LayerMapping::new(0, 1_000_000, bw(4))],
+            &model,
+        );
+        let r = quant.reduction_vs(&base);
+        // 276.676 / 16.968 ≈ 16.3
+        assert!((16.0..17.0).contains(&r), "reduction {r}");
+    }
+
+    #[test]
+    fn lower_precision_never_costs_more() {
+        let model = PimEnergyModel::paper_table4();
+        for w in HwPrecision::ALL.windows(2) {
+            let lo = LayerMapping {
+                index: 0,
+                macs: 1000,
+                precision: w[0],
+            };
+            let hi = LayerMapping {
+                index: 0,
+                macs: 1000,
+                precision: w[1],
+            };
+            assert!(lo.energy_uj(&model) < hi.energy_uj(&model));
+        }
+    }
+
+    #[test]
+    fn activity_counts_bit_ops() {
+        let model = PimEnergyModel::paper_table4();
+        let report = NetworkEnergyReport::new("n", vec![LayerMapping::new(0, 100, bw(2))], &model);
+        let stats = report.activity(&PimArray::default(), &[10]);
+        assert_eq!(stats.cell_ops, 100 * 4);
+        assert_eq!(stats.shift_adds, 100 * 3);
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_array_panics() {
+        PimArray::new(0, 4);
+    }
+}

@@ -1,0 +1,127 @@
+use adq_quant::HwPrecision;
+use serde::{Deserialize, Serialize};
+
+/// Per-MAC energy of the PIM accelerator at each supported precision,
+/// in femtojoules.
+///
+/// Defaults are Table IV of the paper (45 nm CMOS evaluation):
+///
+/// | precision | energy (fJ) |
+/// |---|---|
+/// | 2-bit | 2.942 |
+/// | 4-bit | 16.968 |
+/// | 8-bit | 66.714 |
+/// | 16-bit | 276.676 |
+///
+/// The roughly 4× step per precision doubling reflects the `k²` bit-products
+/// a `k×k`-bit bit-serial MAC performs; [`PimEnergyModel::quadratic`] builds
+/// a model from that first-principles shape for ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PimEnergyModel {
+    mac_fj: [f64; 4],
+}
+
+impl PimEnergyModel {
+    /// The exact Table IV values.
+    pub fn paper_table4() -> Self {
+        Self {
+            mac_fj: [2.942, 16.968, 66.714, 276.676],
+        }
+    }
+
+    /// A first-principles quadratic model: a `k`-bit MAC performs `k²`
+    /// 1-bit cell operations plus shift-add overhead proportional to `k`.
+    ///
+    /// `cell_fj` is the energy of one 1-bit multiply-and-read;
+    /// `shift_add_fj` the per-bit shift-accumulate cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either constant is negative.
+    pub fn quadratic(cell_fj: f64, shift_add_fj: f64) -> Self {
+        assert!(
+            cell_fj >= 0.0 && shift_add_fj >= 0.0,
+            "energies must be non-negative"
+        );
+        let mut mac_fj = [0.0; 4];
+        for (slot, p) in HwPrecision::ALL.iter().enumerate() {
+            let k = f64::from(p.bits());
+            mac_fj[slot] = cell_fj * k * k + shift_add_fj * k;
+        }
+        Self { mac_fj }
+    }
+
+    /// Energy of one MAC at the given precision, in femtojoules.
+    pub fn mac_fj(&self, precision: HwPrecision) -> f64 {
+        self.mac_fj[Self::slot(precision)]
+    }
+
+    /// Energy of `count` MACs at the given precision, in microjoules.
+    pub fn macs_uj(&self, count: u64, precision: HwPrecision) -> f64 {
+        count as f64 * self.mac_fj(precision) / 1e9
+    }
+
+    fn slot(precision: HwPrecision) -> usize {
+        match precision {
+            HwPrecision::B2 => 0,
+            HwPrecision::B4 => 1,
+            HwPrecision::B8 => 2,
+            HwPrecision::B16 => 3,
+        }
+    }
+}
+
+impl Default for PimEnergyModel {
+    /// Table IV values.
+    fn default() -> Self {
+        Self::paper_table4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_values_exact() {
+        let m = PimEnergyModel::paper_table4();
+        assert_eq!(m.mac_fj(HwPrecision::B2), 2.942);
+        assert_eq!(m.mac_fj(HwPrecision::B4), 16.968);
+        assert_eq!(m.mac_fj(HwPrecision::B8), 66.714);
+        assert_eq!(m.mac_fj(HwPrecision::B16), 276.676);
+    }
+
+    #[test]
+    fn energy_monotone_in_precision() {
+        let m = PimEnergyModel::paper_table4();
+        let values: Vec<f64> = HwPrecision::ALL.iter().map(|&p| m.mac_fj(p)).collect();
+        assert!(values.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn macs_uj_scales_linearly() {
+        let m = PimEnergyModel::paper_table4();
+        let one = m.macs_uj(1_000_000, HwPrecision::B16);
+        let two = m.macs_uj(2_000_000, HwPrecision::B16);
+        assert!((two - 2.0 * one).abs() < 1e-12);
+        // 1e6 MACs * 276.676 fJ = 0.276676 uJ
+        assert!((one - 0.276676).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quadratic_model_tracks_table4_shape() {
+        // fit cell energy on the 16-bit point: 276.676 ≈ c*256 + s*16
+        let m = PimEnergyModel::quadratic(1.0, 1.3);
+        let ratio_8_to_16 = m.mac_fj(HwPrecision::B16) / m.mac_fj(HwPrecision::B8);
+        let paper = PimEnergyModel::paper_table4();
+        let paper_ratio = paper.mac_fj(HwPrecision::B16) / paper.mac_fj(HwPrecision::B8);
+        // both near 4x
+        assert!((ratio_8_to_16 - paper_ratio).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_cell_energy_panics() {
+        PimEnergyModel::quadratic(-1.0, 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+use adq_quant::HwPrecision;
+use serde::{Deserialize, Serialize};
+
+/// A level of the shift-accumulator hierarchy (Fig 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AccLevel {
+    /// The lowest, 4-bit accumulators (`ACC_4,i`): four PIM columns are read
+    /// together into this level.
+    Acc4,
+    /// 8-bit accumulators (`ACC_8,i`), fed by pairs of 4-bit results.
+    Acc8,
+    /// 16-bit accumulators (`ACC_16,i`), the top of the hierarchy.
+    Acc16,
+}
+
+impl AccLevel {
+    /// All levels, lowest first.
+    pub const ALL: [AccLevel; 3] = [Self::Acc4, Self::Acc8, Self::Acc16];
+
+    /// Output width of this level in bits.
+    pub fn width(self) -> u32 {
+        match self {
+            Self::Acc4 => 4,
+            Self::Acc8 => 8,
+            Self::Acc16 => 16,
+        }
+    }
+}
+
+/// Activity model of the shift-accumulator block for one layer precision.
+///
+/// §V-A: *"if the weight/activation bit-width of a given layer is 2-bits,
+/// the corresponding MAC values are stored in the 4-bit accumulator and are
+/// regarded as the final result and forwarded. […] if the precision is
+/// 4-bits, the results from ACC_4 undergo shift-and-add to yield 8-bit
+/// accumulated results in ACC_8 which are then forwarded."*
+///
+/// # Example
+///
+/// ```
+/// use adq_pim::{AccLevel, ShiftAccumulatorTree};
+/// use adq_quant::HwPrecision;
+///
+/// let tree = ShiftAccumulatorTree::for_precision(HwPrecision::B2);
+/// assert_eq!(tree.forwarding_level(), AccLevel::Acc4);
+/// assert_eq!(tree.active_levels(), &[AccLevel::Acc4]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShiftAccumulatorTree {
+    precision: HwPrecision,
+    active: Vec<AccLevel>,
+}
+
+impl ShiftAccumulatorTree {
+    /// Configures the tree for a layer precision.
+    pub fn for_precision(precision: HwPrecision) -> Self {
+        let active = match precision {
+            HwPrecision::B2 => vec![AccLevel::Acc4],
+            HwPrecision::B4 => vec![AccLevel::Acc4, AccLevel::Acc8],
+            HwPrecision::B8 | HwPrecision::B16 => {
+                vec![AccLevel::Acc4, AccLevel::Acc8, AccLevel::Acc16]
+            }
+        };
+        Self { precision, active }
+    }
+
+    /// The layer precision this tree is configured for.
+    pub fn precision(&self) -> HwPrecision {
+        self.precision
+    }
+
+    /// Accumulator levels that toggle for this precision, lowest first.
+    pub fn active_levels(&self) -> &[AccLevel] {
+        &self.active
+    }
+
+    /// The level whose output is forwarded to the next layer.
+    pub fn forwarding_level(&self) -> AccLevel {
+        *self.active.last().expect("tree always has a level")
+    }
+
+    /// Number of shift-and-add operations needed to reduce one MAC's
+    /// bit-plane partial sums through the active levels.
+    ///
+    /// A `k`-bit MAC produces `k²` single-bit partial products; reducing
+    /// them costs `k² − 1` adds arranged across the hierarchy. This is the
+    /// quantity the energy model's shift-add term scales with.
+    pub fn shift_adds_per_mac(&self) -> u64 {
+        let k = u64::from(self.precision.bits());
+        k * k - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_stops_at_acc4() {
+        let t = ShiftAccumulatorTree::for_precision(HwPrecision::B2);
+        assert_eq!(t.forwarding_level(), AccLevel::Acc4);
+        assert_eq!(t.active_levels().len(), 1);
+    }
+
+    #[test]
+    fn four_bit_forwards_from_acc8() {
+        let t = ShiftAccumulatorTree::for_precision(HwPrecision::B4);
+        assert_eq!(t.forwarding_level(), AccLevel::Acc8);
+        assert_eq!(t.active_levels(), &[AccLevel::Acc4, AccLevel::Acc8]);
+    }
+
+    #[test]
+    fn wide_precisions_use_whole_tree() {
+        for p in [HwPrecision::B8, HwPrecision::B16] {
+            let t = ShiftAccumulatorTree::for_precision(p);
+            assert_eq!(t.forwarding_level(), AccLevel::Acc16);
+            assert_eq!(t.active_levels().len(), 3);
+        }
+    }
+
+    #[test]
+    fn deeper_trees_cost_more_shift_adds() {
+        let costs: Vec<u64> = HwPrecision::ALL
+            .iter()
+            .map(|&p| ShiftAccumulatorTree::for_precision(p).shift_adds_per_mac())
+            .collect();
+        assert!(costs.windows(2).all(|w| w[0] < w[1]), "{costs:?}");
+    }
+
+    #[test]
+    fn level_widths_ascend() {
+        let widths: Vec<u32> = AccLevel::ALL.iter().map(|l| l.width()).collect();
+        assert_eq!(widths, vec![4, 8, 16]);
+    }
+}

@@ -1,0 +1,180 @@
+use serde::{Deserialize, Serialize};
+
+use crate::mac::MacStats;
+
+/// Binary (±1) dot products via XNOR + popcount — the degenerate 1-bit case
+/// the paper's §II-A notes: *"in the cases of extreme quantization where
+/// there is 1-bit representation, the integer arithmetic can be further
+/// reduced to bit-wise XNOR operations"*.
+///
+/// Values are encoded as bits (`1 ↦ +1`, `0 ↦ −1`); the dot product of two
+/// ±1 vectors of length `n` is `2·popcount(XNOR(w, a)) − n`.
+///
+/// # Example
+///
+/// ```
+/// use adq_pim::XnorMac;
+///
+/// // w = [+1, -1, +1], a = [+1, +1, -1] -> dot = 1 - 1 - 1 = -1
+/// let (dot, _) = XnorMac::dot_bits(&[true, false, true], &[true, true, false]);
+/// assert_eq!(dot, -1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XnorMac;
+
+impl XnorMac {
+    /// Dot product of two ±1 vectors given as sign bits.
+    ///
+    /// Returns the integer dot product and the datapath activity: one
+    /// XNOR (counted as a 1-bit cell op) per element plus a popcount
+    /// reduction (`n − 1` adds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn dot_bits(weights: &[bool], activations: &[bool]) -> (i64, MacStats) {
+        assert_eq!(
+            weights.len(),
+            activations.len(),
+            "weight/activation length mismatch"
+        );
+        let n = weights.len() as i64;
+        let matches = weights
+            .iter()
+            .zip(activations)
+            .filter(|(w, a)| w == a)
+            .count() as i64;
+        let stats = MacStats {
+            cell_ops: weights.len() as u64,
+            shift_adds: (weights.len() as u64).saturating_sub(1),
+            cycles: 1,
+        };
+        (2 * matches - n, stats)
+    }
+
+    /// Dot product of packed sign-bit words (64 lanes per word); `len` is
+    /// the number of valid trailing... leading lanes in the final word.
+    ///
+    /// This is the form a real binary engine uses: one XNOR and one
+    /// popcount per 64 lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word counts differ or `len` exceeds the capacity.
+    pub fn dot_packed(weights: &[u64], activations: &[u64], len: usize) -> (i64, MacStats) {
+        assert_eq!(weights.len(), activations.len(), "word count mismatch");
+        assert!(len <= weights.len() * 64, "len exceeds packed capacity");
+        let mut matches: i64 = 0;
+        let mut remaining = len;
+        for (&w, &a) in weights.iter().zip(activations) {
+            let lanes = remaining.min(64);
+            if lanes == 0 {
+                break;
+            }
+            let mask = if lanes == 64 {
+                u64::MAX
+            } else {
+                (1u64 << lanes) - 1
+            };
+            matches += ((!(w ^ a)) & mask).count_ones() as i64;
+            remaining -= lanes;
+        }
+        let stats = MacStats {
+            cell_ops: len as u64,
+            shift_adds: weights.len() as u64,
+            cycles: 1,
+        };
+        (2 * matches - len as i64, stats)
+    }
+
+    /// Reference ±1 dot product from sign bits.
+    pub fn dot_reference(weights: &[bool], activations: &[bool]) -> i64 {
+        weights
+            .iter()
+            .zip(activations)
+            .map(|(&w, &a)| {
+                let wv = if w { 1i64 } else { -1 };
+                let av = if a { 1i64 } else { -1 };
+                wv * av
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_matching_gives_n() {
+        let bits = vec![true, false, true, false];
+        let (dot, _) = XnorMac::dot_bits(&bits, &bits);
+        assert_eq!(dot, 4);
+    }
+
+    #[test]
+    fn all_opposite_gives_minus_n() {
+        let w = vec![true, true];
+        let a = vec![false, false];
+        let (dot, _) = XnorMac::dot_bits(&w, &a);
+        assert_eq!(dot, -2);
+    }
+
+    #[test]
+    fn matches_reference_exhaustively_for_small_n() {
+        for pattern in 0u32..256 {
+            let w: Vec<bool> = (0..4).map(|i| pattern >> i & 1 == 1).collect();
+            let a: Vec<bool> = (0..4).map(|i| pattern >> (i + 4) & 1 == 1).collect();
+            let (dot, _) = XnorMac::dot_bits(&w, &a);
+            assert_eq!(dot, XnorMac::dot_reference(&w, &a));
+        }
+    }
+
+    #[test]
+    fn packed_matches_unpacked() {
+        // 100 lanes spanning two words
+        let w_bits: Vec<bool> = (0..100).map(|i| i % 3 == 0).collect();
+        let a_bits: Vec<bool> = (0..100).map(|i| i % 7 != 0).collect();
+        let pack = |bits: &[bool]| -> Vec<u64> {
+            let mut words = vec![0u64; bits.len().div_ceil(64)];
+            for (i, &b) in bits.iter().enumerate() {
+                if b {
+                    words[i / 64] |= 1 << (i % 64);
+                }
+            }
+            words
+        };
+        let (packed, _) = XnorMac::dot_packed(&pack(&w_bits), &pack(&a_bits), 100);
+        let (unpacked, _) = XnorMac::dot_bits(&w_bits, &a_bits);
+        assert_eq!(packed, unpacked);
+    }
+
+    #[test]
+    fn packed_ignores_slack_lanes() {
+        // garbage beyond `len` must not affect the result
+        let w = vec![u64::MAX];
+        let a = vec![0b101u64 | (u64::MAX << 10)];
+        let (dot, _) = XnorMac::dot_packed(&w, &a, 3);
+        // lanes: w=[1,1,1], a=[1,0,1] -> matches 2 -> 2*2-3 = 1
+        assert_eq!(dot, 1);
+    }
+
+    #[test]
+    fn stats_count_lanes() {
+        let (_, stats) = XnorMac::dot_bits(&[true; 10], &[false; 10]);
+        assert_eq!(stats.cell_ops, 10);
+        assert_eq!(stats.shift_adds, 9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        XnorMac::dot_bits(&[true], &[true, false]);
+    }
+
+    #[test]
+    fn empty_dot_is_zero() {
+        let (dot, _) = XnorMac::dot_bits(&[], &[]);
+        assert_eq!(dot, 0);
+    }
+}

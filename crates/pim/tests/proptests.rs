@@ -1,0 +1,78 @@
+//! Property-based tests: the PIM datapath must be bit-exact against
+//! integer reference arithmetic for every precision and input (DESIGN.md §7).
+
+use adq_pim::{BitSerialMac, XnorMac};
+use adq_quant::HwPrecision;
+use proptest::prelude::*;
+
+fn precision_strategy() -> impl Strategy<Value = HwPrecision> {
+    prop_oneof![
+        Just(HwPrecision::B2),
+        Just(HwPrecision::B4),
+        Just(HwPrecision::B8),
+        Just(HwPrecision::B16),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn bit_serial_mac_is_exact(
+        precision in precision_strategy(),
+        seed in 0u64..10_000,
+        len in 0usize..32,
+    ) {
+        let limit = (1u64 << precision.bits()) - 1;
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % (limit + 1)
+        };
+        let weights: Vec<u64> = (0..len).map(|_| next()).collect();
+        let acts: Vec<u64> = (0..len).map(|_| next()).collect();
+        let mac = BitSerialMac::new(precision);
+        let (value, stats) = mac.dot(&weights, &acts);
+        prop_assert_eq!(value, BitSerialMac::dot_reference(&weights, &acts));
+        // activity invariants
+        let k = u64::from(precision.bits());
+        prop_assert_eq!(stats.cycles, k);
+        prop_assert_eq!(stats.cell_ops, len as u64 * k * k);
+    }
+
+    #[test]
+    fn xnor_dot_is_exact(bits in proptest::collection::vec(any::<(bool, bool)>(), 0..64)) {
+        let w: Vec<bool> = bits.iter().map(|&(a, _)| a).collect();
+        let a: Vec<bool> = bits.iter().map(|&(_, b)| b).collect();
+        let (dot, _) = XnorMac::dot_bits(&w, &a);
+        prop_assert_eq!(dot, XnorMac::dot_reference(&w, &a));
+        // |dot| <= n and dot ≡ n (mod 2)
+        let n = w.len() as i64;
+        prop_assert!(dot.abs() <= n);
+        prop_assert_eq!((dot - n).rem_euclid(2), 0);
+    }
+
+    #[test]
+    fn xnor_packed_matches_unpacked(bits in proptest::collection::vec(any::<(bool, bool)>(), 0..200)) {
+        let w: Vec<bool> = bits.iter().map(|&(a, _)| a).collect();
+        let a: Vec<bool> = bits.iter().map(|&(_, b)| b).collect();
+        let pack = |bits: &[bool]| -> Vec<u64> {
+            let mut words = vec![0u64; bits.len().div_ceil(64).max(1)];
+            for (i, &b) in bits.iter().enumerate() {
+                if b {
+                    words[i / 64] |= 1 << (i % 64);
+                }
+            }
+            words
+        };
+        let (packed, _) = XnorMac::dot_packed(&pack(&w), &pack(&a), w.len());
+        let (unpacked, _) = XnorMac::dot_bits(&w, &a);
+        prop_assert_eq!(packed, unpacked);
+    }
+
+    #[test]
+    fn mac_energy_monotone_in_macs(macs_a in 0u64..1_000_000, macs_b in 0u64..1_000_000) {
+        use adq_pim::PimEnergyModel;
+        let model = PimEnergyModel::paper_table4();
+        let (lo, hi) = if macs_a <= macs_b { (macs_a, macs_b) } else { (macs_b, macs_a) };
+        prop_assert!(model.macs_uj(lo, HwPrecision::B8) <= model.macs_uj(hi, HwPrecision::B8));
+    }
+}

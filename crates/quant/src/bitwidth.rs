@@ -1,0 +1,185 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::QuantError;
+
+/// A validated quantization bit-width in `1..=32`.
+///
+/// The paper's in-training loop updates bit-widths per layer with eqn 3,
+/// `k_l = round(k_l_prev · AD_l)`, exposed here as [`BitWidth::scaled_by_density`].
+///
+/// # Example
+///
+/// ```
+/// use adq_quant::BitWidth;
+///
+/// # fn main() -> Result<(), adq_quant::QuantError> {
+/// let k = BitWidth::new(16)?;
+/// // eqn 3 with AD = 0.3: round(16 * 0.3) = 5
+/// assert_eq!(k.scaled_by_density(0.3).get(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(try_from = "u32", into = "u32")]
+pub struct BitWidth(u8);
+
+impl BitWidth {
+    /// The paper's default starting precision (16-bit).
+    pub const SIXTEEN: BitWidth = BitWidth(16);
+    /// Single-bit (binary) precision.
+    pub const ONE: BitWidth = BitWidth(1);
+    /// Full 32-bit precision (TinyImagenet baseline in Table II (c)).
+    pub const THIRTY_TWO: BitWidth = BitWidth(32);
+
+    /// Creates a bit-width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidBitWidth`] unless `bits ∈ 1..=32`.
+    pub fn new(bits: u32) -> Result<Self, QuantError> {
+        if (1..=32).contains(&bits) {
+            Ok(Self(bits as u8))
+        } else {
+            Err(QuantError::InvalidBitWidth(bits))
+        }
+    }
+
+    /// The raw number of bits.
+    pub fn get(self) -> u32 {
+        u32::from(self.0)
+    }
+
+    /// Number of representable levels, `2^k`, saturating at `u64::MAX` —
+    /// exact for every valid bit-width.
+    pub fn levels(self) -> u64 {
+        1u64 << self.0
+    }
+
+    /// Largest integer code, `2^k − 1`.
+    pub fn max_code(self) -> u64 {
+        self.levels() - 1
+    }
+
+    /// Applies the paper's eqn 3: `k_new = round(k · density)`, clamped to
+    /// at least 1 bit so a layer is never eliminated by rounding (layer
+    /// *removal* is a separate, explicit decision — see Table II iter 2a).
+    ///
+    /// Densities above 1 are clamped to 1 so the update never increases
+    /// precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density` is NaN.
+    pub fn scaled_by_density(self, density: f64) -> BitWidth {
+        assert!(!density.is_nan(), "density must not be NaN");
+        let d = density.clamp(0.0, 1.0);
+        let k = (f64::from(self.0) * d).round() as u8;
+        BitWidth(k.max(1))
+    }
+}
+
+impl Default for BitWidth {
+    /// 16-bit, the paper's starting precision.
+    fn default() -> Self {
+        Self::SIXTEEN
+    }
+}
+
+impl fmt::Display for BitWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-bit", self.0)
+    }
+}
+
+impl From<BitWidth> for u32 {
+    fn from(value: BitWidth) -> Self {
+        value.get()
+    }
+}
+
+impl TryFrom<u32> for BitWidth {
+    type Error = QuantError;
+
+    fn try_from(value: u32) -> Result<Self, Self::Error> {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_and_33() {
+        assert!(BitWidth::new(0).is_err());
+        assert!(BitWidth::new(33).is_err());
+    }
+
+    #[test]
+    fn accepts_full_range() {
+        for bits in 1..=32 {
+            assert_eq!(BitWidth::new(bits).unwrap().get(), bits);
+        }
+    }
+
+    #[test]
+    fn levels_and_max_code() {
+        let k = BitWidth::new(4).unwrap();
+        assert_eq!(k.levels(), 16);
+        assert_eq!(k.max_code(), 15);
+        assert_eq!(BitWidth::THIRTY_TWO.levels(), 1 << 32);
+    }
+
+    #[test]
+    fn eqn3_paper_example() {
+        // Paper §III: AD {0.9, 0.3, 0.5} with initial {16, 10, 8} -> {14, 3, 4}
+        assert_eq!(BitWidth::new(16).unwrap().scaled_by_density(0.9).get(), 14);
+        assert_eq!(BitWidth::new(10).unwrap().scaled_by_density(0.3).get(), 3);
+        assert_eq!(BitWidth::new(8).unwrap().scaled_by_density(0.5).get(), 4);
+    }
+
+    #[test]
+    fn eqn3_never_below_one_bit() {
+        assert_eq!(BitWidth::new(16).unwrap().scaled_by_density(0.0).get(), 1);
+        assert_eq!(BitWidth::ONE.scaled_by_density(0.01).get(), 1);
+    }
+
+    #[test]
+    fn eqn3_density_above_one_clamped() {
+        let k = BitWidth::new(8).unwrap();
+        assert_eq!(k.scaled_by_density(1.7), k);
+    }
+
+    #[test]
+    fn eqn3_is_monotone_nonincreasing() {
+        for bits in 1..=32u32 {
+            let k = BitWidth::new(bits).unwrap();
+            for d in [0.0, 0.1, 0.5, 0.9, 1.0] {
+                assert!(k.scaled_by_density(d) <= k, "k={k} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn eqn3_nan_panics() {
+        BitWidth::SIXTEEN.scaled_by_density(f64::NAN);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(BitWidth::new(3).unwrap().to_string(), "3-bit");
+    }
+
+    #[test]
+    fn ordering_by_bits() {
+        assert!(BitWidth::ONE < BitWidth::SIXTEEN);
+    }
+
+    #[test]
+    fn default_is_sixteen() {
+        assert_eq!(BitWidth::default(), BitWidth::SIXTEEN);
+    }
+}

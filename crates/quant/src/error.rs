@@ -1,0 +1,56 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by quantization primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantError {
+    /// A bit-width outside the supported `1..=32` range was requested.
+    InvalidBitWidth(u32),
+    /// A quantization range with `min > max` or non-finite bounds.
+    InvalidRange {
+        /// Lower bound that was supplied.
+        min: f32,
+        /// Upper bound that was supplied.
+        max: f32,
+    },
+    /// A range was requested from an observer that has seen no data.
+    EmptyObserver,
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidBitWidth(bits) => {
+                write!(f, "bit-width {bits} outside supported range 1..=32")
+            }
+            Self::InvalidRange { min, max } => {
+                write!(f, "invalid quantization range [{min}, {max}]")
+            }
+            Self::EmptyObserver => write!(f, "range observer has seen no data"),
+        }
+    }
+}
+
+impl Error for QuantError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_bits() {
+        assert!(QuantError::InvalidBitWidth(0).to_string().contains('0'));
+    }
+
+    #[test]
+    fn display_mentions_range() {
+        let e = QuantError::InvalidRange { min: 2.0, max: 1.0 };
+        assert!(e.to_string().contains('2') && e.to_string().contains('1'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QuantError>();
+    }
+}

@@ -1,0 +1,138 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitwidth::BitWidth;
+
+/// The precisions natively supported by the paper's PIM accelerator.
+///
+/// §I: *"To cater to higher scalability and realistic mixed-precision
+/// implementations, we design our architecture to support only 2-/4-/8-/16-bit
+/// precisions. Thus, data precision of 3-bits would be translated to 4-bits,
+/// 5-bits to 8-bits, and so on."*
+///
+/// # Example
+///
+/// ```
+/// use adq_quant::{BitWidth, HwPrecision};
+///
+/// # fn main() -> Result<(), adq_quant::QuantError> {
+/// assert_eq!(HwPrecision::legalize(BitWidth::new(3)?), HwPrecision::B4);
+/// assert_eq!(HwPrecision::legalize(BitWidth::new(5)?), HwPrecision::B8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum HwPrecision {
+    /// 2-bit operation (lowest shift-accumulator level handles it directly).
+    B2,
+    /// 4-bit operation.
+    B4,
+    /// 8-bit operation.
+    B8,
+    /// 16-bit operation (full precision on this accelerator).
+    B16,
+}
+
+impl HwPrecision {
+    /// All supported precisions, ascending.
+    pub const ALL: [HwPrecision; 4] = [Self::B2, Self::B4, Self::B8, Self::B16];
+
+    /// Rounds an arbitrary bit-width **up** to the next supported precision.
+    ///
+    /// Bit-widths above 16 also map to [`HwPrecision::B16`]: the accelerator
+    /// tops out at 16-bit, which is why the paper's TinyImagenet experiments
+    /// keep unquantized layers at 16-bit on hardware even when trained at 32.
+    pub fn legalize(bits: BitWidth) -> HwPrecision {
+        match bits.get() {
+            1 | 2 => Self::B2,
+            3 | 4 => Self::B4,
+            5..=8 => Self::B8,
+            _ => Self::B16,
+        }
+    }
+
+    /// The number of bits this precision computes with.
+    pub fn bits(self) -> u32 {
+        match self {
+            Self::B2 => 2,
+            Self::B4 => 4,
+            Self::B8 => 8,
+            Self::B16 => 16,
+        }
+    }
+
+    /// The equivalent [`BitWidth`].
+    pub fn bit_width(self) -> BitWidth {
+        BitWidth::new(self.bits()).expect("hardware precisions are valid bit-widths")
+    }
+}
+
+impl fmt::Display for HwPrecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-bit", self.bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bw(bits: u32) -> BitWidth {
+        BitWidth::new(bits).unwrap()
+    }
+
+    #[test]
+    fn paper_examples() {
+        assert_eq!(HwPrecision::legalize(bw(3)), HwPrecision::B4);
+        assert_eq!(HwPrecision::legalize(bw(5)), HwPrecision::B8);
+    }
+
+    #[test]
+    fn exact_precisions_map_to_themselves() {
+        for p in HwPrecision::ALL {
+            assert_eq!(HwPrecision::legalize(p.bit_width()), p);
+        }
+    }
+
+    #[test]
+    fn one_bit_runs_as_two() {
+        assert_eq!(HwPrecision::legalize(bw(1)), HwPrecision::B2);
+    }
+
+    #[test]
+    fn legalize_never_loses_precision() {
+        for bits in 1..=16 {
+            let p = HwPrecision::legalize(bw(bits));
+            assert!(p.bits() >= bits, "bits={bits} -> {p}");
+        }
+    }
+
+    #[test]
+    fn above_sixteen_saturates() {
+        assert_eq!(HwPrecision::legalize(bw(17)), HwPrecision::B16);
+        assert_eq!(HwPrecision::legalize(bw(32)), HwPrecision::B16);
+    }
+
+    #[test]
+    fn legalize_is_monotone() {
+        let mut prev = HwPrecision::B2;
+        for bits in 1..=32 {
+            let p = HwPrecision::legalize(bw(bits));
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(HwPrecision::B8.to_string(), "8-bit");
+    }
+
+    #[test]
+    fn all_is_ascending() {
+        let mut sorted = HwPrecision::ALL;
+        sorted.sort();
+        assert_eq!(sorted, HwPrecision::ALL);
+    }
+}

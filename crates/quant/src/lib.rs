@@ -1,0 +1,49 @@
+//! Uniform affine quantization for the `adq` workspace.
+//!
+//! Implements eqn 1 of *"Activation Density based Mixed-Precision
+//! Quantization for Energy Efficient Neural Networks"* (DATE 2021):
+//!
+//! ```text
+//! x_q = round((x - x_min) · (2^k - 1) / (x_max - x_min))
+//! ```
+//!
+//! plus the supporting vocabulary the rest of the workspace needs:
+//!
+//! * [`BitWidth`] — a validated 1..=32-bit precision newtype, with the
+//!   paper's eqn-3 update `k_new = round(k_old · AD)`,
+//! * [`QuantRange`] and [`RangeObserver`] — calibration of `[x_min, x_max]`
+//!   from data (min/max or moving-average, the latter for ablations),
+//! * [`Quantizer`] — integer codes and *fake quantization*
+//!   (quantize-dequantize) used for quantization-aware training,
+//! * [`HwPrecision`] — the PIM accelerator's supported precisions
+//!   {2, 4, 8, 16} and legalisation of arbitrary bit-widths onto them
+//!   (§I of the paper: "data precision of 3-bits would be translated to
+//!   4-bits, 5-bits to 8-bits, and so on").
+//!
+//! # Example
+//!
+//! ```
+//! use adq_quant::{BitWidth, QuantRange, Quantizer};
+//!
+//! # fn main() -> Result<(), adq_quant::QuantError> {
+//! let q = Quantizer::new(BitWidth::new(2)?, QuantRange::new(0.0, 3.0)?);
+//! // 2 bits over [0, 3] has levels {0, 1, 2, 3}
+//! assert_eq!(q.fake_quantize(1.2), 1.0);
+//! assert_eq!(q.fake_quantize(2.6), 3.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod bitwidth;
+mod error;
+mod hw;
+mod observer;
+mod quantizer;
+mod range;
+
+pub use bitwidth::BitWidth;
+pub use error::QuantError;
+pub use hw::HwPrecision;
+pub use observer::{MinMaxObserver, MovingAverageObserver, RangeObserver};
+pub use quantizer::Quantizer;
+pub use range::QuantRange;

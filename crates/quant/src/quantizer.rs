@@ -1,0 +1,316 @@
+use adq_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::bitwidth::BitWidth;
+use crate::range::QuantRange;
+
+/// A `k`-bit uniform affine quantizer over a calibrated range (eqn 1).
+///
+/// Values outside the range are clamped to it before quantization — the
+/// standard behaviour of fixed-range quantizers and the reason observers
+/// must be calibrated on representative data.
+///
+/// # Example
+///
+/// ```
+/// use adq_quant::{BitWidth, QuantRange, Quantizer};
+///
+/// # fn main() -> Result<(), adq_quant::QuantError> {
+/// let q = Quantizer::new(BitWidth::new(4)?, QuantRange::new(0.0, 15.0)?);
+/// assert_eq!(q.quantize(7.4), 7);
+/// assert_eq!(q.dequantize(7), 7.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quantizer {
+    bits: BitWidth,
+    range: QuantRange,
+}
+
+impl Quantizer {
+    /// Creates a quantizer from a bit-width and range.
+    pub fn new(bits: BitWidth, range: QuantRange) -> Self {
+        Self { bits, range }
+    }
+
+    /// The quantizer's bit-width.
+    pub fn bits(&self) -> BitWidth {
+        self.bits
+    }
+
+    /// The quantizer's range.
+    pub fn range(&self) -> QuantRange {
+        self.range
+    }
+
+    /// The value spacing between adjacent codes (0 for a degenerate range).
+    pub fn step(&self) -> f32 {
+        if self.range.is_degenerate() {
+            0.0
+        } else {
+            self.range.width() / self.bits.max_code() as f32
+        }
+    }
+
+    /// eqn 1: maps a real value to its integer code in `0..=2^k − 1`.
+    ///
+    /// Inputs are clamped into the range first; a degenerate range maps
+    /// everything to code 0.
+    pub fn quantize(&self, x: f32) -> u64 {
+        if self.range.is_degenerate() {
+            return 0;
+        }
+        let x = self.range.clamp(x);
+        let scaled = (x - self.range.min()) * (self.bits.max_code() as f32 / self.range.width());
+        // round-half-away-from-zero like the paper's `round`; scaled >= 0 here
+        (scaled.round() as u64).min(self.bits.max_code())
+    }
+
+    /// Maps an integer code back to its real representative value.
+    ///
+    /// Codes above `2^k − 1` are saturated.
+    pub fn dequantize(&self, code: u64) -> f32 {
+        if self.range.is_degenerate() {
+            return self.range.min();
+        }
+        let code = code.min(self.bits.max_code());
+        self.range.min() + code as f32 * self.step()
+    }
+
+    /// Quantize-dequantize: the value the hardware would actually compute
+    /// with. This is the "fake quantization" applied to weights and
+    /// activations during the paper's in-training quantization.
+    pub fn fake_quantize(&self, x: f32) -> f32 {
+        self.dequantize(self.quantize(x))
+    }
+
+    /// Stochastic-rounding quantization: rounds up with probability equal
+    /// to the fractional position between the neighbouring codes, using the
+    /// caller-supplied uniform sample `u ∈ [0, 1)`. Unbiased:
+    /// `E_u[dequantize(quantize_stochastic(x, u))] = clamp(x)`.
+    ///
+    /// This is the rounding mode gradient-compression schemes (QSGD-style,
+    /// the paper's refs \[11\]/\[12\]) rely on.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `u` is outside `[0, 1)`.
+    pub fn quantize_stochastic(&self, x: f32, u: f32) -> u64 {
+        debug_assert!((0.0..1.0).contains(&u), "u must be in [0, 1)");
+        if self.range.is_degenerate() {
+            return 0;
+        }
+        let x = self.range.clamp(x);
+        let scaled = (x - self.range.min()) * (self.bits.max_code() as f32 / self.range.width());
+        let floor = scaled.floor();
+        let frac = scaled - floor;
+        let code = floor as u64 + u64::from(frac > u);
+        code.min(self.bits.max_code())
+    }
+
+    /// Stochastic-rounding fake quantization; see
+    /// [`Quantizer::quantize_stochastic`].
+    pub fn fake_quantize_stochastic(&self, x: f32, u: f32) -> f32 {
+        self.dequantize(self.quantize_stochastic(x, u))
+    }
+
+    /// Integer codes for a whole tensor.
+    pub fn quantize_tensor(&self, t: &Tensor) -> Vec<u64> {
+        t.data().iter().map(|&x| self.quantize(x)).collect()
+    }
+
+    /// Fake-quantizes a whole tensor, preserving its shape.
+    pub fn fake_quantize_tensor(&self, t: &Tensor) -> Tensor {
+        t.map(|x| self.fake_quantize(x))
+    }
+
+    /// Fake-quantizes a tensor in place.
+    pub fn fake_quantize_tensor_inplace(&self, t: &mut Tensor) {
+        t.map_inplace(|x| self.fake_quantize(x));
+    }
+
+    /// Quantizer for the given data: range calibrated to its min/max.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::QuantError`] if `data` is empty or non-finite.
+    pub fn fit(bits: BitWidth, data: &[f32]) -> Result<Self, crate::QuantError> {
+        Ok(Self::new(bits, QuantRange::from_data(data)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(bits: u32, min: f32, max: f32) -> Quantizer {
+        Quantizer::new(
+            BitWidth::new(bits).unwrap(),
+            QuantRange::new(min, max).unwrap(),
+        )
+    }
+
+    #[test]
+    fn one_bit_is_binary() {
+        let quant = q(1, 0.0, 1.0);
+        assert_eq!(quant.quantize(0.2), 0);
+        assert_eq!(quant.quantize(0.8), 1);
+        assert_eq!(quant.fake_quantize(0.8), 1.0);
+    }
+
+    #[test]
+    fn codes_are_bounded() {
+        let quant = q(3, -1.0, 1.0);
+        for i in -20..=20 {
+            let code = quant.quantize(i as f32 * 0.1);
+            assert!(code <= quant.bits().max_code());
+        }
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let quant = q(4, 0.0, 1.0);
+        assert_eq!(quant.quantize(-100.0), 0);
+        assert_eq!(quant.quantize(100.0), 15);
+    }
+
+    #[test]
+    fn endpoints_are_fixed_points() {
+        let quant = q(5, -3.0, 7.0);
+        assert_eq!(quant.fake_quantize(-3.0), -3.0);
+        assert_eq!(quant.fake_quantize(7.0), 7.0);
+    }
+
+    #[test]
+    fn error_bounded_by_half_step() {
+        let quant = q(4, -2.0, 2.0);
+        let half = quant.step() / 2.0;
+        for i in -20..=20 {
+            let x = i as f32 * 0.1;
+            let err = (quant.fake_quantize(x) - x).abs();
+            assert!(err <= half + 1e-6, "x={x} err={err} half={half}");
+        }
+    }
+
+    #[test]
+    fn fake_quantize_is_idempotent() {
+        let quant = q(3, -1.0, 1.0);
+        for i in -10..=10 {
+            let once = quant.fake_quantize(i as f32 * 0.1);
+            assert_eq!(quant.fake_quantize(once), once);
+        }
+    }
+
+    #[test]
+    fn degenerate_range_maps_to_min() {
+        let quant = q(8, 5.0, 5.0);
+        assert_eq!(quant.quantize(123.0), 0);
+        assert_eq!(quant.fake_quantize(123.0), 5.0);
+        assert_eq!(quant.step(), 0.0);
+    }
+
+    #[test]
+    fn dequantize_saturates_codes() {
+        let quant = q(2, 0.0, 3.0);
+        assert_eq!(quant.dequantize(99), 3.0);
+    }
+
+    #[test]
+    fn distinct_levels_at_most_2k() {
+        let quant = q(3, 0.0, 1.0);
+        let mut levels: Vec<_> = (0..1000)
+            .map(|i| quant.fake_quantize(i as f32 / 999.0).to_bits())
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        assert!(levels.len() <= 8, "got {} levels", levels.len());
+    }
+
+    #[test]
+    fn fit_calibrates_to_data() {
+        let data = [0.5, -1.5, 2.5];
+        let quant = Quantizer::fit(BitWidth::new(8).unwrap(), &data).unwrap();
+        assert_eq!(quant.range().min(), -1.5);
+        assert_eq!(quant.range().max(), 2.5);
+    }
+
+    #[test]
+    fn fit_empty_is_error() {
+        assert!(Quantizer::fit(BitWidth::ONE, &[]).is_err());
+    }
+
+    #[test]
+    fn tensor_roundtrip_shape_preserved() {
+        let t = Tensor::from_slice(&[0.1, 0.9, 0.5]);
+        let quant = q(2, 0.0, 1.0);
+        let out = quant.fake_quantize_tensor(&t);
+        assert_eq!(out.dims(), t.dims());
+    }
+
+    #[test]
+    fn inplace_matches_pure() {
+        let t = Tensor::from_slice(&[0.13, 0.77, -0.4]);
+        let quant = q(3, -1.0, 1.0);
+        let pure = quant.fake_quantize_tensor(&t);
+        let mut inplace = t;
+        quant.fake_quantize_tensor_inplace(&mut inplace);
+        assert_eq!(pure, inplace);
+    }
+
+    #[test]
+    fn stochastic_rounding_is_unbiased() {
+        let quant = q(3, 0.0, 7.0);
+        // x = 2.3 sits between codes 2 and 3; E[value] should be 2.3
+        let x = 2.3f32;
+        let samples = 10_000;
+        let mut sum = 0.0f64;
+        for i in 0..samples {
+            let u = (i as f32 + 0.5) / samples as f32;
+            sum += f64::from(quant.fake_quantize_stochastic(x, u));
+        }
+        let mean = sum / f64::from(samples);
+        assert!((mean - 2.3).abs() < 1e-3, "mean {mean}");
+    }
+
+    #[test]
+    fn stochastic_rounding_picks_neighbouring_codes() {
+        let quant = q(4, 0.0, 15.0);
+        for i in 0..100 {
+            let u = i as f32 / 100.0;
+            let code = quant.quantize_stochastic(7.4, u);
+            assert!(code == 7 || code == 8, "code {code}");
+        }
+    }
+
+    #[test]
+    fn stochastic_on_exact_code_is_deterministic() {
+        let quant = q(4, 0.0, 15.0);
+        for i in 0..10 {
+            let u = i as f32 / 10.0;
+            assert_eq!(quant.quantize_stochastic(5.0, u), 5);
+        }
+    }
+
+    #[test]
+    fn stochastic_clamps_out_of_range() {
+        let quant = q(4, 0.0, 15.0);
+        assert_eq!(quant.quantize_stochastic(99.0, 0.5), 15);
+        assert_eq!(quant.quantize_stochastic(-99.0, 0.5), 0);
+    }
+
+    #[test]
+    fn stochastic_degenerate_range_is_zero() {
+        let quant = q(8, 5.0, 5.0);
+        assert_eq!(quant.quantize_stochastic(123.0, 0.7), 0);
+    }
+
+    #[test]
+    fn sixteen_bit_nearly_lossless_on_unit_range() {
+        let quant = q(16, 0.0, 1.0);
+        for i in 0..100 {
+            let x = i as f32 / 99.0;
+            assert!((quant.fake_quantize(x) - x).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+use serde::{Deserialize, Serialize};
+
+use crate::error::QuantError;
+
+/// A closed quantization range `[min, max]` over which codes are spread.
+///
+/// Degenerate ranges (`min == max`) are permitted — every input then maps to
+/// the single code 0 and dequantizes back to `min` — because they legitimately
+/// occur for all-zero activation tensors.
+///
+/// # Example
+///
+/// ```
+/// use adq_quant::QuantRange;
+///
+/// # fn main() -> Result<(), adq_quant::QuantError> {
+/// let r = QuantRange::new(-1.0, 1.0)?;
+/// assert_eq!(r.width(), 2.0);
+/// assert_eq!(r.clamp(3.0), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantRange {
+    min: f32,
+    max: f32,
+}
+
+impl QuantRange {
+    /// Creates a range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidRange`] if `min > max` or either bound is
+    /// not finite.
+    pub fn new(min: f32, max: f32) -> Result<Self, QuantError> {
+        if min > max || !min.is_finite() || !max.is_finite() {
+            return Err(QuantError::InvalidRange { min, max });
+        }
+        Ok(Self { min, max })
+    }
+
+    /// Range covering the values of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::EmptyObserver`] for empty input and
+    /// [`QuantError::InvalidRange`] if the data contains non-finite values.
+    pub fn from_data(data: &[f32]) -> Result<Self, QuantError> {
+        if data.is_empty() {
+            return Err(QuantError::EmptyObserver);
+        }
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &x in data {
+            if !x.is_finite() {
+                // f32::min/max would silently skip NaN; reject it instead
+                return Err(QuantError::InvalidRange { min: x, max: x });
+            }
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        Self::new(lo, hi)
+    }
+
+    /// Lower bound.
+    pub fn min(&self) -> f32 {
+        self.min
+    }
+
+    /// Upper bound.
+    pub fn max(&self) -> f32 {
+        self.max
+    }
+
+    /// `max − min`.
+    pub fn width(&self) -> f32 {
+        self.max - self.min
+    }
+
+    /// Whether the range covers a single point.
+    pub fn is_degenerate(&self) -> bool {
+        self.min == self.max
+    }
+
+    /// Clamps `x` into the range.
+    pub fn clamp(&self, x: f32) -> f32 {
+        x.clamp(self.min, self.max)
+    }
+
+    /// Smallest range containing both `self` and `other`.
+    pub fn union(&self, other: &QuantRange) -> QuantRange {
+        QuantRange {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+}
+
+impl Default for QuantRange {
+    /// The degenerate range `[0, 0]`.
+    fn default() -> Self {
+        Self { min: 0.0, max: 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_inverted() {
+        assert!(QuantRange::new(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn rejects_nan_and_inf() {
+        assert!(QuantRange::new(f32::NAN, 1.0).is_err());
+        assert!(QuantRange::new(0.0, f32::INFINITY).is_err());
+    }
+
+    #[test]
+    fn degenerate_allowed() {
+        let r = QuantRange::new(2.0, 2.0).unwrap();
+        assert!(r.is_degenerate());
+        assert_eq!(r.width(), 0.0);
+    }
+
+    #[test]
+    fn from_data_covers_extremes() {
+        let r = QuantRange::from_data(&[0.5, -2.0, 3.0, 1.0]).unwrap();
+        assert_eq!((r.min(), r.max()), (-2.0, 3.0));
+    }
+
+    #[test]
+    fn from_data_empty_is_error() {
+        assert_eq!(QuantRange::from_data(&[]), Err(QuantError::EmptyObserver));
+    }
+
+    #[test]
+    fn from_data_nan_is_error() {
+        assert!(QuantRange::from_data(&[1.0, f32::NAN]).is_err());
+    }
+
+    #[test]
+    fn clamp_saturates() {
+        let r = QuantRange::new(-1.0, 1.0).unwrap();
+        assert_eq!(r.clamp(-5.0), -1.0);
+        assert_eq!(r.clamp(0.25), 0.25);
+        assert_eq!(r.clamp(9.0), 1.0);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = QuantRange::new(0.0, 1.0).unwrap();
+        let b = QuantRange::new(-2.0, 0.5).unwrap();
+        let u = a.union(&b);
+        assert_eq!((u.min(), u.max()), (-2.0, 1.0));
+    }
+}

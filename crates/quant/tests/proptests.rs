@@ -1,0 +1,113 @@
+//! Property-based tests for quantization invariants (DESIGN.md §7).
+
+use adq_quant::{BitWidth, HwPrecision, QuantRange, Quantizer};
+use proptest::prelude::*;
+
+fn quantizer_strategy() -> impl Strategy<Value = Quantizer> {
+    (1u32..=16, -100.0f32..100.0, 0.001f32..200.0).prop_map(|(bits, min, width)| {
+        Quantizer::new(
+            BitWidth::new(bits).expect("bits in 1..=16"),
+            QuantRange::new(min, min + width).expect("min <= min + width"),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn codes_never_exceed_max((q, x) in (quantizer_strategy(), -1000.0f32..1000.0)) {
+        prop_assert!(q.quantize(x) <= q.bits().max_code());
+    }
+
+    #[test]
+    fn fake_quantize_stays_in_range((q, x) in (quantizer_strategy(), -1000.0f32..1000.0)) {
+        let y = q.fake_quantize(x);
+        prop_assert!(y >= q.range().min() - 1e-3);
+        prop_assert!(y <= q.range().max() + 1e-3);
+    }
+
+    #[test]
+    fn fake_quantize_idempotent((q, x) in (quantizer_strategy(), -1000.0f32..1000.0)) {
+        let once = q.fake_quantize(x);
+        let twice = q.fake_quantize(once);
+        // identical codes => identical values
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+    }
+
+    #[test]
+    fn quantize_is_monotone((q, a, b) in (quantizer_strategy(), -500.0f32..500.0, -500.0f32..500.0)) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(q.quantize(lo) <= q.quantize(hi));
+    }
+
+    #[test]
+    fn error_bounded_by_half_step((q, x) in (quantizer_strategy(), -1000.0f32..1000.0)) {
+        let clamped = q.range().clamp(x);
+        let err = (q.fake_quantize(x) - clamped).abs();
+        // relative tolerance absorbs f32 rounding on large ranges
+        prop_assert!(err <= q.step() / 2.0 + 1e-3 * (1.0 + clamped.abs()),
+            "err={} step={}", err, q.step());
+    }
+
+    #[test]
+    fn dequantize_quantize_roundtrips_codes(
+        (q, code) in (quantizer_strategy(), 0u64..65536)
+    ) {
+        let code = code.min(q.bits().max_code());
+        let value = q.dequantize(code);
+        let back = q.quantize(value);
+        // allow one code of slack for f32 rounding at high bit-widths
+        let diff = back.abs_diff(code);
+        prop_assert!(diff <= 1, "code {} -> {} -> {}", code, value, back);
+    }
+
+    #[test]
+    fn eqn3_nonincreasing(bits in 1u32..=32, density in 0.0f64..=1.0) {
+        let k = BitWidth::new(bits).expect("valid");
+        prop_assert!(k.scaled_by_density(density) <= k);
+    }
+
+    #[test]
+    fn eqn3_at_full_density_is_identity(bits in 1u32..=32) {
+        let k = BitWidth::new(bits).expect("valid");
+        prop_assert_eq!(k.scaled_by_density(1.0), k);
+    }
+
+    #[test]
+    fn stochastic_rounding_stays_adjacent(
+        (q, x, u) in (quantizer_strategy(), -500.0f32..500.0, 0.0f32..1.0)
+    ) {
+        let det = q.quantize(x);
+        let sto = q.quantize_stochastic(x, u.min(0.999_999));
+        // stochastic result is one of the two codes bracketing x
+        prop_assert!(sto.abs_diff(det) <= 1, "det {} sto {}", det, sto);
+        prop_assert!(sto <= q.bits().max_code());
+    }
+
+    #[test]
+    fn stochastic_expected_value_brackets_input(
+        (q, x) in (quantizer_strategy(), -500.0f32..500.0)
+    ) {
+        let clamped = q.range().clamp(x);
+        let lo = q.fake_quantize_stochastic(x, 0.999_999); // never round up
+        let hi = q.fake_quantize_stochastic(x, 0.0);       // round up unless exact
+        prop_assert!(lo <= clamped + 1e-3 * (1.0 + clamped.abs()));
+        prop_assert!(hi >= clamped - 1e-3 * (1.0 + clamped.abs()));
+    }
+
+    #[test]
+    fn legalize_rounds_up_within_16(bits in 1u32..=16) {
+        let k = BitWidth::new(bits).expect("valid");
+        let p = HwPrecision::legalize(k);
+        prop_assert!(p.bits() >= bits);
+        // tight: the next smaller hw precision would not fit
+        let smaller: Option<HwPrecision> = match p {
+            HwPrecision::B2 => None,
+            HwPrecision::B4 => Some(HwPrecision::B2),
+            HwPrecision::B8 => Some(HwPrecision::B4),
+            HwPrecision::B16 => Some(HwPrecision::B8),
+        };
+        if let Some(s) = smaller {
+            prop_assert!(s.bits() < bits);
+        }
+    }
+}

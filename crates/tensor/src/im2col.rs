@@ -1,0 +1,288 @@
+use serde::{Deserialize, Serialize};
+
+use crate::shape::ShapeError;
+use crate::tensor::Tensor;
+
+/// Geometry of a 2-D convolution: square kernel, symmetric stride/padding.
+///
+/// This is the shape vocabulary shared by the convolution layer in `adq-nn`
+/// and the energy models in `adq-energy`/`adq-pim` (the paper's
+/// `N_mem`/`N_MAC` formulas are functions of exactly these quantities).
+///
+/// # Example
+///
+/// ```
+/// use adq_tensor::Conv2dGeom;
+///
+/// let geom = Conv2dGeom::new(3, 64, 3, 1, 1);
+/// assert_eq!(geom.output_size(32), 32); // "same" padding at stride 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dGeom {
+    /// Input channels `I`.
+    pub in_channels: usize,
+    /// Output channels `O`.
+    pub out_channels: usize,
+    /// Kernel side `p` (kernels are `p × p`).
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding on each border.
+    pub padding: usize,
+}
+
+impl Conv2dGeom {
+    /// Creates a convolution geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        assert!(kernel > 0, "kernel must be positive");
+        assert!(stride > 0, "stride must be positive");
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Output spatial side for an input spatial side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the padded input.
+    pub fn output_size(&self, input_size: usize) -> usize {
+        let padded = input_size + 2 * self.padding;
+        assert!(
+            padded >= self.kernel,
+            "kernel {} larger than padded input {}",
+            self.kernel,
+            padded
+        );
+        (padded - self.kernel) / self.stride + 1
+    }
+
+    /// Number of weights: `O · I · p²`.
+    pub fn weight_count(&self) -> usize {
+        self.out_channels * self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Lowers an NCHW input into a `[C·p·p, N·OH·OW]` column matrix so that a
+/// convolution becomes a single matrix multiply against a `[O, C·p·p]`
+/// weight matrix.
+///
+/// Column `((n·OH + oh)·OW + ow)` holds the receptive field of output pixel
+/// `(oh, ow)` of sample `n`; out-of-bounds taps (padding) are zero.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `input` is not rank-4 or its channel count does
+/// not match `geom`.
+pub fn im2col(input: &Tensor, geom: &Conv2dGeom) -> Result<Tensor, ShapeError> {
+    if input.rank() != 4 || input.dims()[1] != geom.in_channels {
+        return Err(ShapeError::new(format!(
+            "im2col: expected [N, {}, H, W] input, got {:?}",
+            geom.in_channels,
+            input.dims()
+        )));
+    }
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let oh = geom.output_size(h);
+    let ow = geom.output_size(w);
+    let p = geom.kernel;
+    let rows = c * p * p;
+    let cols = n * oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    let data = input.data();
+    for ci in 0..c {
+        for kh in 0..p {
+            for kw in 0..p {
+                let row = (ci * p + kh) * p + kw;
+                let out_row = &mut out[row * cols..(row + 1) * cols];
+                for ni in 0..n {
+                    let in_base = (ni * c + ci) * h * w;
+                    for ohi in 0..oh {
+                        let ih = (ohi * geom.stride + kh) as isize - geom.padding as isize;
+                        let col_base = (ni * oh + ohi) * ow;
+                        if ih < 0 || ih >= h as isize {
+                            continue;
+                        }
+                        let in_row = in_base + ih as usize * w;
+                        for owi in 0..ow {
+                            let iw = (owi * geom.stride + kw) as isize - geom.padding as isize;
+                            if iw < 0 || iw >= w as isize {
+                                continue;
+                            }
+                            out_row[col_base + owi] = data[in_row + iw as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Scatters a `[C·p·p, N·OH·OW]` column-gradient matrix back onto an NCHW
+/// input-gradient tensor — the adjoint of [`im2col`].
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `cols` does not have the shape [`im2col`] would
+/// produce for `input_dims` and `geom`.
+pub fn col2im(
+    cols: &Tensor,
+    input_dims: &[usize],
+    geom: &Conv2dGeom,
+) -> Result<Tensor, ShapeError> {
+    if input_dims.len() != 4 {
+        return Err(ShapeError::new(format!(
+            "col2im: expected rank-4 input dims, got {input_dims:?}"
+        )));
+    }
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    let oh = geom.output_size(h);
+    let ow = geom.output_size(w);
+    let p = geom.kernel;
+    let rows = c * p * p;
+    let ncols = n * oh * ow;
+    if cols.dims() != [rows, ncols] {
+        return Err(ShapeError::mismatch("col2im", cols.dims(), &[rows, ncols]));
+    }
+    let mut out = Tensor::zeros(input_dims);
+    let out_data = out.data_mut();
+    let col_data = cols.data();
+    for ci in 0..c {
+        for kh in 0..p {
+            for kw in 0..p {
+                let row = (ci * p + kh) * p + kw;
+                let col_row = &col_data[row * ncols..(row + 1) * ncols];
+                for ni in 0..n {
+                    let out_base = (ni * c + ci) * h * w;
+                    for ohi in 0..oh {
+                        let ih = (ohi * geom.stride + kh) as isize - geom.padding as isize;
+                        if ih < 0 || ih >= h as isize {
+                            continue;
+                        }
+                        let out_row = out_base + ih as usize * w;
+                        let col_base = (ni * oh + ohi) * ow;
+                        for owi in 0..ow {
+                            let iw = (owi * geom.stride + kw) as isize - geom.padding as isize;
+                            if iw < 0 || iw >= w as isize {
+                                continue;
+                            }
+                            out_data[out_row + iw as usize] += col_row[col_base + owi];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_size_same_padding() {
+        let g = Conv2dGeom::new(3, 8, 3, 1, 1);
+        assert_eq!(g.output_size(32), 32);
+    }
+
+    #[test]
+    fn output_size_stride_two() {
+        let g = Conv2dGeom::new(3, 8, 3, 2, 1);
+        assert_eq!(g.output_size(32), 16);
+    }
+
+    #[test]
+    fn output_size_one_by_one() {
+        let g = Conv2dGeom::new(64, 128, 1, 2, 0);
+        assert_eq!(g.output_size(16), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn kernel_larger_than_input_panics() {
+        Conv2dGeom::new(1, 1, 5, 1, 0).output_size(3);
+    }
+
+    #[test]
+    fn weight_count() {
+        assert_eq!(Conv2dGeom::new(3, 64, 3, 1, 1).weight_count(), 3 * 64 * 9);
+    }
+
+    #[test]
+    fn im2col_identity_kernel_is_flatten() {
+        // 1x1 kernel, stride 1, no padding: columns are just pixels.
+        let input = Tensor::from_vec((0..8).map(|x| x as f32).collect(), &[1, 2, 2, 2]).unwrap();
+        let g = Conv2dGeom::new(2, 1, 1, 1, 0);
+        let cols = im2col(&input, &g).unwrap();
+        assert_eq!(cols.dims(), &[2, 4]);
+        assert_eq!(cols.data(), input.data());
+    }
+
+    #[test]
+    fn im2col_shape() {
+        let input = Tensor::zeros(&[2, 3, 5, 5]);
+        let g = Conv2dGeom::new(3, 4, 3, 1, 1);
+        let cols = im2col(&input, &g).unwrap();
+        assert_eq!(cols.dims(), &[3 * 9, 2 * 25]);
+    }
+
+    #[test]
+    fn im2col_padding_is_zero() {
+        let input = Tensor::ones(&[1, 1, 2, 2]);
+        let g = Conv2dGeom::new(1, 1, 3, 1, 1);
+        let cols = im2col(&input, &g).unwrap();
+        // top-left output pixel: the (0,0) tap falls on padding
+        assert_eq!(cols.at2(0, 0), 0.0);
+        // centre tap of top-left pixel hits input(0,0)=1
+        assert_eq!(cols.at2(4, 0), 1.0);
+    }
+
+    #[test]
+    fn im2col_wrong_channels_is_error() {
+        let input = Tensor::zeros(&[1, 2, 4, 4]);
+        let g = Conv2dGeom::new(3, 4, 3, 1, 1);
+        assert!(im2col(&input, &g).is_err());
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for the adjoint pair.
+        let dims = [2, 3, 4, 4];
+        let g = Conv2dGeom::new(3, 2, 3, 1, 1);
+        let x = Tensor::from_vec((0..96).map(|v| (v as f32).sin()).collect(), &dims).unwrap();
+        let cols = im2col(&x, &g).unwrap();
+        let y = cols.map(|v| v * 0.5 + 0.1);
+        let lhs: f32 = cols.mul(&y).unwrap().sum();
+        let back = col2im(&y, &dims, &g).unwrap();
+        let rhs: f32 = x.mul(&back).unwrap().sum();
+        assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_shape_mismatch_is_error() {
+        let g = Conv2dGeom::new(1, 1, 3, 1, 1);
+        let cols = Tensor::zeros(&[9, 10]);
+        assert!(col2im(&cols, &[1, 1, 4, 4], &g).is_err());
+    }
+}

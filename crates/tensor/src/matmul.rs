@@ -1,0 +1,255 @@
+use rayon::prelude::*;
+
+use crate::shape::ShapeError;
+use crate::tensor::Tensor;
+
+/// Minimum number of output rows before we split work across threads;
+/// below this the rayon dispatch overhead dominates.
+const PAR_ROW_THRESHOLD: usize = 8;
+
+/// Dense matrix product `C = A · B` for rank-2 tensors.
+///
+/// Uses an `ikj` loop order (streaming access to both `B` and `C`) and
+/// parallelises over rows of `A` when the problem is large enough.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if either input is not rank-2 or the inner
+/// dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use adq_tensor::{matmul, Tensor};
+///
+/// # fn main() -> Result<(), adq_tensor::ShapeError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2])?;
+/// let c = matmul(&a, &b)?;
+/// assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
+    check_rank2("matmul", a, b)?;
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (kb, n) = (b.dims()[0], b.dims()[1]);
+    if k != kb {
+        return Err(ShapeError::mismatch("matmul", a.dims(), b.dims()));
+    }
+    let mut out = vec![0.0f32; m * n];
+    let a_data = a.data();
+    let b_data = b.data();
+    let body = |(i, row): (usize, &mut [f32])| {
+        for l in 0..k {
+            let a_il = a_data[i * k + l];
+            if a_il == 0.0 {
+                continue;
+            }
+            let b_row = &b_data[l * n..(l + 1) * n];
+            for (c, &bv) in row.iter_mut().zip(b_row) {
+                *c += a_il * bv;
+            }
+        }
+    };
+    if m >= PAR_ROW_THRESHOLD {
+        out.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        out.chunks_mut(n).enumerate().for_each(body);
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Computes `C = Aᵀ · B` without materialising the transpose.
+///
+/// `a` is `[k, m]`, `b` is `[k, n]`, the result is `[m, n]`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if either input is not rank-2 or the shared
+/// dimension disagrees.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
+    check_rank2("matmul_at_b", a, b)?;
+    let (k, m) = (a.dims()[0], a.dims()[1]);
+    let (kb, n) = (b.dims()[0], b.dims()[1]);
+    if k != kb {
+        return Err(ShapeError::mismatch("matmul_at_b", a.dims(), b.dims()));
+    }
+    let mut out = vec![0.0f32; m * n];
+    let a_data = a.data();
+    let b_data = b.data();
+    let body = |(i, row): (usize, &mut [f32])| {
+        for l in 0..k {
+            let a_li = a_data[l * m + i];
+            if a_li == 0.0 {
+                continue;
+            }
+            let b_row = &b_data[l * n..(l + 1) * n];
+            for (c, &bv) in row.iter_mut().zip(b_row) {
+                *c += a_li * bv;
+            }
+        }
+    };
+    if m >= PAR_ROW_THRESHOLD {
+        out.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        out.chunks_mut(n).enumerate().for_each(body);
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Computes `C = A · Bᵀ` without materialising the transpose.
+///
+/// `a` is `[m, k]`, `b` is `[n, k]`, the result is `[m, n]`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if either input is not rank-2 or the shared
+/// dimension disagrees.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
+    check_rank2("matmul_a_bt", a, b)?;
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (n, kb) = (b.dims()[0], b.dims()[1]);
+    if k != kb {
+        return Err(ShapeError::mismatch("matmul_a_bt", a.dims(), b.dims()));
+    }
+    let mut out = vec![0.0f32; m * n];
+    let a_data = a.data();
+    let b_data = b.data();
+    let body = |(i, row): (usize, &mut [f32])| {
+        let a_row = &a_data[i * k..(i + 1) * k];
+        for (j, c) in row.iter_mut().enumerate() {
+            let b_row = &b_data[j * k..(j + 1) * k];
+            *c = dot(a_row, b_row);
+        }
+    };
+    if m >= PAR_ROW_THRESHOLD {
+        out.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        out.chunks_mut(n).enumerate().for_each(body);
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+fn check_rank2(context: &str, a: &Tensor, b: &Tensor) -> Result<(), ShapeError> {
+    if a.rank() != 2 || b.rank() != 2 {
+        return Err(ShapeError::mismatch(context, a.dims(), b.dims()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for l in 0..k {
+                    acc += a.at2(i, l) * b.at2(l, j);
+                }
+                *out.at2_mut(i, j) = acc;
+            }
+        }
+        out
+    }
+
+    fn random_tensor(dims: &[usize], seed: u64) -> Tensor {
+        // simple deterministic LCG so this test has no RNG dependency
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let n: usize = dims.iter().product();
+        let data = (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / u32::MAX as f32) * 2.0 - 1.0
+            })
+            .collect();
+        Tensor::from_vec(data, dims).unwrap()
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive_small() {
+        let a = random_tensor(&[3, 4], 1);
+        let b = random_tensor(&[4, 5], 2);
+        assert_close(&matmul(&a, &b).unwrap(), &naive(&a, &b), 1e-5);
+    }
+
+    #[test]
+    fn matmul_matches_naive_parallel_path() {
+        let a = random_tensor(&[33, 17], 3);
+        let b = random_tensor(&[17, 29], 4);
+        assert_close(&matmul(&a, &b).unwrap(), &naive(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = random_tensor(&[6, 6], 5);
+        assert_close(&matmul(&a, &Tensor::eye(6)).unwrap(), &a, 1e-6);
+    }
+
+    #[test]
+    fn matmul_inner_dim_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 5]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_rejects_rank1() {
+        let a = Tensor::zeros(&[6]);
+        let b = Tensor::zeros(&[6, 2]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let a = random_tensor(&[7, 3], 6);
+        let b = random_tensor(&[7, 5], 7);
+        let expected = matmul(&a.transposed(), &b).unwrap();
+        assert_close(&matmul_at_b(&a, &b).unwrap(), &expected, 1e-5);
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let a = random_tensor(&[4, 6], 8);
+        let b = random_tensor(&[9, 6], 9);
+        let expected = matmul(&a, &b.transposed()).unwrap();
+        assert_close(&matmul_a_bt(&a, &b).unwrap(), &expected, 1e-5);
+    }
+
+    #[test]
+    fn at_b_shape_mismatch() {
+        assert!(matmul_at_b(&Tensor::zeros(&[3, 2]), &Tensor::zeros(&[4, 2])).is_err());
+    }
+
+    #[test]
+    fn a_bt_shape_mismatch() {
+        assert!(matmul_a_bt(&Tensor::zeros(&[3, 2]), &Tensor::zeros(&[4, 3])).is_err());
+    }
+
+    #[test]
+    fn zero_sized_matmul() {
+        let a = Tensor::zeros(&[0, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[0, 2]);
+    }
+}

@@ -1,0 +1,90 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when tensor shapes are inconsistent with an operation.
+///
+/// # Example
+///
+/// ```
+/// use adq_tensor::Tensor;
+///
+/// let err = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[2, 2]).unwrap_err();
+/// assert!(err.to_string().contains("expected"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    message: String,
+}
+
+impl ShapeError {
+    /// Creates a shape error with a human-readable description.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for an element-count mismatch.
+    pub fn element_count(expected: usize, actual: usize) -> Self {
+        Self::new(format!("expected {expected} elements, got {actual}"))
+    }
+
+    /// Convenience constructor for a dimension mismatch between two shapes.
+    pub fn mismatch(context: &str, lhs: &[usize], rhs: &[usize]) -> Self {
+        Self::new(format!(
+            "{context}: incompatible shapes {lhs:?} and {rhs:?}"
+        ))
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl Error for ShapeError {}
+
+/// Computes the number of elements implied by a shape (empty shape = scalar = 1).
+pub(crate) fn element_count(dims: &[usize]) -> usize {
+    dims.iter().product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_count_of_empty_shape_is_one() {
+        assert_eq!(element_count(&[]), 1);
+    }
+
+    #[test]
+    fn element_count_multiplies_dims() {
+        assert_eq!(element_count(&[2, 3, 4]), 24);
+    }
+
+    #[test]
+    fn element_count_with_zero_dim_is_zero() {
+        assert_eq!(element_count(&[2, 0, 4]), 0);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let err = ShapeError::element_count(4, 3);
+        assert_eq!(err.to_string(), "expected 4 elements, got 3");
+    }
+
+    #[test]
+    fn mismatch_mentions_both_shapes() {
+        let err = ShapeError::mismatch("add", &[2, 2], &[3]);
+        let text = err.to_string();
+        assert!(text.contains("[2, 2]") && text.contains("[3]"));
+    }
+
+    #[test]
+    fn shape_error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+}

@@ -1,0 +1,309 @@
+use serde::{Deserialize, Serialize};
+
+use crate::shape::{element_count, ShapeError};
+
+/// An owned, row-major `f32` tensor of arbitrary rank.
+///
+/// `Tensor` is deliberately simple: contiguous storage, explicit shape, no
+/// views or strides. Layers in `adq-nn` use rank-4 `[n, c, h, w]` tensors for
+/// feature maps and rank-2 `[rows, cols]` tensors for matrices.
+///
+/// # Example
+///
+/// ```
+/// use adq_tensor::Tensor;
+///
+/// # fn main() -> Result<(), adq_tensor::ShapeError> {
+/// let t = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0], &[2, 3])?;
+/// assert_eq!(t.at2(1, 2), 5.0);
+/// assert_eq!(t.sum(), 15.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    dims: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        Self {
+            dims: dims.to_vec(),
+            data: vec![0.0; element_count(dims)],
+        }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        Self {
+            dims: dims.to_vec(),
+            data: vec![value; element_count(dims)],
+        }
+    }
+
+    /// Creates a square identity matrix of side `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Wraps an existing buffer in a tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `data.len()` does not equal the product of
+    /// `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self, ShapeError> {
+        let expected = element_count(dims);
+        if data.len() != expected {
+            return Err(ShapeError::element_count(expected, data.len()));
+        }
+        Ok(Self {
+            dims: dims.to_vec(),
+            data,
+        })
+    }
+
+    /// Creates a rank-1 tensor from a slice.
+    pub fn from_slice(values: &[f32]) -> Self {
+        Self {
+            dims: vec![values.len()],
+            data: values.to_vec(),
+        }
+    }
+
+    /// The tensor's dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The tensor's rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns a copy with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the element counts differ.
+    pub fn reshaped(&self, dims: &[usize]) -> Result<Self, ShapeError> {
+        Self::from_vec(self.data.clone(), dims)
+    }
+
+    /// Reshapes in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the element counts differ.
+    pub fn reshape(&mut self, dims: &[usize]) -> Result<(), ShapeError> {
+        let expected = element_count(dims);
+        if self.data.len() != expected {
+            return Err(ShapeError::element_count(expected, self.data.len()));
+        }
+        self.dims = dims.to_vec();
+        Ok(())
+    }
+
+    /// Element at `[i, j]` of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2 or the index is out of bounds.
+    #[inline]
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        debug_assert_eq!(self.rank(), 2, "at2 requires a rank-2 tensor");
+        self.data[i * self.dims[1] + j]
+    }
+
+    /// Mutable element at `[i, j]` of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2 or the index is out of bounds.
+    #[inline]
+    pub fn at2_mut(&mut self, i: usize, j: usize) -> &mut f32 {
+        debug_assert_eq!(self.rank(), 2, "at2_mut requires a rank-2 tensor");
+        let cols = self.dims[1];
+        &mut self.data[i * cols + j]
+    }
+
+    /// Element at `[n, c, h, w]` of a rank-4 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-4 or the index is out of bounds.
+    #[inline]
+    pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.offset4(n, c, h, w)]
+    }
+
+    /// Mutable element at `[n, c, h, w]` of a rank-4 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-4 or the index is out of bounds.
+    #[inline]
+    pub fn at4_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
+        let idx = self.offset4(n, c, h, w);
+        &mut self.data[idx]
+    }
+
+    #[inline]
+    fn offset4(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert_eq!(self.rank(), 4, "at4 requires a rank-4 tensor");
+        let (cs, hs, ws) = (self.dims[1], self.dims[2], self.dims[3]);
+        ((n * cs + c) * hs + h) * ws + w
+    }
+
+    /// Copies the `n`-th slice along the first axis into a new tensor of rank
+    /// one lower.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is rank-0 or `n` is out of bounds.
+    pub fn index_axis0(&self, n: usize) -> Tensor {
+        assert!(self.rank() >= 1, "index_axis0 requires rank >= 1");
+        assert!(
+            n < self.dims[0],
+            "index {n} out of bounds for axis of size {}",
+            self.dims[0]
+        );
+        let stride: usize = self.dims[1..].iter().product();
+        let data = self.data[n * stride..(n + 1) * stride].to_vec();
+        Tensor {
+            dims: self.dims[1..].to_vec(),
+            data,
+        }
+    }
+}
+
+impl Default for Tensor {
+    /// An empty rank-1 tensor.
+    fn default() -> Self {
+        Self {
+            dims: vec![0],
+            data: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_right_shape_and_values() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert_eq!(t.dims(), &[2, 3]);
+        assert_eq!(t.len(), 6);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn full_fills_value() {
+        let t = Tensor::full(&[4], 2.5);
+        assert!(t.data().iter().all(|&x| x == 2.5));
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let t = Tensor::eye(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(t.at2(i, j), if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_vec_rejects_wrong_count() {
+        assert!(Tensor::from_vec(vec![1.0; 5], &[2, 3]).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let mut t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap();
+        t.reshape(&[2, 2]).unwrap();
+        assert_eq!(t.at2(1, 0), 3.0);
+    }
+
+    #[test]
+    fn reshape_rejects_count_change() {
+        let mut t = Tensor::zeros(&[4]);
+        assert!(t.reshape(&[3]).is_err());
+        // shape untouched on failure
+        assert_eq!(t.dims(), &[4]);
+    }
+
+    #[test]
+    fn at4_indexes_nchw() {
+        let mut t = Tensor::zeros(&[2, 3, 4, 5]);
+        *t.at4_mut(1, 2, 3, 4) = 7.0;
+        assert_eq!(t.at4(1, 2, 3, 4), 7.0);
+        // row-major offset = ((1*3+2)*4+3)*5+4 = 119
+        assert_eq!(t.data()[119], 7.0);
+    }
+
+    #[test]
+    fn index_axis0_copies_slice() {
+        let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]).unwrap();
+        let row = t.index_axis0(1);
+        assert_eq!(row.dims(), &[4]);
+        assert_eq!(row.data(), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn index_axis0_out_of_bounds_panics() {
+        Tensor::zeros(&[2, 2]).index_axis0(2);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let t = Tensor::default();
+        assert!(t.is_empty());
+        assert_eq!(t.rank(), 1);
+    }
+
+    #[test]
+    fn tensor_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tensor>();
+    }
+}

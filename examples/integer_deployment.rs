@@ -1,0 +1,74 @@
+//! Deployment: lower an AD-quantized model onto the PIM accelerator's
+//! integer datapath (BN folding + weight quantization + integer MACs) and
+//! verify it agrees with the floating-point training-time simulation.
+//!
+//! Run with: `cargo run --release --example integer_deployment`
+
+use adq::core::deploy::DeployedVgg;
+use adq::core::{AdQuantizer, AdqConfig};
+use adq::datasets::SyntheticSpec;
+use adq::nn::{accuracy, QuantModel, Vgg};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (train, test) = SyntheticSpec::cifar10_like()
+        .with_resolution(16)
+        .with_samples(24, 10)
+        .with_noise(0.7)
+        .generate();
+
+    // train with in-training AD quantization
+    let mut model = Vgg::small(3, 16, 10, 33);
+    let outcome = AdQuantizer::new(AdqConfig {
+        max_iterations: 3,
+        max_epochs_per_iteration: 6,
+        min_epochs_per_iteration: 3,
+        batch_size: 24,
+        ..AdqConfig::paper_default()
+    })
+    .run(&mut model, &train, &test);
+    println!(
+        "trained mixed-precision model: bits {:?}",
+        outcome
+            .final_bits()
+            .iter()
+            .map(|b| b.map_or(32, |b| b.get()))
+            .collect::<Vec<_>>()
+    );
+
+    // float (fake-quantized) reference
+    let float_logits = model.forward(&test.images, false);
+    let float_acc = accuracy(&float_logits, &test.labels);
+
+    // integer deployment
+    let deployed = DeployedVgg::from_trained(&model)?;
+    let (int_logits, stats) = deployed.run(&test.images);
+    let int_acc = accuracy(&int_logits, &test.labels);
+    let agreement = (0..test.len())
+        .filter(|&i| int_logits.index_axis0(i).argmax() == float_logits.index_axis0(i).argmax())
+        .count() as f64
+        / test.len() as f64;
+
+    println!("\nfloat (fake-quant) accuracy : {:.1}%", 100.0 * float_acc);
+    println!("integer (deployed) accuracy : {:.1}%", 100.0 * int_acc);
+    println!("classification agreement    : {:.1}%", 100.0 * agreement);
+    println!(
+        "\naccelerator cost of the test-set pass ({} images):",
+        test.len()
+    );
+    println!("  MACs          : {}", stats.macs);
+    println!("  1-bit cell ops: {}", stats.mac_stats.cell_ops);
+    println!("  shift-adds    : {}", stats.mac_stats.shift_adds);
+    println!(
+        "  energy        : {:.4} uJ (Table IV model)",
+        stats.energy_uj
+    );
+    println!(
+        "  per-layer precisions: {:?}",
+        deployed
+            .precisions()
+            .iter()
+            .map(|p| p.bits())
+            .collect::<Vec<_>>()
+    );
+    Ok(())
+}

@@ -1,0 +1,118 @@
+//! Static PIM hardware evaluation — regenerates the paper's §V results
+//! (Tables IV, V, VI) from the published operating points, and demonstrates
+//! that the bit-serial datapath computes exact integer MACs.
+//!
+//! Run with: `cargo run --release --example pim_energy_report`
+
+use adq::core::builders::pim_mappings_from_spec;
+use adq::core::paper;
+use adq::pim::{BitSerialMac, NetworkEnergyReport, PimArray, PimEnergyModel};
+use adq::quant::HwPrecision;
+
+fn main() {
+    let model = PimEnergyModel::paper_table4();
+
+    // --- Table IV: per-MAC energy at each supported precision ---
+    println!("Table IV — single-MAC energy on the PIM accelerator:");
+    for p in HwPrecision::ALL {
+        println!("  E_MAC {:>6} = {:8.3} fJ", p.to_string(), model.mac_fj(p));
+    }
+
+    // --- the datapath is bit-exact: hardware MAC == integer reference ---
+    let mac = BitSerialMac::new(HwPrecision::B8);
+    let weights = [200u64, 13, 77, 255];
+    let acts = [31u64, 190, 2, 128];
+    let (value, stats) = mac.dot(&weights, &acts);
+    assert_eq!(value, BitSerialMac::dot_reference(&weights, &acts));
+    println!(
+        "\nbit-serial 8-bit dot product: {} ({} cell ops, {} shift-adds, {} cycles) — matches reference",
+        value, stats.cell_ops, stats.shift_adds, stats.cycles
+    );
+
+    // --- Table V: mixed-precision vs 16-bit baseline, quantization only ---
+    let vgg_base = paper::vgg19_baseline(32, 10, 16);
+    let vgg_mixed = paper::vgg19_spec(
+        "vgg19-iter2",
+        32,
+        10,
+        &paper::TABLE2A_ITER2_BITS,
+        &paper::VGG19_CHANNELS,
+        &[],
+    );
+    let resnet_base = paper::resnet18_baseline(32, 100, 16);
+    let resnet_mixed = paper::resnet18_spec(
+        "resnet18-iter3",
+        32,
+        100,
+        &paper::TABLE2B_ITER3_BITS,
+        &paper::RESNET18_CHANNELS,
+    );
+
+    println!("\nTable V — PIM MAC energy, mixed precision vs 16-bit baseline:");
+    for (mixed, base, label) in [
+        (&vgg_mixed, &vgg_base, "VGG19 / CIFAR-10"),
+        (&resnet_mixed, &resnet_base, "ResNet18 / CIFAR-100"),
+    ] {
+        let mixed_report = NetworkEnergyReport::new("mixed", pim_mappings_from_spec(mixed), &model);
+        let base_report = NetworkEnergyReport::new("base", pim_mappings_from_spec(base), &model);
+        println!(
+            "  {:22} mixed {:8.3} uJ | baseline {:8.3} uJ | reduction {:6.2}x",
+            label,
+            mixed_report.total_uj(),
+            base_report.total_uj(),
+            mixed_report.reduction_vs(&base_report)
+        );
+    }
+
+    // --- Table VI: pruned + quantized vs baseline ---
+    let vgg_pruned = paper::vgg19_spec(
+        "vgg19-table3a",
+        32,
+        10,
+        &paper::TABLE3A_ITER2_BITS,
+        &paper::TABLE3A_ITER2_CHANNELS,
+        &[],
+    );
+    let resnet_pruned = paper::resnet18_spec(
+        "resnet18-table3b",
+        32,
+        100,
+        &paper::expand_bits18_to_26(&paper::TABLE3B_ITER3_BITS),
+        &paper::TABLE3B_ITER3_CHANNELS,
+    );
+    println!("\nTable VI — pruned mixed-precision vs unpruned 16-bit baseline:");
+    for (pruned, base, label) in [
+        (&vgg_pruned, &vgg_base, "VGG19 / CIFAR-10"),
+        (&resnet_pruned, &resnet_base, "ResNet18 / CIFAR-100"),
+    ] {
+        let pruned_report =
+            NetworkEnergyReport::new("pruned", pim_mappings_from_spec(pruned), &model);
+        let base_report = NetworkEnergyReport::new("base", pim_mappings_from_spec(base), &model);
+        println!(
+            "  {:22} pruned {:8.4} uJ | baseline {:8.3} uJ | reduction {:6.2}x",
+            label,
+            pruned_report.total_uj(),
+            base_report.total_uj(),
+            pruned_report.reduction_vs(&base_report)
+        );
+    }
+
+    // --- datapath occupancy of the mixed VGG on a 128x128 array ---
+    let report = NetworkEnergyReport::new("vgg", pim_mappings_from_spec(&vgg_mixed), &model);
+    let fan_ins: Vec<usize> = vgg_mixed
+        .layers()
+        .iter()
+        .map(|l| match *l {
+            adq::energy::LayerSpec::Conv { geom, .. } => {
+                geom.in_channels * geom.kernel * geom.kernel
+            }
+            adq::energy::LayerSpec::Fc { in_features, .. } => in_features,
+        })
+        .collect();
+    let activity = report.activity(&PimArray::default(), &fan_ins);
+    println!(
+        "\nmixed VGG19 on a 128x128 array: {} bit-serial cycles, {:.2}e9 cell ops",
+        activity.cycles,
+        activity.cell_ops as f64 / 1e9
+    );
+}

@@ -1,0 +1,64 @@
+//! Quickstart: run Activation-Density based in-training quantization
+//! (Algorithm 1 of the paper) on a small VGG and a synthetic CIFAR-10-like
+//! task, then print a Table-II style summary.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use adq::core::{AdQuantizer, AdqConfig};
+use adq::datasets::SyntheticSpec;
+use adq::nn::{QuantModel, Vgg};
+
+fn main() {
+    // 1. a synthetic stand-in for CIFAR-10 (see DESIGN.md §2)
+    let (train, test) = SyntheticSpec::cifar10_like()
+        .with_resolution(16)
+        .with_samples(24, 8)
+        .generate();
+    println!(
+        "dataset: {} train / {} test samples, {:?} images",
+        train.len(),
+        test.len(),
+        &train.images.dims()[1..]
+    );
+
+    // 2. a scaled-down VGG (full VGG19 geometry is used by the energy benches)
+    let mut model = Vgg::small(3, 16, 10, 42);
+    println!(
+        "model: {} quantizable layers, {} parameters\n",
+        model.layer_count(),
+        model.param_count()
+    );
+
+    // 3. Algorithm 1: train -> watch AD saturate -> requantize -> repeat
+    let config = AdqConfig {
+        max_iterations: 3,
+        max_epochs_per_iteration: 6,
+        min_epochs_per_iteration: 3,
+        batch_size: 24,
+        ..AdqConfig::paper_default()
+    };
+    let outcome = AdQuantizer::new(config).run(&mut model, &train, &test);
+
+    // 4. the paper's summary row per iteration
+    println!("iter | epochs | total AD | test acc | MAC reduction | bit-widths");
+    for r in &outcome.iterations {
+        let bits: Vec<String> = r
+            .bits
+            .iter()
+            .map(|b| b.map_or("fp".into(), |b| b.get().to_string()))
+            .collect();
+        println!(
+            "  {}  |   {:2}   |  {:.3}   |  {:5.1}%  |    {:5.2}x     | [{}]",
+            r.iteration,
+            r.epochs_trained,
+            r.total_ad,
+            100.0 * r.test_accuracy,
+            r.mac_reduction,
+            bits.join(", ")
+        );
+    }
+    println!(
+        "\ntraining complexity (eqn 4, vs {}-epoch baseline): {:.3}x",
+        outcome.baseline_epochs, outcome.training_complexity
+    );
+}

@@ -1,0 +1,68 @@
+//! Skip-connection quantization (Fig 2 of the paper): in a ResNet, the
+//! skip branch is quantized with the *destination* layer's bit-width, and
+//! a projection shortcut inherits the junction precision.
+//!
+//! Run with: `cargo run --release --example resnet_skip_connections`
+
+use adq::core::{AdQuantizer, AdqConfig};
+use adq::datasets::SyntheticSpec;
+use adq::nn::{LayerKind, QuantModel, ResNet};
+
+fn main() {
+    let (train, test) = SyntheticSpec::cifar100_like()
+        .with_classes(6)
+        .with_resolution(16)
+        .with_samples(20, 6)
+        .generate();
+
+    let mut model = ResNet::small(3, 16, 6, 11);
+    println!(
+        "ResNet with {} quantizable layers (stem + (conv1, conv2, junction) per block + fc)\n",
+        model.layer_count()
+    );
+
+    let config = AdqConfig {
+        max_iterations: 3,
+        max_epochs_per_iteration: 6,
+        min_epochs_per_iteration: 3,
+        batch_size: 20,
+        ..AdqConfig::paper_default()
+    };
+    let outcome = AdQuantizer::new(config).run(&mut model, &train, &test);
+
+    for r in &outcome.iterations {
+        println!(
+            "iteration {}: {} epochs, total AD {:.3}, test acc {:.1}%",
+            r.iteration,
+            r.epochs_trained,
+            r.total_ad,
+            100.0 * r.test_accuracy
+        );
+    }
+
+    println!("\nfinal per-layer assignment (Fig 2 rule visible on junctions):");
+    for stat in model.layer_stats() {
+        let kind = match stat.kind {
+            LayerKind::Conv => "conv    ",
+            LayerKind::Junction => "junction",
+            LayerKind::Linear => "linear  ",
+        };
+        let proj = if stat.kind == LayerKind::Junction && stat.geom.is_some() {
+            "  (projection shortcut at this precision)"
+        } else {
+            ""
+        };
+        println!(
+            "  {:18} {}  AD {:.3}  {:>2}-bit{}",
+            stat.name,
+            kind,
+            stat.density,
+            stat.bits.map_or(32, |b| b.get()),
+            proj
+        );
+    }
+    println!(
+        "\ntraining complexity: {:.3}x of the {}-epoch baseline",
+        outcome.training_complexity, outcome.baseline_epochs
+    );
+}

@@ -1,0 +1,49 @@
+//! `adq` — Activation-Density based mixed-precision quantization for
+//! energy-efficient neural networks.
+//!
+//! A Rust reproduction of *"Activation Density based Mixed-Precision
+//! Quantization for Energy Efficient Neural Networks"* (Vasquez et al.,
+//! DATE 2021). This facade crate re-exports the workspace's crates under
+//! one roof and hosts the runnable examples (`examples/`) and cross-crate
+//! integration tests (`tests/`).
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`tensor`] | `adq-tensor` | NCHW tensors, matmul, im2col |
+//! | [`nn`] | `adq-nn` | layers, VGG/ResNet, optimizers, training |
+//! | [`quant`] | `adq-quant` | eqn-1 quantizer, bit-widths, hw legalisation |
+//! | [`ad`] | `adq-ad` | Activation Density meters and saturation |
+//! | [`core`] | `adq-core` | Algorithm 1 controller, eqn 4, paper presets |
+//! | [`energy`] | `adq-energy` | analytical Table-I energy model |
+//! | [`pim`] | `adq-pim` | PIM accelerator model (Fig 5, Table IV) |
+//! | [`datasets`] | `adq-datasets` | synthetic CIFAR-like datasets |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use adq::core::{AdqConfig, AdQuantizer};
+//! use adq::datasets::SyntheticSpec;
+//! use adq::nn::Vgg;
+//!
+//! let (train, test) = SyntheticSpec::cifar10_like().generate();
+//! let mut model = Vgg::small(3, 16, 10, 42);
+//! let outcome = AdQuantizer::new(AdqConfig::fast()).run(&mut model, &train, &test);
+//! for record in &outcome.iterations {
+//!     println!(
+//!         "iter {}: {} epochs, total AD {:.3}, test acc {:.1}%",
+//!         record.iteration,
+//!         record.epochs_trained,
+//!         record.total_ad,
+//!         100.0 * record.test_accuracy
+//!     );
+//! }
+//! ```
+
+pub use adq_ad as ad;
+pub use adq_core as core;
+pub use adq_datasets as datasets;
+pub use adq_energy as energy;
+pub use adq_nn as nn;
+pub use adq_pim as pim;
+pub use adq_quant as quant;
+pub use adq_tensor as tensor;

@@ -1,0 +1,156 @@
+//! End-to-end integration tests: Algorithm 1 driving real (small) networks
+//! on synthetic data, checked against the paper's qualitative claims.
+
+use adq::core::{AdQuantizer, AdqConfig};
+use adq::datasets::SyntheticSpec;
+use adq::nn::train::Dataset;
+use adq::nn::{QuantModel, ResNet, Vgg};
+use adq::quant::BitWidth;
+
+fn task(seed: u64) -> (Dataset, Dataset) {
+    SyntheticSpec::cifar10_like()
+        .with_classes(4)
+        .with_resolution(8)
+        .with_samples(16, 8)
+        .with_seed(seed)
+        .generate()
+}
+
+fn quick_config() -> AdqConfig {
+    AdqConfig {
+        max_iterations: 3,
+        max_epochs_per_iteration: 5,
+        min_epochs_per_iteration: 2,
+        batch_size: 16,
+        baseline_epochs: 10,
+        ..AdqConfig::paper_default()
+    }
+}
+
+/// Paper claim (Fig 3): a full-precision baseline's AD saturates *below* 1 —
+/// the redundancy the method exploits.
+#[test]
+fn baseline_activation_density_saturates_below_one() {
+    let (train, test) = task(1);
+    let mut model = Vgg::tiny(3, 8, 4, 2);
+    let record = AdQuantizer::new(quick_config()).run_baseline(&mut model, &train, &test, 6);
+    assert!(record.total_ad > 0.0);
+    assert!(
+        record.total_ad < 0.95,
+        "baseline AD should stay below 1, got {}",
+        record.total_ad
+    );
+}
+
+/// Paper claim (Fig 4 / §III): under AD-driven quantization the network's
+/// total AD climbs across iterations ("AD of the layers increases with each
+/// quantization iteration").
+#[test]
+fn total_ad_increases_across_iterations() {
+    let (train, test) = task(3);
+    let mut model = Vgg::tiny(3, 8, 4, 4);
+    let outcome = AdQuantizer::new(quick_config()).run(&mut model, &train, &test);
+    if outcome.iterations.len() >= 2 {
+        let first = outcome.iterations.first().expect("non-empty").total_ad;
+        let last = outcome.final_record().total_ad;
+        assert!(last >= first - 0.05, "AD regressed: {first} -> {last}");
+    }
+}
+
+/// Paper claim: the quantized model keeps competitive accuracy with the
+/// baseline (iso-accuracy at small scale means "learns the task about as
+/// well").
+#[test]
+fn quantized_model_keeps_competitive_accuracy() {
+    let (train, test) = task(5);
+    let controller = AdQuantizer::new(quick_config());
+
+    let mut baseline_model = Vgg::tiny(3, 8, 4, 6);
+    let baseline = controller.run_baseline(&mut baseline_model, &train, &test, 10);
+
+    let mut model = Vgg::tiny(3, 8, 4, 6);
+    let outcome = controller.run(&mut model, &train, &test);
+    let quantized = outcome.final_record();
+
+    assert!(
+        quantized.test_accuracy >= baseline.test_accuracy - 0.25,
+        "quantized {} vs baseline {}",
+        quantized.test_accuracy,
+        baseline.test_accuracy
+    );
+}
+
+/// Paper claim (§IV-B): training complexity below the baseline schedule.
+#[test]
+fn training_complexity_below_baseline() {
+    let (train, test) = task(7);
+    let mut model = Vgg::tiny(3, 8, 4, 8);
+    let outcome = AdQuantizer::new(quick_config()).run(&mut model, &train, &test);
+    assert!(
+        outcome.training_complexity < 1.0,
+        "complexity {}",
+        outcome.training_complexity
+    );
+}
+
+/// Algorithm 1 converges within a handful of iterations ("3 to 4
+/// iterations" in the paper) rather than running to the cap.
+#[test]
+fn converges_within_iteration_budget() {
+    let (train, test) = task(9);
+    let mut model = Vgg::tiny(3, 8, 4, 10);
+    let mut cfg = quick_config();
+    cfg.max_iterations = 6;
+    let outcome = AdQuantizer::new(cfg).run(&mut model, &train, &test);
+    assert!(outcome.iterations.len() <= 6);
+    // the final model must actually be mixed-precision (some layer below 16)
+    let below_16 = outcome
+        .final_bits()
+        .iter()
+        .flatten()
+        .any(|b| *b < BitWidth::SIXTEEN);
+    assert!(
+        below_16,
+        "no layer was quantized: {:?}",
+        outcome.final_bits()
+    );
+}
+
+/// The whole pipeline works on residual architectures, with junction
+/// (skip destination) precision tracked per Fig 2.
+#[test]
+fn resnet_end_to_end() {
+    let (train, test) = task(11);
+    let mut model = ResNet::tiny(3, 8, 4, 12);
+    let outcome = AdQuantizer::new(quick_config()).run(&mut model, &train, &test);
+    assert!(!outcome.iterations.is_empty());
+    let last = outcome.final_record();
+    assert_eq!(last.bits.len(), model.layer_count());
+    // interior layers must not exceed the starting precision
+    for bits in last.bits[1..last.bits.len() - 1].iter().flatten() {
+        assert!(*bits <= BitWidth::SIXTEEN);
+    }
+}
+
+/// Pruning + quantization together (Table III): channels and bits both
+/// shrink, and the network still trains.
+#[test]
+fn prune_and_quantize_together() {
+    let (train, test) = task(13);
+    let mut model = Vgg::tiny(3, 8, 4, 14);
+    let before: Vec<usize> = (0..model.layer_count())
+        .map(|i| model.out_channels_of(i))
+        .collect();
+    let outcome = AdQuantizer::new(quick_config().with_pruning()).run(&mut model, &train, &test);
+    let last = outcome.final_record();
+    if outcome.iterations.len() >= 2 {
+        assert!(
+            last.channels.iter().zip(&before).any(|(a, b)| a < b),
+            "nothing pruned: {:?}",
+            last.channels
+        );
+    }
+    // network is still structurally sound
+    let logits = model.forward(&test.images, false);
+    assert_eq!(logits.dims()[1], 4);
+}

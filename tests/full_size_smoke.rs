@@ -1,0 +1,70 @@
+//! Full-size architecture smoke tests.
+//!
+//! The paper's actual VGG19/ResNet18 are constructible and trainable here,
+//! just slow on CPU — these tests run one forward/backward on the real
+//! geometry to prove the full pipeline is not limited to the scaled-down
+//! variants. They are `#[ignore]`d by default; run with
+//! `cargo test --release -- --ignored full_size`.
+
+use adq::nn::{softmax_cross_entropy, QuantModel, ResNet, Vgg};
+use adq::quant::BitWidth;
+use adq::tensor::Tensor;
+
+#[test]
+#[ignore = "full-size geometry; run with --release -- --ignored"]
+fn full_size_vgg19_forward_backward() {
+    let mut model = Vgg::vgg19(3, 32, 10, 1);
+    assert_eq!(model.layer_count(), 17);
+    // apply the paper's iter-2 bit assignment
+    for (i, &bits) in adq::core::paper::TABLE2A_ITER2_BITS.iter().enumerate() {
+        model.set_bits_of(i, Some(BitWidth::new(bits).expect("valid preset")));
+    }
+    let x = Tensor::ones(&[2, 3, 32, 32]);
+    let logits = model.forward(&x, true);
+    assert_eq!(logits.dims(), &[2, 10]);
+    assert!(logits.data().iter().all(|v| v.is_finite()));
+    let out = softmax_cross_entropy(&logits, &[0, 1]);
+    model.zero_grad();
+    model.backward(&out.grad);
+    let mut nonzero = 0usize;
+    model.visit_params(&mut |_, p| {
+        nonzero += usize::from(p.grad.data().iter().any(|&g| g != 0.0));
+    });
+    assert!(nonzero > 0);
+}
+
+#[test]
+#[ignore = "full-size geometry; run with --release -- --ignored"]
+fn full_size_resnet18_forward_backward() {
+    let mut model = ResNet::resnet18(3, 32, 100, 2);
+    assert_eq!(model.layer_count(), 26);
+    for (i, &bits) in adq::core::paper::TABLE2B_ITER3_BITS.iter().enumerate() {
+        model.set_bits_of(i, Some(BitWidth::new(bits).expect("valid preset")));
+    }
+    let x = Tensor::ones(&[2, 3, 32, 32]);
+    let logits = model.forward(&x, true);
+    assert_eq!(logits.dims(), &[2, 100]);
+    assert!(logits.data().iter().all(|v| v.is_finite()));
+    let out = softmax_cross_entropy(&logits, &[3, 7]);
+    model.zero_grad();
+    model.backward(&out.grad);
+}
+
+#[test]
+#[ignore = "full-size geometry; run with --release -- --ignored"]
+fn full_size_vgg19_integer_deployment() {
+    let model = Vgg::vgg19(3, 32, 10, 3);
+    let deployed =
+        adq::core::deploy::DeployedVgg::from_trained(&model).expect("finite fresh weights");
+    let (logits, stats) = deployed.run(&Tensor::ones(&[1, 3, 32, 32]));
+    assert_eq!(logits.dims(), &[1, 10]);
+    // one image through VGG19 is ~398M MACs analytically (padding taps
+    // included); the deployed datapath executes valid taps only, which for
+    // this geometry works out to ~309M (the 2x2 deep layers lose 5/9 of
+    // their windows to padding)
+    assert!(
+        (300_000_000..=398_200_000).contains(&stats.macs),
+        "{} MACs",
+        stats.macs
+    );
+}

@@ -1,0 +1,88 @@
+//! Cross-crate consistency between the floating-point fake-quantization
+//! path (what training simulates) and the integer bit-serial PIM datapath
+//! (what the hardware computes): a quantized dot product must be the same
+//! number on both.
+
+use adq::pim::BitSerialMac;
+use adq::quant::{BitWidth, HwPrecision, QuantRange, Quantizer};
+
+/// `Σ fq(w)·fq(a)` computed in f32 must equal the affine reconstruction of
+/// the integer code dot product the PIM array performs:
+///
+/// ```text
+/// Σ (w_min + cw·sw)(a_min + ca·sa)
+///   = sw·sa·Σ cw·ca + w_min·sa·Σ ca + a_min·sw·Σ cw + n·w_min·a_min
+/// ```
+#[test]
+fn fake_quantized_dot_matches_pim_integer_dot() {
+    for precision in HwPrecision::ALL {
+        let bits = precision.bit_width();
+        let wq = Quantizer::new(bits, QuantRange::new(-1.0, 1.0).expect("valid"));
+        let aq = Quantizer::new(bits, QuantRange::new(0.0, 4.0).expect("valid"));
+        let weights = [-0.9f32, 0.33, 1.0, -0.25, 0.5, 0.0];
+        let acts = [0.1f32, 3.9, 2.2, 0.0, 1.7, 2.5];
+
+        // float path: fake-quantize then multiply-accumulate in f64
+        let float_dot: f64 = weights
+            .iter()
+            .zip(&acts)
+            .map(|(&w, &a)| f64::from(wq.fake_quantize(w)) * f64::from(aq.fake_quantize(a)))
+            .sum();
+
+        // hardware path: integer codes through the bit-serial array
+        let w_codes: Vec<u64> = weights.iter().map(|&w| wq.quantize(w)).collect();
+        let a_codes: Vec<u64> = acts.iter().map(|&a| aq.quantize(a)).collect();
+        let mac = BitSerialMac::new(precision);
+        let (code_dot, _) = mac.dot(&w_codes, &a_codes);
+
+        // affine reconstruction
+        let n = weights.len() as f64;
+        let (sw, sa) = (f64::from(wq.step()), f64::from(aq.step()));
+        let (wmin, amin) = (f64::from(wq.range().min()), f64::from(aq.range().min()));
+        let sum_cw: f64 = w_codes.iter().map(|&c| c as f64).sum();
+        let sum_ca: f64 = a_codes.iter().map(|&c| c as f64).sum();
+        let reconstructed =
+            sw * sa * code_dot as f64 + wmin * sa * sum_ca + amin * sw * sum_cw + n * wmin * amin;
+
+        let tol = 1e-3 * (1.0 + float_dot.abs());
+        assert!(
+            (float_dot - reconstructed).abs() < tol,
+            "{precision}: float {float_dot} vs hardware {reconstructed}"
+        );
+    }
+}
+
+/// Legalisation never loses information: computing a k-bit layer at its
+/// legalised precision gives the same codes (they fit in the wider format).
+#[test]
+fn legalized_precision_preserves_codes() {
+    let bits3 = BitWidth::new(3).expect("valid");
+    let q = Quantizer::new(bits3, QuantRange::new(0.0, 7.0).expect("valid"));
+    let values = [0.0f32, 1.2, 3.3, 6.9, 7.0];
+    let codes: Vec<u64> = values.iter().map(|&v| q.quantize(v)).collect();
+    // run on the 4-bit datapath the hardware would pick
+    let precision = HwPrecision::legalize(bits3);
+    let mac = BitSerialMac::new(precision);
+    let ones = vec![1u64; codes.len()];
+    let (sum, _) = mac.dot(&codes, &ones);
+    assert_eq!(sum, codes.iter().map(|&c| u128::from(c)).sum::<u128>());
+}
+
+/// The MAC cost ordering seen by the energy model matches the datapath
+/// activity ordering: more bits -> more cell operations -> more energy.
+#[test]
+fn datapath_activity_tracks_energy_model() {
+    use adq::pim::PimEnergyModel;
+    let energy = PimEnergyModel::paper_table4();
+    let mut last_ops = 0u64;
+    let mut last_energy = 0.0f64;
+    for precision in HwPrecision::ALL {
+        let mac = BitSerialMac::new(precision);
+        let (_, stats) = mac.dot(&[1, 1, 1, 1], &[1, 1, 1, 1]);
+        let e = energy.mac_fj(precision);
+        assert!(stats.cell_ops > last_ops);
+        assert!(e > last_energy);
+        last_ops = stats.cell_ops;
+        last_energy = e;
+    }
+}
