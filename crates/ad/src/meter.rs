@@ -1,5 +1,15 @@
+use std::sync::{Arc, OnceLock};
+
+use adq_telemetry::{Histogram, ScopedTimer};
 use adq_tensor::Tensor;
 use serde::{Deserialize, Serialize};
+
+/// Wall-time of density-counting passes, recorded into the process-wide
+/// `ad.meter` histogram.
+fn meter_timer() -> ScopedTimer {
+    static HIST: OnceLock<Arc<Histogram>> = OnceLock::new();
+    ScopedTimer::new(HIST.get_or_init(|| adq_telemetry::metrics::global().histogram("ad.meter")))
+}
 
 /// Streaming Activation Density counter for a single layer (eqn 2).
 ///
@@ -35,12 +45,14 @@ impl DensityMeter {
 
     /// Accumulates the non-zero/total counts of one activation tensor.
     pub fn observe(&mut self, activations: &Tensor) {
+        let _timer = meter_timer();
         self.nonzero += activations.count_nonzero() as u64;
         self.total += activations.len() as u64;
     }
 
     /// Accumulates counts from a raw slice (useful off the tensor path).
     pub fn observe_slice(&mut self, activations: &[f32]) {
+        let _timer = meter_timer();
         self.nonzero += activations.iter().filter(|&&x| x != 0.0).count() as u64;
         self.total += activations.len() as u64;
     }

@@ -40,6 +40,7 @@ fn efficiency(model: &Vgg) -> f64 {
 }
 
 fn main() {
+    let telemetry = adq_bench::telemetry_from_args();
     let (train, test) = SyntheticSpec::cifar10_like()
         .with_resolution(16)
         .with_samples(24, 10)
@@ -57,7 +58,13 @@ fn main() {
         lr: 1.5e-3,
         ..AdqConfig::paper_default()
     })
-    .run_baseline(&mut fp, &train, &test, baseline_epochs);
+    .run_baseline_with_sink(
+        &mut fp,
+        &train,
+        &test,
+        baseline_epochs,
+        telemetry.sink.as_ref(),
+    );
     rows.push(vec![
         "16-bit full schedule".into(),
         format!("{:.1}%", 100.0 * fp_record.test_accuracy),
@@ -69,7 +76,7 @@ fn main() {
 
     // 2. AD in-training quantization (the paper's method)
     let mut adq = build();
-    let outcome = AdQuantizer::new(AdqConfig {
+    let adq_config = AdqConfig {
         max_iterations: 3,
         max_epochs_per_iteration: 8,
         min_epochs_per_iteration: 3,
@@ -77,8 +84,13 @@ fn main() {
         lr: 1.5e-3,
         baseline_epochs,
         ..AdqConfig::paper_default()
-    })
-    .run(&mut adq, &train, &test);
+    };
+    let outcome = AdQuantizer::new(adq_config).run_with_sink(
+        &mut adq,
+        &train,
+        &test,
+        telemetry.sink.as_ref(),
+    );
     let last = outcome.final_record();
     rows.push(vec![
         "AD in-training (Alg 1)".into(),
@@ -166,4 +178,13 @@ fn main() {
          unlike aggressive homogeneous precision it chooses per-layer widths."
     );
     adq_bench::write_json("baseline_comparison", &payload);
+    adq_bench::write_run_artifacts(
+        "baseline_comparison",
+        &json!({
+            "bench": "baseline_comparison",
+            "config": adq_config,
+            "seed": adq_config.seed,
+            "telemetry": telemetry.path,
+        }),
+    );
 }

@@ -12,6 +12,7 @@ use adq_datasets::SyntheticSpec;
 use adq_nn::{Vgg, VggItem};
 
 fn main() {
+    let telemetry = adq_bench::telemetry_from_args();
     let (train, test) = SyntheticSpec::cifar10_like()
         .with_resolution(16)
         .with_samples(24, 8)
@@ -40,7 +41,13 @@ fn main() {
         lr: 1e-3,
         ..AdqConfig::paper_default()
     };
-    let record = AdQuantizer::new(config).run_baseline(&mut model, &train, &test, epochs);
+    let record = AdQuantizer::new(config).run_baseline_with_sink(
+        &mut model,
+        &train,
+        &test,
+        epochs,
+        telemetry.sink.as_ref(),
+    );
 
     let layer_count = record.bits.len();
     let mut rows = Vec::new();
@@ -82,6 +89,16 @@ fn main() {
         record.total_ad
     );
     adq_bench::write_json("fig1_ad_trend", &record);
+    adq_bench::write_run_artifacts(
+        "fig1_ad_trend",
+        &serde_json::json!({
+            "bench": "fig1_ad_trend",
+            "config": config,
+            "seed": config.seed,
+            "epochs": epochs,
+            "telemetry": telemetry.path,
+        }),
+    );
 
     // the actual figure
     let mut chart = adq_bench::plot::LineChart::new(

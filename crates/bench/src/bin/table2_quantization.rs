@@ -14,6 +14,7 @@ use adq_core::{training_complexity, AdQuantizer, AdqConfig, IterationCost};
 use adq_datasets::SyntheticSpec;
 use adq_energy::{EnergyModel, NetworkSpec};
 use adq_nn::{ResNet, Vgg};
+use adq_telemetry::TelemetrySink;
 use serde_json::json;
 
 struct StaticRow {
@@ -233,16 +234,19 @@ fn static_reproduction(json_rows: &mut Vec<serde_json::Value>) {
     );
 }
 
-fn dynamic_reproduction(json_rows: &mut Vec<serde_json::Value>) {
-    let config = AdqConfig {
+fn dynamic_config() -> AdqConfig {
+    AdqConfig {
         max_iterations: 3,
         max_epochs_per_iteration: 8,
         min_epochs_per_iteration: 3,
         batch_size: 24,
         lr: 1.5e-3,
         ..AdqConfig::paper_default()
-    };
-    let controller = AdQuantizer::new(config);
+    }
+}
+
+fn dynamic_reproduction(json_rows: &mut Vec<serde_json::Value>, sink: &dyn TelemetrySink) {
+    let controller = AdQuantizer::new(dynamic_config());
 
     // VGG on synthetic CIFAR-10 (no batch-norm: raw ReLU density dynamics;
     // high noise so accuracy comparisons are informative)
@@ -263,9 +267,9 @@ fn dynamic_reproduction(json_rows: &mut Vec<serde_json::Value>) {
         Pool,
     ];
     let mut baseline_model = Vgg::from_config(3, 16, 10, &vgg_config, false, 7);
-    let baseline = controller.run_baseline(&mut baseline_model, &train, &test, 8);
+    let baseline = controller.run_baseline_with_sink(&mut baseline_model, &train, &test, 8, sink);
     let mut model = Vgg::from_config(3, 16, 10, &vgg_config, false, 7);
-    let outcome = controller.run(&mut model, &train, &test);
+    let outcome = controller.run_with_sink(&mut model, &train, &test, sink);
     let mut rows = vec![vec![
         "baseline (16-bit)".to_string(),
         format!("{:.1}%", 100.0 * baseline.test_accuracy),
@@ -311,7 +315,7 @@ fn dynamic_reproduction(json_rows: &mut Vec<serde_json::Value>) {
         .with_samples(16, 6)
         .generate();
     let mut resnet = ResNet::small(3, 16, 10, 9);
-    let outcome = controller.run(&mut resnet, &train, &test);
+    let outcome = controller.run_with_sink(&mut resnet, &train, &test, sink);
     let mut rows = Vec::new();
     for r in &outcome.iterations {
         rows.push(vec![
@@ -335,8 +339,18 @@ fn dynamic_reproduction(json_rows: &mut Vec<serde_json::Value>) {
 }
 
 fn main() {
+    let telemetry = adq_bench::telemetry_from_args();
     let mut json_rows = Vec::new();
     static_reproduction(&mut json_rows);
-    dynamic_reproduction(&mut json_rows);
+    dynamic_reproduction(&mut json_rows, telemetry.sink.as_ref());
     adq_bench::write_json("table2_quantization", &json_rows);
+    adq_bench::write_run_artifacts(
+        "table2_quantization",
+        &json!({
+            "bench": "table2_quantization",
+            "config": dynamic_config(),
+            "seed": dynamic_config().seed,
+            "telemetry": telemetry.path,
+        }),
+    );
 }

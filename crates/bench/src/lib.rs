@@ -9,8 +9,67 @@ pub mod plot;
 
 use std::fs;
 use std::path::Path;
+use std::sync::Arc;
 
+use adq_telemetry::{JsonlSink, NullSink, TelemetrySink};
 use serde::Serialize;
+
+/// The shared `--telemetry <path.jsonl>` option of the regenerator
+/// binaries: a sink plus the path it streams to (when one was given).
+pub struct TelemetryOption {
+    /// Where run events go; [`NullSink`] when the option is absent.
+    pub sink: Arc<dyn TelemetrySink>,
+    /// The JSONL path, if `--telemetry` was passed and the file opened.
+    pub path: Option<String>,
+}
+
+/// Parses `--telemetry <path.jsonl>` from the process arguments.
+///
+/// Without the flag (or if the file cannot be created — reported, not
+/// fatal) the returned sink is the no-op [`NullSink`], so binaries can
+/// thread it unconditionally.
+pub fn telemetry_from_args() -> TelemetryOption {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = args.iter().position(|a| a == "--telemetry");
+    let path = flag.and_then(|i| args.get(i + 1)).cloned();
+    if flag.is_some() && path.is_none() {
+        eprintln!("warning: --telemetry requires a path argument; telemetry disabled");
+    }
+    match path {
+        Some(path) => match JsonlSink::create(&path) {
+            Ok(sink) => {
+                println!("(streaming telemetry to {path})");
+                TelemetryOption {
+                    sink: Arc::new(sink),
+                    path: Some(path),
+                }
+            }
+            Err(err) => {
+                eprintln!("warning: cannot open telemetry file {path}: {err}");
+                TelemetryOption {
+                    sink: Arc::new(NullSink),
+                    path: None,
+                }
+            }
+        },
+        None => TelemetryOption {
+            sink: Arc::new(NullSink),
+            path: None,
+        },
+    }
+}
+
+/// Writes the run manifest (`results/<name>_manifest.json`) and a snapshot
+/// of the process-wide metrics registry (`results/<name>_metrics.json`) —
+/// hot-path timing histograms for `tensor.im2col`, `tensor.matmul`,
+/// `quant.forward` and `ad.meter` among them.
+pub fn write_run_artifacts(name: &str, manifest: &serde_json::Value) {
+    write_json(&format!("{name}_manifest"), manifest);
+    write_json(
+        &format!("{name}_metrics"),
+        &adq_telemetry::metrics::global().snapshot(),
+    );
+}
 
 /// Prints an aligned plain-text table.
 ///

@@ -1,8 +1,11 @@
+use std::sync::Arc;
+
 use adq_ad::{DensityHistory, SaturationDetector};
 use adq_energy::EnergyModel;
-use adq_nn::train::{evaluate, train_epoch, Dataset};
+use adq_nn::train::{evaluate_observed, train_epoch_observed, Dataset};
 use adq_nn::{Adam, Optimizer, QuantModel};
 use adq_quant::BitWidth;
+use adq_telemetry::{NullSink, TelemetryEvent, TelemetrySink};
 use serde::{Deserialize, Serialize};
 
 use crate::builders::network_spec_from_stats;
@@ -233,6 +236,15 @@ impl AdQuantizer {
         &self.config
     }
 
+    /// Attaches a telemetry sink, yielding a runner whose `run`/
+    /// `run_baseline` emit the full event stream to it.
+    pub fn with_telemetry(self, sink: Arc<dyn TelemetrySink>) -> InstrumentedAdQuantizer {
+        InstrumentedAdQuantizer {
+            quantizer: self,
+            sink,
+        }
+    }
+
     /// Runs Algorithm 1 to completion on `model`.
     ///
     /// The model's first and last layers are pinned to
@@ -240,10 +252,25 @@ impl AdQuantizer {
     /// [`AdqConfig::initial_bits`] and is re-quantized by eqn 3 whenever its
     /// AD saturates, until the network's mean AD reaches
     /// [`AdqConfig::converged_ad`] or the bit-widths stop changing.
+    pub fn run(&self, model: &mut dyn QuantModel, train: &Dataset, test: &Dataset) -> AdqOutcome {
+        self.run_with_sink(model, train, test, &NullSink)
+    }
+
+    /// [`AdQuantizer::run`] with every lifecycle step emitted to `sink`.
+    ///
+    /// Telemetry is observation-only: the returned [`AdqOutcome`] is
+    /// identical whatever sink is attached (the default is the no-op
+    /// [`NullSink`]).
     // indexed loops: `idx` addresses per-layer densities and the model's
     // index-based interface together
     #[allow(clippy::needless_range_loop)]
-    pub fn run(&self, model: &mut dyn QuantModel, train: &Dataset, test: &Dataset) -> AdqOutcome {
+    pub fn run_with_sink(
+        &self,
+        model: &mut dyn QuantModel,
+        train: &Dataset,
+        test: &Dataset,
+        sink: &dyn TelemetrySink,
+    ) -> AdqOutcome {
         let cfg = &self.config;
         let count = model.layer_count();
         assert!(count >= 2, "model needs at least two quantizable layers");
@@ -253,6 +280,11 @@ impl AdQuantizer {
         for idx in 1..count - 1 {
             model.set_bits_of(idx, Some(cfg.initial_bits));
         }
+        sink.record(&TelemetryEvent::RunStarted {
+            run: "adq.run".to_string(),
+            config: serde_json::to_value(cfg),
+            seed: cfg.seed,
+        });
 
         // the eqn-4 baseline: the unquantized-geometry model at k^(0)
         let energy_model = EnergyModel::paper_45nm();
@@ -260,7 +292,15 @@ impl AdQuantizer {
             network_spec_from_stats("baseline", &model.layer_stats(), cfg.initial_bits)
                 .with_uniform_bits(cfg.initial_bits);
         let baseline_energy = baseline_spec.energy_pj(&energy_model);
+        sink.record(&TelemetryEvent::EnergyEstimated {
+            label: "baseline".to_string(),
+            total_pj: baseline_energy,
+            efficiency_vs_baseline: 1.0,
+        });
 
+        let metrics = adq_telemetry::metrics::global();
+        let train_batches = metrics.counter("core.train_batches");
+        let eval_batches = metrics.counter("core.eval_batches");
         let mut optimizer = Adam::new(cfg.lr);
         let mut rng = adq_tensor::init::rng(cfg.seed);
         let mut iterations: Vec<IterationRecord> = Vec::new();
@@ -275,15 +315,44 @@ impl AdQuantizer {
             let mut last_train_acc = 0.0;
             for epoch in 1..=cfg.max_epochs_per_iteration {
                 model.reset_densities();
-                let stats = train_epoch(model, train, &mut optimizer, cfg.batch_size, &mut rng);
+                let stats = train_epoch_observed(
+                    model,
+                    train,
+                    &mut optimizer,
+                    cfg.batch_size,
+                    &mut rng,
+                    &mut |_| train_batches.inc(),
+                );
                 epochs_trained = epoch;
                 last_train_acc = stats.accuracy;
                 accuracy_history.push(stats.accuracy);
                 for (idx, history) in histories.iter_mut().enumerate() {
                     history.record(model.density_of(idx).clamp(0.0, 1.0));
                 }
+                sink.record(&TelemetryEvent::EpochCompleted {
+                    iteration,
+                    epoch,
+                    loss: stats.loss,
+                    accuracy: stats.accuracy,
+                });
+                let epoch_densities: Vec<f64> = histories
+                    .iter()
+                    .map(|h| h.latest().unwrap_or(0.0))
+                    .collect();
+                sink.record(&TelemetryEvent::DensityMeasured {
+                    iteration,
+                    epoch,
+                    total_ad: mean(&epoch_densities),
+                    densities: epoch_densities,
+                });
                 let saturated = histories.iter().all(|h| h.is_saturated(&cfg.saturation));
                 if epoch >= cfg.min_epochs_per_iteration && saturated {
+                    sink.record(&TelemetryEvent::SaturationDetected {
+                        iteration,
+                        epoch,
+                        window: cfg.saturation.window(),
+                        tolerance: cfg.saturation.tolerance(),
+                    });
                     break;
                 }
             }
@@ -293,7 +362,8 @@ impl AdQuantizer {
                 .map(|h| h.latest().unwrap_or(0.0))
                 .collect();
             let total_ad = mean(&densities);
-            let test_stats = evaluate(model, test, cfg.batch_size);
+            let test_stats =
+                evaluate_observed(model, test, cfg.batch_size, &mut |_| eval_batches.inc());
             let spec = network_spec_from_stats("iter", &model.layer_stats(), cfg.initial_bits);
             let own_energy = spec.energy_pj(&energy_model);
             let mac_reduction = if own_energy > 0.0 {
@@ -301,6 +371,11 @@ impl AdQuantizer {
             } else {
                 1.0
             };
+            sink.record(&TelemetryEvent::EnergyEstimated {
+                label: format!("iteration-{iteration}"),
+                total_pj: own_energy,
+                efficiency_vs_baseline: mac_reduction,
+            });
             let ad_history: Vec<Vec<f64>> = (0..epochs_trained)
                 .map(|e| histories.iter().map(|h| h.samples()[e]).collect())
                 .collect();
@@ -317,6 +392,13 @@ impl AdQuantizer {
                 accuracy_history,
                 mac_reduction,
             });
+            let record = iterations.last().expect("just pushed");
+            sink.record(&TelemetryEvent::IterationCompleted {
+                iteration,
+                epochs_trained,
+                test_accuracy: record.test_accuracy,
+                record: serde_json::to_value(record),
+            });
 
             if iteration == cfg.max_iterations {
                 break;
@@ -332,6 +414,12 @@ impl AdQuantizer {
                     .bits_of(idx)
                     .expect("interior layers were initialised with bits");
                 let updated = current.scaled_by_density(densities[idx]);
+                sink.record(&TelemetryEvent::BitWidthAssigned {
+                    iteration,
+                    layer: idx,
+                    old_bits: current.get(),
+                    new_bits: updated.get(),
+                });
                 if updated != current {
                     any_change = true;
                     model.set_bits_of(idx, Some(updated));
@@ -345,6 +433,12 @@ impl AdQuantizer {
                     let keep = keep.clamp(prune.min_channels.min(channels), channels);
                     if keep < channels && model.prune_layer_to(idx, keep) {
                         any_change = true;
+                        sink.record(&TelemetryEvent::LayerPruned {
+                            iteration,
+                            layer: idx,
+                            old_channels: channels,
+                            new_channels: keep,
+                        });
                     }
                 }
                 // pruned shapes invalidate optimizer state
@@ -365,6 +459,10 @@ impl AdQuantizer {
                     if dead && model.remove_layer(idx) {
                         any_change = true;
                         optimizer.reset_state();
+                        sink.record(&TelemetryEvent::LayerRemoved {
+                            iteration,
+                            layer: idx,
+                        });
                     }
                 }
             }
@@ -377,11 +475,18 @@ impl AdQuantizer {
             .iter()
             .map(|r| IterationCost::new(r.mac_reduction.max(1e-9), r.epochs_trained))
             .collect();
-        AdqOutcome {
+        let outcome = AdqOutcome {
             training_complexity: training_complexity(&costs, cfg.baseline_epochs),
             baseline_epochs: cfg.baseline_epochs,
             iterations,
-        }
+        };
+        sink.record(&TelemetryEvent::RunCompleted {
+            iterations: outcome.iterations.len(),
+            training_complexity: outcome.training_complexity,
+            final_accuracy: outcome.final_record().test_accuracy,
+        });
+        sink.flush();
+        outcome
     }
 
     /// Trains `model` at a fixed uniform precision for the full epoch
@@ -394,35 +499,78 @@ impl AdQuantizer {
         test: &Dataset,
         epochs: usize,
     ) -> IterationRecord {
+        self.run_baseline_with_sink(model, train, test, epochs, &NullSink)
+    }
+
+    /// [`AdQuantizer::run_baseline`] with the epoch/density/completion
+    /// events emitted to `sink` (observation-only, like
+    /// [`AdQuantizer::run_with_sink`]).
+    pub fn run_baseline_with_sink(
+        &self,
+        model: &mut dyn QuantModel,
+        train: &Dataset,
+        test: &Dataset,
+        epochs: usize,
+        sink: &dyn TelemetrySink,
+    ) -> IterationRecord {
         let cfg = &self.config;
         let count = model.layer_count();
         for idx in 0..count {
             model.set_bits_of(idx, Some(cfg.initial_bits));
         }
+        sink.record(&TelemetryEvent::RunStarted {
+            run: "adq.baseline".to_string(),
+            config: serde_json::to_value(cfg),
+            seed: cfg.seed,
+        });
+        let train_batches = adq_telemetry::metrics::global().counter("core.train_batches");
         let mut optimizer = Adam::new(cfg.lr);
         let mut rng = adq_tensor::init::rng(cfg.seed);
         let mut histories: Vec<DensityHistory> =
             (0..count).map(|_| DensityHistory::new()).collect();
         let mut accuracy_history = Vec::new();
         let mut last_train_acc = 0.0;
-        for _ in 0..epochs {
+        for epoch in 1..=epochs {
             model.reset_densities();
-            let stats = train_epoch(model, train, &mut optimizer, cfg.batch_size, &mut rng);
+            let stats = train_epoch_observed(
+                model,
+                train,
+                &mut optimizer,
+                cfg.batch_size,
+                &mut rng,
+                &mut |_| train_batches.inc(),
+            );
             last_train_acc = stats.accuracy;
             accuracy_history.push(stats.accuracy);
             for (idx, history) in histories.iter_mut().enumerate() {
                 history.record(model.density_of(idx).clamp(0.0, 1.0));
             }
+            sink.record(&TelemetryEvent::EpochCompleted {
+                iteration: 1,
+                epoch,
+                loss: stats.loss,
+                accuracy: stats.accuracy,
+            });
+            let epoch_densities: Vec<f64> = histories
+                .iter()
+                .map(|h| h.latest().unwrap_or(0.0))
+                .collect();
+            sink.record(&TelemetryEvent::DensityMeasured {
+                iteration: 1,
+                epoch,
+                total_ad: mean(&epoch_densities),
+                densities: epoch_densities,
+            });
         }
         let densities: Vec<f64> = histories
             .iter()
             .map(|h| h.latest().unwrap_or(0.0))
             .collect();
-        let test_stats = evaluate(model, test, cfg.batch_size);
+        let test_stats = evaluate_observed(model, test, cfg.batch_size, &mut |_| {});
         let ad_history: Vec<Vec<f64>> = (0..epochs)
             .map(|e| histories.iter().map(|h| h.samples()[e]).collect())
             .collect();
-        IterationRecord {
+        let record = IterationRecord {
             iteration: 1,
             bits: (0..count).map(|i| model.bits_of(i)).collect(),
             channels: (0..count).map(|i| model.out_channels_of(i)).collect(),
@@ -434,7 +582,73 @@ impl AdQuantizer {
             ad_history,
             accuracy_history,
             mac_reduction: 1.0,
-        }
+        };
+        sink.record(&TelemetryEvent::IterationCompleted {
+            iteration: 1,
+            epochs_trained: epochs,
+            test_accuracy: record.test_accuracy,
+            record: serde_json::to_value(&record),
+        });
+        sink.record(&TelemetryEvent::RunCompleted {
+            iterations: 1,
+            training_complexity: training_complexity(
+                &[IterationCost::new(1.0, epochs)],
+                cfg.baseline_epochs,
+            ),
+            final_accuracy: record.test_accuracy,
+        });
+        sink.flush();
+        record
+    }
+}
+
+/// An [`AdQuantizer`] bound to a telemetry sink — the builder-style way to
+/// attach observation without changing `run`'s signature.
+///
+/// # Example
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use adq_core::{AdqConfig, AdQuantizer};
+/// use adq_datasets::SyntheticSpec;
+/// use adq_nn::Vgg;
+/// use adq_telemetry::MemorySink;
+///
+/// let sink = Arc::new(MemorySink::new());
+/// let (train, test) = SyntheticSpec::cifar10_like().generate();
+/// let mut model = Vgg::small(3, 16, 10, 1);
+/// let outcome = AdQuantizer::new(AdqConfig::fast())
+///     .with_telemetry(sink.clone())
+///     .run(&mut model, &train, &test);
+/// assert!(!sink.events().is_empty());
+/// ```
+pub struct InstrumentedAdQuantizer {
+    quantizer: AdQuantizer,
+    sink: Arc<dyn TelemetrySink>,
+}
+
+impl InstrumentedAdQuantizer {
+    /// The underlying configuration.
+    pub fn config(&self) -> &AdqConfig {
+        self.quantizer.config()
+    }
+
+    /// [`AdQuantizer::run`], emitting to the attached sink.
+    pub fn run(&self, model: &mut dyn QuantModel, train: &Dataset, test: &Dataset) -> AdqOutcome {
+        self.quantizer
+            .run_with_sink(model, train, test, self.sink.as_ref())
+    }
+
+    /// [`AdQuantizer::run_baseline`], emitting to the attached sink.
+    pub fn run_baseline(
+        &self,
+        model: &mut dyn QuantModel,
+        train: &Dataset,
+        test: &Dataset,
+        epochs: usize,
+    ) -> IterationRecord {
+        self.quantizer
+            .run_baseline_with_sink(model, train, test, epochs, self.sink.as_ref())
     }
 }
 

@@ -52,5 +52,6 @@ pub mod paper;
 
 pub use complexity::{training_complexity, IterationCost};
 pub use controller::{
-    AdQuantizer, AdqConfig, AdqOutcome, DeadLayerPolicy, IterationRecord, PruneConfig,
+    AdQuantizer, AdqConfig, AdqOutcome, DeadLayerPolicy, InstrumentedAdQuantizer, IterationRecord,
+    PruneConfig,
 };

@@ -64,9 +64,23 @@ impl Dataset {
 /// Metrics of one pass over a dataset.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EpochStats {
-    /// Mean loss over all batches.
+    /// Sample-weighted mean loss over the pass (every sample contributes
+    /// equally, regardless of how the pass was batched).
     pub loss: f64,
     /// Fraction of correctly classified samples.
+    pub accuracy: f64,
+}
+
+/// Per-batch metrics handed to the `_observed` pass variants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchStats {
+    /// 0-based batch index within the pass.
+    pub batch: usize,
+    /// Samples in this batch (the trailing batch may be smaller).
+    pub samples: usize,
+    /// Mean loss over this batch.
+    pub loss: f64,
+    /// Fraction of this batch classified correctly.
     pub accuracy: f64,
 }
 
@@ -81,64 +95,88 @@ pub fn train_epoch(
     batch_size: usize,
     rng: &mut impl Rng,
 ) -> EpochStats {
+    train_epoch_observed(model, data, optimizer, batch_size, rng, &mut |_| {})
+}
+
+/// [`train_epoch`] with a per-batch observation hook — the emission point
+/// telemetry layers attach to without this crate depending on them.
+pub fn train_epoch_observed(
+    model: &mut dyn QuantModel,
+    data: &Dataset,
+    optimizer: &mut Adam,
+    batch_size: usize,
+    rng: &mut impl Rng,
+    observe: &mut dyn FnMut(BatchStats),
+) -> EpochStats {
     assert!(batch_size > 0, "batch size must be positive");
     let mut order: Vec<usize> = (0..data.len()).collect();
     order.shuffle(rng);
     let mut total_loss = 0.0f64;
     let mut correct = 0.0f64;
-    let mut batches = 0usize;
-    for chunk in order.chunks(batch_size) {
+    for (batch, chunk) in order.chunks(batch_size).enumerate() {
         let (images, labels) = data.batch(chunk);
         let logits = model.forward(&images, true);
         let out = softmax_cross_entropy(&logits, &labels);
-        total_loss += f64::from(out.loss);
-        correct += accuracy(&logits, &labels) * labels.len() as f64;
+        let batch_acc = accuracy(&logits, &labels);
+        // weight by sample count: the trailing batch may be smaller
+        total_loss += f64::from(out.loss) * labels.len() as f64;
+        correct += batch_acc * labels.len() as f64;
         model.zero_grad();
         model.backward(&out.grad);
         optimizer.begin_step();
         model.visit_params(&mut |slot, p| optimizer.step_param(slot, p));
-        batches += 1;
+        observe(BatchStats {
+            batch,
+            samples: labels.len(),
+            loss: f64::from(out.loss),
+            accuracy: batch_acc,
+        });
     }
-    EpochStats {
-        loss: if batches == 0 {
-            0.0
-        } else {
-            total_loss / batches as f64
-        },
-        accuracy: if data.is_empty() {
-            0.0
-        } else {
-            correct / data.len() as f64
-        },
-    }
+    pass_stats(total_loss, correct, data.len())
 }
 
 /// Evaluates the model (no gradient, no density accumulation).
 pub fn evaluate(model: &mut dyn QuantModel, data: &Dataset, batch_size: usize) -> EpochStats {
+    evaluate_observed(model, data, batch_size, &mut |_| {})
+}
+
+/// [`evaluate`] with a per-batch observation hook.
+pub fn evaluate_observed(
+    model: &mut dyn QuantModel,
+    data: &Dataset,
+    batch_size: usize,
+    observe: &mut dyn FnMut(BatchStats),
+) -> EpochStats {
     assert!(batch_size > 0, "batch size must be positive");
     let order: Vec<usize> = (0..data.len()).collect();
     let mut total_loss = 0.0f64;
     let mut correct = 0.0f64;
-    let mut batches = 0usize;
-    for chunk in order.chunks(batch_size) {
+    for (batch, chunk) in order.chunks(batch_size).enumerate() {
         let (images, labels) = data.batch(chunk);
         let logits = model.forward(&images, false);
         let out = softmax_cross_entropy(&logits, &labels);
-        total_loss += f64::from(out.loss);
-        correct += accuracy(&logits, &labels) * labels.len() as f64;
-        batches += 1;
+        let batch_acc = accuracy(&logits, &labels);
+        total_loss += f64::from(out.loss) * labels.len() as f64;
+        correct += batch_acc * labels.len() as f64;
+        observe(BatchStats {
+            batch,
+            samples: labels.len(),
+            loss: f64::from(out.loss),
+            accuracy: batch_acc,
+        });
     }
-    EpochStats {
-        loss: if batches == 0 {
-            0.0
-        } else {
-            total_loss / batches as f64
-        },
-        accuracy: if data.is_empty() {
-            0.0
-        } else {
-            correct / data.len() as f64
-        },
+    pass_stats(total_loss, correct, data.len())
+}
+
+/// Folds sample-weighted totals into [`EpochStats`].
+fn pass_stats(total_loss: f64, correct: f64, samples: usize) -> EpochStats {
+    if samples == 0 {
+        EpochStats::default()
+    } else {
+        EpochStats {
+            loss: total_loss / samples as f64,
+            accuracy: correct / samples as f64,
+        }
     }
 }
 
@@ -199,12 +237,24 @@ pub fn import_params(model: &mut dyn QuantModel, params: &[Tensor]) -> Result<()
 /// updating weights — the paper's AD measurement pass (eqn 2 "calculated by
 /// passing the training set through the network").
 pub fn measure_densities(model: &mut dyn QuantModel, data: &Dataset, batch_size: usize) {
+    measure_densities_observed(model, data, batch_size, &mut |_, _| {});
+}
+
+/// [`measure_densities`] with a per-batch observation hook receiving
+/// `(batch_index, samples)`.
+pub fn measure_densities_observed(
+    model: &mut dyn QuantModel,
+    data: &Dataset,
+    batch_size: usize,
+    observe: &mut dyn FnMut(usize, usize),
+) {
     assert!(batch_size > 0, "batch size must be positive");
     model.reset_densities();
     let order: Vec<usize> = (0..data.len()).collect();
-    for chunk in order.chunks(batch_size) {
+    for (batch, chunk) in order.chunks(batch_size).enumerate() {
         let (images, _) = data.batch(chunk);
         let _ = model.forward(&images, true);
+        observe(batch, chunk.len());
     }
 }
 
@@ -347,6 +397,55 @@ mod tests {
         assert!(import_params(&mut other, &snapshot).is_err());
         let mut truncated = Vgg::tiny(1, 4, 2, 15);
         assert!(import_params(&mut truncated, &snapshot[..2]).is_err());
+    }
+
+    #[test]
+    fn loss_is_invariant_to_batching() {
+        // 10 samples, batch 4 -> batches of 4, 4, 2. Sample-weighted
+        // averaging makes the pass loss identical to a single full batch;
+        // the old batch-mean-of-means was biased toward the small tail.
+        let ds = toy_dataset(10, 30);
+        let mut net = Vgg::tiny(1, 4, 2, 31);
+        let whole = evaluate(&mut net, &ds, 10);
+        let split = evaluate(&mut net, &ds, 4);
+        assert!(
+            (whole.loss - split.loss).abs() < 1e-6,
+            "loss depends on batch size: {} vs {}",
+            whole.loss,
+            split.loss
+        );
+        assert!((whole.accuracy - split.accuracy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observed_hooks_see_every_sample() {
+        let ds = toy_dataset(10, 40);
+        let mut net = Vgg::tiny(1, 4, 2, 41);
+        let mut batches = Vec::new();
+        evaluate_observed(&mut net, &ds, 4, &mut |b| batches.push(b));
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches.iter().map(|b| b.samples).sum::<usize>(), 10);
+        assert_eq!(batches.last().expect("three batches").samples, 2);
+        // hook-reported per-batch losses recombine into the pass loss
+        let recombined: f64 = batches
+            .iter()
+            .map(|b| b.loss * b.samples as f64)
+            .sum::<f64>()
+            / 10.0;
+        let pass = evaluate(&mut net, &ds, 4);
+        assert!((recombined - pass.loss).abs() < 1e-9);
+
+        let mut adam = Adam::new(1e-3);
+        let mut rng = init::rng(42);
+        let mut seen = 0usize;
+        train_epoch_observed(&mut net, &ds, &mut adam, 3, &mut rng, &mut |b| {
+            seen += b.samples;
+        });
+        assert_eq!(seen, 10);
+
+        let mut measured = 0usize;
+        measure_densities_observed(&mut net, &ds, 6, &mut |_, samples| measured += samples);
+        assert_eq!(measured, 10);
     }
 
     #[test]

@@ -1,8 +1,21 @@
+use std::sync::{Arc, OnceLock};
+
+use adq_telemetry::{Histogram, ScopedTimer};
 use adq_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 use crate::bitwidth::BitWidth;
 use crate::range::QuantRange;
+
+/// Wall-time of whole-tensor quantization passes (the fake-quantization
+/// applied on every forward), recorded into the process-wide
+/// `quant.forward` histogram.
+fn forward_timer() -> ScopedTimer {
+    static HIST: OnceLock<Arc<Histogram>> = OnceLock::new();
+    ScopedTimer::new(
+        HIST.get_or_init(|| adq_telemetry::metrics::global().histogram("quant.forward")),
+    )
+}
 
 /// A `k`-bit uniform affine quantizer over a calibrated range (eqn 1).
 ///
@@ -117,16 +130,19 @@ impl Quantizer {
 
     /// Integer codes for a whole tensor.
     pub fn quantize_tensor(&self, t: &Tensor) -> Vec<u64> {
+        let _timer = forward_timer();
         t.data().iter().map(|&x| self.quantize(x)).collect()
     }
 
     /// Fake-quantizes a whole tensor, preserving its shape.
     pub fn fake_quantize_tensor(&self, t: &Tensor) -> Tensor {
+        let _timer = forward_timer();
         t.map(|x| self.fake_quantize(x))
     }
 
     /// Fake-quantizes a tensor in place.
     pub fn fake_quantize_tensor_inplace(&self, t: &mut Tensor) {
+        let _timer = forward_timer();
         t.map_inplace(|x| self.fake_quantize(x));
     }
 

@@ -1,0 +1,28 @@
+//! Telemetry for the AD-quantization pipeline: structured run events,
+//! pluggable sinks, and a metrics registry with hot-path timers.
+//!
+//! Three pieces, usable independently:
+//!
+//! * [`TelemetryEvent`] — a typed event per Algorithm-1 lifecycle step
+//!   (run start, epochs, density measurements, saturation, bit-width
+//!   re-assignment, pruning, layer removal, iteration and run completion,
+//!   energy estimates), serializable as externally tagged JSON.
+//! * [`TelemetrySink`] — where events go: [`JsonlSink`] (buffered file,
+//!   one JSON object per line), [`ConsoleSink`] (human one-liners),
+//!   [`MemorySink`] (tests), [`MultiSink`] (fan-out), and the default
+//!   no-op [`NullSink`].
+//! * [`MetricsRegistry`] — thread-safe counters, gauges, and fixed-bucket
+//!   histograms; [`ScopedTimer`] records wall-time into a histogram on
+//!   drop and instruments `im2col`, `matmul`, quantizer forward, and AD
+//!   metering via the process-wide [`metrics::global`] registry.
+//!
+//! Telemetry is observation-only by contract: attaching any sink must not
+//! change a run's numeric results.
+
+pub mod event;
+pub mod metrics;
+pub mod sink;
+
+pub use event::TelemetryEvent;
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, ScopedTimer};
+pub use sink::{ConsoleSink, JsonlSink, MemorySink, MultiSink, NullSink, TelemetrySink};

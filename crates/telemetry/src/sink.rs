@@ -1,0 +1,329 @@
+//! Pluggable destinations for the telemetry event stream.
+//!
+//! Sinks take `&self` so one sink can be shared across the pipeline behind
+//! an `Arc`; implementations use interior mutability where they buffer.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::event::TelemetryEvent;
+
+/// A destination for telemetry events.
+pub trait TelemetrySink: Send + Sync {
+    /// Accepts one event. Implementations must not panic on I/O problems;
+    /// telemetry is observation-only and must never alter a run's outcome.
+    fn record(&self, event: &TelemetryEvent);
+
+    /// Forces buffered output down to its destination.
+    fn flush(&self) {}
+}
+
+impl<S: TelemetrySink + ?Sized> TelemetrySink for std::sync::Arc<S> {
+    fn record(&self, event: &TelemetryEvent) {
+        (**self).record(event);
+    }
+
+    fn flush(&self) {
+        (**self).flush();
+    }
+}
+
+/// Discards every event (the default sink; near-zero overhead).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    #[inline]
+    fn record(&self, _event: &TelemetryEvent) {}
+}
+
+/// Collects events in memory, for tests and programmatic inspection.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TelemetryEvent>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of every event recorded so far, in arrival order.
+    pub fn events(&self) -> Vec<TelemetryEvent> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Drains and returns the recorded events.
+    pub fn take(&self) -> Vec<TelemetryEvent> {
+        std::mem::take(&mut *self.events.lock().expect("memory sink poisoned"))
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink poisoned").len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TelemetrySink for MemorySink {
+    fn record(&self, event: &TelemetryEvent) {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Prints one human-readable line per event to stdout.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ConsoleSink;
+
+impl TelemetrySink for ConsoleSink {
+    fn record(&self, event: &TelemetryEvent) {
+        match event {
+            TelemetryEvent::RunStarted { run, seed, .. } => {
+                println!("[telemetry] run started: {run} (seed {seed})");
+            }
+            TelemetryEvent::EpochCompleted {
+                iteration,
+                epoch,
+                loss,
+                accuracy,
+            } => {
+                println!(
+                    "[telemetry] iter {iteration} epoch {epoch}: \
+                     loss {loss:.4}, acc {:.1}%",
+                    accuracy * 100.0
+                );
+            }
+            TelemetryEvent::DensityMeasured {
+                iteration,
+                epoch,
+                total_ad,
+                densities,
+            } => {
+                println!(
+                    "[telemetry] iter {iteration} epoch {epoch}: \
+                     total AD {total_ad:.4} over {} layers",
+                    densities.len()
+                );
+            }
+            TelemetryEvent::SaturationDetected {
+                iteration, epoch, ..
+            } => {
+                println!("[telemetry] iter {iteration}: AD saturated at epoch {epoch}");
+            }
+            TelemetryEvent::BitWidthAssigned {
+                iteration,
+                layer,
+                old_bits,
+                new_bits,
+            } => {
+                println!(
+                    "[telemetry] iter {iteration}: layer {layer} bits {old_bits} -> {new_bits}"
+                );
+            }
+            TelemetryEvent::LayerPruned {
+                iteration,
+                layer,
+                old_channels,
+                new_channels,
+            } => {
+                println!(
+                    "[telemetry] iter {iteration}: layer {layer} pruned \
+                     {old_channels} -> {new_channels} channels"
+                );
+            }
+            TelemetryEvent::LayerRemoved { iteration, layer } => {
+                println!("[telemetry] iter {iteration}: layer {layer} removed (dead)");
+            }
+            TelemetryEvent::IterationCompleted {
+                iteration,
+                epochs_trained,
+                test_accuracy,
+                ..
+            } => {
+                println!(
+                    "[telemetry] iter {iteration} done: {epochs_trained} epochs, \
+                     test acc {:.1}%",
+                    test_accuracy * 100.0
+                );
+            }
+            TelemetryEvent::EnergyEstimated {
+                label,
+                total_pj,
+                efficiency_vs_baseline,
+            } => {
+                println!(
+                    "[telemetry] energy {label}: {total_pj:.1} pJ \
+                     ({efficiency_vs_baseline:.2}x vs baseline)"
+                );
+            }
+            TelemetryEvent::RunCompleted {
+                iterations,
+                training_complexity,
+                final_accuracy,
+            } => {
+                println!(
+                    "[telemetry] run done: {iterations} iterations, \
+                     complexity {training_complexity:.3}, final acc {:.1}%",
+                    final_accuracy * 100.0
+                );
+            }
+        }
+    }
+}
+
+/// Appends one JSON object per line to a file (buffered).
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the JSONL file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl TelemetrySink for JsonlSink {
+    fn record(&self, event: &TelemetryEvent) {
+        let Ok(line) = serde_json::to_string(event) else {
+            return;
+        };
+        let mut writer = self.writer.lock().expect("jsonl sink poisoned");
+        // Telemetry must never fail the run; drop the line on I/O errors.
+        let _ = writeln!(writer, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Fans every event out to several sinks in order.
+#[derive(Default)]
+pub struct MultiSink {
+    sinks: Vec<Box<dyn TelemetrySink>>,
+}
+
+impl MultiSink {
+    /// An empty fan-out.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sink to the fan-out (builder style).
+    #[must_use]
+    pub fn with(mut self, sink: impl TelemetrySink + 'static) -> Self {
+        self.sinks.push(Box::new(sink));
+        self
+    }
+
+    /// Number of attached sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether the fan-out has no sinks.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl TelemetrySink for MultiSink {
+    fn record(&self, event: &TelemetryEvent) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_event() -> TelemetryEvent {
+        TelemetryEvent::EpochCompleted {
+            iteration: 0,
+            epoch: 1,
+            loss: 0.5,
+            accuracy: 0.75,
+        }
+    }
+
+    #[test]
+    fn memory_sink_preserves_order() {
+        let sink = MemorySink::new();
+        sink.record(&sample_event());
+        sink.record(&TelemetryEvent::LayerRemoved {
+            iteration: 0,
+            layer: 2,
+        });
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind(), "EpochCompleted");
+        assert_eq!(events[1].kind(), "LayerRemoved");
+        assert_eq!(sink.take().len(), 2);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path =
+            std::env::temp_dir().join(format!("adq-telemetry-test-{}.jsonl", std::process::id()));
+        {
+            let sink = JsonlSink::create(&path).expect("create file");
+            sink.record(&sample_event());
+            sink.record(&TelemetryEvent::RunCompleted {
+                iterations: 1,
+                training_complexity: 1.0,
+                final_accuracy: 0.8,
+            });
+        }
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first: TelemetryEvent = serde_json::from_str(lines[0]).expect("parse line");
+        assert_eq!(first, sample_event());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn multi_sink_fans_out() {
+        let a = std::sync::Arc::new(MemorySink::new());
+        let b = std::sync::Arc::new(MemorySink::new());
+        let multi = MultiSink::new().with(a.clone()).with(b.clone());
+        multi.record(&sample_event());
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(multi.len(), 2);
+    }
+}

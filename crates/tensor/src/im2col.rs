@@ -1,7 +1,19 @@
+use std::sync::{Arc, OnceLock};
+
+use adq_telemetry::{Histogram, ScopedTimer};
 use serde::{Deserialize, Serialize};
 
 use crate::shape::ShapeError;
 use crate::tensor::Tensor;
+
+/// Wall-time of the im2col/col2im lowering pair, recorded into the
+/// process-wide `tensor.im2col` histogram.
+fn im2col_timer() -> ScopedTimer {
+    static HIST: OnceLock<Arc<Histogram>> = OnceLock::new();
+    ScopedTimer::new(
+        HIST.get_or_init(|| adq_telemetry::metrics::global().histogram("tensor.im2col")),
+    )
+}
 
 /// Geometry of a 2-D convolution: square kernel, symmetric stride/padding.
 ///
@@ -96,6 +108,7 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeom) -> Result<Tensor, ShapeError> {
             input.dims()
         )));
     }
+    let _timer = im2col_timer();
     let (n, c, h, w) = (
         input.dims()[0],
         input.dims()[1],
@@ -155,6 +168,7 @@ pub fn col2im(
             "col2im: expected rank-4 input dims, got {input_dims:?}"
         )));
     }
+    let _timer = im2col_timer();
     let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
     let oh = geom.output_size(h);
     let ow = geom.output_size(w);

@@ -1,3 +1,6 @@
+use std::sync::{Arc, OnceLock};
+
+use adq_telemetry::{Histogram, ScopedTimer};
 use rayon::prelude::*;
 
 use crate::shape::ShapeError;
@@ -6,6 +9,15 @@ use crate::tensor::Tensor;
 /// Minimum number of output rows before we split work across threads;
 /// below this the rayon dispatch overhead dominates.
 const PAR_ROW_THRESHOLD: usize = 8;
+
+/// Wall-time of every matmul variant, recorded into the process-wide
+/// `tensor.matmul` histogram. The `Arc` is resolved once per process.
+fn matmul_timer() -> ScopedTimer {
+    static HIST: OnceLock<Arc<Histogram>> = OnceLock::new();
+    ScopedTimer::new(
+        HIST.get_or_init(|| adq_telemetry::metrics::global().histogram("tensor.matmul")),
+    )
+}
 
 /// Dense matrix product `C = A · B` for rank-2 tensors.
 ///
@@ -37,6 +49,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
     if k != kb {
         return Err(ShapeError::mismatch("matmul", a.dims(), b.dims()));
     }
+    let _timer = matmul_timer();
     let mut out = vec![0.0f32; m * n];
     let a_data = a.data();
     let b_data = b.data();
@@ -75,6 +88,7 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
     if k != kb {
         return Err(ShapeError::mismatch("matmul_at_b", a.dims(), b.dims()));
     }
+    let _timer = matmul_timer();
     let mut out = vec![0.0f32; m * n];
     let a_data = a.data();
     let b_data = b.data();
@@ -113,6 +127,7 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
     if k != kb {
         return Err(ShapeError::mismatch("matmul_a_bt", a.dims(), b.dims()));
     }
+    let _timer = matmul_timer();
     let mut out = vec![0.0f32; m * n];
     let a_data = a.data();
     let b_data = b.data();

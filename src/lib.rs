@@ -17,6 +17,7 @@
 //! | [`energy`] | `adq-energy` | analytical Table-I energy model |
 //! | [`pim`] | `adq-pim` | PIM accelerator model (Fig 5, Table IV) |
 //! | [`datasets`] | `adq-datasets` | synthetic CIFAR-like datasets |
+//! | [`telemetry`] | `adq-telemetry` | run events, sinks, metrics registry |
 //!
 //! # Quickstart
 //!
@@ -46,4 +47,5 @@ pub use adq_energy as energy;
 pub use adq_nn as nn;
 pub use adq_pim as pim;
 pub use adq_quant as quant;
+pub use adq_telemetry as telemetry;
 pub use adq_tensor as tensor;

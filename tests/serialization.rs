@@ -1,7 +1,7 @@
 //! Serde round-trips: experiment records and architecture specs are data
 //! (C-SERDE) — users persist outcomes and reload them for analysis.
 
-use adq::core::{paper, AdQuantizer, AdqConfig, AdqOutcome};
+use adq::core::{paper, AdQuantizer, AdqConfig, AdqOutcome, IterationRecord};
 use adq::datasets::SyntheticSpec;
 use adq::energy::NetworkSpec;
 use adq::nn::Vgg;
@@ -30,6 +30,18 @@ fn adq_outcome_roundtrips_through_json() {
     let json = serde_json::to_string(&outcome).expect("serialise");
     let back: AdqOutcome = serde_json::from_str(&json).expect("deserialise");
     assert_eq!(outcome, back);
+}
+
+#[test]
+fn iteration_record_roundtrips_through_json() {
+    let outcome = small_outcome();
+    let record = outcome.final_record();
+    let json = serde_json::to_string(record).expect("serialise");
+    let back: IterationRecord = serde_json::from_str(&json).expect("deserialise");
+    assert_eq!(*record, back);
+    // the nested structure survives, not just equality of the whole
+    assert_eq!(back.ad_history.len(), record.epochs_trained);
+    assert_eq!(back.bits, record.bits);
 }
 
 #[test]

@@ -1,0 +1,134 @@
+//! Offline stand-in for `rayon`, covering the one parallel pattern this
+//! workspace uses: `slice.par_chunks_mut(n).enumerate().for_each(body)`.
+//!
+//! Instead of a work-stealing pool, chunks are distributed over
+//! `std::thread::scope` workers. Small slices run inline: spawning threads
+//! per call would dominate the many tiny matmuls in the test suite, so
+//! parallelism only kicks in once the slice is large enough
+//! ([`PAR_MIN_ELEMENTS`]) for the split to pay for the spawns.
+
+/// Below this many elements the "parallel" iterator runs sequentially.
+const PAR_MIN_ELEMENTS: usize = 1 << 16;
+
+/// The glob-import surface (`use rayon::prelude::*`).
+pub mod prelude {
+    pub use crate::ParChunksMutExt;
+}
+
+/// Adds `par_chunks_mut` to mutable slices.
+pub trait ParChunksMutExt<T> {
+    /// Parallel-capable iterator over non-overlapping mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParChunksMutExt<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Pending parallel chunk iteration (created by
+/// [`ParChunksMutExt::par_chunks_mut`]).
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index, as with rayon's `enumerate`.
+    pub fn enumerate(self) -> EnumeratedParChunksMut<'a, T> {
+        EnumeratedParChunksMut(self)
+    }
+
+    fn run<F>(self, body: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let total = self.slice.len();
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let chunk_count = total.div_ceil(self.chunk_size);
+        if total < PAR_MIN_ELEMENTS || workers < 2 || chunk_count < 2 {
+            for pair in self.slice.chunks_mut(self.chunk_size).enumerate() {
+                body(pair);
+            }
+            return;
+        }
+        let mut pairs: Vec<(usize, &mut [T])> =
+            self.slice.chunks_mut(self.chunk_size).enumerate().collect();
+        let per_worker = pairs.len().div_ceil(workers);
+        let body = &body;
+        std::thread::scope(|scope| {
+            while !pairs.is_empty() {
+                let take = per_worker.min(pairs.len());
+                let band: Vec<(usize, &mut [T])> = pairs.drain(..take).collect();
+                scope.spawn(move || {
+                    for pair in band {
+                        body(pair);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Enumerated chunk iteration; terminal operation is [`Self::for_each`].
+pub struct EnumeratedParChunksMut<'a, T>(ParChunksMut<'a, T>);
+
+impl<T: Send> EnumeratedParChunksMut<'_, T> {
+    /// Applies `body` to every `(index, chunk)` pair, possibly in parallel.
+    pub fn for_each<F>(self, body: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        self.0.run(body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn small_slices_run_sequentially_and_correctly() {
+        let mut data = vec![0u32; 100];
+        data.par_chunks_mut(7)
+            .enumerate()
+            .for_each(|(i, chunk)| chunk.iter_mut().for_each(|v| *v = i as u32));
+        for (i, chunk) in data.chunks(7).enumerate() {
+            assert!(chunk.iter().all(|&v| v == i as u32));
+        }
+    }
+
+    #[test]
+    fn large_slices_process_every_chunk_once() {
+        let n = 1 << 18;
+        let mut data = vec![0u64; n];
+        data.par_chunks_mut(1024)
+            .enumerate()
+            .for_each(|(i, chunk)| {
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v = (i * 1024 + j) as u64;
+                }
+            });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u64);
+        }
+    }
+
+    #[test]
+    fn uneven_tail_chunk_is_covered() {
+        let mut data = vec![1u8; (1 << 16) + 13];
+        data.par_chunks_mut(1000)
+            .enumerate()
+            .for_each(|(_, chunk)| {
+                chunk.iter_mut().for_each(|v| *v += 1);
+            });
+        assert!(data.iter().all(|&v| v == 2));
+    }
+}

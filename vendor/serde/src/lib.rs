@@ -1,0 +1,510 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors a minimal serialization framework under the same
+//! crate/trait/derive names that the real `serde` exposes. Instead of the
+//! real crate's visitor-based data model, everything funnels through a
+//! single in-memory [`Content`] tree (the same idea as `serde_json::Value`):
+//!
+//! * [`Serialize`] renders a value into a [`Content`] tree;
+//! * [`Deserialize`] rebuilds a value from a [`Content`] tree;
+//! * `vendor/serde_json` prints/parses [`Content`] as JSON text.
+//!
+//! The supported attribute surface is exactly what this workspace uses:
+//! `#[serde(default)]` on named fields and the container-level
+//! `#[serde(try_from = "T", into = "T")]` pair. Representations match
+//! `serde_json` conventions (externally tagged enums, `null` for `None`,
+//! maps keyed by field name) so files written by the real stack parse
+//! identically.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The in-memory serialization tree every value passes through.
+///
+/// Maps preserve insertion order (fields serialize in declaration order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// Non-negative integers.
+    U64(u64),
+    /// Negative integers.
+    I64(i64),
+    /// Floating-point numbers.
+    F64(f64),
+    /// Strings.
+    Str(String),
+    /// Arrays.
+    Seq(Vec<Content>),
+    /// Objects, as ordered key/value pairs.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The entries of a map, if this is one.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements of a sequence, if this is one.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric value widened to `f64`, if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::U64(v) => Some(*v as f64),
+            Content::I64(v) => Some(*v as f64),
+            Content::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64`, if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::U64(v) => Some(*v),
+            Content::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `i64`, if exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::U64(v) => i64::try_from(*v).ok(),
+            Content::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    /// Looks up a key in a map (`None` for non-maps or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// First match for `key` among map entries (derive-macro helper).
+pub fn map_get<'a>(entries: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// A deserialization error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// An error with a caller-supplied message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError(message.into())
+    }
+
+    /// "expected a `kind` while deserializing `ty`".
+    pub fn expected(kind: &str, ty: &str) -> Self {
+        DeError(format!("expected {kind} while deserializing {ty}"))
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        DeError(format!("missing field `{field}` while deserializing {ty}"))
+    }
+
+    /// An enum tag did not name a known variant.
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        DeError(format!("unknown variant `{variant}` for {ty}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type renderable into a [`Content`] tree.
+pub trait Serialize {
+    /// Renders `self` into the serialization tree.
+    fn to_content(&self) -> Content;
+}
+
+/// A type rebuildable from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from the serialization tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the tree does not encode a `Self`.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_bool()
+            .ok_or_else(|| DeError::expected("a boolean", "bool"))
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+
+        impl Deserialize for $ty {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let raw = match content {
+                    Content::U64(v) => Some(*v),
+                    Content::I64(v) => u64::try_from(*v).ok(),
+                    Content::F64(v) if v.fract() == 0.0 && *v >= 0.0 && *v <= u64::MAX as f64 => {
+                        Some(*v as u64)
+                    }
+                    _ => None,
+                };
+                raw.and_then(|v| <$ty>::try_from(v).ok())
+                    .ok_or_else(|| DeError::expected("an unsigned integer", stringify!($ty)))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+
+        impl Deserialize for $ty {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let raw = match content {
+                    Content::U64(v) => i64::try_from(*v).ok(),
+                    Content::I64(v) => Some(*v),
+                    Content::F64(v) if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 => {
+                        Some(*v as i64)
+                    }
+                    _ => None,
+                };
+                raw.and_then(|v| <$ty>::try_from(v).ok())
+                    .ok_or_else(|| DeError::expected("an integer", stringify!($ty)))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_f64()
+            .map(|v| v as f32)
+            .ok_or_else(|| DeError::expected("a number", "f32"))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_f64()
+            .ok_or_else(|| DeError::expected("a number", "f64"))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("a string", "String"))
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let s = content
+            .as_str()
+            .ok_or_else(|| DeError::expected("a one-character string", "char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::expected("a one-character string", "char")),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        if content.is_null() {
+            Ok(())
+        } else {
+            Err(DeError::expected("null", "()"))
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(value) => value.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        if content.is_null() {
+            Ok(None)
+        } else {
+            T::from_content(content).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_seq()
+            .ok_or_else(|| DeError::expected("an array", "Vec"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let seq = content
+            .as_seq()
+            .ok_or_else(|| DeError::expected("an array", "array"))?;
+        if seq.len() != N {
+            return Err(DeError::custom(format!(
+                "expected an array of {N} elements, got {}",
+                seq.len()
+            )));
+        }
+        let items: Vec<T> = seq.iter().map(T::from_content).collect::<Result<_, _>>()?;
+        items
+            .try_into()
+            .map_err(|_| DeError::expected("an array", "array"))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident / $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                const ARITY: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let seq = content
+                    .as_seq()
+                    .ok_or_else(|| DeError::expected("an array", "tuple"))?;
+                if seq.len() != ARITY {
+                    return Err(DeError::custom(format!(
+                        "expected an array of {ARITY} elements, got {}",
+                        seq.len()
+                    )));
+                }
+                Ok(($($name::from_content(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A / 0)
+    (A / 0, B / 1)
+    (A / 0, B / 1, C / 2)
+    (A / 0, B / 1, C / 2, D / 3)
+}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_map()
+            .ok_or_else(|| DeError::expected("a map", "BTreeMap"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_roundtrips_through_null() {
+        assert_eq!(None::<u32>.to_content(), Content::Null);
+        assert_eq!(Option::<u32>::from_content(&Content::Null), Ok(None));
+        assert_eq!(
+            Option::<u32>::from_content(&Content::U64(7)),
+            Ok(Some(7u32))
+        );
+    }
+
+    #[test]
+    fn signed_integers_use_u64_when_nonnegative() {
+        assert_eq!(5i32.to_content(), Content::U64(5));
+        assert_eq!((-5i32).to_content(), Content::I64(-5));
+        assert_eq!(i32::from_content(&Content::U64(5)), Ok(5));
+        assert_eq!(i32::from_content(&Content::I64(-5)), Ok(-5));
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_content(&Content::U64(300)).is_err());
+        assert!(u32::from_content(&Content::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let v = (1u32, -2.5f64);
+        let c = v.to_content();
+        assert_eq!(<(u32, f64)>::from_content(&c), Ok(v));
+    }
+
+    #[test]
+    fn content_get_finds_keys() {
+        let c = Content::Map(vec![("a".into(), Content::U64(1))]);
+        assert_eq!(c.get("a"), Some(&Content::U64(1)));
+        assert_eq!(c.get("b"), None);
+    }
+}

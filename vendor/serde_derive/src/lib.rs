@@ -1,0 +1,521 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize`/`serde::Deserialize` impls against the
+//! content-model traits in `vendor/serde`. The input is parsed directly from
+//! the proc-macro token stream (no `syn`/`quote` available offline), which
+//! restricts the supported shapes to what this workspace actually derives:
+//!
+//! * structs with named fields (field attribute `#[serde(default)]`);
+//! * tuple and unit structs;
+//! * enums of unit / newtype / tuple / struct variants (externally tagged);
+//! * the container attribute pair `#[serde(try_from = "T", into = "T")]`;
+//! * no generic parameters.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (content-model flavour; see crate docs).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives `serde::Deserialize` (content-model flavour; see crate docs).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let source = match parse_input(input) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            return format!("::core::compile_error!({message:?});")
+                .parse()
+                .expect("compile_error snippet is valid Rust")
+        }
+    };
+    let code = if serialize {
+        gen_serialize(&source)
+    } else {
+        gen_deserialize(&source)
+    };
+    code.parse().expect("generated impl is valid Rust")
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+    /// `#[serde(try_from = "T")]` proxy type, if any.
+    try_from: Option<String>,
+    /// `#[serde(into = "T")]` proxy type, if any.
+    into: Option<String>,
+}
+
+/// Scans one attribute (`#` has already been consumed) and records the
+/// serde-relevant parts into `default`/`try_from`/`into`.
+struct AttrInfo {
+    default: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+    let container_attrs = skip_attrs(&tokens, &mut pos)?;
+    skip_visibility(&tokens, &mut pos);
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    pos += 1;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generics (deriving {name})"
+        ));
+    }
+    let shape = match (keyword.as_str(), tokens.get(pos)) {
+        ("struct", Some(TokenTree::Group(group))) if group.delimiter() == Delimiter::Brace => {
+            Shape::NamedStruct(parse_named_fields(group.stream())?)
+        }
+        ("struct", Some(TokenTree::Group(group)))
+            if group.delimiter() == Delimiter::Parenthesis =>
+        {
+            Shape::TupleStruct(count_top_level_fields(group.stream()))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Shape::UnitStruct,
+        ("struct", None) => Shape::UnitStruct,
+        ("enum", Some(TokenTree::Group(group))) if group.delimiter() == Delimiter::Brace => {
+            Shape::Enum(parse_variants(group.stream())?)
+        }
+        (_, other) => return Err(format!("unsupported item body for {name}: {other:?}")),
+    };
+    Ok(Input {
+        name,
+        shape,
+        try_from: container_attrs.try_from,
+        into: container_attrs.into,
+    })
+}
+
+/// Consumes any `#[...]` attributes at `pos`, collecting serde ones.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> Result<AttrInfo, String> {
+    let mut info = AttrInfo {
+        default: false,
+        try_from: None,
+        into: None,
+    };
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1;
+        let Some(TokenTree::Group(group)) = tokens.get(*pos) else {
+            return Err("expected [...] after #".to_string());
+        };
+        scan_attr(group.stream(), &mut info)?;
+        *pos += 1;
+    }
+    Ok(info)
+}
+
+fn scan_attr(stream: TokenStream, info: &mut AttrInfo) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(ident)) if ident.to_string() == "serde" => {}
+        _ => return Ok(()), // doc comments, #[default], derive lists, ...
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return Ok(());
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0usize;
+    while i < args.len() {
+        let TokenTree::Ident(key) = &args[i] else {
+            return Err(format!("unsupported serde attribute token {:?}", args[i]));
+        };
+        let key = key.to_string();
+        let has_value = matches!(args.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+        if has_value {
+            let Some(TokenTree::Literal(value)) = args.get(i + 2) else {
+                return Err(format!("serde attribute `{key}` expects a string value"));
+            };
+            let value = value.to_string();
+            let value = value.trim_matches('"').to_string();
+            match key.as_str() {
+                "try_from" => info.try_from = Some(value),
+                "into" => info.into = Some(value),
+                other => return Err(format!("unsupported serde attribute `{other}`")),
+            }
+            i += 3;
+        } else {
+            match key.as_str() {
+                "default" => info.default = true,
+                other => return Err(format!("unsupported serde attribute `{other}`")),
+            }
+            i += 1;
+        }
+        if matches!(args.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(())
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(ident)) if ident.to_string() == "pub") {
+        *pos += 1;
+        if matches!(
+            tokens.get(*pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *pos += 1;
+        }
+    }
+}
+
+/// Skips one type expression: everything until a top-level `,` (angle
+/// brackets tracked; parens/brackets arrive as atomic groups).
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0usize;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let attrs = skip_attrs(&tokens, &mut pos)?;
+        skip_visibility(&tokens, &mut pos);
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            return Err(format!("expected field name, got {:?}", tokens.get(pos)));
+        };
+        let name = name.to_string();
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("expected `:` after field {name}, got {other:?}")),
+        }
+        skip_type(&tokens, &mut pos);
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        fields.push(Field {
+            name,
+            default: attrs.default,
+        });
+    }
+    Ok(fields)
+}
+
+/// Counts comma-separated fields of a tuple-struct/-variant body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0usize;
+    let mut count = 0usize;
+    while pos < tokens.len() {
+        skip_type(&tokens, &mut pos);
+        count += 1;
+        pos += 1; // the comma (or one past the end)
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0usize;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos)?;
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            return Err(format!("expected variant name, got {:?}", tokens.get(pos)));
+        };
+        let name = name.to_string();
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                match count_top_level_fields(group.stream()) {
+                    1 => VariantKind::Newtype,
+                    n => VariantKind::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Struct(parse_named_fields(group.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    if let Some(proxy) = &input.into {
+        return format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+             let proxy: {proxy} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_content(&proxy)\n\
+             }}\n}}\n"
+        );
+    }
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for field in fields {
+                let f = &field.name;
+                pushes.push_str(&format!(
+                    "entries.push((::std::string::String::from({f:?}), \
+                     ::serde::Serialize::to_content(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Content::Map(entries)"
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::TupleStruct(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Content::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Content::Str(::std::string::String::from({v:?})),\n"
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{name}::{v}(inner) => ::serde::Content::Map(::std::vec![(\
+                         ::std::string::String::from({v:?}), \
+                         ::serde::Serialize::to_content(inner))]),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({binders}) => ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from({v:?}), \
+                             ::serde::Content::Seq(::std::vec![{items}]))]),\n",
+                            binders = binders.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({:?}), \
+                                     ::serde::Serialize::to_content({}))",
+                                    f.name, f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binders} }} => ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from({v:?}), \
+                             ::serde::Content::Map(::std::vec![{pushes}]))]),\n",
+                            binders = binders.join(", "),
+                            pushes = pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Emits the expression rebuilding one named field from map entries.
+fn named_field_expr(field: &Field, ty: &str) -> String {
+    let f = &field.name;
+    let missing = if field.default {
+        "::core::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::core::result::Result::Err(::serde::DeError::missing_field({f:?}, {ty:?}))"
+        )
+    };
+    format!(
+        "{f}: match ::serde::map_get(entries, {f:?}) {{\n\
+         ::core::option::Option::Some(value) => ::serde::Deserialize::from_content(value)?,\n\
+         ::core::option::Option::None => {missing},\n\
+         }},\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    if let Some(proxy) = &input.try_from {
+        return format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(content: &::serde::Content) \
+             -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+             let proxy: {proxy} = ::serde::Deserialize::from_content(content)?;\n\
+             ::core::convert::TryFrom::try_from(proxy)\n\
+             .map_err(|err| ::serde::DeError::custom(::std::format!(\"{{err}}\")))\n\
+             }}\n}}\n"
+        );
+    }
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let field_exprs: String = fields.iter().map(|f| named_field_expr(f, name)).collect();
+            format!(
+                "let entries = content.as_map()\
+                 .ok_or_else(|| ::serde::DeError::expected(\"a map\", {name:?}))?;\n\
+                 ::core::result::Result::Ok({name} {{\n{field_exprs}}})"
+            )
+        }
+        Shape::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::from_content(content)?))"
+        ),
+        Shape::TupleStruct(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_content(&seq[{i}])?"))
+                .collect();
+            format!(
+                "let seq = content.as_seq()\
+                 .ok_or_else(|| ::serde::DeError::expected(\"an array\", {name:?}))?;\n\
+                 if seq.len() != {arity} {{\n\
+                 return ::core::result::Result::Err(::serde::DeError::expected(\
+                 \"an array of {arity} elements\", {name:?}));\n}}\n\
+                 ::core::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!(
+            "if content.is_null() {{ ::core::result::Result::Ok({name}) }} else {{\n\
+             ::core::result::Result::Err(::serde::DeError::expected(\"null\", {name:?}))\n}}"
+        ),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{v:?} => ::core::result::Result::Ok({name}::{v}),\n"
+                        ));
+                    }
+                    VariantKind::Newtype => {
+                        payload_arms.push_str(&format!(
+                            "{v:?} => ::core::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::from_content(payload)?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_content(&seq[{i}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "{v:?} => {{\n\
+                             let seq = payload.as_seq()\
+                             .ok_or_else(|| ::serde::DeError::expected(\"an array\", {name:?}))?;\n\
+                             if seq.len() != {arity} {{\n\
+                             return ::core::result::Result::Err(::serde::DeError::expected(\
+                             \"an array of {arity} elements\", {name:?}));\n}}\n\
+                             ::core::result::Result::Ok({name}::{v}({items}))\n}}\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let field_exprs: String =
+                            fields.iter().map(|f| named_field_expr(f, name)).collect();
+                        payload_arms.push_str(&format!(
+                            "{v:?} => {{\n\
+                             let entries = payload.as_map()\
+                             .ok_or_else(|| ::serde::DeError::expected(\"a map\", {name:?}))?;\n\
+                             ::core::result::Result::Ok({name}::{v} {{\n{field_exprs}}})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match content {{\n\
+                 ::serde::Content::Str(tag) => match tag.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::core::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(other, {name:?})),\n\
+                 }},\n\
+                 ::serde::Content::Map(outer) if outer.len() == 1 => {{\n\
+                 let (tag, payload) = &outer[0];\n\
+                 match tag.as_str() {{\n\
+                 {payload_arms}\
+                 other => ::core::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(other, {name:?})),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::core::result::Result::Err(\
+                 ::serde::DeError::expected(\"a variant tag\", {name:?})),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(content: &::serde::Content) \
+         -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,535 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! [`Value`] is an alias for the [`serde::Content`] tree, so anything that
+//! implements the vendored `serde::Serialize` prints straight to JSON text and
+//! anything parseable rebuilds through `serde::Deserialize`. The text format
+//! matches real `serde_json` output for the shapes this workspace produces
+//! (externally tagged enums, `null` for `None`, insertion-ordered maps).
+//!
+//! Non-finite floats serialize as `null` (the same value the real crate's
+//! `json!` macro produces for them).
+
+use serde::{Content, Deserialize, Serialize};
+
+/// A parsed JSON document (alias for the serde content tree).
+pub type Value = Content;
+
+/// A serialization or parse error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(err: serde::DeError) -> Self {
+        Error(err.to_string())
+    }
+}
+
+/// Renders any serializable value into a [`Value`] tree (macro helper).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_content()
+}
+
+/// Serializes a value to compact JSON text.
+///
+/// # Errors
+///
+/// Infallible for the content model; the `Result` mirrors the real crate.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&value.to_content(), &mut out);
+    Ok(out)
+}
+
+/// Serializes a value to two-space-indented JSON text.
+///
+/// # Errors
+///
+/// Infallible for the content model; the `Result` mirrors the real crate.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_content(), 0, &mut out);
+    Ok(out)
+}
+
+/// Parses JSON text into any deserializable value.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or on a tree that does not encode `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    Ok(T::from_content(&value)?)
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        // Keep a decimal point so the value round-trips as a float.
+        out.push_str(&format!("{v:.1}"));
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+fn write_compact(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(v) => out.push_str(&v.to_string()),
+        Value::I64(v) => out.push_str(&v.to_string()),
+        Value::F64(v) => write_f64(*v, out),
+        Value::Str(s) => write_escaped(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(key, out);
+                out.push(':');
+                write_compact(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(value: &Value, indent: usize, out: &mut String) {
+    match value {
+        Value::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(indent + 1, out);
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push(']');
+        }
+        Value::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(indent + 1, out);
+                write_escaped(key, out);
+                out.push_str(": ");
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+fn push_indent(indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, keyword: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while !matches!(self.peek(), Some(b'"' | b'\\') | None) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::new("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::new("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by this
+                            // workspace's writers; map lone surrogates to
+                            // the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(Error::new(format!("unknown escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                None => return Err(Error::new("unterminated string")),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        } else if let Some(digits) = text.strip_prefix('-') {
+            digits
+                .parse::<u64>()
+                .ok()
+                .and_then(|v| i64::try_from(v).ok())
+                .map(|v| Value::I64(-v))
+                .or_else(|| text.parse::<f64>().ok().map(Value::F64))
+                .ok_or_else(|| Error::new(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .or_else(|_| text.parse::<f64>().map(Value::F64))
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+/// Builds a [`Value`] from JSON-looking syntax, mirroring `serde_json::json!`.
+///
+/// Nested `{...}`/`[...]` literals become maps and sequences; any other
+/// value position accepts a Rust expression implementing `Serialize`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($content:tt)* ]) => {{
+        // a closure so the allow covers the muncher's init-then-push expansion
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        let build = || {
+            let mut items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+            $crate::json_items!(items; $($content)*);
+            $crate::Value::Seq(items)
+        };
+        build()
+    }};
+    ({ $($content:tt)* }) => {{
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        let build = || {
+            let mut entries: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+                ::std::vec::Vec::new();
+            $crate::json_entries!(entries; $($content)*);
+            $crate::Value::Map(entries)
+        };
+        build()
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal: accumulates `json!` object entries (use `json!` instead).
+#[macro_export]
+macro_rules! json_entries {
+    ($entries:ident;) => {};
+    ($entries:ident; $key:literal : { $($map:tt)* } $(, $($rest:tt)*)?) => {
+        $entries.push((::std::string::String::from($key), $crate::json!({ $($map)* })));
+        $($crate::json_entries!($entries; $($rest)*);)?
+    };
+    ($entries:ident; $key:literal : [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $entries.push((::std::string::String::from($key), $crate::json!([ $($arr)* ])));
+        $($crate::json_entries!($entries; $($rest)*);)?
+    };
+    ($entries:ident; $key:literal : null $(, $($rest:tt)*)?) => {
+        $entries.push((::std::string::String::from($key), $crate::Value::Null));
+        $($crate::json_entries!($entries; $($rest)*);)?
+    };
+    ($entries:ident; $key:literal : $value:expr $(, $($rest:tt)*)?) => {
+        $entries.push((::std::string::String::from($key), $crate::to_value(&$value)));
+        $($crate::json_entries!($entries; $($rest)*);)?
+    };
+}
+
+/// Internal: accumulates `json!` array elements (use `json!` instead).
+#[macro_export]
+macro_rules! json_items {
+    ($items:ident;) => {};
+    ($items:ident; { $($map:tt)* } $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!({ $($map)* }));
+        $($crate::json_items!($items; $($rest)*);)?
+    };
+    ($items:ident; [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!([ $($arr)* ]));
+        $($crate::json_items!($items; $($rest)*);)?
+    };
+    ($items:ident; null $(, $($rest:tt)*)?) => {
+        $items.push($crate::Value::Null);
+        $($crate::json_items!($items; $($rest)*);)?
+    };
+    ($items:ident; $value:expr $(, $($rest:tt)*)?) => {
+        $items.push($crate::to_value(&$value));
+        $($crate::json_items!($items; $($rest)*);)?
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_output_matches_serde_json_conventions() {
+        let value = json!({
+            "name": "vgg",
+            "bits": [8, 4],
+            "loss": 0.5,
+            "whole": 2.0,
+            "nested": { "ok": true, "none": null },
+        });
+        assert_eq!(
+            to_string(&value).unwrap(),
+            r#"{"name":"vgg","bits":[8,4],"loss":0.5,"whole":2.0,"nested":{"ok":true,"none":null}}"#
+        );
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_value() {
+        let value = json!({
+            "s": "a\"b\\c\nd",
+            "neg": -3,
+            "big": 12345678901234.5,
+            "list": [1, 2.25, "x", false],
+        });
+        let text = to_string(&value).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, value);
+        let pretty = to_string_pretty(&value).unwrap();
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn whole_floats_stay_floats() {
+        let text = to_string(&Value::F64(1.0)).unwrap();
+        assert_eq!(text, "1.0");
+        assert_eq!(from_str::<Value>(&text).unwrap(), Value::F64(1.0));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<Value>("{\"a\": ").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn json_macro_top_level_expression() {
+        let v = json!(3u32 + 4);
+        assert_eq!(v, Value::U64(7));
+        assert_eq!(json!(null), Value::Null);
+    }
+}
