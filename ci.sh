@@ -1,8 +1,26 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, then the tier-1 build + test suite.
 # Run from the repository root; fails fast on the first broken stage.
+#
+# Usage:
+#   ./ci.sh          tier-1 gate (fmt, clippy, build, test) — run on every PR
+#   ./ci.sh --full   tier-1 gate plus the #[ignore]d full-size smoke tests
+#                    (tests/full_size_smoke.rs: VGG-19 / ResNet-18 at real
+#                    geometry). Minutes of CPU, not hours — run before
+#                    release tags or after touching the tensor/nn hot paths.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+FULL=0
+for arg in "$@"; do
+    case "$arg" in
+    --full) FULL=1 ;;
+    *)
+        echo "ci.sh: unknown argument '$arg' (supported: --full)" >&2
+        exit 2
+        ;;
+    esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -15,5 +33,10 @@ cargo build --release
 
 echo "==> tier-1: cargo test -q"
 cargo test -q
+
+if [[ "$FULL" -eq 1 ]]; then
+    echo "==> full: cargo test --release --test full_size_smoke -- --ignored"
+    cargo test --release --test full_size_smoke -- --ignored
+fi
 
 echo "ci: all green"

@@ -41,6 +41,7 @@ fn efficiency(model: &Vgg) -> f64 {
 
 fn main() {
     let telemetry = adq_bench::telemetry_from_args();
+    let checkpoint = adq_bench::checkpoint_from_args();
     let (train, test) = SyntheticSpec::cifar10_like()
         .with_resolution(16)
         .with_samples(24, 10)
@@ -85,7 +86,8 @@ fn main() {
         baseline_epochs,
         ..AdqConfig::paper_default()
     };
-    let outcome = AdQuantizer::new(adq_config).run_with_sink(
+    let outcome = checkpoint.run(
+        &AdQuantizer::new(adq_config),
         &mut adq,
         &train,
         &test,

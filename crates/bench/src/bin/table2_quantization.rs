@@ -245,7 +245,11 @@ fn dynamic_config() -> AdqConfig {
     }
 }
 
-fn dynamic_reproduction(json_rows: &mut Vec<serde_json::Value>, sink: &dyn TelemetrySink) {
+fn dynamic_reproduction(
+    json_rows: &mut Vec<serde_json::Value>,
+    sink: &dyn TelemetrySink,
+    checkpoint: &adq_bench::CheckpointOption,
+) {
     let controller = AdQuantizer::new(dynamic_config());
 
     // VGG on synthetic CIFAR-10 (no batch-norm: raw ReLU density dynamics;
@@ -269,7 +273,9 @@ fn dynamic_reproduction(json_rows: &mut Vec<serde_json::Value>, sink: &dyn Telem
     let mut baseline_model = Vgg::from_config(3, 16, 10, &vgg_config, false, 7);
     let baseline = controller.run_baseline_with_sink(&mut baseline_model, &train, &test, 8, sink);
     let mut model = Vgg::from_config(3, 16, 10, &vgg_config, false, 7);
-    let outcome = controller.run_with_sink(&mut model, &train, &test, sink);
+    let outcome = checkpoint
+        .scoped("vgg")
+        .run(&controller, &mut model, &train, &test, sink);
     let mut rows = vec![vec![
         "baseline (16-bit)".to_string(),
         format!("{:.1}%", 100.0 * baseline.test_accuracy),
@@ -315,7 +321,9 @@ fn dynamic_reproduction(json_rows: &mut Vec<serde_json::Value>, sink: &dyn Telem
         .with_samples(16, 6)
         .generate();
     let mut resnet = ResNet::small(3, 16, 10, 9);
-    let outcome = controller.run_with_sink(&mut resnet, &train, &test, sink);
+    let outcome = checkpoint
+        .scoped("resnet")
+        .run(&controller, &mut resnet, &train, &test, sink);
     let mut rows = Vec::new();
     for r in &outcome.iterations {
         rows.push(vec![
@@ -340,9 +348,10 @@ fn dynamic_reproduction(json_rows: &mut Vec<serde_json::Value>, sink: &dyn Telem
 
 fn main() {
     let telemetry = adq_bench::telemetry_from_args();
+    let checkpoint = adq_bench::checkpoint_from_args();
     let mut json_rows = Vec::new();
     static_reproduction(&mut json_rows);
-    dynamic_reproduction(&mut json_rows, telemetry.sink.as_ref());
+    dynamic_reproduction(&mut json_rows, telemetry.sink.as_ref(), &checkpoint);
     adq_bench::write_json("table2_quantization", &json_rows);
     adq_bench::write_run_artifacts(
         "table2_quantization",

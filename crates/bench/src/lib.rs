@@ -11,6 +11,9 @@ use std::fs;
 use std::path::Path;
 use std::sync::Arc;
 
+use adq_core::{AdQuantizer, AdqOutcome, CheckpointManager};
+use adq_nn::train::Dataset;
+use adq_nn::QuantModel;
 use adq_telemetry::{JsonlSink, NullSink, TelemetrySink};
 use serde::Serialize;
 
@@ -56,6 +59,131 @@ pub fn telemetry_from_args() -> TelemetryOption {
             sink: Arc::new(NullSink),
             path: None,
         },
+    }
+}
+
+/// The shared `--checkpoint-dir <dir>` / `--resume` options of the
+/// regenerator binaries that run Algorithm 1 end-to-end.
+pub struct CheckpointOption {
+    /// Open checkpoint directory, when `--checkpoint-dir` was given and
+    /// usable.
+    pub manager: Option<CheckpointManager>,
+    /// Whether `--resume` was passed.
+    pub resume: bool,
+}
+
+/// Parses `--checkpoint-dir <dir>` and `--resume` from the process
+/// arguments.
+///
+/// Without `--checkpoint-dir` (or if the directory cannot be created —
+/// reported, not fatal) checkpointing is disabled and [`CheckpointOption::run`]
+/// degrades to a plain run.
+pub fn checkpoint_from_args() -> CheckpointOption {
+    let args: Vec<String> = std::env::args().collect();
+    let resume = args.iter().any(|a| a == "--resume");
+    let flag = args.iter().position(|a| a == "--checkpoint-dir");
+    let dir = flag.and_then(|i| args.get(i + 1)).cloned();
+    if flag.is_some() && dir.is_none() {
+        eprintln!("warning: --checkpoint-dir requires a path argument; checkpointing disabled");
+    }
+    if resume && dir.is_none() {
+        eprintln!("warning: --resume requires --checkpoint-dir <dir>; starting fresh");
+    }
+    let manager = dir.and_then(|d| match CheckpointManager::new(&d) {
+        Ok(manager) => {
+            println!("(checkpointing to {d})");
+            Some(manager)
+        }
+        Err(err) => {
+            eprintln!("warning: cannot open checkpoint dir {d}: {err}");
+            None
+        }
+    });
+    CheckpointOption { manager, resume }
+}
+
+impl CheckpointOption {
+    /// Scopes the checkpoint directory to a named subdirectory, so binaries
+    /// that drive several Algorithm-1 runs keep their checkpoints apart.
+    pub fn scoped(&self, name: &str) -> CheckpointOption {
+        let manager = self.manager.as_ref().and_then(|m| {
+            let dir = m.dir().join(name);
+            match CheckpointManager::new(&dir) {
+                Ok(scoped) => Some(scoped),
+                Err(err) => {
+                    eprintln!(
+                        "warning: cannot open checkpoint dir {}: {err}",
+                        dir.display()
+                    );
+                    None
+                }
+            }
+        });
+        CheckpointOption {
+            manager,
+            resume: self.resume,
+        }
+    }
+
+    /// Runs Algorithm 1 respecting the parsed flags: resume from the latest
+    /// checkpoint when `--resume` found one, otherwise run fresh; write
+    /// checkpoints whenever a directory is configured.
+    ///
+    /// `model` must be freshly built (the resume path replays the original
+    /// run's structural edits onto it). A corrupted checkpoint or a
+    /// checkpoint from a differently-configured run aborts the process with
+    /// a diagnostic rather than silently recomputing from scratch.
+    pub fn run(
+        &self,
+        controller: &AdQuantizer,
+        model: &mut dyn QuantModel,
+        train: &Dataset,
+        test: &Dataset,
+        sink: &dyn TelemetrySink,
+    ) -> AdqOutcome {
+        let Some(manager) = &self.manager else {
+            return controller.run_with_sink(model, train, test, sink);
+        };
+        let resume_from = if self.resume {
+            match manager.load_latest() {
+                Ok(checkpoint) => checkpoint,
+                Err(err) => {
+                    eprintln!(
+                        "error: cannot resume from {}: {err}",
+                        manager.dir().display()
+                    );
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            None
+        };
+        let result = match resume_from {
+            Some(checkpoint) => {
+                println!(
+                    "(resuming from {} at iteration {})",
+                    manager.dir().display(),
+                    checkpoint.next_iteration
+                );
+                controller.resume_from(model, train, test, sink, checkpoint, Some(manager))
+            }
+            None => {
+                if self.resume {
+                    println!(
+                        "(no checkpoint found in {}; starting fresh)",
+                        manager.dir().display()
+                    );
+                }
+                controller.run_checkpointed(model, train, test, sink, manager)
+            }
+        };
+        match result {
+            Ok(outcome) => outcome,
+            Err(err) => {
+                eprintln!("error: checkpointed run failed: {err}");
+                std::process::exit(2);
+            }
+        }
     }
 }
 

@@ -2,13 +2,18 @@ use std::sync::Arc;
 
 use adq_ad::{DensityHistory, SaturationDetector};
 use adq_energy::EnergyModel;
-use adq_nn::train::{evaluate_observed, train_epoch_observed, Dataset};
+use adq_nn::train::{
+    evaluate_observed, export_params, import_params, train_epoch_observed, Dataset,
+};
 use adq_nn::{Adam, Optimizer, QuantModel};
 use adq_quant::BitWidth;
 use adq_telemetry::{NullSink, TelemetryEvent, TelemetrySink};
 use serde::{Deserialize, Serialize};
 
 use crate::builders::network_spec_from_stats;
+use crate::checkpoint::{
+    CheckpointError, CheckpointManager, RngState, RunCheckpoint, StructuralOp, CHECKPOINT_VERSION,
+};
 use crate::complexity::{training_complexity, IterationCost};
 
 /// Configuration of AD-based channel pruning (eqn 5), applied simultaneously
@@ -261,9 +266,6 @@ impl AdQuantizer {
     /// Telemetry is observation-only: the returned [`AdqOutcome`] is
     /// identical whatever sink is attached (the default is the no-op
     /// [`NullSink`]).
-    // indexed loops: `idx` addresses per-layer densities and the model's
-    // index-based interface together
-    #[allow(clippy::needless_range_loop)]
     pub fn run_with_sink(
         &self,
         model: &mut dyn QuantModel,
@@ -271,41 +273,159 @@ impl AdQuantizer {
         test: &Dataset,
         sink: &dyn TelemetrySink,
     ) -> AdqOutcome {
+        self.run_impl(model, train, test, sink, None, None)
+            .expect("run without checkpointing cannot fail")
+    }
+
+    /// [`AdQuantizer::run_with_sink`] that additionally writes a durable
+    /// [`RunCheckpoint`] into `manager`'s directory after every iteration
+    /// that re-quantizes and continues. A process killed mid-run can then
+    /// be continued with [`AdQuantizer::resume_from`] instead of starting
+    /// over.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] if a checkpoint cannot be written;
+    /// training state up to that point is lost with the process, never
+    /// half-written to disk.
+    pub fn run_checkpointed(
+        &self,
+        model: &mut dyn QuantModel,
+        train: &Dataset,
+        test: &Dataset,
+        sink: &dyn TelemetrySink,
+        manager: &CheckpointManager,
+    ) -> Result<AdqOutcome, CheckpointError> {
+        self.run_impl(model, train, test, sink, Some(manager), None)
+    }
+
+    /// Continues an interrupted run from `checkpoint`, producing the same
+    /// [`AdqOutcome`] the uninterrupted run would have produced.
+    ///
+    /// `model` must be a freshly built instance of the *original* run's
+    /// starting model (same constructor, same seed): the checkpoint's
+    /// structural edits are replayed onto it, then parameters, bit-widths,
+    /// normalisation statistics, optimizer moments and the RNG position are
+    /// restored. Pass `manager` to keep writing checkpoints while the
+    /// resumed run progresses.
+    ///
+    /// # Errors
+    ///
+    /// * [`CheckpointError::ConfigMismatch`] — this controller's config is
+    ///   not the one the checkpoint was taken under,
+    /// * [`CheckpointError::ModelMismatch`] — `model` does not match the
+    ///   checkpoint (wrong architecture, shapes, or normalisation layout),
+    /// * [`CheckpointError::Io`] — a new checkpoint could not be written.
+    pub fn resume_from(
+        &self,
+        model: &mut dyn QuantModel,
+        train: &Dataset,
+        test: &Dataset,
+        sink: &dyn TelemetrySink,
+        checkpoint: RunCheckpoint,
+        manager: Option<&CheckpointManager>,
+    ) -> Result<AdqOutcome, CheckpointError> {
+        self.run_impl(model, train, test, sink, manager, Some(checkpoint))
+    }
+
+    // indexed loops: `idx` addresses per-layer densities and the model's
+    // index-based interface together
+    #[allow(clippy::needless_range_loop)]
+    fn run_impl(
+        &self,
+        model: &mut dyn QuantModel,
+        train: &Dataset,
+        test: &Dataset,
+        sink: &dyn TelemetrySink,
+        manager: Option<&CheckpointManager>,
+        resume: Option<RunCheckpoint>,
+    ) -> Result<AdqOutcome, CheckpointError> {
         let cfg = &self.config;
         let count = model.layer_count();
         assert!(count >= 2, "model needs at least two quantizable layers");
-        // k_l^(0): pin the ends, initialise the interior
-        model.set_bits_of(0, Some(cfg.full_precision_bits));
-        model.set_bits_of(count - 1, Some(cfg.full_precision_bits));
-        for idx in 1..count - 1 {
-            model.set_bits_of(idx, Some(cfg.initial_bits));
-        }
-        sink.record(&TelemetryEvent::RunStarted {
-            run: "adq.run".to_string(),
-            config: serde_json::to_value(cfg),
-            seed: cfg.seed,
-        });
-
-        // the eqn-4 baseline: the unquantized-geometry model at k^(0)
         let energy_model = EnergyModel::paper_45nm();
-        let baseline_spec =
-            network_spec_from_stats("baseline", &model.layer_stats(), cfg.initial_bits)
-                .with_uniform_bits(cfg.initial_bits);
-        let baseline_energy = baseline_spec.energy_pj(&energy_model);
-        sink.record(&TelemetryEvent::EnergyEstimated {
-            label: "baseline".to_string(),
-            total_pj: baseline_energy,
-            efficiency_vs_baseline: 1.0,
-        });
+        let mut optimizer = Adam::new(cfg.lr);
+
+        let (mut iterations, mut structural_ops, mut rng, baseline_energy, start_iteration);
+        if let Some(ckpt) = resume {
+            if ckpt.config != *cfg {
+                return Err(CheckpointError::ConfigMismatch(format!(
+                    "resuming controller configured differently from checkpoint \
+                     (seed {} vs {}, {} vs {} max iterations, ...)",
+                    cfg.seed, ckpt.config.seed, cfg.max_iterations, ckpt.config.max_iterations,
+                )));
+            }
+            // replay the original run's structural edits, in application
+            // order, to rebuild the checkpointed architecture
+            for op in &ckpt.structural_ops {
+                let ok = match *op {
+                    StructuralOp::Prune { layer, keep } => model.prune_layer_to(layer, keep),
+                    StructuralOp::Remove { layer } => model.remove_layer(layer),
+                };
+                if !ok {
+                    return Err(CheckpointError::ModelMismatch(format!(
+                        "model rejected structural replay of {op:?}"
+                    )));
+                }
+            }
+            if model.layer_count() != ckpt.bits.len() {
+                return Err(CheckpointError::ModelMismatch(format!(
+                    "{} layers after structural replay, checkpoint has {}",
+                    model.layer_count(),
+                    ckpt.bits.len()
+                )));
+            }
+            for (idx, bits) in ckpt.bits.iter().enumerate() {
+                model.set_bits_of(idx, *bits);
+            }
+            import_params(model, &ckpt.params).map_err(CheckpointError::ModelMismatch)?;
+            model
+                .set_norm_stats(&ckpt.norm_stats)
+                .map_err(CheckpointError::ModelMismatch)?;
+            optimizer.import_state(ckpt.optimizer);
+            rng = adq_tensor::init::rng_from_state(ckpt.rng.key, ckpt.rng.counter, ckpt.rng.index);
+            baseline_energy = ckpt.baseline_energy_pj;
+            iterations = ckpt.iterations;
+            structural_ops = ckpt.structural_ops;
+            start_iteration = ckpt.next_iteration;
+            sink.record(&TelemetryEvent::RunResumed {
+                run: "adq.run".to_string(),
+                next_iteration: start_iteration,
+                completed_iterations: iterations.len(),
+            });
+        } else {
+            // k_l^(0): pin the ends, initialise the interior
+            model.set_bits_of(0, Some(cfg.full_precision_bits));
+            model.set_bits_of(count - 1, Some(cfg.full_precision_bits));
+            for idx in 1..count - 1 {
+                model.set_bits_of(idx, Some(cfg.initial_bits));
+            }
+            sink.record(&TelemetryEvent::RunStarted {
+                run: "adq.run".to_string(),
+                config: serde_json::to_value(cfg),
+                seed: cfg.seed,
+            });
+            // the eqn-4 baseline: the unquantized-geometry model at k^(0)
+            let baseline_spec =
+                network_spec_from_stats("baseline", &model.layer_stats(), cfg.initial_bits)
+                    .with_uniform_bits(cfg.initial_bits);
+            baseline_energy = baseline_spec.energy_pj(&energy_model);
+            sink.record(&TelemetryEvent::EnergyEstimated {
+                label: "baseline".to_string(),
+                total_pj: baseline_energy,
+                efficiency_vs_baseline: 1.0,
+            });
+            rng = adq_tensor::init::rng(cfg.seed);
+            iterations = Vec::new();
+            structural_ops = Vec::new();
+            start_iteration = 1;
+        }
 
         let metrics = adq_telemetry::metrics::global();
         let train_batches = metrics.counter("core.train_batches");
         let eval_batches = metrics.counter("core.eval_batches");
-        let mut optimizer = Adam::new(cfg.lr);
-        let mut rng = adq_tensor::init::rng(cfg.seed);
-        let mut iterations: Vec<IterationRecord> = Vec::new();
 
-        for iteration in 1..=cfg.max_iterations {
+        for iteration in start_iteration..=cfg.max_iterations {
             // layer removal can shrink the model between iterations
             let count = model.layer_count();
             let mut histories: Vec<DensityHistory> =
@@ -433,6 +553,7 @@ impl AdQuantizer {
                     let keep = keep.clamp(prune.min_channels.min(channels), channels);
                     if keep < channels && model.prune_layer_to(idx, keep) {
                         any_change = true;
+                        structural_ops.push(StructuralOp::Prune { layer: idx, keep });
                         sink.record(&TelemetryEvent::LayerPruned {
                             iteration,
                             layer: idx,
@@ -459,6 +580,7 @@ impl AdQuantizer {
                     if dead && model.remove_layer(idx) {
                         any_change = true;
                         optimizer.reset_state();
+                        structural_ops.push(StructuralOp::Remove { layer: idx });
                         sink.record(&TelemetryEvent::LayerRemoved {
                             iteration,
                             layer: idx,
@@ -468,6 +590,34 @@ impl AdQuantizer {
             }
             if !any_change {
                 break; // fixed point: k_l stable for every layer
+            }
+            // the run continues into iteration + 1: durably capture the
+            // exact state it will continue from
+            if let Some(manager) = manager {
+                let (key, counter, index) = adq_tensor::init::rng_state(&rng);
+                let checkpoint = RunCheckpoint {
+                    version: CHECKPOINT_VERSION,
+                    config: *cfg,
+                    next_iteration: iteration + 1,
+                    iterations: iterations.clone(),
+                    structural_ops: structural_ops.clone(),
+                    params: export_params(model),
+                    norm_stats: model.norm_stats(),
+                    bits: (0..model.layer_count()).map(|i| model.bits_of(i)).collect(),
+                    optimizer: optimizer.export_state(),
+                    rng: RngState {
+                        key,
+                        counter,
+                        index,
+                    },
+                    baseline_energy_pj: baseline_energy,
+                };
+                let (path, bytes) = manager.save(&checkpoint)?;
+                sink.record(&TelemetryEvent::CheckpointSaved {
+                    iteration,
+                    path: path.display().to_string(),
+                    bytes,
+                });
             }
         }
 
@@ -486,7 +636,7 @@ impl AdQuantizer {
             final_accuracy: outcome.final_record().test_accuracy,
         });
         sink.flush();
-        outcome
+        Ok(outcome)
     }
 
     /// Trains `model` at a fixed uniform precision for the full epoch
@@ -649,6 +799,39 @@ impl InstrumentedAdQuantizer {
     ) -> IterationRecord {
         self.quantizer
             .run_baseline_with_sink(model, train, test, epochs, self.sink.as_ref())
+    }
+
+    /// [`AdQuantizer::run_checkpointed`], emitting to the attached sink.
+    ///
+    /// # Errors
+    ///
+    /// See [`AdQuantizer::run_checkpointed`].
+    pub fn run_checkpointed(
+        &self,
+        model: &mut dyn QuantModel,
+        train: &Dataset,
+        test: &Dataset,
+        manager: &CheckpointManager,
+    ) -> Result<AdqOutcome, CheckpointError> {
+        self.quantizer
+            .run_checkpointed(model, train, test, self.sink.as_ref(), manager)
+    }
+
+    /// [`AdQuantizer::resume_from`], emitting to the attached sink.
+    ///
+    /// # Errors
+    ///
+    /// See [`AdQuantizer::resume_from`].
+    pub fn resume_from(
+        &self,
+        model: &mut dyn QuantModel,
+        train: &Dataset,
+        test: &Dataset,
+        checkpoint: RunCheckpoint,
+        manager: Option<&CheckpointManager>,
+    ) -> Result<AdqOutcome, CheckpointError> {
+        self.quantizer
+            .resume_from(model, train, test, self.sink.as_ref(), checkpoint, manager)
     }
 }
 

@@ -397,6 +397,57 @@ mod tests {
     }
 
     #[test]
+    fn golden_lowering_matches_float_forward_at_16_bit() {
+        // At 16 bits the quantization grid is ~4 decimal digits finer than
+        // the logit magnitudes, so the BN-folded integer datapath must
+        // reproduce the float fake-quantized forward pass elementwise — any
+        // larger gap means the lowering itself (folding, weight
+        // quantization, activation re-quantization) is wrong, not rounding.
+        let (mut model, _, test) = trained_model();
+        for i in 0..model.layer_count() {
+            model.set_bits_of(i, Some(BitWidth::SIXTEEN));
+        }
+        let float_logits = model.forward(&test.images, false);
+        let deployed = DeployedVgg::from_trained(&model).unwrap();
+        let (logits, _) = deployed.run(&test.images);
+        assert_eq!(logits.dims(), float_logits.dims());
+        let scale = float_logits
+            .data()
+            .iter()
+            .fold(1.0f32, |m, &v| m.max(v.abs()));
+        for (i, (&got, &want)) in logits.data().iter().zip(float_logits.data()).enumerate() {
+            assert!(
+                (got - want).abs() <= 0.02 * scale,
+                "logit {i}: integer {got} vs float {want} (scale {scale})"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_weights_are_rejected_at_lowering() {
+        use adq_nn::Param;
+        let (model, _, _) = trained_model();
+
+        // a NaN anywhere in the weights must surface as a typed error from
+        // from_trained, never as a silently-poisoned deployed network
+        let mut nan_model = model.clone();
+        nan_model.visit_params(&mut |slot: usize, p: &mut Param| {
+            if slot == 0 {
+                p.value.data_mut()[0] = f32::NAN;
+            }
+        });
+        assert!(DeployedVgg::from_trained(&nan_model).is_err());
+
+        let mut inf_model = model;
+        inf_model.visit_params(&mut |_slot: usize, p: &mut Param| {
+            if let Some(last) = p.value.data_mut().last_mut() {
+                *last = f32::INFINITY;
+            }
+        });
+        assert!(DeployedVgg::from_trained(&inf_model).is_err());
+    }
+
+    #[test]
     fn lower_precision_deployment_costs_less_energy() {
         let (model, _, test) = trained_model();
         // force one copy to all-16-bit, one to all-2-bit

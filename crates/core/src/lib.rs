@@ -22,6 +22,9 @@
 //!
 //! * [`AdQuantizer`] / [`AdqConfig`] / [`AdqOutcome`] — the in-training
 //!   controller, generic over any [`adq_nn::QuantModel`];
+//! * [`checkpoint`] — durable checkpoint/resume for long Algorithm-1 runs
+//!   ([`CheckpointManager`], [`RunCheckpoint`]), driven by
+//!   [`AdQuantizer::run_checkpointed`] / [`AdQuantizer::resume_from`];
 //! * [`training_complexity`] — eqn 4;
 //! * [`builders`] — glue from live models to the analytical
 //!   ([`adq_energy`]) and PIM ([`adq_pim`]) energy models;
@@ -47,9 +50,11 @@ mod controller;
 
 pub mod baselines;
 pub mod builders;
+pub mod checkpoint;
 pub mod deploy;
 pub mod paper;
 
+pub use checkpoint::{CheckpointError, CheckpointManager, RunCheckpoint, StructuralOp};
 pub use complexity::{training_complexity, IterationCost};
 pub use controller::{
     AdQuantizer, AdqConfig, AdqOutcome, DeadLayerPolicy, InstrumentedAdQuantizer, IterationRecord,

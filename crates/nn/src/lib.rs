@@ -51,5 +51,5 @@ pub use grad_quant::{CompressionReport, GradientCompressor};
 pub use layers::{BatchNorm2d, Conv2d, GlobalAvgPool, Linear, MaxPool2d, Relu};
 pub use loss::{accuracy, softmax_cross_entropy, LossOutput};
 pub use model::{LayerKind, LayerStat, QuantModel, ResNet, ResNetBlockView, Vgg, VggItem};
-pub use optim::{Adam, Optimizer, Sgd};
+pub use optim::{Adam, AdamState, Optimizer, Sgd};
 pub use param::Param;

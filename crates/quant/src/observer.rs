@@ -11,6 +11,12 @@ use crate::range::QuantRange;
 /// provided; the choice is one of the ablations called out in DESIGN.md §6.
 pub trait RangeObserver {
     /// Feeds one batch of values into the observer.
+    ///
+    /// Non-finite elements (NaN, ±∞ — e.g. from a diverging training step)
+    /// are skipped individually and counted in the process-wide
+    /// `quant.observer.nonfinite_dropped` metric; the remaining finite
+    /// elements still calibrate the range. A batch with no finite elements
+    /// leaves the observer unchanged.
     fn observe(&mut self, data: &[f32]);
 
     /// The calibrated range.
@@ -54,7 +60,7 @@ impl MinMaxObserver {
 
 impl RangeObserver for MinMaxObserver {
     fn observe(&mut self, data: &[f32]) {
-        if let Ok(batch) = QuantRange::from_data(data) {
+        if let Some(batch) = finite_batch_range(data) {
             self.current = Some(match self.current {
                 Some(prev) => prev.union(&batch),
                 None => batch,
@@ -113,7 +119,7 @@ impl Default for MovingAverageObserver {
 
 impl RangeObserver for MovingAverageObserver {
     fn observe(&mut self, data: &[f32]) {
-        let Ok(batch) = QuantRange::from_data(data) else {
+        let Some(batch) = finite_batch_range(data) else {
             return;
         };
         if self.seen {
@@ -139,6 +145,34 @@ impl RangeObserver for MovingAverageObserver {
         self.min = 0.0;
         self.max = 0.0;
     }
+}
+
+/// Range of the finite elements of `data`, or `None` when there are none.
+///
+/// Historically a single NaN/inf element silently discarded the *entire*
+/// batch (`QuantRange::from_data` rejects non-finite data wholesale),
+/// starving the observer of calibration data exactly when training is least
+/// stable. Dropped elements are counted in the process-wide
+/// `quant.observer.nonfinite_dropped` counter so divergence is visible in
+/// metrics snapshots.
+fn finite_batch_range(data: &[f32]) -> Option<QuantRange> {
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    let mut kept = 0usize;
+    for &x in data {
+        if x.is_finite() {
+            min = min.min(x);
+            max = max.max(x);
+            kept += 1;
+        }
+    }
+    let dropped = data.len() - kept;
+    if dropped > 0 {
+        adq_telemetry::metrics::global()
+            .counter("quant.observer.nonfinite_dropped")
+            .add(dropped as u64);
+    }
+    (kept > 0).then(|| QuantRange::new(min, max).expect("finite min <= max by construction"))
 }
 
 #[cfg(test)]
@@ -229,5 +263,57 @@ mod tests {
     #[should_panic]
     fn ema_zero_momentum_panics() {
         MovingAverageObserver::new(0.0);
+    }
+
+    #[test]
+    fn minmax_keeps_finite_elements_of_polluted_batch() {
+        // regression: a single NaN used to discard the whole batch
+        let mut o = MinMaxObserver::new();
+        o.observe(&[1.0, f32::NAN, -2.0, f32::INFINITY, f32::NEG_INFINITY]);
+        let r = o.range().unwrap();
+        assert_eq!((r.min(), r.max()), (-2.0, 1.0));
+    }
+
+    #[test]
+    fn minmax_all_nonfinite_batch_is_a_noop() {
+        let mut o = MinMaxObserver::new();
+        o.observe(&[f32::NAN, f32::INFINITY]);
+        assert!(o.range().is_err());
+        o.observe(&[0.5, 1.5]);
+        o.observe(&[f32::NAN]);
+        let r = o.range().unwrap();
+        assert_eq!((r.min(), r.max()), (0.5, 1.5));
+    }
+
+    #[test]
+    fn ema_keeps_finite_elements_of_polluted_batch() {
+        let mut o = MovingAverageObserver::new(0.5);
+        o.observe(&[0.0, 2.0]);
+        o.observe(&[f32::NAN, 4.0, 6.0]);
+        let r = o.range().unwrap();
+        // min: 0 + 0.5*(4-0) = 2; max: 2 + 0.5*(6-2) = 4
+        assert_eq!((r.min(), r.max()), (2.0, 4.0));
+    }
+
+    #[test]
+    fn ema_all_nonfinite_batch_is_a_noop() {
+        let mut o = MovingAverageObserver::new(0.5);
+        o.observe(&[-1.0, 1.0]);
+        o.observe(&[f32::INFINITY, f32::NAN]);
+        let r = o.range().unwrap();
+        assert_eq!((r.min(), r.max()), (-1.0, 1.0));
+    }
+
+    #[test]
+    fn nonfinite_drops_are_counted() {
+        let counter = adq_telemetry::metrics::global().counter("quant.observer.nonfinite_dropped");
+        let before = counter.get();
+        let mut o = MinMaxObserver::new();
+        o.observe(&[1.0, f32::NAN, f32::INFINITY]);
+        let mut e = MovingAverageObserver::default();
+        e.observe(&[f32::NEG_INFINITY]);
+        // other tests also feed non-finite data concurrently, so the counter
+        // moved by at least this test's 3 dropped elements
+        assert!(counter.get() >= before + 3);
     }
 }

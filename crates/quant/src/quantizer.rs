@@ -59,11 +59,21 @@ impl Quantizer {
 
     /// The value spacing between adjacent codes (0 for a degenerate range).
     pub fn step(&self) -> f32 {
+        self.step_f64() as f32
+    }
+
+    /// Code arithmetic runs in f64: `max_code` reaches 2³² − 1, far beyond
+    /// f32's 24-bit mantissa — f32 scaling loses whole codes above ~24 bits.
+    fn step_f64(&self) -> f64 {
         if self.range.is_degenerate() {
             0.0
         } else {
-            self.range.width() / self.bits.max_code() as f32
+            self.width_f64() / self.bits.max_code() as f64
         }
+    }
+
+    fn width_f64(&self) -> f64 {
+        f64::from(self.range.max()) - f64::from(self.range.min())
     }
 
     /// eqn 1: maps a real value to its integer code in `0..=2^k − 1`.
@@ -75,7 +85,8 @@ impl Quantizer {
             return 0;
         }
         let x = self.range.clamp(x);
-        let scaled = (x - self.range.min()) * (self.bits.max_code() as f32 / self.range.width());
+        let scaled = (f64::from(x) - f64::from(self.range.min()))
+            * (self.bits.max_code() as f64 / self.width_f64());
         // round-half-away-from-zero like the paper's `round`; scaled >= 0 here
         (scaled.round() as u64).min(self.bits.max_code())
     }
@@ -88,7 +99,7 @@ impl Quantizer {
             return self.range.min();
         }
         let code = code.min(self.bits.max_code());
-        self.range.min() + code as f32 * self.step()
+        (f64::from(self.range.min()) + code as f64 * self.step_f64()) as f32
     }
 
     /// Quantize-dequantize: the value the hardware would actually compute
@@ -115,10 +126,11 @@ impl Quantizer {
             return 0;
         }
         let x = self.range.clamp(x);
-        let scaled = (x - self.range.min()) * (self.bits.max_code() as f32 / self.range.width());
+        let scaled = (f64::from(x) - f64::from(self.range.min()))
+            * (self.bits.max_code() as f64 / self.width_f64());
         let floor = scaled.floor();
         let frac = scaled - floor;
-        let code = floor as u64 + u64::from(frac > u);
+        let code = floor as u64 + u64::from(frac > f64::from(u));
         code.min(self.bits.max_code())
     }
 
@@ -327,6 +339,52 @@ mod tests {
         for i in 0..100 {
             let x = i as f32 / 99.0;
             assert!((quant.fake_quantize(x) - x).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn high_bitwidth_codes_match_f64_reference() {
+        // f32 code arithmetic drifts by whole codes above ~24 bits; with the
+        // unit range, scaled = x * max_code exactly, so the reference is
+        // computable in the test
+        for bits in [24u32, 28, 32] {
+            let quant = q(bits, 0.0, 1.0);
+            let max_code = quant.bits().max_code();
+            for i in 1..10 {
+                let x = i as f32 / 10.0;
+                let expected = (f64::from(x) * max_code as f64).round() as u64;
+                assert_eq!(
+                    quant.quantize(x),
+                    expected.min(max_code),
+                    "bits={bits} x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thirty_two_bit_lossless_within_f32_rounding() {
+        let quant = q(32, 0.0, 1.0);
+        for i in 0..100 {
+            let x = i as f32 / 99.0;
+            let err = (quant.fake_quantize(x) - x).abs();
+            assert!(err <= 2.0 * f32::EPSILON, "x={x} err={err}");
+        }
+    }
+
+    #[test]
+    fn code_roundtrip_exact_up_to_20_bits() {
+        for bits in 1..=20 {
+            let quant = q(bits, -1.0, 1.0);
+            let max_code = quant.bits().max_code();
+            for code in [0, 1, max_code / 3, max_code / 2, max_code - 1, max_code] {
+                let code = code.min(max_code);
+                assert_eq!(
+                    quant.quantize(quant.dequantize(code)),
+                    code,
+                    "bits={bits} code={code}"
+                );
+            }
         }
     }
 }

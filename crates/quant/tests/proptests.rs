@@ -12,6 +12,18 @@ fn quantizer_strategy() -> impl Strategy<Value = Quantizer> {
     })
 }
 
+/// The full legal bit-width span. Code arithmetic runs in f64 internally,
+/// so invariants hold all the way to 32 bits (f32 arithmetic lost whole
+/// codes above ~24 bits).
+fn wide_quantizer_strategy() -> impl Strategy<Value = Quantizer> {
+    (1u32..=32, -100.0f32..100.0, 0.001f32..200.0).prop_map(|(bits, min, width)| {
+        Quantizer::new(
+            BitWidth::new(bits).expect("bits in 1..=32"),
+            QuantRange::new(min, min + width).expect("min <= min + width"),
+        )
+    })
+}
+
 proptest! {
     #[test]
     fn codes_never_exceed_max((q, x) in (quantizer_strategy(), -1000.0f32..1000.0)) {
@@ -92,6 +104,58 @@ proptest! {
         let hi = q.fake_quantize_stochastic(x, 0.0);       // round up unless exact
         prop_assert!(lo <= clamped + 1e-3 * (1.0 + clamped.abs()));
         prop_assert!(hi >= clamped - 1e-3 * (1.0 + clamped.abs()));
+    }
+
+    #[test]
+    fn codes_never_exceed_max_up_to_32_bits(
+        (q, x) in (wide_quantizer_strategy(), -1000.0f32..1000.0)
+    ) {
+        prop_assert!(q.quantize(x) <= q.bits().max_code());
+    }
+
+    #[test]
+    fn quantize_is_monotone_up_to_32_bits(
+        (q, a, b) in (wide_quantizer_strategy(), -500.0f32..500.0, -500.0f32..500.0)
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(q.quantize(lo) <= q.quantize(hi));
+    }
+
+    #[test]
+    fn fake_quantize_idempotent_up_to_32_bits(
+        (q, x) in (wide_quantizer_strategy(), -1000.0f32..1000.0)
+    ) {
+        let once = q.fake_quantize(x);
+        let twice = q.fake_quantize(once);
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+    }
+
+    #[test]
+    fn error_bounded_by_half_step_up_to_32_bits(
+        (q, x) in (wide_quantizer_strategy(), -1000.0f32..1000.0)
+    ) {
+        let clamped = q.range().clamp(x);
+        let err = (q.fake_quantize(x) - clamped).abs();
+        // at very high bit-widths the f32 return value dominates the error,
+        // so the bound is half a step plus a few ulps of the magnitude
+        prop_assert!(err <= q.step() / 2.0 + 4.0 * f32::EPSILON * (1.0 + clamped.abs()),
+            "err={} step={}", err, q.step());
+    }
+
+    #[test]
+    fn code_roundtrip_exact_where_f32_resolves_codes(
+        (bits, min, width, frac) in (1u32..=20, -1.0f32..1.0, 0.5f32..2.0, 0.0f64..=1.0)
+    ) {
+        // with f64 internals, codes survive dequantize → quantize exactly as
+        // long as the step is wider than f32 rounding at the value magnitude
+        // (here: |value| <= 3, k <= 20); the old f32 arithmetic already broke
+        // this within 1..=16 on wide ranges
+        let q = Quantizer::new(
+            BitWidth::new(bits).expect("valid"),
+            QuantRange::new(min, min + width).expect("min <= min + width"),
+        );
+        let code = (frac * q.bits().max_code() as f64).round() as u64;
+        prop_assert_eq!(q.quantize(q.dequantize(code)), code);
     }
 
     #[test]

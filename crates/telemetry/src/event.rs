@@ -110,6 +110,24 @@ pub enum TelemetryEvent {
         /// Energy efficiency relative to a 16-bit baseline (1.0 = equal).
         efficiency_vs_baseline: f64,
     },
+    /// A run checkpoint was durably written (atomic rename completed).
+    CheckpointSaved {
+        /// Last fully completed Algorithm-1 iteration captured by the file.
+        iteration: usize,
+        /// Filesystem path of the checkpoint file.
+        path: String,
+        /// Serialized size in bytes (header + payload).
+        bytes: u64,
+    },
+    /// A run continued from a checkpoint instead of starting fresh.
+    RunResumed {
+        /// Human label for the run (e.g. bench binary name).
+        run: String,
+        /// Iteration the resumed run starts at (1-based).
+        next_iteration: usize,
+        /// Iterations already completed inside the checkpoint.
+        completed_iterations: usize,
+    },
     /// The run finished.
     RunCompleted {
         /// Iterations executed.
@@ -133,6 +151,8 @@ impl TelemetryEvent {
             TelemetryEvent::LayerPruned { .. } => "LayerPruned",
             TelemetryEvent::LayerRemoved { .. } => "LayerRemoved",
             TelemetryEvent::IterationCompleted { .. } => "IterationCompleted",
+            TelemetryEvent::CheckpointSaved { .. } => "CheckpointSaved",
+            TelemetryEvent::RunResumed { .. } => "RunResumed",
             TelemetryEvent::EnergyEstimated { .. } => "EnergyEstimated",
             TelemetryEvent::RunCompleted { .. } => "RunCompleted",
         }
@@ -166,6 +186,16 @@ mod tests {
             TelemetryEvent::LayerRemoved {
                 iteration: 2,
                 layer: 5,
+            },
+            TelemetryEvent::CheckpointSaved {
+                iteration: 2,
+                path: "ckpt/iter-0002.ckpt".into(),
+                bytes: 4096,
+            },
+            TelemetryEvent::RunResumed {
+                run: "adq.run".into(),
+                next_iteration: 3,
+                completed_iterations: 2,
             },
             TelemetryEvent::RunCompleted {
                 iterations: 3,

@@ -166,6 +166,23 @@ impl TelemetrySink for ConsoleSink {
                      ({efficiency_vs_baseline:.2}x vs baseline)"
                 );
             }
+            TelemetryEvent::CheckpointSaved {
+                iteration,
+                path,
+                bytes,
+            } => {
+                println!("[telemetry] iter {iteration}: checkpoint saved to {path} ({bytes} B)");
+            }
+            TelemetryEvent::RunResumed {
+                run,
+                next_iteration,
+                completed_iterations,
+            } => {
+                println!(
+                    "[telemetry] run resumed: {run} at iter {next_iteration} \
+                     ({completed_iterations} already complete)"
+                );
+            }
             TelemetryEvent::RunCompleted {
                 iterations,
                 training_complexity,

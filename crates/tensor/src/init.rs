@@ -26,6 +26,24 @@ pub fn rng(seed: u64) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(seed)
 }
 
+/// Snapshots an RNG's keystream position as plain words, for inclusion in
+/// run checkpoints: `(key, counter, index)` as produced by
+/// [`rand_chacha::ChaCha8Rng::state`].
+pub fn rng_state(rng: &ChaCha8Rng) -> ([u32; 8], u64, u32) {
+    let s = rng.state();
+    (s.key, s.counter, s.index)
+}
+
+/// Rebuilds an RNG from a [`rng_state`] snapshot; the restored stream
+/// continues bit-exactly from where the snapshot was taken.
+pub fn rng_from_state(key: [u32; 8], counter: u64, index: u32) -> ChaCha8Rng {
+    ChaCha8Rng::from_state(rand_chacha::ChaChaState {
+        key,
+        counter,
+        index,
+    })
+}
+
 /// Tensor with elements drawn uniformly from `[lo, hi)`.
 pub fn uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
     let n: usize = dims.iter().product();
@@ -107,5 +125,16 @@ mod tests {
     fn normal_produces_finite_values() {
         let t = normal(&[10_000], 0.0, 1.0, &mut rng(4));
         assert!(t.data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn rng_state_roundtrip_continues_stream() {
+        let mut original = rng(11);
+        let _: f32 = original.gen(); // advance mid-block
+        let (key, counter, index) = rng_state(&original);
+        let mut restored = rng_from_state(key, counter, index);
+        for _ in 0..100 {
+            assert_eq!(original.gen::<u64>(), restored.gen::<u64>());
+        }
     }
 }

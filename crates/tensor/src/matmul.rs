@@ -6,9 +6,22 @@ use rayon::prelude::*;
 use crate::shape::ShapeError;
 use crate::tensor::Tensor;
 
-/// Minimum number of output rows before we split work across threads;
-/// below this the rayon dispatch overhead dominates.
+/// Minimum number of output rows before we split work across threads —
+/// with fewer rows than this there is nothing to meaningfully distribute.
 const PAR_ROW_THRESHOLD: usize = 8;
+
+/// Minimum estimated work (m·n·k multiply-adds) before we split across
+/// threads. Rayon dispatch costs on the order of microseconds; a tall but
+/// skinny product (say 64×4·4, a training-batch logits matmul) has plenty
+/// of rows yet finishes serially long before the thread pool warms up.
+const PAR_FLOP_THRESHOLD: usize = 32_768;
+
+/// Parallel-dispatch heuristic shared by all three matmul variants: enough
+/// rows to split *and* enough total work to amortise the dispatch.
+#[inline]
+fn par_dispatch(m: usize, n: usize, k: usize) -> bool {
+    m >= PAR_ROW_THRESHOLD && m.saturating_mul(n).saturating_mul(k) >= PAR_FLOP_THRESHOLD
+}
 
 /// Wall-time of every matmul variant, recorded into the process-wide
 /// `tensor.matmul` histogram. The `Arc` is resolved once per process.
@@ -65,7 +78,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
             }
         }
     };
-    if m >= PAR_ROW_THRESHOLD {
+    if par_dispatch(m, n, k) {
         out.par_chunks_mut(n).enumerate().for_each(body);
     } else {
         out.chunks_mut(n).enumerate().for_each(body);
@@ -104,7 +117,7 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
             }
         }
     };
-    if m >= PAR_ROW_THRESHOLD {
+    if par_dispatch(m, n, k) {
         out.par_chunks_mut(n).enumerate().for_each(body);
     } else {
         out.chunks_mut(n).enumerate().for_each(body);
@@ -138,7 +151,7 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
             *c = dot(a_row, b_row);
         }
     };
-    if m >= PAR_ROW_THRESHOLD {
+    if par_dispatch(m, n, k) {
         out.par_chunks_mut(n).enumerate().for_each(body);
     } else {
         out.chunks_mut(n).enumerate().for_each(body);
@@ -266,5 +279,58 @@ mod tests {
         let b = Tensor::zeros(&[3, 2]);
         let c = matmul(&a, &b).unwrap();
         assert_eq!(c.dims(), &[0, 2]);
+    }
+
+    #[test]
+    fn dispatch_requires_both_rows_and_flops() {
+        // many rows, trivial work: stays serial
+        assert!(!par_dispatch(64, 4, 4));
+        // few rows: serial regardless of work
+        assert!(!par_dispatch(4, 1024, 1024));
+        // both thresholds met: parallel
+        assert!(par_dispatch(64, 64, 64));
+        // boundary: exactly the flop threshold qualifies
+        assert!(par_dispatch(8, 64, 64));
+        assert!(!par_dispatch(8, 64, 63));
+        // degenerate shapes never overflow the work estimate
+        assert!(par_dispatch(usize::MAX, usize::MAX, usize::MAX));
+    }
+
+    #[test]
+    fn small_shapes_stay_serial_and_correct() {
+        // shapes straddling the row threshold but below the flop threshold:
+        // all three variants must agree with the naive reference on the
+        // serial path they now take
+        for (m, k, n) in [(64, 4, 4), (16, 8, 8), (9, 3, 7)] {
+            assert!(
+                !par_dispatch(m, n, k),
+                "({m},{k},{n}) unexpectedly parallel"
+            );
+            let a = random_tensor(&[m, k], (m * k) as u64);
+            let b = random_tensor(&[k, n], (k * n + 1) as u64);
+            assert_close(&matmul(&a, &b).unwrap(), &naive(&a, &b), 1e-5);
+
+            let at = random_tensor(&[k, m], (m + k) as u64);
+            let expected = matmul(&at.transposed(), &b).unwrap();
+            assert_close(&matmul_at_b(&at, &b).unwrap(), &expected, 1e-5);
+
+            let bt = random_tensor(&[n, k], (n + k) as u64);
+            let expected = matmul(&a, &bt.transposed()).unwrap();
+            assert_close(&matmul_a_bt(&a, &bt).unwrap(), &expected, 1e-5);
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_paths_agree_across_threshold() {
+        // one shape just under and one just over the flop threshold
+        let small = (8usize, 16usize, 16usize); // 2048 flops: serial
+        let large = (32usize, 64usize, 64usize); // 131072 flops: parallel
+        assert!(!par_dispatch(small.0, small.2, small.1));
+        assert!(par_dispatch(large.0, large.2, large.1));
+        for (m, k, n) in [small, large] {
+            let a = random_tensor(&[m, k], 77);
+            let b = random_tensor(&[k, n], 78);
+            assert_close(&matmul(&a, &b).unwrap(), &naive(&a, &b), 1e-4);
+        }
     }
 }
