@@ -8,15 +8,22 @@
 #                    (tests/full_size_smoke.rs: VGG-19 / ResNet-18 at real
 #                    geometry). Minutes of CPU, not hours — run before
 #                    release tags or after touching the tensor/nn hot paths.
+#   ./ci.sh --bench  tier-1 gate plus the criterion kernel benches in quick
+#                    mode. Writes the medians to BENCH_kernels.json at the
+#                    repo root (the cross-PR perf trajectory) and fails if
+#                    any kernel tracked in the committed baseline regresses
+#                    by more than 25%.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 FULL=0
+BENCH=0
 for arg in "$@"; do
     case "$arg" in
     --full) FULL=1 ;;
+    --bench) BENCH=1 ;;
     *)
-        echo "ci.sh: unknown argument '$arg' (supported: --full)" >&2
+        echo "ci.sh: unknown argument '$arg' (supported: --full, --bench)" >&2
         exit 2
         ;;
     esac
@@ -37,6 +44,28 @@ cargo test -q
 if [[ "$FULL" -eq 1 ]]; then
     echo "==> full: cargo test --release --test full_size_smoke -- --ignored"
     cargo test --release --test full_size_smoke -- --ignored
+fi
+
+if [[ "$BENCH" -eq 1 ]]; then
+    echo "==> bench: criterion kernels (quick mode) -> BENCH_kernels.json"
+    # Compare against the committed snapshot before overwriting it: the
+    # baseline is whatever HEAD has, so the perf trajectory accumulates
+    # PR over PR.
+    baseline=""
+    if git cat-file -e HEAD:BENCH_kernels.json 2>/dev/null; then
+        baseline="$(mktemp)"
+        git show HEAD:BENCH_kernels.json >"$baseline"
+    fi
+    CRITERION_JSON="$PWD/BENCH_kernels.json" CRITERION_SAMPLE_SIZE=5 \
+        cargo bench -p adq-bench --bench kernels
+    if [[ -n "$baseline" ]]; then
+        echo "==> bench: regression check vs committed baseline"
+        cargo run --release -p adq-bench --bin bench_check -- \
+            "$baseline" BENCH_kernels.json --max-regress 0.25
+        rm -f "$baseline"
+    else
+        echo "==> bench: no committed baseline yet (first snapshot)"
+    fi
 fi
 
 echo "ci: all green"

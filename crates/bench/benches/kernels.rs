@@ -1,0 +1,148 @@
+//! Kernel-level benchmarks for the conv/quant hot path: blocked GEMM vs
+//! the pre-blocking naive kernels, im2col lowering, and fused
+//! fake-quantization.
+//!
+//! `ci.sh --bench` runs these in quick mode and snapshots the medians to
+//! `BENCH_kernels.json` at the repo root (via the harness's
+//! `CRITERION_JSON` hook); `bench_check` then fails CI when a tracked
+//! kernel regresses against the committed baseline. The `square512` and
+//! `vgg19_conv` groups carry the PR acceptance comparison: `blocked` must
+//! hold a ≥2× median advantage over `naive`.
+
+use adq_quant::{BitWidth, QuantRange, Quantizer};
+use adq_tensor::{
+    im2col, im2col_scratch, init, matmul, matmul_a_bt, matmul_a_bt_naive, matmul_at_b,
+    matmul_at_b_naive, matmul_naive, matmul_scratch, Conv2dGeom, Scratch, Tensor,
+};
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+
+/// `C = A·B` pairs: the blocked kernel vs the pre-PR naive kernel, plus a
+/// scratch-warm variant showing the arena amortising pack allocations.
+fn bench_gemm_nn(c: &mut Criterion) {
+    // (group, m, k, n): paper-relevant GEMM shapes.
+    // vgg19_conv:   O=512 filters over C·p² = 512·9 = 4608 taps, 1024 output
+    //               pixels — the widest layer of Table 2's VGG19 runs.
+    // resnet18_conv: O=128, C·p² = 128·9 = 1152, 1024 pixels.
+    // wide_short:   the dispatch-gap shape (m=4) the old row-only split
+    //               left fully serial.
+    let shapes: &[(&str, usize, usize, usize)] = &[
+        ("square512", 512, 512, 512),
+        ("vgg19_conv", 512, 4608, 1024),
+        ("resnet18_conv", 128, 1152, 1024),
+        ("wide_short", 4, 4096, 4096),
+    ];
+    for &(name, m, k, n) in shapes {
+        let mut rng = init::rng(11);
+        let a = init::normal(&[m, k], 0.0, 1.0, &mut rng);
+        let b = init::normal(&[k, n], 0.0, 1.0, &mut rng);
+        let mut group = c.benchmark_group(name);
+        group.bench_function("naive", |bch| {
+            bch.iter(|| {
+                black_box(matmul_naive(black_box(&a), black_box(&b)).expect("shapes agree"))
+            })
+        });
+        group.bench_function("blocked", |bch| {
+            bch.iter(|| black_box(matmul(black_box(&a), black_box(&b)).expect("shapes agree")))
+        });
+        let mut scratch = Scratch::new();
+        group.bench_function("blocked_scratch", |bch| {
+            bch.iter(|| {
+                black_box(
+                    matmul_scratch(black_box(&a), black_box(&b), &mut scratch)
+                        .expect("shapes agree"),
+                )
+            })
+        });
+        group.finish();
+    }
+}
+
+/// The two transpose variants on the conv-backward shapes they serve:
+/// `dW = dY · colsᵀ` and `dCols = Wᵀ · dY`.
+fn bench_gemm_transposed(c: &mut Criterion) {
+    let (o, taps, pixels) = (128, 1152, 1024);
+    let mut rng = init::rng(12);
+    let dy = init::normal(&[o, pixels], 0.0, 1.0, &mut rng);
+    let cols = init::normal(&[taps, pixels], 0.0, 1.0, &mut rng);
+    let weight = init::normal(&[o, taps], 0.0, 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("conv_backward_gemm");
+    group.bench_function("a_bt_naive", |bch| {
+        bch.iter(|| black_box(matmul_a_bt_naive(black_box(&dy), black_box(&cols)).unwrap()))
+    });
+    group.bench_function("a_bt_blocked", |bch| {
+        bch.iter(|| black_box(matmul_a_bt(black_box(&dy), black_box(&cols)).unwrap()))
+    });
+    group.bench_function("at_b_naive", |bch| {
+        bch.iter(|| black_box(matmul_at_b_naive(black_box(&weight), black_box(&dy)).unwrap()))
+    });
+    group.bench_function("at_b_blocked", |bch| {
+        bch.iter(|| black_box(matmul_at_b(black_box(&weight), black_box(&dy)).unwrap()))
+    });
+    group.finish();
+}
+
+/// im2col lowering of a mid-network VGG-style activation, cold vs
+/// scratch-warm.
+fn bench_im2col(c: &mut Criterion) {
+    let mut rng = init::rng(13);
+    let input = init::normal(&[8, 64, 32, 32], 0.0, 1.0, &mut rng);
+    let geom = Conv2dGeom::new(64, 64, 3, 1, 1);
+    let strided = Conv2dGeom::new(64, 64, 3, 2, 1);
+
+    let mut group = c.benchmark_group("im2col");
+    group.bench_function("vgg_3x3_pad1", |bch| {
+        bch.iter(|| black_box(im2col(black_box(&input), &geom).unwrap()))
+    });
+    let mut scratch = Scratch::new();
+    group.bench_function("vgg_3x3_pad1_scratch", |bch| {
+        bch.iter(|| {
+            let cols = im2col_scratch(black_box(&input), &geom, &mut scratch).unwrap();
+            scratch.give(black_box(cols).into_vec());
+        })
+    });
+    group.bench_function("vgg_3x3_stride2", |bch| {
+        bch.iter(|| black_box(im2col(black_box(&input), &strided).unwrap()))
+    });
+    group.finish();
+}
+
+/// Fake quantization of an activation-sized tensor: the fused slice loop
+/// vs calling the scalar path per element.
+fn bench_fake_quantize(c: &mut Criterion) {
+    let mut rng = init::rng(14);
+    let data = init::normal(&[1 << 18], 0.0, 1.0, &mut rng);
+    let quant = Quantizer::new(
+        BitWidth::new(4).expect("valid bits"),
+        QuantRange::new(-3.0, 3.0).expect("valid range"),
+    );
+
+    let mut group = c.benchmark_group("fake_quantize");
+    group.bench_function("scalar_per_element", |bch| {
+        bch.iter_batched(
+            || data.clone(),
+            |t: Tensor| t.map(|x| quant.fake_quantize(x)),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("fused_slice", |bch| {
+        bch.iter_batched(
+            || data.clone(),
+            |mut t: Tensor| {
+                quant.fake_quantize_slice(t.data_mut());
+                t
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_gemm_nn,
+    bench_gemm_transposed,
+    bench_im2col,
+    bench_fake_quantize
+);
+criterion_main!(kernels);

@@ -1,0 +1,97 @@
+//! Compares two `BENCH_kernels.json` snapshots and fails (exit 1) when any
+//! kernel tracked in both regresses beyond the allowed fraction.
+//!
+//! Usage: `bench_check <baseline.json> <current.json> [--max-regress 0.25]`
+//!
+//! Kernels present in only one file are reported but never fail the check —
+//! adding or retiring a benchmark must not break CI. Comparison is on
+//! `median_ns` (medians shrug off scheduler noise that skews means).
+
+use std::process::ExitCode;
+
+fn load(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_check: cannot read {path}: {e}"));
+    let value: serde_json::Value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("bench_check: {path} is not valid JSON: {e:?}"));
+    let records = value
+        .as_seq()
+        .unwrap_or_else(|| panic!("bench_check: {path} is not a JSON array"));
+    records
+        .iter()
+        .map(|r| {
+            let name = r
+                .get("name")
+                .and_then(|v| v.as_str())
+                .unwrap_or_else(|| panic!("bench_check: record without name in {path}"))
+                .to_string();
+            let median = r
+                .get("median_ns")
+                .and_then(|v| v.as_f64())
+                .unwrap_or_else(|| panic!("bench_check: {name} has no median_ns in {path}"));
+            (name, median)
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut max_regress = 0.25f64;
+    let mut files: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--max-regress" {
+            let v = it.next().expect("bench_check: --max-regress needs a value");
+            max_regress = v
+                .parse()
+                .unwrap_or_else(|e| panic!("bench_check: bad --max-regress {v}: {e}"));
+        } else {
+            files.push(arg);
+        }
+    }
+    let [baseline_path, current_path] = files[..] else {
+        eprintln!("usage: bench_check <baseline.json> <current.json> [--max-regress 0.25]");
+        return ExitCode::FAILURE;
+    };
+
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    for (name, base_ns) in &baseline {
+        let Some((_, cur_ns)) = current.iter().find(|(n, _)| n == name) else {
+            println!("  {name}: only in baseline (skipped)");
+            continue;
+        };
+        compared += 1;
+        let ratio = if *base_ns > 0.0 {
+            cur_ns / base_ns
+        } else {
+            1.0
+        };
+        let delta_pct = (ratio - 1.0) * 100.0;
+        let verdict = if ratio > 1.0 + max_regress {
+            failures += 1;
+            "REGRESSED"
+        } else if ratio < 1.0 {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!("  {name}: {base_ns:.0} ns -> {cur_ns:.0} ns ({delta_pct:+.1}%) {verdict}");
+    }
+    for (name, _) in &current {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            println!("  {name}: new (no baseline)");
+        }
+    }
+    println!(
+        "bench_check: {compared} kernels compared, {failures} regressed beyond {:.0}%",
+        max_regress * 100.0
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -146,16 +146,47 @@ impl Quantizer {
         t.data().iter().map(|&x| self.quantize(x)).collect()
     }
 
+    /// Fake-quantizes a slice in place with the range constants hoisted out
+    /// of the loop.
+    ///
+    /// The per-element [`Quantizer::fake_quantize`] re-derives the scale
+    /// (`max_code / width`), step and clamp bounds on every call; this path
+    /// computes them once and runs a tight clamp → scale → round →
+    /// reconstruct loop. The arithmetic per element is the *same
+    /// expressions in the same order* as the scalar path, so results are
+    /// bit-identical to calling [`Quantizer::fake_quantize`] per element —
+    /// including NaN inputs (mapped to the range minimum, as the scalar
+    /// path's saturating `as u64` cast does) and infinities (clamped).
+    pub fn fake_quantize_slice(&self, data: &mut [f32]) {
+        let _timer = forward_timer();
+        if self.range.is_degenerate() {
+            data.fill(self.range.min());
+            return;
+        }
+        let lo = self.range.min();
+        let hi = self.range.max();
+        let min64 = f64::from(lo);
+        let max_code = self.bits.max_code();
+        let inv_step = max_code as f64 / self.width_f64();
+        let step = self.step_f64();
+        for v in data {
+            let x = (*v).clamp(lo, hi);
+            let scaled = (f64::from(x) - min64) * inv_step;
+            let code = (scaled.round() as u64).min(max_code);
+            *v = (min64 + code as f64 * step) as f32;
+        }
+    }
+
     /// Fake-quantizes a whole tensor, preserving its shape.
     pub fn fake_quantize_tensor(&self, t: &Tensor) -> Tensor {
-        let _timer = forward_timer();
-        t.map(|x| self.fake_quantize(x))
+        let mut out = t.clone();
+        self.fake_quantize_slice(out.data_mut());
+        out
     }
 
     /// Fake-quantizes a tensor in place.
     pub fn fake_quantize_tensor_inplace(&self, t: &mut Tensor) {
-        let _timer = forward_timer();
-        t.map_inplace(|x| self.fake_quantize(x));
+        self.fake_quantize_slice(t.data_mut());
     }
 
     /// Quantizer for the given data: range calibrated to its min/max.
@@ -370,6 +401,51 @@ mod tests {
             let err = (quant.fake_quantize(x) - x).abs();
             assert!(err <= 2.0 * f32::EPSILON, "x={x} err={err}");
         }
+    }
+
+    #[test]
+    fn slice_path_is_bit_identical_to_scalar_path() {
+        // the fused loop hoists constants but must keep the exact scalar
+        // arithmetic — verify bit-for-bit across bit widths and ranges
+        let mut inputs: Vec<f32> = Vec::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for _ in 0..200 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            inputs.push(((state >> 33) as f32 / u32::MAX as f32) * 6.0 - 3.0);
+        }
+        inputs.extend([
+            0.0,
+            -0.0,
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MIN_POSITIVE,
+            -f32::MIN_POSITIVE,
+            f32::MAX,
+            f32::MIN,
+        ]);
+        for bits in 1..=32 {
+            for (lo, hi) in [(-1.0f32, 1.0f32), (0.0, 2.5), (-0.3, 0.7), (5.0, 5.0)] {
+                let quant = q(bits, lo, hi);
+                let expected: Vec<u32> = inputs
+                    .iter()
+                    .map(|&x| quant.fake_quantize(x).to_bits())
+                    .collect();
+                let mut fused = inputs.clone();
+                quant.fake_quantize_slice(&mut fused);
+                let got: Vec<u32> = fused.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, expected, "bits={bits} range=[{lo},{hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_path_handles_empty_slice() {
+        let quant = q(4, 0.0, 1.0);
+        let mut empty: [f32; 0] = [];
+        quant.fake_quantize_slice(&mut empty);
     }
 
     #[test]

@@ -3,6 +3,7 @@ use std::sync::{Arc, OnceLock};
 use adq_telemetry::{Histogram, ScopedTimer};
 use serde::{Deserialize, Serialize};
 
+use crate::scratch::Scratch;
 use crate::shape::ShapeError;
 use crate::tensor::Tensor;
 
@@ -89,6 +90,30 @@ impl Conv2dGeom {
     }
 }
 
+/// The contiguous run of output columns `owi ∈ [lo, hi)` whose input tap
+/// `iw = owi·stride + kw − padding` lands in `[0, extent)`, for one tap
+/// offset `kw`. Everything outside the run is padding.
+#[inline]
+fn in_bounds_run(
+    extent: usize,
+    out_extent: usize,
+    kw: usize,
+    stride: usize,
+    padding: usize,
+) -> (usize, usize) {
+    let lo = if padding > kw {
+        (padding - kw).div_ceil(stride)
+    } else {
+        0
+    };
+    let hi = if extent + padding > kw {
+        out_extent.min((extent - 1 + padding - kw) / stride + 1)
+    } else {
+        0
+    };
+    (lo, hi.max(lo))
+}
+
 /// Lowers an NCHW input into a `[C·p·p, N·OH·OW]` column matrix so that a
 /// convolution becomes a single matrix multiply against a `[O, C·p·p]`
 /// weight matrix.
@@ -96,11 +121,29 @@ impl Conv2dGeom {
 /// Column `((n·OH + oh)·OW + ow)` holds the receptive field of output pixel
 /// `(oh, ow)` of sample `n`; out-of-bounds taps (padding) are zero.
 ///
+/// The column buffer is zeroed once up front; per output row only the
+/// in-bounds run of input pixels is copied (a single `copy_from_slice` at
+/// stride 1), instead of testing every tap individually.
+///
 /// # Errors
 ///
 /// Returns [`ShapeError`] if `input` is not rank-4 or its channel count does
 /// not match `geom`.
 pub fn im2col(input: &Tensor, geom: &Conv2dGeom) -> Result<Tensor, ShapeError> {
+    im2col_scratch(input, geom, &mut Scratch::new())
+}
+
+/// [`im2col`] drawing the column buffer from `scratch`, so the dominant
+/// allocation of a conv forward pass is recycled across batches.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] under the same conditions as [`im2col`].
+pub fn im2col_scratch(
+    input: &Tensor,
+    geom: &Conv2dGeom,
+    scratch: &mut Scratch,
+) -> Result<Tensor, ShapeError> {
     if input.rank() != 4 || input.dims()[1] != geom.in_channels {
         return Err(ShapeError::new(format!(
             "im2col: expected [N, {}, H, W] input, got {:?}",
@@ -118,30 +161,37 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeom) -> Result<Tensor, ShapeError> {
     let oh = geom.output_size(h);
     let ow = geom.output_size(w);
     let p = geom.kernel;
+    let stride = geom.stride;
+    let padding = geom.padding;
     let rows = c * p * p;
     let cols = n * oh * ow;
-    let mut out = vec![0.0f32; rows * cols];
+    let mut out = scratch.take_zeroed(rows * cols);
     let data = input.data();
     for ci in 0..c {
         for kh in 0..p {
+            let (oh_lo, oh_hi) = in_bounds_run(h, oh, kh, stride, padding);
             for kw in 0..p {
+                let (ow_lo, ow_hi) = in_bounds_run(w, ow, kw, stride, padding);
+                if oh_lo >= oh_hi || ow_lo >= ow_hi {
+                    continue;
+                }
                 let row = (ci * p + kh) * p + kw;
                 let out_row = &mut out[row * cols..(row + 1) * cols];
+                let iw0 = ow_lo * stride + kw - padding;
                 for ni in 0..n {
                     let in_base = (ni * c + ci) * h * w;
-                    for ohi in 0..oh {
-                        let ih = (ohi * geom.stride + kh) as isize - geom.padding as isize;
+                    for ohi in oh_lo..oh_hi {
+                        let ih = ohi * stride + kh - padding;
+                        let in_row = in_base + ih * w;
                         let col_base = (ni * oh + ohi) * ow;
-                        if ih < 0 || ih >= h as isize {
-                            continue;
-                        }
-                        let in_row = in_base + ih as usize * w;
-                        for owi in 0..ow {
-                            let iw = (owi * geom.stride + kw) as isize - geom.padding as isize;
-                            if iw < 0 || iw >= w as isize {
-                                continue;
+                        if stride == 1 {
+                            let run = ow_hi - ow_lo;
+                            out_row[col_base + ow_lo..col_base + ow_hi]
+                                .copy_from_slice(&data[in_row + iw0..in_row + iw0 + run]);
+                        } else {
+                            for (step, owi) in (ow_lo..ow_hi).enumerate() {
+                                out_row[col_base + owi] = data[in_row + iw0 + step * stride];
                             }
-                            out_row[col_base + owi] = data[in_row + iw as usize];
                         }
                     }
                 }
@@ -152,7 +202,8 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeom) -> Result<Tensor, ShapeError> {
 }
 
 /// Scatters a `[C·p·p, N·OH·OW]` column-gradient matrix back onto an NCHW
-/// input-gradient tensor — the adjoint of [`im2col`].
+/// input-gradient tensor — the adjoint of [`im2col`]. Uses the same
+/// in-bounds-run iteration, skipping padding taps wholesale.
 ///
 /// # Errors
 ///
@@ -173,6 +224,8 @@ pub fn col2im(
     let oh = geom.output_size(h);
     let ow = geom.output_size(w);
     let p = geom.kernel;
+    let stride = geom.stride;
+    let padding = geom.padding;
     let rows = c * p * p;
     let ncols = n * oh * ow;
     if cols.dims() != [rows, ncols] {
@@ -183,24 +236,23 @@ pub fn col2im(
     let col_data = cols.data();
     for ci in 0..c {
         for kh in 0..p {
+            let (oh_lo, oh_hi) = in_bounds_run(h, oh, kh, stride, padding);
             for kw in 0..p {
+                let (ow_lo, ow_hi) = in_bounds_run(w, ow, kw, stride, padding);
+                if oh_lo >= oh_hi || ow_lo >= ow_hi {
+                    continue;
+                }
                 let row = (ci * p + kh) * p + kw;
                 let col_row = &col_data[row * ncols..(row + 1) * ncols];
+                let iw0 = ow_lo * stride + kw - padding;
                 for ni in 0..n {
                     let out_base = (ni * c + ci) * h * w;
-                    for ohi in 0..oh {
-                        let ih = (ohi * geom.stride + kh) as isize - geom.padding as isize;
-                        if ih < 0 || ih >= h as isize {
-                            continue;
-                        }
-                        let out_row = out_base + ih as usize * w;
+                    for ohi in oh_lo..oh_hi {
+                        let ih = ohi * stride + kh - padding;
+                        let out_row = out_base + ih * w;
                         let col_base = (ni * oh + ohi) * ow;
-                        for owi in 0..ow {
-                            let iw = (owi * geom.stride + kw) as isize - geom.padding as isize;
-                            if iw < 0 || iw >= w as isize {
-                                continue;
-                            }
-                            out_data[out_row + iw as usize] += col_row[col_base + owi];
+                        for (step, owi) in (ow_lo..ow_hi).enumerate() {
+                            out_data[out_row + iw0 + step * stride] += col_row[col_base + owi];
                         }
                     }
                 }
@@ -279,6 +331,58 @@ mod tests {
         assert!(im2col(&input, &g).is_err());
     }
 
+    /// Embeds an NCHW tensor into a zero canvas with `pad` extra pixels on
+    /// every spatial border.
+    fn embed_padded(input: &Tensor, pad: usize) -> Tensor {
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        let (ph, pw) = (h + 2 * pad, w + 2 * pad);
+        let mut out = Tensor::zeros(&[n, c, ph, pw]);
+        for ni in 0..n {
+            for ci in 0..c {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        *out.at4_mut(ni, ci, hi + pad, wi + pad) = input.at4(ni, ci, hi, wi);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn padded_equals_explicitly_embedded_unpadded() {
+        // im2col with padding must equal im2col with padding pre-applied to
+        // the input — across strides and asymmetric spatial sizes.
+        let input =
+            Tensor::from_vec((0..120).map(|v| (v as f32).cos()).collect(), &[2, 3, 4, 5]).unwrap();
+        for (stride, pad) in [(1, 1), (1, 2), (2, 1), (3, 2)] {
+            let padded_geom = Conv2dGeom::new(3, 4, 3, stride, pad);
+            let unpadded_geom = Conv2dGeom::new(3, 4, 3, stride, 0);
+            let direct = im2col(&input, &padded_geom).unwrap();
+            let embedded = im2col(&embed_padded(&input, pad), &unpadded_geom).unwrap();
+            assert_eq!(direct, embedded, "stride {stride}, padding {pad}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_with_dirty_buffer_is_equal() {
+        let input =
+            Tensor::from_vec((0..64).map(|v| v as f32 * 0.5).collect(), &[1, 1, 8, 8]).unwrap();
+        let g = Conv2dGeom::new(1, 1, 3, 1, 1);
+        let mut scratch = Scratch::new();
+        let first = im2col_scratch(&input, &g, &mut scratch).unwrap();
+        let mut junk = scratch.take(first.len() * 2);
+        junk.fill(f32::NAN);
+        scratch.give(junk);
+        let second = im2col_scratch(&input, &g, &mut scratch).unwrap();
+        assert_eq!(first, second);
+    }
+
     #[test]
     fn col2im_is_adjoint_of_im2col() {
         // <im2col(x), y> == <x, col2im(y)> for the adjoint pair.
@@ -287,6 +391,19 @@ mod tests {
         let x = Tensor::from_vec((0..96).map(|v| (v as f32).sin()).collect(), &dims).unwrap();
         let cols = im2col(&x, &g).unwrap();
         let y = cols.map(|v| v * 0.5 + 0.1);
+        let lhs: f32 = cols.mul(&y).unwrap().sum();
+        let back = col2im(&y, &dims, &g).unwrap();
+        let rhs: f32 = x.mul(&back).unwrap().sum();
+        assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_adjoint_holds_with_stride_and_padding() {
+        let dims = [1, 2, 5, 7];
+        let g = Conv2dGeom::new(2, 2, 3, 2, 2);
+        let x = Tensor::from_vec((0..70).map(|v| (v as f32).sin()).collect(), &dims).unwrap();
+        let cols = im2col(&x, &g).unwrap();
+        let y = cols.map(|v| v * -0.25 + 0.3);
         let lhs: f32 = cols.mul(&y).unwrap().sum();
         let back = col2im(&y, &dims, &g).unwrap();
         let rhs: f32 = x.mul(&back).unwrap().sum();

@@ -7,8 +7,10 @@
 //!
 //! * [`Tensor`] — an owned, row-major, arbitrary-rank `f32` tensor with
 //!   shape-checked constructors and NCHW convenience accessors,
-//! * [`matmul`] — a blocked, data-parallel matrix multiply (the training
-//!   hot loop),
+//! * [`matmul`] — a matrix multiply that routes large products through a
+//!   cache-blocked, panel-packed GEMM kernel (the training hot loop),
+//! * [`Scratch`] — a workspace arena recycling hot-path buffers (im2col
+//!   columns, GEMM panels, outputs) across batches,
 //! * [`im2col`]/[`col2im`] — lowering of 2-D convolutions to matrix
 //!   multiplies and the matching gradient scatter,
 //! * [`init`] — deterministic, seedable weight initialisers.
@@ -27,15 +29,22 @@
 //! # }
 //! ```
 
+mod gemm;
 mod im2col;
 mod matmul;
 mod ops;
+mod scratch;
 mod shape;
 mod tensor;
 
 pub mod init;
 
-pub use im2col::{col2im, im2col, Conv2dGeom};
-pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
+pub use gemm::{gemm_nn, gemm_nt, gemm_tn, KC, MC, MR, NC, NR};
+pub use im2col::{col2im, im2col, im2col_scratch, Conv2dGeom};
+pub use matmul::{
+    matmul, matmul_a_bt, matmul_a_bt_naive, matmul_a_bt_scratch, matmul_at_b, matmul_at_b_naive,
+    matmul_at_b_scratch, matmul_naive, matmul_scratch,
+};
+pub use scratch::Scratch;
 pub use shape::ShapeError;
 pub use tensor::Tensor;

@@ -1,26 +1,64 @@
+//! Matrix-multiply entry points with size-based kernel dispatch.
+//!
+//! Each of the three variants (`A·B`, `Aᵀ·B`, `A·Bᵀ`) routes through the
+//! cache-blocked packed kernel in [`crate::gemm`] once the product is large
+//! enough ([`blocked_dispatch`]) and falls back to the original streaming
+//! `ikj` loops below that, where packing overhead would dominate. The
+//! `*_scratch` variants additionally draw their output and pack buffers
+//! from a caller-owned [`Scratch`] arena so per-batch allocations disappear
+//! from the training loop; the plain variants are thin wrappers over a
+//! throwaway arena.
+//!
+//! The pre-blocking kernels remain available as `matmul_naive` /
+//! `matmul_at_b_naive` / `matmul_a_bt_naive` — they are the comparison
+//! baseline for the `kernels` criterion bench and the reference oracle for
+//! the blocked-vs-naive proptests.
+
 use std::sync::{Arc, OnceLock};
 
 use adq_telemetry::{Histogram, ScopedTimer};
 use rayon::prelude::*;
 
+use crate::gemm::{self, gemm_into, AStore, BStore};
+use crate::scratch::Scratch;
 use crate::shape::ShapeError;
 use crate::tensor::Tensor;
 
-/// Minimum number of output rows before we split work across threads —
-/// with fewer rows than this there is nothing to meaningfully distribute.
+/// Minimum number of output rows before the fallback loops split work
+/// across threads — with fewer rows there is nothing to distribute (the
+/// blocked kernel has no such limit: it splits over column tiles too).
 const PAR_ROW_THRESHOLD: usize = 8;
 
-/// Minimum estimated work (m·n·k multiply-adds) before we split across
-/// threads. Rayon dispatch costs on the order of microseconds; a tall but
-/// skinny product (say 64×4·4, a training-batch logits matmul) has plenty
-/// of rows yet finishes serially long before the thread pool warms up.
+/// Minimum estimated work (m·n·k multiply-adds) before the fallback loops
+/// split across threads. Rayon dispatch costs on the order of
+/// microseconds; a tall but skinny product (say 64×4·4, a training-batch
+/// logits matmul) has plenty of rows yet finishes serially long before the
+/// thread pool warms up.
 const PAR_FLOP_THRESHOLD: usize = 32_768;
 
-/// Parallel-dispatch heuristic shared by all three matmul variants: enough
-/// rows to split *and* enough total work to amortise the dispatch.
+/// Minimum estimated work (m·n·k multiply-adds) before dispatching to the
+/// blocked packed kernel. Below this, packing A and B into panels costs
+/// more than the cache locality recovers; above it the blocked kernel wins
+/// decisively (the 512³ bench shape is 512× this threshold).
+const BLOCKED_MIN_FLOPS: usize = 1 << 18;
+
+/// Parallel-dispatch heuristic for the *fallback* loops: enough rows to
+/// split and enough total work to amortise the dispatch.
 #[inline]
 fn par_dispatch(m: usize, n: usize, k: usize) -> bool {
     m >= PAR_ROW_THRESHOLD && m.saturating_mul(n).saturating_mul(k) >= PAR_FLOP_THRESHOLD
+}
+
+/// Whether a product of this shape routes to the blocked packed kernel.
+///
+/// Requires at least one full micro-kernel tile (`m ≥ MR`, `n ≥ NR`) —
+/// thinner products would pack the full untouched operand for a kernel
+/// that cannot use it — plus enough work to amortise packing. Wide-short
+/// products like `[4, 4096]·[4096, 4096]` qualify (m = MR) and parallelise
+/// over column tiles, closing the old row-only dispatch gap.
+#[inline]
+fn blocked_dispatch(m: usize, n: usize, k: usize) -> bool {
+    m >= gemm::MR && n >= gemm::NR && m.saturating_mul(n).saturating_mul(k) >= BLOCKED_MIN_FLOPS
 }
 
 /// Wall-time of every matmul variant, recorded into the process-wide
@@ -34,8 +72,9 @@ fn matmul_timer() -> ScopedTimer {
 
 /// Dense matrix product `C = A · B` for rank-2 tensors.
 ///
-/// Uses an `ikj` loop order (streaming access to both `B` and `C`) and
-/// parallelises over rows of `A` when the problem is large enough.
+/// Large products use the blocked packed kernel ([`crate::gemm`]); small
+/// ones an `ikj` loop parallelised over rows. See the module docs of
+/// [`crate::gemm`] for the exact numerical guarantee relating the two.
 ///
 /// # Errors
 ///
@@ -56,6 +95,148 @@ fn matmul_timer() -> ScopedTimer {
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
+    matmul_scratch(a, b, &mut Scratch::new())
+}
+
+/// [`matmul`] drawing its output and pack buffers from `scratch`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] under the same conditions as [`matmul`].
+pub fn matmul_scratch(a: &Tensor, b: &Tensor, scratch: &mut Scratch) -> Result<Tensor, ShapeError> {
+    check_rank2("matmul", a, b)?;
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (kb, n) = (b.dims()[0], b.dims()[1]);
+    if k != kb {
+        return Err(ShapeError::mismatch("matmul", a.dims(), b.dims()));
+    }
+    let _timer = matmul_timer();
+    if blocked_dispatch(m, n, k) {
+        let mut out = scratch.take(m * n);
+        gemm_into(
+            m,
+            n,
+            k,
+            a.data(),
+            AStore::Normal,
+            b.data(),
+            BStore::Normal,
+            &mut out,
+            scratch,
+        );
+        return Tensor::from_vec(out, &[m, n]);
+    }
+    let mut out = scratch.take_zeroed(m * n);
+    nn_fallback(m, n, k, a.data(), b.data(), &mut out);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Computes `C = Aᵀ · B` without materialising the transpose.
+///
+/// `a` is `[k, m]`, `b` is `[k, n]`, the result is `[m, n]`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if either input is not rank-2 or the shared
+/// dimension disagrees.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
+    matmul_at_b_scratch(a, b, &mut Scratch::new())
+}
+
+/// [`matmul_at_b`] drawing its output and pack buffers from `scratch`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] under the same conditions as [`matmul_at_b`].
+pub fn matmul_at_b_scratch(
+    a: &Tensor,
+    b: &Tensor,
+    scratch: &mut Scratch,
+) -> Result<Tensor, ShapeError> {
+    check_rank2("matmul_at_b", a, b)?;
+    let (k, m) = (a.dims()[0], a.dims()[1]);
+    let (kb, n) = (b.dims()[0], b.dims()[1]);
+    if k != kb {
+        return Err(ShapeError::mismatch("matmul_at_b", a.dims(), b.dims()));
+    }
+    let _timer = matmul_timer();
+    if blocked_dispatch(m, n, k) {
+        let mut out = scratch.take(m * n);
+        gemm_into(
+            m,
+            n,
+            k,
+            a.data(),
+            AStore::Transposed,
+            b.data(),
+            BStore::Normal,
+            &mut out,
+            scratch,
+        );
+        return Tensor::from_vec(out, &[m, n]);
+    }
+    let mut out = scratch.take_zeroed(m * n);
+    tn_fallback(m, n, k, a.data(), b.data(), &mut out);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Computes `C = A · Bᵀ` without materialising the transpose.
+///
+/// `a` is `[m, k]`, `b` is `[n, k]`, the result is `[m, n]`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if either input is not rank-2 or the shared
+/// dimension disagrees.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
+    matmul_a_bt_scratch(a, b, &mut Scratch::new())
+}
+
+/// [`matmul_a_bt`] drawing its output and pack buffers from `scratch`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] under the same conditions as [`matmul_a_bt`].
+pub fn matmul_a_bt_scratch(
+    a: &Tensor,
+    b: &Tensor,
+    scratch: &mut Scratch,
+) -> Result<Tensor, ShapeError> {
+    check_rank2("matmul_a_bt", a, b)?;
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (n, kb) = (b.dims()[0], b.dims()[1]);
+    if k != kb {
+        return Err(ShapeError::mismatch("matmul_a_bt", a.dims(), b.dims()));
+    }
+    let _timer = matmul_timer();
+    if blocked_dispatch(m, n, k) {
+        let mut out = scratch.take(m * n);
+        gemm_into(
+            m,
+            n,
+            k,
+            a.data(),
+            AStore::Normal,
+            b.data(),
+            BStore::Transposed,
+            &mut out,
+            scratch,
+        );
+        return Tensor::from_vec(out, &[m, n]);
+    }
+    let mut out = scratch.take(m * n);
+    nt_fallback(m, n, k, a.data(), b.data(), &mut out);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = A · B` via the pre-blocking streaming loops — the criterion-bench
+/// baseline and proptest oracle. Accumulates in ascending-k order,
+/// skipping zero `a` entries.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] under the same conditions as [`matmul`].
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
     check_rank2("matmul", a, b)?;
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let (kb, n) = (b.dims()[0], b.dims()[1]);
@@ -64,8 +245,50 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
     }
     let _timer = matmul_timer();
     let mut out = vec![0.0f32; m * n];
-    let a_data = a.data();
-    let b_data = b.data();
+    nn_fallback(m, n, k, a.data(), b.data(), &mut out);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = Aᵀ · B` via the pre-blocking streaming loops (see
+/// [`matmul_naive`]).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] under the same conditions as [`matmul_at_b`].
+pub fn matmul_at_b_naive(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
+    check_rank2("matmul_at_b", a, b)?;
+    let (k, m) = (a.dims()[0], a.dims()[1]);
+    let (kb, n) = (b.dims()[0], b.dims()[1]);
+    if k != kb {
+        return Err(ShapeError::mismatch("matmul_at_b", a.dims(), b.dims()));
+    }
+    let _timer = matmul_timer();
+    let mut out = vec![0.0f32; m * n];
+    tn_fallback(m, n, k, a.data(), b.data(), &mut out);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = A · Bᵀ` via the pre-blocking streaming loops (see
+/// [`matmul_naive`]).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] under the same conditions as [`matmul_a_bt`].
+pub fn matmul_a_bt_naive(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
+    check_rank2("matmul_a_bt", a, b)?;
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (n, kb) = (b.dims()[0], b.dims()[1]);
+    if k != kb {
+        return Err(ShapeError::mismatch("matmul_a_bt", a.dims(), b.dims()));
+    }
+    let _timer = matmul_timer();
+    let mut out = vec![0.0f32; m * n];
+    nt_fallback(m, n, k, a.data(), b.data(), &mut out);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Streaming `ikj` loop for `C += A·B`; `out` must be zeroed.
+fn nn_fallback(m: usize, n: usize, k: usize, a_data: &[f32], b_data: &[f32], out: &mut [f32]) {
     let body = |(i, row): (usize, &mut [f32])| {
         for l in 0..k {
             let a_il = a_data[i * k + l];
@@ -83,28 +306,11 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
     } else {
         out.chunks_mut(n).enumerate().for_each(body);
     }
-    Tensor::from_vec(out, &[m, n])
 }
 
-/// Computes `C = Aᵀ · B` without materialising the transpose.
-///
-/// `a` is `[k, m]`, `b` is `[k, n]`, the result is `[m, n]`.
-///
-/// # Errors
-///
-/// Returns [`ShapeError`] if either input is not rank-2 or the shared
-/// dimension disagrees.
-pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
-    check_rank2("matmul_at_b", a, b)?;
-    let (k, m) = (a.dims()[0], a.dims()[1]);
-    let (kb, n) = (b.dims()[0], b.dims()[1]);
-    if k != kb {
-        return Err(ShapeError::mismatch("matmul_at_b", a.dims(), b.dims()));
-    }
-    let _timer = matmul_timer();
-    let mut out = vec![0.0f32; m * n];
-    let a_data = a.data();
-    let b_data = b.data();
+/// Streaming `ikj` loop for `C += Aᵀ·B` (`a_data` is `[k, m]`); `out` must
+/// be zeroed.
+fn tn_fallback(m: usize, n: usize, k: usize, a_data: &[f32], b_data: &[f32], out: &mut [f32]) {
     let body = |(i, row): (usize, &mut [f32])| {
         for l in 0..k {
             let a_li = a_data[l * m + i];
@@ -122,28 +328,11 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
     } else {
         out.chunks_mut(n).enumerate().for_each(body);
     }
-    Tensor::from_vec(out, &[m, n])
 }
 
-/// Computes `C = A · Bᵀ` without materialising the transpose.
-///
-/// `a` is `[m, k]`, `b` is `[n, k]`, the result is `[m, n]`.
-///
-/// # Errors
-///
-/// Returns [`ShapeError`] if either input is not rank-2 or the shared
-/// dimension disagrees.
-pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
-    check_rank2("matmul_a_bt", a, b)?;
-    let (m, k) = (a.dims()[0], a.dims()[1]);
-    let (n, kb) = (b.dims()[0], b.dims()[1]);
-    if k != kb {
-        return Err(ShapeError::mismatch("matmul_a_bt", a.dims(), b.dims()));
-    }
-    let _timer = matmul_timer();
-    let mut out = vec![0.0f32; m * n];
-    let a_data = a.data();
-    let b_data = b.data();
+/// Row-dot loop for `C = A·Bᵀ` (`b_data` is `[n, k]`); writes every
+/// element of `out`.
+fn nt_fallback(m: usize, n: usize, k: usize, a_data: &[f32], b_data: &[f32], out: &mut [f32]) {
     let body = |(i, row): (usize, &mut [f32])| {
         let a_row = &a_data[i * k..(i + 1) * k];
         for (j, c) in row.iter_mut().enumerate() {
@@ -156,7 +345,6 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
     } else {
         out.chunks_mut(n).enumerate().for_each(body);
     }
-    Tensor::from_vec(out, &[m, n])
 }
 
 #[inline]
@@ -238,6 +426,7 @@ mod tests {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[4, 5]);
         assert!(matmul(&a, &b).is_err());
+        assert!(matmul_naive(&a, &b).is_err());
     }
 
     #[test]
@@ -245,6 +434,7 @@ mod tests {
         let a = Tensor::zeros(&[6]);
         let b = Tensor::zeros(&[6, 2]);
         assert!(matmul(&a, &b).is_err());
+        assert!(matmul_naive(&a, &b).is_err());
     }
 
     #[test]
@@ -266,11 +456,13 @@ mod tests {
     #[test]
     fn at_b_shape_mismatch() {
         assert!(matmul_at_b(&Tensor::zeros(&[3, 2]), &Tensor::zeros(&[4, 2])).is_err());
+        assert!(matmul_at_b_naive(&Tensor::zeros(&[3, 2]), &Tensor::zeros(&[4, 2])).is_err());
     }
 
     #[test]
     fn a_bt_shape_mismatch() {
         assert!(matmul_a_bt(&Tensor::zeros(&[3, 2]), &Tensor::zeros(&[4, 3])).is_err());
+        assert!(matmul_a_bt_naive(&Tensor::zeros(&[3, 2]), &Tensor::zeros(&[4, 3])).is_err());
     }
 
     #[test]
@@ -282,10 +474,11 @@ mod tests {
     }
 
     #[test]
-    fn dispatch_requires_both_rows_and_flops() {
+    fn fallback_dispatch_requires_both_rows_and_flops() {
         // many rows, trivial work: stays serial
         assert!(!par_dispatch(64, 4, 4));
-        // few rows: serial regardless of work
+        // few rows: the fallback never splits (the blocked path handles
+        // wide-short products instead — see blocked_dispatch tests)
         assert!(!par_dispatch(4, 1024, 1024));
         // both thresholds met: parallel
         assert!(par_dispatch(64, 64, 64));
@@ -294,6 +487,74 @@ mod tests {
         assert!(!par_dispatch(8, 64, 63));
         // degenerate shapes never overflow the work estimate
         assert!(par_dispatch(usize::MAX, usize::MAX, usize::MAX));
+    }
+
+    #[test]
+    fn blocked_dispatch_covers_wide_short_products() {
+        // the old gap: 4 rows ran fully serial no matter how wide
+        assert!(blocked_dispatch(4, 4096, 4096));
+        // thinner than a micro-tile: stays on the fallback
+        assert!(!blocked_dispatch(3, 4096, 4096));
+        assert!(!blocked_dispatch(4096, 4, 4096));
+        // too little work: stays on the fallback
+        assert!(!blocked_dispatch(8, 8, 8));
+        // the bench shapes are far above the threshold
+        assert!(blocked_dispatch(512, 512, 512));
+        assert!(blocked_dispatch(512, 1024, 4608));
+        assert!(blocked_dispatch(usize::MAX, usize::MAX, usize::MAX));
+    }
+
+    #[test]
+    fn wide_short_regression_blocked_and_fallback_agree() {
+        // m = 4 rows: exactly the shape class the old row-only dispatch
+        // left serial. k·n sized so m·n·k = 2^18 hits BLOCKED_MIN_FLOPS —
+        // the blocked path — while staying cheap in debug builds.
+        let (m, k, n) = (4usize, 256usize, 256usize);
+        assert!(blocked_dispatch(m, n, k));
+        let a = random_tensor(&[m, k], 101);
+        let b = random_tensor(&[k, n], 102);
+        let blocked = matmul(&a, &b).unwrap();
+        let fallback = matmul_naive(&a, &b).unwrap();
+        assert_close(&blocked, &fallback, 1e-4);
+
+        let at = random_tensor(&[k, m], 103);
+        assert_close(
+            &matmul_at_b(&at, &b).unwrap(),
+            &matmul_at_b_naive(&at, &b).unwrap(),
+            1e-4,
+        );
+        let bt = random_tensor(&[n, k], 104);
+        assert_close(
+            &matmul_a_bt(&a, &bt).unwrap(),
+            &matmul_a_bt_naive(&a, &bt).unwrap(),
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn scratch_variants_match_plain_variants() {
+        let mut scratch = Scratch::new();
+        let a = random_tensor(&[12, 9], 55);
+        let b = random_tensor(&[9, 14], 56);
+        assert_eq!(
+            matmul_scratch(&a, &b, &mut scratch).unwrap(),
+            matmul(&a, &b).unwrap()
+        );
+        let at = random_tensor(&[9, 12], 57);
+        assert_eq!(
+            matmul_at_b_scratch(&at, &b, &mut scratch).unwrap(),
+            matmul_at_b(&at, &b).unwrap()
+        );
+        let bt = random_tensor(&[14, 9], 58);
+        assert_eq!(
+            matmul_a_bt_scratch(&a, &bt, &mut scratch).unwrap(),
+            matmul_a_bt(&a, &bt).unwrap()
+        );
+        // a second pass through the (now warm) arena must be identical
+        assert_eq!(
+            matmul_scratch(&a, &b, &mut scratch).unwrap(),
+            matmul(&a, &b).unwrap()
+        );
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! A reusable workspace arena for hot-path buffers.
+//!
+//! The conv/quant training loop allocates the same large buffers on every
+//! batch — im2col column matrices, GEMM pack panels, matmul outputs. A
+//! [`Scratch`] lets a layer keep those allocations alive across batches:
+//! [`Scratch::take`] hands out a buffer (recycled when one is pooled,
+//! freshly allocated otherwise) and [`Scratch::give`] returns it to the
+//! pool once the caller is done.
+//!
+//! Reuse is observable through the process-wide telemetry counters
+//! `tensor.scratch.reuse_hits` (a pooled buffer satisfied a request) and
+//! `tensor.scratch.allocs` (a fresh allocation was needed).
+
+use std::sync::{Arc, OnceLock};
+
+use adq_telemetry::Counter;
+
+fn reuse_hits() -> &'static Arc<Counter> {
+    static HITS: OnceLock<Arc<Counter>> = OnceLock::new();
+    HITS.get_or_init(|| adq_telemetry::metrics::global().counter("tensor.scratch.reuse_hits"))
+}
+
+fn allocs() -> &'static Arc<Counter> {
+    static ALLOCS: OnceLock<Arc<Counter>> = OnceLock::new();
+    ALLOCS.get_or_init(|| adq_telemetry::metrics::global().counter("tensor.scratch.allocs"))
+}
+
+/// A pool of `f32` buffers reused across hot-path calls.
+///
+/// Buffers are matched by capacity: [`Scratch::take`] prefers the smallest
+/// pooled buffer whose capacity already covers the request, falling back to
+/// growing the largest one (keeping total retained memory bounded by the
+/// high-water marks of the buffers actually in flight).
+///
+/// Cloning a `Scratch` yields an *empty* pool — pooled memory is an
+/// optimization, not state, so clones of a layer start cold rather than
+/// duplicating multi-megabyte buffers.
+///
+/// # Example
+///
+/// ```
+/// use adq_tensor::Scratch;
+///
+/// let mut scratch = Scratch::new();
+/// let buf = scratch.take(1024); // fresh allocation, contents unspecified
+/// scratch.give(buf);
+/// let again = scratch.take(512); // recycled from the pool
+/// assert_eq!(again.len(), 512);
+/// ```
+#[derive(Debug, Default)]
+pub struct Scratch {
+    pool: Vec<Vec<f32>>,
+}
+
+impl Clone for Scratch {
+    fn clone(&self) -> Self {
+        Scratch::new()
+    }
+}
+
+impl Scratch {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Takes a buffer of exactly `len` elements with **unspecified
+    /// contents** — stale data from a previous use may be present. Use
+    /// [`Scratch::take_zeroed`] when the caller relies on zero
+    /// initialisation.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        match self.best_fit(len) {
+            Some(idx) => {
+                reuse_hits().inc();
+                let mut buf = self.pool.swap_remove(idx);
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => {
+                allocs().inc();
+                vec![0.0; len]
+            }
+        }
+    }
+
+    /// Takes a buffer of `len` elements, every element zero.
+    pub fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.take(len);
+        buf.fill(0.0);
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse. Zero-capacity buffers are
+    /// dropped — recycling them would record spurious reuse hits.
+    pub fn give(&mut self, buf: Vec<f32>) {
+        if buf.capacity() > 0 {
+            self.pool.push(buf);
+        }
+    }
+
+    /// Index of the smallest pooled buffer with capacity ≥ `len`, or the
+    /// largest pooled buffer when none is big enough (growing the largest
+    /// wastes the least already-committed memory), or `None` when empty.
+    fn best_fit(&self, len: usize) -> Option<usize> {
+        if self.pool.is_empty() {
+            return None;
+        }
+        let mut covering: Option<(usize, usize)> = None; // (capacity, idx)
+        let mut largest = (0usize, 0usize);
+        for (idx, buf) in self.pool.iter().enumerate() {
+            let cap = buf.capacity();
+            if cap >= len && covering.is_none_or(|(best, _)| cap < best) {
+                covering = Some((cap, idx));
+            }
+            if cap >= largest.0 {
+                largest = (cap, idx);
+            }
+        }
+        Some(covering.map_or(largest.1, |(_, idx)| idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_give_take_reuses_capacity() {
+        let mut scratch = Scratch::new();
+        let buf = scratch.take(100);
+        let ptr = buf.as_ptr();
+        scratch.give(buf);
+        let again = scratch.take(80);
+        assert_eq!(again.len(), 80);
+        assert_eq!(again.as_ptr(), ptr, "expected the pooled buffer back");
+        assert_eq!(scratch.pooled(), 0);
+    }
+
+    #[test]
+    fn take_zeroed_clears_stale_contents() {
+        let mut scratch = Scratch::new();
+        let mut buf = scratch.take(16);
+        buf.fill(7.0);
+        scratch.give(buf);
+        let clean = scratch.take_zeroed(16);
+        assert!(clean.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_covering_buffer() {
+        let mut scratch = Scratch::new();
+        scratch.give(Vec::with_capacity(1000));
+        scratch.give(Vec::with_capacity(10));
+        let buf = scratch.take(8);
+        assert!(buf.capacity() < 1000, "small request took the big buffer");
+        assert_eq!(scratch.pooled(), 1);
+    }
+
+    #[test]
+    fn grows_largest_when_nothing_covers() {
+        let mut scratch = Scratch::new();
+        scratch.give(Vec::with_capacity(4));
+        scratch.give(Vec::with_capacity(16));
+        let buf = scratch.take(64);
+        assert_eq!(buf.len(), 64);
+        // the 16-capacity buffer was grown; the 4-capacity one remains
+        assert_eq!(scratch.pooled(), 1);
+        assert!(scratch.pool[0].capacity() < 16);
+    }
+
+    #[test]
+    fn clone_starts_cold() {
+        let mut scratch = Scratch::new();
+        scratch.give(vec![0.0; 32]);
+        assert_eq!(scratch.clone().pooled(), 0);
+    }
+
+    #[test]
+    fn empty_buffers_are_not_pooled() {
+        let mut scratch = Scratch::new();
+        scratch.give(Vec::new());
+        assert_eq!(scratch.pooled(), 0);
+    }
+}

@@ -1,7 +1,26 @@
 //! Property-based tests for the tensor substrate.
 
-use adq_tensor::{col2im, im2col, matmul, matmul_a_bt, matmul_at_b, Conv2dGeom, Tensor};
+use adq_tensor::{
+    col2im, gemm_nn, gemm_nt, gemm_tn, im2col, matmul, matmul_a_bt, matmul_a_bt_naive, matmul_at_b,
+    matmul_at_b_naive, matmul_naive, Conv2dGeom, Scratch, Tensor,
+};
 use proptest::prelude::*;
+
+/// Deterministic LCG-filled tensor: keeps proptest shrinking over the
+/// (dims, seed) tuple instead of over thousands of float elements.
+fn lcg_tensor(dims: &[usize], seed: u64) -> Tensor {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let n: usize = dims.iter().product();
+    let data = (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / u32::MAX as f32) * 4.0 - 2.0
+        })
+        .collect();
+    Tensor::from_vec(data, dims).expect("sized to fit")
+}
 
 fn tensor_strategy(max_elems: usize) -> impl Strategy<Value = Tensor> {
     (1usize..=4, 1usize..=4)
@@ -86,6 +105,57 @@ proptest! {
         for (x, y) in r3.data().iter().zip(r4.data()) {
             prop_assert!((x - y).abs() < 1e-2);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    // The blocked kernel accumulates each output element in ascending-k
+    // order, exactly like the naive loops, so the comparison below is exact
+    // equality — any reassociation in the blocked kernel fails these.
+    #[test]
+    fn blocked_gemm_equals_naive_all_variants(
+        m in 1usize..=67,
+        k in 1usize..=67,
+        n in 1usize..=67,
+        seed in 0u64..1000,
+    ) {
+        let mut scratch = Scratch::new();
+        let a = lcg_tensor(&[m, k], seed);
+        let b = lcg_tensor(&[k, n], seed ^ 0xabcdef);
+        prop_assert_eq!(
+            gemm_nn(&a, &b, &mut scratch).unwrap(),
+            matmul_naive(&a, &b).unwrap()
+        );
+        let at = lcg_tensor(&[k, m], seed.wrapping_add(7));
+        prop_assert_eq!(
+            gemm_tn(&at, &b, &mut scratch).unwrap(),
+            matmul_at_b_naive(&at, &b).unwrap()
+        );
+        let bt = lcg_tensor(&[n, k], seed.wrapping_add(13));
+        prop_assert_eq!(
+            gemm_nt(&a, &bt, &mut scratch).unwrap(),
+            matmul_a_bt_naive(&a, &bt).unwrap()
+        );
+    }
+
+    #[test]
+    fn blocked_gemm_scratch_reuse_is_stable(
+        m in 1usize..=40,
+        k in 1usize..=40,
+        n in 1usize..=40,
+        seed in 0u64..1000,
+    ) {
+        // a warm arena full of garbage must not change any result
+        let mut scratch = Scratch::new();
+        let a = lcg_tensor(&[m, k], seed);
+        let b = lcg_tensor(&[k, n], seed ^ 0x5eed);
+        let cold = gemm_nn(&a, &b, &mut scratch).unwrap();
+        let mut junk = scratch.take((m * k + k * n + m * n) * 2);
+        junk.fill(f32::NAN);
+        scratch.give(junk);
+        let warm = gemm_nn(&a, &b, &mut scratch).unwrap();
+        prop_assert_eq!(cold, warm);
     }
 }
 

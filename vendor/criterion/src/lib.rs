@@ -4,10 +4,21 @@
 //! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
 //! `Bencher::iter`/`iter_batched`, `BatchSize`, and `black_box` — with a
 //! plain wall-clock measurement loop instead of the real crate's statistical
-//! machinery: each benchmark warms up briefly, then reports the mean time
-//! per iteration over `sample_size` samples.
+//! machinery: each benchmark warms up briefly, then reports the mean and
+//! median time per iteration over `sample_size` samples.
+//!
+//! Two environment variables integrate the harness with CI:
+//!
+//! * `CRITERION_SAMPLE_SIZE` — overrides the default sample count (quick
+//!   mode for `ci.sh --bench`),
+//! * `CRITERION_JSON` — path to write a JSON array of
+//!   `{"name", "mean_ns", "median_ns"}` records (one per benchmark, names
+//!   prefixed `group/id`, sorted) when the bench binary finishes. The file
+//!   is written by [`finalize`], which `criterion_main!` invokes after all
+//!   groups have run.
 
 use std::hint;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Opaque-to-the-optimizer identity function.
@@ -25,6 +36,17 @@ pub enum BatchSize {
     LargeInput,
 }
 
+/// One finished benchmark's summary statistics.
+#[derive(Debug, Clone)]
+struct Record {
+    name: String,
+    mean_ns: f64,
+    median_ns: f64,
+}
+
+/// Results of every benchmark run so far in this process, in run order.
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
 /// The benchmark context handed to `criterion_group!` functions.
 pub struct Criterion {
     sample_size: usize,
@@ -32,7 +54,12 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        let sample_size = std::env::var("CRITERION_SAMPLE_SIZE")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(20);
+        Criterion { sample_size }
     }
 }
 
@@ -43,6 +70,7 @@ impl Criterion {
         println!("\ngroup: {name}");
         BenchmarkGroup {
             criterion: self,
+            name,
             sample_size: None,
         }
     }
@@ -56,6 +84,7 @@ impl Criterion {
 /// A named set of benchmarks sharing settings.
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
+    name: String,
     sample_size: Option<usize>,
 }
 
@@ -66,10 +95,10 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Runs one benchmark in the group.
+    /// Runs one benchmark in the group; it is recorded as `group/id`.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
         let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
-        run_benchmark(&id.into(), samples, f);
+        run_benchmark(&format!("{}/{}", self.name, id.into()), samples, f);
     }
 
     /// Ends the group (output is flushed eagerly; kept for API parity).
@@ -120,6 +149,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
     let iters_per_sample =
         (Duration::from_millis(5).as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
 
+    let mut sample_means = Vec::with_capacity(samples.max(1));
     let mut total = Duration::ZERO;
     let mut total_iters = 0u64;
     for _ in 0..samples.max(1) {
@@ -128,14 +158,84 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
             elapsed: Duration::ZERO,
         };
         f(&mut bencher);
+        sample_means.push(bencher.elapsed.as_nanos() as f64 / iters_per_sample.max(1) as f64);
         total += bencher.elapsed;
         total_iters += iters_per_sample;
     }
     let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    let median_ns = median(&mut sample_means);
     println!(
-        "  {id}: {} per iter ({total_iters} iters)",
+        "  {id}: median {}, mean {} per iter ({total_iters} iters)",
+        format_ns(median_ns),
         format_ns(mean_ns)
     );
+    RECORDS
+        .lock()
+        .expect("benchmark record lock poisoned")
+        .push(Record {
+            name: id.to_string(),
+            mean_ns,
+            median_ns,
+        });
+}
+
+/// Median of the samples; sorts in place. Zero for an empty slice.
+fn median(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    }
+}
+
+/// Writes accumulated benchmark records as JSON to the path in the
+/// `CRITERION_JSON` environment variable (no-op when unset). Invoked by
+/// `criterion_main!` after every group has run; safe to call directly.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written — CI must notice a missing report.
+pub fn finalize() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut records = RECORDS
+        .lock()
+        .expect("benchmark record lock poisoned")
+        .clone();
+    records.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut json = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        json.push_str(&format!(
+            "  {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}}}{sep}\n",
+            escape_json(&r.name),
+            r.mean_ns,
+            r.median_ns
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("\nwrote {} benchmark records to {path}", records.len());
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 fn format_ns(ns: f64) -> String {
@@ -162,11 +262,13 @@ macro_rules! criterion_group {
 }
 
 /// Declares the bench binary's `main`: `criterion_main!(group_a, group_b)`.
+/// After all groups run, records are flushed to `CRITERION_JSON` if set.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::finalize();
         }
     };
 }
@@ -194,5 +296,23 @@ mod tests {
     #[test]
     fn harness_runs_to_completion() {
         smoke();
+        let records = RECORDS.lock().unwrap();
+        assert!(records
+            .iter()
+            .any(|r| r.name == "vendor-smoke/sum" && r.median_ns > 0.0));
+        assert!(records.iter().any(|r| r.name == "vendor-smoke/batched"));
+    }
+
+    #[test]
+    fn median_of_odd_and_even_counts() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut []), 0.0);
+    }
+
+    #[test]
+    fn json_escaping_covers_quotes_and_controls() {
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("x\ny"), "x\\u000ay");
     }
 }

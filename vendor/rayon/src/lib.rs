@@ -1,18 +1,89 @@
-//! Offline stand-in for `rayon`, covering the one parallel pattern this
-//! workspace uses: `slice.par_chunks_mut(n).enumerate().for_each(body)`.
+//! Offline stand-in for `rayon`, covering the two parallel patterns this
+//! workspace uses: `slice.par_chunks_mut(n).enumerate().for_each(body)` and
+//! `(0..n).into_par_iter().for_each(body)`.
 //!
-//! Instead of a work-stealing pool, chunks are distributed over
+//! Instead of a work-stealing pool, work is distributed over
 //! `std::thread::scope` workers. Small slices run inline: spawning threads
 //! per call would dominate the many tiny matmuls in the test suite, so
-//! parallelism only kicks in once the slice is large enough
-//! ([`PAR_MIN_ELEMENTS`]) for the split to pay for the spawns.
+//! chunk parallelism only kicks in once the slice is large enough
+//! ([`PAR_MIN_ELEMENTS`]) for the split to pay for the spawns. Range
+//! iteration carries no per-element size information, so it parallelises
+//! whenever there are at least two indices and two workers — callers gate
+//! dispatch on their own work estimate, as the GEMM tile loop does.
 
 /// Below this many elements the "parallel" iterator runs sequentially.
 const PAR_MIN_ELEMENTS: usize = 1 << 16;
 
 /// The glob-import surface (`use rayon::prelude::*`).
 pub mod prelude {
+    pub use crate::IntoParallelIterator;
     pub use crate::ParChunksMutExt;
+}
+
+/// Conversion into a parallel iterator, as with rayon's trait of the same
+/// name. Implemented for `Range<usize>` — the index-space fan-out the GEMM
+/// tile grid uses.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+/// Pending parallel iteration over a `usize` range (created by
+/// [`IntoParallelIterator::into_par_iter`]).
+pub struct ParRange {
+    start: usize,
+    end: usize,
+}
+
+impl ParRange {
+    /// Applies `body` to every index, possibly in parallel. Indices are
+    /// split into contiguous bands, one band per worker; each band runs in
+    /// ascending order, so `body` must not rely on cross-index ordering.
+    pub fn for_each<F>(self, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let len = self.end.saturating_sub(self.start);
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        if len < 2 || workers < 2 {
+            for i in self.start..self.end {
+                body(i);
+            }
+            return;
+        }
+        let bands = workers.min(len);
+        let per_band = len.div_ceil(bands);
+        let body = &body;
+        std::thread::scope(|scope| {
+            for band in 0..bands {
+                let lo = self.start + band * per_band;
+                let hi = (lo + per_band).min(self.end);
+                if lo >= hi {
+                    break;
+                }
+                scope.spawn(move || {
+                    for i in lo..hi {
+                        body(i);
+                    }
+                });
+            }
+        });
+    }
 }
 
 /// Adds `par_chunks_mut` to mutable slices.
@@ -119,6 +190,31 @@ mod tests {
         for (i, &v) in data.iter().enumerate() {
             assert_eq!(v, i as u64);
         }
+    }
+
+    #[test]
+    fn par_range_visits_every_index_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        (0..1000usize).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_range_empty_and_single() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let count = AtomicU64::new(0);
+        #[allow(clippy::reversed_empty_ranges)]
+        (5..3usize).into_par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 0);
+        (7..8usize).into_par_iter().for_each(|i| {
+            count.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 7);
     }
 
     #[test]
