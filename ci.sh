@@ -8,11 +8,11 @@
 #                    (tests/full_size_smoke.rs: VGG-19 / ResNet-18 at real
 #                    geometry). Minutes of CPU, not hours — run before
 #                    release tags or after touching the tensor/nn hot paths.
-#   ./ci.sh --bench  tier-1 gate plus the criterion kernel benches in quick
-#                    mode. Writes the medians to BENCH_kernels.json at the
-#                    repo root (the cross-PR perf trajectory) and fails if
-#                    any kernel tracked in the committed baseline regresses
-#                    by more than 25%.
+#   ./ci.sh --bench  tier-1 gate plus the criterion kernel and epoch benches
+#                    in quick mode. Writes the medians to BENCH_kernels.json
+#                    and BENCH_epoch.json at the repo root (the cross-PR perf
+#                    trajectory) and fails if anything tracked in a committed
+#                    baseline regresses by more than 25%.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -41,6 +41,12 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+# The data-parallel trainer promises bit-identical results at any worker
+# count; one extra pass under a small pool exercises the parallel schedule
+# everywhere the suite asserts serial numbers.
+echo "==> tier-1: cargo test -q (RAYON_NUM_THREADS=2)"
+RAYON_NUM_THREADS=2 cargo test -q
+
 if [[ "$FULL" -eq 1 ]]; then
     echo "==> full: cargo test --release --test full_size_smoke -- --ignored"
     cargo test --release --test full_size_smoke -- --ignored
@@ -65,6 +71,23 @@ if [[ "$BENCH" -eq 1 ]]; then
         rm -f "$baseline"
     else
         echo "==> bench: no committed baseline yet (first snapshot)"
+    fi
+
+    echo "==> bench: criterion epoch (quick mode) -> BENCH_epoch.json"
+    epoch_baseline=""
+    if git cat-file -e HEAD:BENCH_epoch.json 2>/dev/null; then
+        epoch_baseline="$(mktemp)"
+        git show HEAD:BENCH_epoch.json >"$epoch_baseline"
+    fi
+    CRITERION_JSON="$PWD/BENCH_epoch.json" CRITERION_SAMPLE_SIZE=5 \
+        cargo bench -p adq-bench --bench epoch
+    if [[ -n "$epoch_baseline" ]]; then
+        echo "==> bench: epoch regression check vs committed baseline"
+        cargo run --release -p adq-bench --bin bench_check -- \
+            "$epoch_baseline" BENCH_epoch.json --max-regress 0.25
+        rm -f "$epoch_baseline"
+    else
+        echo "==> bench: no committed epoch baseline yet (first snapshot)"
     fi
 fi
 

@@ -44,6 +44,10 @@ impl DensityMeter {
     }
 
     /// Accumulates the non-zero/total counts of one activation tensor.
+    ///
+    /// Activation-sized tensors count in parallel (through
+    /// [`adq_tensor::dispatch`]); partial counts are integers, so the
+    /// result is exact at any worker count.
     pub fn observe(&mut self, activations: &Tensor) {
         let _timer = meter_timer();
         self.nonzero += activations.count_nonzero() as u64;
@@ -53,7 +57,7 @@ impl DensityMeter {
     /// Accumulates counts from a raw slice (useful off the tensor path).
     pub fn observe_slice(&mut self, activations: &[f32]) {
         let _timer = meter_timer();
-        self.nonzero += activations.iter().filter(|&&x| x != 0.0).count() as u64;
+        self.nonzero += adq_tensor::dispatch::count_nonzero_slice(activations) as u64;
         self.total += activations.len() as u64;
     }
 
@@ -61,6 +65,14 @@ impl DensityMeter {
     pub fn merge(&mut self, other: &DensityMeter) {
         self.nonzero += other.nonzero;
         self.total += other.total;
+    }
+
+    /// A meter carrying raw counts — the inverse of reading
+    /// [`DensityMeter::nonzero_count`] / [`DensityMeter::total_count`],
+    /// used to ship counts between model replicas for an exact
+    /// [`DensityMeter::merge`].
+    pub fn from_counts(nonzero: u64, total: u64) -> Self {
+        Self { nonzero, total }
     }
 
     /// Activation Density: non-zero / total, or 0 if nothing observed.
@@ -196,5 +208,28 @@ mod tests {
             let d = m.density();
             assert!((0.0..=1.0).contains(&d));
         }
+    }
+
+    #[test]
+    fn from_counts_roundtrips_accessors() {
+        let m = DensityMeter::from_counts(7, 20);
+        assert_eq!(m.nonzero_count(), 7);
+        assert_eq!(m.total_count(), 20);
+        assert_eq!(m.density(), 0.35);
+    }
+
+    #[test]
+    fn parallel_counting_pass_is_exact() {
+        // above the dispatch threshold observe_slice counts in parallel;
+        // the integer combine must match a serial count exactly
+        let n = (1 << 17) + 9;
+        let values: Vec<f32> = (0..n)
+            .map(|i| if i % 7 == 0 { 0.0 } else { (i as f32).sin() })
+            .collect();
+        let expected = values.iter().filter(|&&x| x != 0.0).count() as u64;
+        let mut m = DensityMeter::new();
+        m.observe_slice(&values);
+        assert_eq!(m.nonzero_count(), expected);
+        assert_eq!(m.total_count(), n as u64);
     }
 }

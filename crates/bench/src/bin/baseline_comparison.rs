@@ -42,6 +42,7 @@ fn efficiency(model: &Vgg) -> f64 {
 fn main() {
     let telemetry = adq_bench::telemetry_from_args();
     let checkpoint = adq_bench::checkpoint_from_args();
+    let microbatch = adq_bench::microbatch_from_args();
     let (train, test) = SyntheticSpec::cifar10_like()
         .with_resolution(16)
         .with_samples(24, 10)
@@ -54,11 +55,14 @@ fn main() {
 
     // 1. full-precision reference (16-bit, full schedule)
     let mut fp = build();
-    let fp_record = AdQuantizer::new(AdqConfig {
-        batch_size: 24,
-        lr: 1.5e-3,
-        ..AdqConfig::paper_default()
-    })
+    let fp_record = adq_bench::with_microbatch(
+        AdQuantizer::new(AdqConfig {
+            batch_size: 24,
+            lr: 1.5e-3,
+            ..AdqConfig::paper_default()
+        }),
+        microbatch,
+    )
     .run_baseline_with_sink(
         &mut fp,
         &train,
@@ -87,7 +91,7 @@ fn main() {
         ..AdqConfig::paper_default()
     };
     let outcome = checkpoint.run(
-        &AdQuantizer::new(adq_config),
+        &adq_bench::with_microbatch(AdQuantizer::new(adq_config), microbatch),
         &mut adq,
         &train,
         &test,

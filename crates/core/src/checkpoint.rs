@@ -159,6 +159,13 @@ pub struct RunCheckpoint {
     /// The eqn-4 baseline energy (pJ) computed at run start, so resumed
     /// iterations report the same `mac_reduction` as the original run.
     pub baseline_energy_pj: f64,
+    /// Microbatch size of the originating run's data-parallel trainer
+    /// (`None` = serial training). Resume refuses to continue under a
+    /// different setting: although outcomes are thread-count invariant,
+    /// they are not microbatch invariant. Defaults to `None` when absent,
+    /// so pre-parallelism checkpoints stay loadable.
+    #[serde(default)]
+    pub microbatch: Option<usize>,
 }
 
 impl RunCheckpoint {
@@ -404,6 +411,7 @@ mod tests {
                 index: 3,
             },
             baseline_energy_pj: 123.456,
+            microbatch: Some(4),
         }
     }
 
@@ -416,6 +424,17 @@ mod tests {
         let back = RunCheckpoint::load(&path).expect("load");
         assert_eq!(back, ckpt);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_without_microbatch_field_defaults_to_serial() {
+        // checkpoints written before data-parallel training lack the field
+        let json = serde_json::to_string(&sample_checkpoint(2)).expect("serialise");
+        assert!(json.contains("\"microbatch\":4"), "json was: {json}");
+        let stripped = json.replace(",\"microbatch\":4", "");
+        assert_ne!(stripped, json, "expected the field to be removed");
+        let back: RunCheckpoint = serde_json::from_str(&stripped).expect("deserialise");
+        assert_eq!(back.microbatch, None);
     }
 
     #[test]

@@ -3,7 +3,8 @@ use std::sync::Arc;
 use adq_ad::{DensityHistory, SaturationDetector};
 use adq_energy::EnergyModel;
 use adq_nn::train::{
-    evaluate_observed, export_params, import_params, train_epoch_observed, Dataset,
+    evaluate_observed, export_params, import_params, train_epoch_observed,
+    train_epoch_parallel_observed, Dataset,
 };
 use adq_nn::{Adam, Optimizer, QuantModel};
 use adq_quant::BitWidth;
@@ -228,12 +229,42 @@ impl AdqOutcome {
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AdQuantizer {
     config: AdqConfig,
+    /// Microbatch size for intra-batch data-parallel training (`None` =
+    /// serial). Kept out of [`AdqConfig`] so checkpoints taken under
+    /// serial training stay loadable, and because it changes *how* an
+    /// outcome is computed, not *what* Algorithm 1 does.
+    #[serde(default)]
+    microbatch: Option<usize>,
 }
 
 impl AdQuantizer {
     /// Creates a controller.
     pub fn new(config: AdqConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            microbatch: None,
+        }
+    }
+
+    /// Enables intra-batch data parallelism: every training batch is split
+    /// into `microbatch`-sized slices that run forward/backward on model
+    /// replicas across rayon workers, with a deterministic fixed-tree
+    /// gradient reduction. The [`AdqOutcome`] is bit-identical at any
+    /// worker count, but differs from serial training unless
+    /// `microbatch >= batch_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `microbatch` is zero.
+    pub fn with_parallelism(mut self, microbatch: usize) -> Self {
+        assert!(microbatch > 0, "microbatch size must be positive");
+        self.microbatch = Some(microbatch);
+        self
+    }
+
+    /// The configured microbatch size (`None` = serial training).
+    pub fn microbatch(&self) -> Option<usize> {
+        self.microbatch
     }
 
     /// The configuration.
@@ -355,6 +386,13 @@ impl AdQuantizer {
                     cfg.seed, ckpt.config.seed, cfg.max_iterations, ckpt.config.max_iterations,
                 )));
             }
+            if ckpt.microbatch != self.microbatch {
+                return Err(CheckpointError::ConfigMismatch(format!(
+                    "resuming with microbatch {:?}, checkpoint was taken under {:?} \
+                     (outcomes are thread-count invariant but not microbatch invariant)",
+                    self.microbatch, ckpt.microbatch,
+                )));
+            }
             // replay the original run's structural edits, in application
             // order, to rebuild the checkpointed architecture
             for op in &ckpt.structural_ops {
@@ -421,6 +459,11 @@ impl AdQuantizer {
             start_iteration = 1;
         }
 
+        sink.record(&TelemetryEvent::WorkerPoolConfigured {
+            threads: adq_tensor::dispatch::current_num_threads(),
+            microbatch: self.microbatch,
+        });
+
         let metrics = adq_telemetry::metrics::global();
         let train_batches = metrics.counter("core.train_batches");
         let eval_batches = metrics.counter("core.eval_batches");
@@ -435,14 +478,25 @@ impl AdQuantizer {
             let mut last_train_acc = 0.0;
             for epoch in 1..=cfg.max_epochs_per_iteration {
                 model.reset_densities();
-                let stats = train_epoch_observed(
-                    model,
-                    train,
-                    &mut optimizer,
-                    cfg.batch_size,
-                    &mut rng,
-                    &mut |_| train_batches.inc(),
-                );
+                let stats = match self.microbatch {
+                    Some(microbatch) => train_epoch_parallel_observed(
+                        model,
+                        train,
+                        &mut optimizer,
+                        cfg.batch_size,
+                        microbatch,
+                        &mut rng,
+                        &mut |_| train_batches.inc(),
+                    ),
+                    None => train_epoch_observed(
+                        model,
+                        train,
+                        &mut optimizer,
+                        cfg.batch_size,
+                        &mut rng,
+                        &mut |_| train_batches.inc(),
+                    ),
+                };
                 epochs_trained = epoch;
                 last_train_acc = stats.accuracy;
                 accuracy_history.push(stats.accuracy);
@@ -611,6 +665,7 @@ impl AdQuantizer {
                         index,
                     },
                     baseline_energy_pj: baseline_energy,
+                    microbatch: self.microbatch,
                 };
                 let (path, bytes) = manager.save(&checkpoint)?;
                 sink.record(&TelemetryEvent::CheckpointSaved {
@@ -673,6 +728,10 @@ impl AdQuantizer {
             config: serde_json::to_value(cfg),
             seed: cfg.seed,
         });
+        sink.record(&TelemetryEvent::WorkerPoolConfigured {
+            threads: adq_tensor::dispatch::current_num_threads(),
+            microbatch: self.microbatch,
+        });
         let train_batches = adq_telemetry::metrics::global().counter("core.train_batches");
         let mut optimizer = Adam::new(cfg.lr);
         let mut rng = adq_tensor::init::rng(cfg.seed);
@@ -682,14 +741,25 @@ impl AdQuantizer {
         let mut last_train_acc = 0.0;
         for epoch in 1..=epochs {
             model.reset_densities();
-            let stats = train_epoch_observed(
-                model,
-                train,
-                &mut optimizer,
-                cfg.batch_size,
-                &mut rng,
-                &mut |_| train_batches.inc(),
-            );
+            let stats = match self.microbatch {
+                Some(microbatch) => train_epoch_parallel_observed(
+                    model,
+                    train,
+                    &mut optimizer,
+                    cfg.batch_size,
+                    microbatch,
+                    &mut rng,
+                    &mut |_| train_batches.inc(),
+                ),
+                None => train_epoch_observed(
+                    model,
+                    train,
+                    &mut optimizer,
+                    cfg.batch_size,
+                    &mut rng,
+                    &mut |_| train_batches.inc(),
+                ),
+            };
             last_train_acc = stats.accuracy;
             accuracy_history.push(stats.accuracy);
             for (idx, history) in histories.iter_mut().enumerate() {

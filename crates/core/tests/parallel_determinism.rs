@@ -1,0 +1,158 @@
+//! End-to-end determinism contract of data-parallel training: a full
+//! Algorithm-1 run produces bit-identical outcomes — and bit-identical
+//! checkpoint files — whatever the worker-thread count, and resume
+//! refuses to silently change the microbatch setting.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use adq_core::checkpoint::{CheckpointError, CheckpointManager};
+use adq_core::{AdQuantizer, AdqConfig, AdqOutcome};
+use adq_datasets::SyntheticSpec;
+use adq_nn::train::Dataset;
+use adq_nn::Vgg;
+use adq_telemetry::{MemorySink, NullSink, TelemetryEvent};
+
+/// `rayon::set_thread_override` is process-global, so tests that flip it
+/// must not interleave.
+static THREAD_OVERRIDE: Mutex<()> = Mutex::new(());
+
+const MICROBATCH: usize = 3;
+
+fn tiny_task() -> (Dataset, Dataset) {
+    SyntheticSpec::cifar10_like()
+        .with_classes(4)
+        .with_resolution(8)
+        .with_samples(8, 4)
+        .generate()
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("adq-parallel-e2e-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// One checkpointed parallel run under a fixed worker count; returns the
+/// outcome plus the raw bytes of every checkpoint file written.
+fn run_parallel(threads: usize, tag: &str) -> (AdqOutcome, Vec<(String, Vec<u8>)>) {
+    let (train, test) = tiny_task();
+    let mut model = Vgg::tiny(3, 8, 4, 11);
+    let dir = scratch_dir(tag);
+    let manager = CheckpointManager::new(&dir).expect("manager");
+
+    rayon::set_thread_override(Some(threads));
+    let outcome = AdQuantizer::new(AdqConfig::fast())
+        .with_parallelism(MICROBATCH)
+        .run_checkpointed(&mut model, &train, &test, &NullSink, &manager)
+        .expect("checkpointed run");
+    rayon::set_thread_override(None);
+
+    let mut files: Vec<(String, Vec<u8>)> = fs::read_dir(&dir)
+        .expect("read checkpoint dir")
+        .map(|e| {
+            let path = e.expect("dir entry").path();
+            let name = path
+                .file_name()
+                .expect("file name")
+                .to_string_lossy()
+                .into_owned();
+            (name, fs::read(&path).expect("read checkpoint"))
+        })
+        .collect();
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    let _ = fs::remove_dir_all(&dir);
+    (outcome, files)
+}
+
+#[test]
+fn outcome_and_checkpoints_are_bit_identical_across_thread_counts() {
+    let _guard = THREAD_OVERRIDE.lock().expect("override guard");
+
+    let (serial, serial_files) = run_parallel(1, "t1");
+    let (wide, wide_files) = run_parallel(4, "t4");
+
+    assert_eq!(
+        serde_json::to_string(&serial).expect("serialise"),
+        serde_json::to_string(&wide).expect("serialise"),
+        "AdqOutcome differs between 1 and 4 worker threads"
+    );
+
+    assert!(
+        !serial_files.is_empty(),
+        "run wrote no checkpoints; the byte comparison below would be vacuous"
+    );
+    assert_eq!(
+        serial_files.len(),
+        wide_files.len(),
+        "runs wrote different numbers of checkpoint files"
+    );
+    for ((name_a, bytes_a), (name_b, bytes_b)) in serial_files.iter().zip(&wide_files) {
+        assert_eq!(name_a, name_b, "checkpoint file names diverged");
+        assert_eq!(
+            bytes_a, bytes_b,
+            "checkpoint {name_a} is not byte-identical across thread counts"
+        );
+    }
+}
+
+#[test]
+fn resume_refuses_a_different_microbatch_setting() {
+    let _guard = THREAD_OVERRIDE.lock().expect("override guard");
+
+    let (train, test) = tiny_task();
+    let dir = scratch_dir("mismatch");
+    let manager = CheckpointManager::new(&dir).expect("manager");
+
+    let mut model = Vgg::tiny(3, 8, 4, 12);
+    AdQuantizer::new(AdqConfig::fast())
+        .with_parallelism(MICROBATCH)
+        .run_checkpointed(&mut model, &train, &test, &NullSink, &manager)
+        .expect("checkpointed run");
+    let checkpoint = manager
+        .load_latest()
+        .expect("scan")
+        .expect("run saved at least one checkpoint");
+
+    // same config, but serial training: the outcome would differ, so
+    // resume must refuse rather than splice the histories together
+    let mut fresh = Vgg::tiny(3, 8, 4, 12);
+    let err = AdQuantizer::new(AdqConfig::fast())
+        .resume_from(&mut fresh, &train, &test, &NullSink, checkpoint, None)
+        .expect_err("microbatch mismatch must be rejected");
+    assert!(
+        matches!(err, CheckpointError::ConfigMismatch(ref msg) if msg.contains("microbatch")),
+        "unexpected error: {err:?}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn parallel_run_reports_its_worker_pool() {
+    let _guard = THREAD_OVERRIDE.lock().expect("override guard");
+
+    let (train, test) = tiny_task();
+    let mut model = Vgg::tiny(3, 8, 4, 13);
+    let sink = Arc::new(MemorySink::new());
+    AdQuantizer::new(AdqConfig::fast())
+        .with_parallelism(MICROBATCH)
+        .with_telemetry(sink.clone())
+        .run(&mut model, &train, &test);
+
+    let pools: Vec<_> = sink
+        .events()
+        .into_iter()
+        .filter_map(|e| match e {
+            TelemetryEvent::WorkerPoolConfigured {
+                threads,
+                microbatch,
+            } => Some((threads, microbatch)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(pools.len(), 1, "expected exactly one pool event");
+    assert_eq!(pools[0].1, Some(MICROBATCH));
+    assert!(pools[0].0 >= 1);
+}

@@ -160,4 +160,62 @@ pub trait QuantModel {
         self.visit_params(&mut |_, p| count += p.len());
         count
     }
+
+    /// Clones this model into an independent replica for microbatch data
+    /// parallelism, or `None` when the model cannot be replicated — the
+    /// parallel trainer then falls back to the serial path.
+    ///
+    /// Replicas carry their own density meters and batch-norm buffers;
+    /// the trainer ships those back to the master through
+    /// [`QuantModel::export_density_counts`] and
+    /// [`QuantModel::take_batch_norm_updates`].
+    fn fork(&self) -> Option<Box<dyn QuantModel + Send>> {
+        None
+    }
+
+    /// Flat dump of every Activation Density counter in a stable
+    /// model-defined order — the wire format replicas use to ship tallies
+    /// back to the master. Counts are integers, so absorbing replica dumps
+    /// in any order reproduces the serial tallies exactly. Models without
+    /// meters return an empty vector.
+    fn export_density_counts(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Adds counts exported by [`QuantModel::export_density_counts`] into
+    /// this model's meters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the layout does not match this model.
+    fn absorb_density_counts(&mut self, counts: &[u64]) -> Result<(), String> {
+        if counts.is_empty() {
+            Ok(())
+        } else {
+            Err("model has no density counters".to_string())
+        }
+    }
+
+    /// Takes the per-channel `(mean, var)` each batch-norm layer computed
+    /// on its most recent training batch, in [`QuantModel::norm_stats`]
+    /// order. Models without normalisation return an empty vector.
+    fn take_batch_norm_updates(&mut self) -> Vec<(Vec<f32>, Vec<f32>)> {
+        Vec::new()
+    }
+
+    /// Replays one EMA running-stat update per batch-norm layer from stats
+    /// taken on a replica ([`QuantModel::take_batch_norm_updates`]). The
+    /// master applies replica updates in microbatch index order, ending
+    /// bit-identical to having run the training forwards itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the layer or channel counts disagree.
+    fn apply_batch_norm_updates(&mut self, updates: &[(Vec<f32>, Vec<f32>)]) -> Result<(), String> {
+        if updates.is_empty() {
+            Ok(())
+        } else {
+            Err("model has no normalisation buffers".to_string())
+        }
+    }
 }

@@ -535,6 +535,100 @@ impl QuantModel for ResNet {
         Ok(())
     }
 
+    fn fork(&self) -> Option<Box<dyn QuantModel + Send>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn export_density_counts(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.stem.export_density_counts(&mut out);
+        for block in &self.blocks {
+            block.conv1.export_density_counts(&mut out);
+            block.conv2.export_density_counts(&mut out);
+            if let Some(p) = block.proj.as_ref() {
+                p.export_density_counts(&mut out);
+            }
+            out.push(block.junction_meter.nonzero_count());
+            out.push(block.junction_meter.total_count());
+        }
+        self.head.export_density_counts(&mut out);
+        out
+    }
+
+    fn absorb_density_counts(&mut self, counts: &[u64]) -> Result<(), String> {
+        let mut offset = 0;
+        offset += self.stem.absorb_density_counts(&counts[offset..])?;
+        for block in &mut self.blocks {
+            offset += block.conv1.absorb_density_counts(&counts[offset..])?;
+            offset += block.conv2.absorb_density_counts(&counts[offset..])?;
+            if let Some(p) = block.proj.as_mut() {
+                offset += p.absorb_density_counts(&counts[offset..])?;
+            }
+            if counts.len() < offset + 2 {
+                return Err("density counts missing junction meter".to_string());
+            }
+            block.junction_meter.merge(&DensityMeter::from_counts(
+                counts[offset],
+                counts[offset + 1],
+            ));
+            offset += 2;
+        }
+        offset += self.head.absorb_density_counts(&counts[offset..])?;
+        if offset != counts.len() {
+            return Err(format!(
+                "density counts length mismatch: used {offset} of {}",
+                counts.len()
+            ));
+        }
+        Ok(())
+    }
+
+    fn take_batch_norm_updates(&mut self) -> Vec<(Vec<f32>, Vec<f32>)> {
+        let mut out = Vec::new();
+        let mut take = |b: Option<&mut crate::layers::BatchNorm2d>| {
+            if let Some(bn) = b {
+                out.push(bn.take_batch_stats());
+            }
+        };
+        take(self.stem.bn_mut());
+        for block in &mut self.blocks {
+            take(block.conv1.bn_mut());
+            take(block.conv2.bn_mut());
+            take(block.proj.as_mut().and_then(|p| p.bn_mut()));
+        }
+        out
+    }
+
+    fn apply_batch_norm_updates(&mut self, updates: &[(Vec<f32>, Vec<f32>)]) -> Result<(), String> {
+        let mut iter = updates.iter();
+        let mut apply = |b: Option<&mut crate::layers::BatchNorm2d>| -> Result<(), String> {
+            if let Some(bn) = b {
+                let (mean, var) = iter
+                    .next()
+                    .ok_or_else(|| "missing batch-norm update".to_string())?;
+                if mean.len() != bn.channels() {
+                    return Err(format!(
+                        "channel mismatch: {} vs {}",
+                        mean.len(),
+                        bn.channels()
+                    ));
+                }
+                bn.apply_batch_stats(mean, var);
+            }
+            Ok(())
+        };
+        apply(self.stem.bn_mut())?;
+        for block in &mut self.blocks {
+            apply(block.conv1.bn_mut())?;
+            apply(block.conv2.bn_mut())?;
+            apply(block.proj.as_mut().and_then(|p| p.bn_mut()))?;
+        }
+        if iter.next().is_some() {
+            return Err("too many batch-norm updates".to_string());
+        }
+        Ok(())
+    }
+
     fn prune_layer_to(&mut self, index: usize, keep: usize) -> bool {
         // Only the internal channel of a basic block can be pruned without
         // breaking the residual additions; see DESIGN.md §2.

@@ -402,6 +402,64 @@ impl QuantModel for Vgg {
         true
     }
 
+    fn fork(&self) -> Option<Box<dyn QuantModel + Send>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn export_density_counts(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for block in &self.blocks {
+            block.export_density_counts(&mut out);
+        }
+        self.head.export_density_counts(&mut out);
+        out
+    }
+
+    fn absorb_density_counts(&mut self, counts: &[u64]) -> Result<(), String> {
+        let mut offset = 0;
+        for block in &mut self.blocks {
+            offset += block.absorb_density_counts(&counts[offset..])?;
+        }
+        offset += self.head.absorb_density_counts(&counts[offset..])?;
+        if offset != counts.len() {
+            return Err(format!(
+                "density counts length mismatch: used {offset} of {}",
+                counts.len()
+            ));
+        }
+        Ok(())
+    }
+
+    fn take_batch_norm_updates(&mut self) -> Vec<(Vec<f32>, Vec<f32>)> {
+        self.blocks
+            .iter_mut()
+            .filter_map(|b| b.bn_mut().map(|bn| bn.take_batch_stats()))
+            .collect()
+    }
+
+    fn apply_batch_norm_updates(&mut self, updates: &[(Vec<f32>, Vec<f32>)]) -> Result<(), String> {
+        let mut iter = updates.iter();
+        for block in &mut self.blocks {
+            if let Some(bn) = block.bn_mut() {
+                let (mean, var) = iter
+                    .next()
+                    .ok_or_else(|| "missing batch-norm update".to_string())?;
+                if mean.len() != bn.channels() {
+                    return Err(format!(
+                        "channel mismatch: {} vs {}",
+                        mean.len(),
+                        bn.channels()
+                    ));
+                }
+                bn.apply_batch_stats(mean, var);
+            }
+        }
+        if iter.next().is_some() {
+            return Err("too many batch-norm updates".to_string());
+        }
+        Ok(())
+    }
+
     fn prune_layer_to(&mut self, index: usize, keep: usize) -> bool {
         if index >= self.head_index() {
             // pruning the classifier's classes is not meaningful

@@ -227,19 +227,25 @@ impl Optimizer for Adam {
         let (m, v) = entry;
         let bc1 = 1.0 - beta1.powi(t as i32);
         let bc2 = 1.0 - beta2.powi(t as i32);
-        for ((w, &g), (mi, vi)) in param
-            .value
-            .data_mut()
-            .iter_mut()
-            .zip(param.grad.data())
-            .zip(m.data_mut().iter_mut().zip(v.data_mut().iter_mut()))
-        {
-            *mi = beta1 * *mi + (1.0 - beta1) * g;
-            *vi = beta2 * *vi + (1.0 - beta2) * g * g;
-            let m_hat = *mi / bc1;
-            let v_hat = *vi / bc2;
-            *w -= lr * m_hat / (v_hat.sqrt() + eps);
-        }
+        // Per-element-independent update: large parameters fan out through
+        // the shared dispatch policy, bit-identical to the serial loop.
+        adq_tensor::dispatch::for_each_chunk4(
+            param.value.data_mut(),
+            param.grad.data(),
+            m.data_mut(),
+            v.data_mut(),
+            |wc, gc, mc, vc| {
+                for ((w, &g), (mi, vi)) in
+                    wc.iter_mut().zip(gc).zip(mc.iter_mut().zip(vc.iter_mut()))
+                {
+                    *mi = beta1 * *mi + (1.0 - beta1) * g;
+                    *vi = beta2 * *vi + (1.0 - beta2) * g * g;
+                    let m_hat = *mi / bc1;
+                    let v_hat = *vi / bc2;
+                    *w -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
+            },
+        );
     }
 
     fn reset_state(&mut self) {
@@ -362,5 +368,39 @@ mod tests {
             step(&mut restored, &mut p_res);
         }
         assert_eq!(p_ref.value.data(), p_res.value.data());
+    }
+
+    #[test]
+    fn adam_parallel_update_matches_scalar_math_bitwise() {
+        // a parameter large enough to cross the elementwise dispatch
+        // threshold: the chunked update must equal the scalar recurrence
+        let n = (1 << 17) + 13;
+        let w0: Vec<f32> = (0..n).map(|i| ((i * 3) as f32).sin()).collect();
+        let g0: Vec<f32> = (0..n).map(|i| ((i * 7) as f32).cos() * 0.1).collect();
+
+        let mut adam = Adam::new(0.01);
+        let mut p = Param::new("big", Tensor::from_slice(&w0));
+        p.grad = Tensor::from_slice(&g0);
+        adam.begin_step();
+        adam.step_param(0, &mut p);
+        adam.begin_step();
+        adam.step_param(0, &mut p);
+
+        // scalar reference: the same recurrence, element at a time
+        let (beta1, beta2, lr, eps) = (0.9f32, 0.999f32, 0.01f32, 1e-8f32);
+        let mut expected = w0.clone();
+        let mut m = vec![0.0f32; n];
+        let mut v = vec![0.0f32; n];
+        for t in 1..=2i32 {
+            let bc1 = 1.0 - beta1.powi(t);
+            let bc2 = 1.0 - beta2.powi(t);
+            for i in 0..n {
+                let g = g0[i];
+                m[i] = beta1 * m[i] + (1.0 - beta1) * g;
+                v[i] = beta2 * v[i] + (1.0 - beta2) * g * g;
+                expected[i] -= lr * (m[i] / bc1) / ((v[i] / bc2).sqrt() + eps);
+            }
+        }
+        assert_eq!(p.value.data(), &expected[..]);
     }
 }

@@ -1,12 +1,35 @@
-//! Training-loop helpers: mini-batching, one-epoch train/eval passes.
+//! Training-loop helpers: mini-batching, one-epoch train/eval passes, and
+//! a deterministic data-parallel epoch that splits batches into fixed-size
+//! microbatches across rayon workers.
 
+use std::sync::{Arc, OnceLock};
+
+use adq_telemetry::{Histogram, ScopedTimer};
 use adq_tensor::Tensor;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use rayon::prelude::*;
 
 use crate::loss::{accuracy, softmax_cross_entropy};
 use crate::model::QuantModel;
 use crate::optim::{Adam, Optimizer};
+
+/// Wall-time of one microbatch forward/backward, recorded per worker run
+/// into the process-wide `nn.train.microbatch` histogram.
+fn microbatch_timer() -> ScopedTimer {
+    static HIST: OnceLock<Arc<Histogram>> = OnceLock::new();
+    ScopedTimer::new(
+        HIST.get_or_init(|| adq_telemetry::metrics::global().histogram("nn.train.microbatch")),
+    )
+}
+
+/// Wall-time of the fixed-tree gradient reduction (`nn.train.reduce`).
+fn reduce_timer() -> ScopedTimer {
+    static HIST: OnceLock<Arc<Histogram>> = OnceLock::new();
+    ScopedTimer::new(
+        HIST.get_or_init(|| adq_telemetry::metrics::global().histogram("nn.train.reduce")),
+    )
+}
 
 /// A labelled image-classification dataset held in memory:
 /// images `[N, C, H, W]` plus `N` class indices.
@@ -130,6 +153,220 @@ pub fn train_epoch_observed(
             samples: labels.len(),
             loss: f64::from(out.loss),
             accuracy: batch_acc,
+        });
+    }
+    pass_stats(total_loss, correct, data.len())
+}
+
+/// One microbatch worker's model replica plus everything it ships back to
+/// the master after a forward/backward: gradients, density counts,
+/// batch-norm statistics, and loss/accuracy tallies.
+struct ReplicaSlot {
+    model: Box<dyn QuantModel + Send>,
+    grads: Vec<Tensor>,
+    density: Vec<u64>,
+    bn_updates: Vec<(Vec<f32>, Vec<f32>)>,
+    loss: f64,
+    accuracy: f64,
+    samples: usize,
+}
+
+impl ReplicaSlot {
+    fn new(model: Box<dyn QuantModel + Send>) -> Self {
+        Self {
+            model,
+            grads: Vec::new(),
+            density: Vec::new(),
+            bn_updates: Vec::new(),
+            loss: 0.0,
+            accuracy: 0.0,
+            samples: 0,
+        }
+    }
+}
+
+/// Forward/backward of one microbatch on a replica. The replica's
+/// trainable parameters are refreshed from `params` first; its density
+/// meters are reset so the exported counts are this microbatch's exact
+/// delta. The loss gradient is rescaled from the microbatch mean to the
+/// microbatch's share of the batch mean (`n_m / batch_n`), so summing the
+/// per-replica gradients yields a full-batch-mean gradient.
+fn run_microbatch(
+    slot: &mut ReplicaSlot,
+    indices: &[usize],
+    params: &[Tensor],
+    data: &Dataset,
+    batch_n: usize,
+) {
+    let model = slot.model.as_mut();
+    import_params(model, params).expect("replica shares the master architecture");
+    model.zero_grad();
+    model.reset_densities();
+    let (images, labels) = data.batch(indices);
+    let logits = model.forward(&images, true);
+    let out = softmax_cross_entropy(&logits, &labels);
+    slot.loss = f64::from(out.loss);
+    slot.accuracy = accuracy(&logits, &labels);
+    slot.samples = labels.len();
+    let scale = labels.len() as f32 / batch_n as f32;
+    let grad = if scale == 1.0 {
+        out.grad
+    } else {
+        out.grad.scaled(scale)
+    };
+    model.backward(&grad);
+    slot.grads.clear();
+    model.visit_params(&mut |_, p| slot.grads.push(p.grad.clone()));
+    slot.bn_updates = model.take_batch_norm_updates();
+    slot.density = model.export_density_counts();
+}
+
+/// Sums per-microbatch gradient sets into `grads[0]` with a fixed binary
+/// tree whose pairing depends only on the microbatch index — never on the
+/// thread count or completion order — so the reduced gradient is
+/// bit-identical however the forward/backward work was scheduled.
+fn tree_reduce_into_first(grads: &mut [Vec<Tensor>]) {
+    let m = grads.len();
+    let mut stride = 1;
+    while stride < m {
+        let mut i = 0;
+        while i + stride < m {
+            let (left, right) = grads.split_at_mut(i + stride);
+            for (a, b) in left[i].iter_mut().zip(&right[0]) {
+                a.add_scaled(b, 1.0).expect("gradient shapes agree");
+            }
+            i += 2 * stride;
+        }
+        stride *= 2;
+    }
+}
+
+/// Trains one epoch with Adam using intra-batch data parallelism: each
+/// batch is split into fixed-size microbatches that run forward/backward
+/// on independent model replicas across rayon workers.
+///
+/// The outcome is **bit-identical at any worker count** (including 1):
+/// microbatch boundaries are a pure function of the batch layout, each
+/// replica's computation depends only on its microbatch index, gradients
+/// combine through a fixed binary tree ([`tree_reduce_into_first`]), and
+/// the master replays density counts and batch-norm updates in microbatch
+/// index order. With a single microbatch per batch
+/// (`microbatch >= batch_size`) the result is additionally bit-identical
+/// to the serial [`train_epoch`].
+///
+/// Falls back to the serial path when the model does not support
+/// [`QuantModel::fork`]. Models using [`crate::ActRangeMode::Ema`] keep
+/// per-replica observer state (keyed to the microbatch index, so still
+/// deterministic) rather than the master's.
+///
+/// # Panics
+///
+/// Panics if `batch_size` or `microbatch` is zero.
+pub fn train_epoch_parallel(
+    model: &mut dyn QuantModel,
+    data: &Dataset,
+    optimizer: &mut Adam,
+    batch_size: usize,
+    microbatch: usize,
+    rng: &mut impl Rng,
+) -> EpochStats {
+    train_epoch_parallel_observed(
+        model,
+        data,
+        optimizer,
+        batch_size,
+        microbatch,
+        rng,
+        &mut |_| {},
+    )
+}
+
+/// [`train_epoch_parallel`] with a per-batch observation hook (one
+/// [`BatchStats`] per batch, combining its microbatches sample-weighted).
+pub fn train_epoch_parallel_observed(
+    model: &mut dyn QuantModel,
+    data: &Dataset,
+    optimizer: &mut Adam,
+    batch_size: usize,
+    microbatch: usize,
+    rng: &mut impl Rng,
+    observe: &mut dyn FnMut(BatchStats),
+) -> EpochStats {
+    assert!(batch_size > 0, "batch size must be positive");
+    assert!(microbatch > 0, "microbatch size must be positive");
+    let replica_count = batch_size.div_ceil(microbatch);
+    let mut replicas: Vec<ReplicaSlot> = Vec::with_capacity(replica_count);
+    for _ in 0..replica_count {
+        match model.fork() {
+            Some(m) => replicas.push(ReplicaSlot::new(m)),
+            // graceful serial fallback (no RNG has been consumed yet)
+            None => return train_epoch_observed(model, data, optimizer, batch_size, rng, observe),
+        }
+    }
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    order.shuffle(rng);
+    let mut total_loss = 0.0f64;
+    let mut correct = 0.0f64;
+    for (batch, chunk) in order.chunks(batch_size).enumerate() {
+        let batch_n = chunk.len();
+        let active = batch_n.div_ceil(microbatch);
+        let params = export_params(model);
+        {
+            // microbatch i always runs on replica i: any replica-resident
+            // state (e.g. EMA range observers) evolves identically at any
+            // worker count
+            let params = &params;
+            let jobs: Vec<(&mut ReplicaSlot, &[usize])> =
+                replicas.iter_mut().zip(chunk.chunks(microbatch)).collect();
+            jobs.into_par_iter().for_each(|(slot, indices)| {
+                let _timer = microbatch_timer();
+                run_microbatch(slot, indices, params, data, batch_n);
+            });
+        }
+        let reduced = {
+            let _timer = reduce_timer();
+            let mut trees: Vec<Vec<Tensor>> = replicas[..active]
+                .iter_mut()
+                .map(|s| std::mem::take(&mut s.grads))
+                .collect();
+            tree_reduce_into_first(&mut trees);
+            trees.swap_remove(0)
+        };
+        model.zero_grad();
+        let mut next = reduced.into_iter();
+        model.visit_params(&mut |_, p| {
+            p.grad = next.next().expect("one gradient per parameter");
+        });
+        optimizer.begin_step();
+        model.visit_params(&mut |slot, p| optimizer.step_param(slot, p));
+        // replay side effects in microbatch index order
+        let mut batch_loss = 0.0f64;
+        let mut batch_correct = 0.0f64;
+        for part in replicas[..active].iter_mut() {
+            model
+                .absorb_density_counts(&part.density)
+                .expect("replica layout matches master");
+            let updates = std::mem::take(&mut part.bn_updates);
+            model
+                .apply_batch_norm_updates(&updates)
+                .expect("replica layout matches master");
+            batch_loss += part.loss * part.samples as f64;
+            batch_correct += part.accuracy * part.samples as f64;
+        }
+        total_loss += batch_loss;
+        correct += batch_correct;
+        // a lone microbatch reports its stats untouched, keeping the
+        // single-microbatch path bit-identical to the serial one
+        let (loss, acc) = if active == 1 {
+            (replicas[0].loss, replicas[0].accuracy)
+        } else {
+            (batch_loss / batch_n as f64, batch_correct / batch_n as f64)
+        };
+        observe(BatchStats {
+            batch,
+            samples: batch_n,
+            loss,
+            accuracy: acc,
         });
     }
     pass_stats(total_loss, correct, data.len())
@@ -446,6 +683,95 @@ mod tests {
         let mut measured = 0usize;
         measure_densities_observed(&mut net, &ds, 6, &mut |_, samples| measured += samples);
         assert_eq!(measured, 10);
+    }
+
+    #[test]
+    fn fixed_tree_reduction_pairs_by_index() {
+        // values chosen so the fixed tree ((g0+g1)+(g2+g3))+g4 differs
+        // from a sequential left fold: the pairing is observable
+        let vals = [1e8f32, 1.0, -1e8, 1.0, 1.0];
+        let mut grads: Vec<Vec<Tensor>> = vals
+            .iter()
+            .map(|&v| vec![Tensor::from_slice(&[v])])
+            .collect();
+        tree_reduce_into_first(&mut grads);
+        let tree = ((1e8f32 + 1.0) + (-1e8 + 1.0)) + 1.0;
+        let sequential = vals.iter().copied().fold(0.0f32, |a, b| a + b);
+        assert_eq!(grads[0][0].data()[0].to_bits(), tree.to_bits());
+        assert_ne!(tree.to_bits(), sequential.to_bits(), "values too tame");
+    }
+
+    /// Two identical (model, optimizer, rng, stats-log) training setups.
+    fn twin_setup(seed: u64) -> (Vgg, Adam, rand_chacha::ChaCha8Rng) {
+        let net = Vgg::tiny(1, 4, 2, seed);
+        let adam = Adam::new(5e-3);
+        let rng = init::rng(seed + 100);
+        (net, adam, rng)
+    }
+
+    /// Parameters plus batch-norm running stats: everything training mutates.
+    type ModelState = (Vec<Tensor>, Vec<(Vec<f32>, Vec<f32>)>);
+
+    fn full_state(model: &mut Vgg) -> ModelState {
+        (export_params(model), model.norm_stats())
+    }
+
+    #[test]
+    fn single_microbatch_parallel_epoch_equals_serial_bitwise() {
+        let ds = toy_dataset(20, 50);
+        let (mut serial, mut adam_s, mut rng_s) = twin_setup(51);
+        let (mut par, mut adam_p, mut rng_p) = twin_setup(51);
+        for _ in 0..2 {
+            let a = train_epoch(&mut serial, &ds, &mut adam_s, 8, &mut rng_s);
+            let b = train_epoch_parallel(&mut par, &ds, &mut adam_p, 8, 8, &mut rng_p);
+            assert_eq!(a, b);
+        }
+        assert_eq!(full_state(&mut serial), full_state(&mut par));
+        assert_eq!(serial.export_density_counts(), par.export_density_counts());
+        assert_eq!(adam_s.export_state(), adam_p.export_state());
+    }
+
+    #[test]
+    fn parallel_epoch_is_bit_identical_across_thread_counts() {
+        let ds = toy_dataset(22, 60);
+        let mut outcomes = Vec::new();
+        for threads in [1usize, 4] {
+            rayon::set_thread_override(Some(threads));
+            let (mut net, mut adam, mut rng) = twin_setup(61);
+            let mut batch_log = Vec::new();
+            let stats = train_epoch_parallel_observed(
+                &mut net,
+                &ds,
+                &mut adam,
+                8,
+                3, // 3 microbatches per full batch, uneven tail
+                &mut rng,
+                &mut |b| batch_log.push(b),
+            );
+            outcomes.push((
+                stats,
+                full_state(&mut net),
+                net.export_density_counts(),
+                adam.export_state(),
+                batch_log,
+            ));
+        }
+        rayon::set_thread_override(None);
+        assert_eq!(outcomes[0], outcomes[1]);
+    }
+
+    #[test]
+    fn parallel_epoch_density_counts_cover_every_sample() {
+        let ds = toy_dataset(10, 70);
+        let (mut net, mut adam, mut rng) = twin_setup(71);
+        net.reset_densities();
+        train_epoch_parallel(&mut net, &ds, &mut adam, 4, 2, &mut rng);
+        // conv1 output is 8 channels * 16 pixels per sample
+        let stats = net.layer_stats();
+        assert_eq!(stats[0].out_channels, 8);
+        let counts = net.export_density_counts();
+        // first block meter total = samples * channels * spatial
+        assert_eq!(counts[1], 10 * 8 * 16);
     }
 
     #[test]

@@ -157,6 +157,10 @@ impl Quantizer {
     /// bit-identical to calling [`Quantizer::fake_quantize`] per element —
     /// including NaN inputs (mapped to the range minimum, as the scalar
     /// path's saturating `as u64` cast does) and infinities (clamped).
+    ///
+    /// Activation-sized slices fan chunks out to rayon workers through
+    /// [`adq_tensor::dispatch`]; the transform is per-element independent,
+    /// so the parallel result is bit-identical at any worker count.
     pub fn fake_quantize_slice(&self, data: &mut [f32]) {
         let _timer = forward_timer();
         if self.range.is_degenerate() {
@@ -169,12 +173,14 @@ impl Quantizer {
         let max_code = self.bits.max_code();
         let inv_step = max_code as f64 / self.width_f64();
         let step = self.step_f64();
-        for v in data {
-            let x = (*v).clamp(lo, hi);
-            let scaled = (f64::from(x) - min64) * inv_step;
-            let code = (scaled.round() as u64).min(max_code);
-            *v = (min64 + code as f64 * step) as f32;
-        }
+        adq_tensor::dispatch::for_each_chunk(data, |chunk| {
+            for v in chunk {
+                let x = (*v).clamp(lo, hi);
+                let scaled = (f64::from(x) - min64) * inv_step;
+                let code = (scaled.round() as u64).min(max_code);
+                *v = (min64 + code as f64 * step) as f32;
+            }
+        });
     }
 
     /// Fake-quantizes a whole tensor, preserving its shape.
@@ -439,6 +445,37 @@ mod tests {
                 assert_eq!(got, expected, "bits={bits} range=[{lo},{hi}]");
             }
         }
+    }
+
+    #[test]
+    fn parallel_slice_path_is_bit_identical_to_scalar_path() {
+        // above the elementwise dispatch threshold the fused loop fans
+        // chunks out to workers; per-element arithmetic is unchanged, so
+        // the result must still match the scalar path bit-for-bit
+        let n = (1 << 17) + 31;
+        let mut state = 0x243f6a8885a308d3u64;
+        let inputs: Vec<f32> = (0..n)
+            .map(|i| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                match i % 1021 {
+                    0 => f32::NAN,
+                    1 => f32::INFINITY,
+                    2 => f32::NEG_INFINITY,
+                    _ => ((state >> 33) as f32 / u32::MAX as f32) * 8.0 - 4.0,
+                }
+            })
+            .collect();
+        let quant = q(4, -3.0, 3.0);
+        let expected: Vec<u32> = inputs
+            .iter()
+            .map(|&x| quant.fake_quantize(x).to_bits())
+            .collect();
+        let mut fused = inputs;
+        quant.fake_quantize_slice(&mut fused);
+        let got: Vec<u32> = fused.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, expected);
     }
 
     #[test]

@@ -119,6 +119,14 @@ pub enum TelemetryEvent {
         /// Serialized size in bytes (header + payload).
         bytes: u64,
     },
+    /// The run's data-parallel worker pool was configured.
+    WorkerPoolConfigured {
+        /// Effective worker thread count at startup.
+        threads: usize,
+        /// Microbatch size for intra-batch data parallelism (`None` =
+        /// serial training).
+        microbatch: Option<usize>,
+    },
     /// A run continued from a checkpoint instead of starting fresh.
     RunResumed {
         /// Human label for the run (e.g. bench binary name).
@@ -152,6 +160,7 @@ impl TelemetryEvent {
             TelemetryEvent::LayerRemoved { .. } => "LayerRemoved",
             TelemetryEvent::IterationCompleted { .. } => "IterationCompleted",
             TelemetryEvent::CheckpointSaved { .. } => "CheckpointSaved",
+            TelemetryEvent::WorkerPoolConfigured { .. } => "WorkerPoolConfigured",
             TelemetryEvent::RunResumed { .. } => "RunResumed",
             TelemetryEvent::EnergyEstimated { .. } => "EnergyEstimated",
             TelemetryEvent::RunCompleted { .. } => "RunCompleted",
@@ -191,6 +200,10 @@ mod tests {
                 iteration: 2,
                 path: "ckpt/iter-0002.ckpt".into(),
                 bytes: 4096,
+            },
+            TelemetryEvent::WorkerPoolConfigured {
+                threads: 4,
+                microbatch: Some(8),
             },
             TelemetryEvent::RunResumed {
                 run: "adq.run".into(),

@@ -37,6 +37,7 @@ mod scratch;
 mod shape;
 mod tensor;
 
+pub mod dispatch;
 pub mod init;
 
 pub use gemm::{gemm_nn, gemm_nt, gemm_tn, KC, MC, MR, NC, NR};
@@ -45,6 +46,6 @@ pub use matmul::{
     matmul, matmul_a_bt, matmul_a_bt_naive, matmul_a_bt_scratch, matmul_at_b, matmul_at_b_naive,
     matmul_at_b_scratch, matmul_naive, matmul_scratch,
 };
-pub use scratch::Scratch;
+pub use scratch::{with_thread_scratch, Scratch};
 pub use shape::ShapeError;
 pub use tensor::Tensor;

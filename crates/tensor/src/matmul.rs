@@ -6,8 +6,10 @@
 //! `ikj` loops below that, where packing overhead would dominate. The
 //! `*_scratch` variants additionally draw their output and pack buffers
 //! from a caller-owned [`Scratch`] arena so per-batch allocations disappear
-//! from the training loop; the plain variants are thin wrappers over a
-//! throwaway arena.
+//! from the training loop; the plain variants draw from the calling
+//! thread's arena in the process-wide thread-keyed pool
+//! ([`crate::scratch::with_thread_scratch`]), so their pack panels are
+//! recycled across calls too.
 //!
 //! The pre-blocking kernels remain available as `matmul_naive` /
 //! `matmul_at_b_naive` / `matmul_a_bt_naive` — they are the comparison
@@ -29,12 +31,11 @@ use crate::tensor::Tensor;
 /// blocked kernel has no such limit: it splits over column tiles too).
 const PAR_ROW_THRESHOLD: usize = 8;
 
-/// Minimum estimated work (m·n·k multiply-adds) before the fallback loops
-/// split across threads. Rayon dispatch costs on the order of
-/// microseconds; a tall but skinny product (say 64×4·4, a training-batch
-/// logits matmul) has plenty of rows yet finishes serially long before the
-/// thread pool warms up.
-const PAR_FLOP_THRESHOLD: usize = 32_768;
+// The flop floor before the fallback loops split across threads lives in
+// crate::dispatch (GEMM_PAR_FLOPS_DEFAULT, overridable via ADQ_PAR_FLOPS):
+// rayon dispatch costs on the order of microseconds, and a tall but skinny
+// product (say 64×4·4, a training-batch logits matmul) has plenty of rows
+// yet finishes serially long before the thread pool warms up.
 
 /// Minimum estimated work (m·n·k multiply-adds) before dispatching to the
 /// blocked packed kernel. Below this, packing A and B into panels costs
@@ -46,7 +47,8 @@ const BLOCKED_MIN_FLOPS: usize = 1 << 18;
 /// split and enough total work to amortise the dispatch.
 #[inline]
 fn par_dispatch(m: usize, n: usize, k: usize) -> bool {
-    m >= PAR_ROW_THRESHOLD && m.saturating_mul(n).saturating_mul(k) >= PAR_FLOP_THRESHOLD
+    m >= PAR_ROW_THRESHOLD
+        && m.saturating_mul(n).saturating_mul(k) >= crate::dispatch::gemm_par_flop_threshold()
 }
 
 /// Whether a product of this shape routes to the blocked packed kernel.
@@ -95,7 +97,7 @@ fn matmul_timer() -> ScopedTimer {
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
-    matmul_scratch(a, b, &mut Scratch::new())
+    crate::scratch::with_thread_scratch(|scratch| matmul_scratch(a, b, scratch))
 }
 
 /// [`matmul`] drawing its output and pack buffers from `scratch`.
@@ -140,7 +142,7 @@ pub fn matmul_scratch(a: &Tensor, b: &Tensor, scratch: &mut Scratch) -> Result<T
 /// Returns [`ShapeError`] if either input is not rank-2 or the shared
 /// dimension disagrees.
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
-    matmul_at_b_scratch(a, b, &mut Scratch::new())
+    crate::scratch::with_thread_scratch(|scratch| matmul_at_b_scratch(a, b, scratch))
 }
 
 /// [`matmul_at_b`] drawing its output and pack buffers from `scratch`.
@@ -189,7 +191,7 @@ pub fn matmul_at_b_scratch(
 /// Returns [`ShapeError`] if either input is not rank-2 or the shared
 /// dimension disagrees.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
-    matmul_a_bt_scratch(a, b, &mut Scratch::new())
+    crate::scratch::with_thread_scratch(|scratch| matmul_a_bt_scratch(a, b, scratch))
 }
 
 /// [`matmul_a_bt`] drawing its output and pack buffers from `scratch`.

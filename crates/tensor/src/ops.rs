@@ -1,18 +1,32 @@
+use crate::dispatch;
 use crate::shape::ShapeError;
 use crate::tensor::Tensor;
 
+// The elementwise transforms below parallelise through crate::dispatch on
+// large tensors: per-element-independent math over fixed-size chunks, so
+// results are bit-identical to the serial loops at any worker count. The
+// float reductions (sum/mean/min/max/norm_sq) stay serial — regrouping
+// their accumulation would change results.
+
 impl Tensor {
     /// Applies `f` to every element, returning a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        let data = self.data().iter().map(|&x| f(x)).collect();
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut data = self.data().to_vec();
+        dispatch::for_each_chunk(&mut data, |chunk| {
+            for x in chunk {
+                *x = f(*x);
+            }
+        });
         Tensor::from_vec(data, self.dims()).expect("map preserves element count")
     }
 
     /// Applies `f` to every element in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in self.data_mut() {
-            *x = f(*x);
-        }
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        dispatch::for_each_chunk(self.data_mut(), |chunk| {
+            for x in chunk {
+                *x = f(*x);
+            }
+        });
     }
 
     /// Element-wise combination of two same-shaped tensors.
@@ -23,17 +37,17 @@ impl Tensor {
     pub fn zip_with(
         &self,
         other: &Tensor,
-        f: impl Fn(f32, f32) -> f32,
+        f: impl Fn(f32, f32) -> f32 + Sync,
     ) -> Result<Tensor, ShapeError> {
         if self.dims() != other.dims() {
             return Err(ShapeError::mismatch("zip_with", self.dims(), other.dims()));
         }
-        let data = self
-            .data()
-            .iter()
-            .zip(other.data())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let mut data = self.data().to_vec();
+        dispatch::for_each_chunk2(&mut data, other.data(), |dst, src| {
+            for (a, &b) in dst.iter_mut().zip(src) {
+                *a = f(*a, b);
+            }
+        });
         Tensor::from_vec(data, self.dims())
     }
 
@@ -77,9 +91,11 @@ impl Tensor {
                 other.dims(),
             ));
         }
-        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
-            *a += alpha * b;
-        }
+        dispatch::for_each_chunk2(self.data_mut(), other.data(), |dst, src| {
+            for (a, &b) in dst.iter_mut().zip(src) {
+                *a += alpha * b;
+            }
+        });
         Ok(())
     }
 
@@ -118,9 +134,10 @@ impl Tensor {
     /// Number of elements different from exactly zero.
     ///
     /// This is the counting primitive behind the paper's Activation Density
-    /// metric (eqn 2).
+    /// metric (eqn 2). Large tensors count in parallel: partial counts are
+    /// integers, so the combine is exact whatever the worker count.
     pub fn count_nonzero(&self) -> usize {
-        self.data().iter().filter(|&&x| x != 0.0).count()
+        dispatch::count_nonzero_slice(self.data())
     }
 
     /// Index of the maximum element of a rank-1 tensor (ties: first wins).
@@ -246,5 +263,73 @@ mod tests {
     #[test]
     fn argmax_first_tie_wins() {
         assert_eq!(t(&[5.0, 5.0, 1.0]).argmax(), 0);
+    }
+
+    /// A tensor large enough to cross the elementwise parallel threshold,
+    /// with an uneven chunk tail and some exact zeros.
+    fn large(seed: u64) -> Tensor {
+        let n = (1 << 17) + 11;
+        let data: Vec<f32> = (0..n)
+            .map(|i| {
+                let x = ((i as f32) * 0.37 + seed as f32).sin();
+                if i % 5 == 0 {
+                    0.0
+                } else {
+                    x
+                }
+            })
+            .collect();
+        Tensor::from_slice(&data)
+    }
+
+    #[test]
+    fn parallel_map_matches_serial_bitwise() {
+        let a = large(1);
+        let par = a.map(|x| x.mul_add(3.0, -1.0));
+        let serial: Vec<f32> = a.data().iter().map(|&x| x.mul_add(3.0, -1.0)).collect();
+        assert_eq!(par.data(), &serial[..]);
+    }
+
+    #[test]
+    fn parallel_map_inplace_matches_serial_bitwise() {
+        let mut a = large(2);
+        let serial: Vec<f32> = a.data().iter().map(|&x| x.max(0.0)).collect();
+        a.map_inplace(|x| x.max(0.0));
+        assert_eq!(a.data(), &serial[..]);
+    }
+
+    #[test]
+    fn parallel_zip_matches_serial_bitwise() {
+        let a = large(3);
+        let b = large(4);
+        let par = a.zip_with(&b, |x, y| x * y + 0.5).unwrap();
+        let serial: Vec<f32> = a
+            .data()
+            .iter()
+            .zip(b.data())
+            .map(|(&x, &y)| x * y + 0.5)
+            .collect();
+        assert_eq!(par.data(), &serial[..]);
+    }
+
+    #[test]
+    fn parallel_add_scaled_matches_serial_bitwise() {
+        let mut a = large(5);
+        let b = large(6);
+        let serial: Vec<f32> = a
+            .data()
+            .iter()
+            .zip(b.data())
+            .map(|(&x, &y)| x + 0.25 * y)
+            .collect();
+        a.add_scaled(&b, 0.25).unwrap();
+        assert_eq!(a.data(), &serial[..]);
+    }
+
+    #[test]
+    fn parallel_count_nonzero_matches_serial() {
+        let a = large(7);
+        let serial = a.data().iter().filter(|&&x| x != 0.0).count();
+        assert_eq!(a.count_nonzero(), serial);
     }
 }

@@ -7,10 +7,27 @@
 //! freshly allocated otherwise) and [`Scratch::give`] returns it to the
 //! pool once the caller is done.
 //!
+//! Retained memory is bounded: each arena caps the bytes it keeps pooled
+//! ([`Scratch::DEFAULT_RETAINED_LIMIT`] unless configured via
+//! [`Scratch::with_retained_limit`]) and evicts the largest unused buffers
+//! first when a give-back would exceed it — a long run's pool converges to
+//! the working set instead of accumulating every transient high-water
+//! buffer it ever saw.
+//!
+//! For call sites without a natural owner for an arena (the plain
+//! [`crate::matmul`] entry points, microbatch workers), a process-wide
+//! **thread-keyed pool** hands each OS thread its own arena via
+//! [`with_thread_scratch`] — no locking on the hot path, and buffers never
+//! migrate between threads.
+//!
 //! Reuse is observable through the process-wide telemetry counters
-//! `tensor.scratch.reuse_hits` (a pooled buffer satisfied a request) and
-//! `tensor.scratch.allocs` (a fresh allocation was needed).
+//! `tensor.scratch.reuse_hits` (a pooled buffer satisfied a request),
+//! `tensor.scratch.allocs` (a fresh allocation was needed) and
+//! `tensor.scratch.evictions` (the retained-byte cap dropped a buffer),
+//! plus the gauge `tensor.scratch.pool.live` (thread-keyed arenas alive).
 
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use adq_telemetry::Counter;
@@ -25,16 +42,23 @@ fn allocs() -> &'static Arc<Counter> {
     ALLOCS.get_or_init(|| adq_telemetry::metrics::global().counter("tensor.scratch.allocs"))
 }
 
+fn evictions() -> &'static Arc<Counter> {
+    static EVICTIONS: OnceLock<Arc<Counter>> = OnceLock::new();
+    EVICTIONS.get_or_init(|| adq_telemetry::metrics::global().counter("tensor.scratch.evictions"))
+}
+
 /// A pool of `f32` buffers reused across hot-path calls.
 ///
 /// Buffers are matched by capacity: [`Scratch::take`] prefers the smallest
 /// pooled buffer whose capacity already covers the request, falling back to
-/// growing the largest one (keeping total retained memory bounded by the
-/// high-water marks of the buffers actually in flight).
+/// growing the largest one. Total pooled capacity is capped at the arena's
+/// retained limit; [`Scratch::give`] evicts the largest unused buffers
+/// first until a give-back fits.
 ///
 /// Cloning a `Scratch` yields an *empty* pool — pooled memory is an
 /// optimization, not state, so clones of a layer start cold rather than
-/// duplicating multi-megabyte buffers.
+/// duplicating multi-megabyte buffers. The clone keeps the donor's
+/// retained limit.
 ///
 /// # Example
 ///
@@ -47,26 +71,61 @@ fn allocs() -> &'static Arc<Counter> {
 /// let again = scratch.take(512); // recycled from the pool
 /// assert_eq!(again.len(), 512);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Scratch {
     pool: Vec<Vec<f32>>,
+    /// Sum of pooled capacities, in bytes (kept in sync by take/give).
+    retained: usize,
+    /// Cap on `retained`.
+    limit: usize,
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Clone for Scratch {
     fn clone(&self) -> Self {
-        Scratch::new()
+        Scratch::with_retained_limit(self.limit)
     }
 }
 
 impl Scratch {
-    /// An empty pool.
+    /// Default cap on pooled bytes per arena: 256 MiB, comfortably above
+    /// the largest single im2col/pack buffer the full-size VGG-19 smoke
+    /// shapes need, so eviction only fires on genuinely accumulating
+    /// pools.
+    pub const DEFAULT_RETAINED_LIMIT: usize = 256 << 20;
+
+    /// An empty pool with the default retained-byte limit.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_retained_limit(Self::DEFAULT_RETAINED_LIMIT)
+    }
+
+    /// An empty pool that retains at most `limit` bytes across give-backs.
+    pub fn with_retained_limit(limit: usize) -> Self {
+        Self {
+            pool: Vec::new(),
+            retained: 0,
+            limit,
+        }
     }
 
     /// Number of buffers currently pooled.
     pub fn pooled(&self) -> usize {
         self.pool.len()
+    }
+
+    /// Bytes of capacity currently held by pooled (unused) buffers.
+    pub fn retained_bytes(&self) -> usize {
+        self.retained
+    }
+
+    /// The cap on [`Scratch::retained_bytes`].
+    pub fn retained_limit(&self) -> usize {
+        self.limit
     }
 
     /// Takes a buffer of exactly `len` elements with **unspecified
@@ -78,6 +137,7 @@ impl Scratch {
             Some(idx) => {
                 reuse_hits().inc();
                 let mut buf = self.pool.swap_remove(idx);
+                self.retained -= capacity_bytes(buf.capacity());
                 buf.resize(len, 0.0);
                 buf
             }
@@ -96,10 +156,33 @@ impl Scratch {
     }
 
     /// Returns a buffer to the pool for reuse. Zero-capacity buffers are
-    /// dropped — recycling them would record spurious reuse hits.
+    /// dropped — recycling them would record spurious reuse hits. If the
+    /// give-back would push retained capacity past the arena's limit, the
+    /// largest unused buffers are evicted first (each eviction counted in
+    /// `tensor.scratch.evictions`); a buffer larger than the whole limit
+    /// is dropped outright.
     pub fn give(&mut self, buf: Vec<f32>) {
-        if buf.capacity() > 0 {
-            self.pool.push(buf);
+        if buf.capacity() == 0 {
+            return;
+        }
+        let incoming = capacity_bytes(buf.capacity());
+        if incoming > self.limit {
+            evictions().inc();
+            return;
+        }
+        self.retained += incoming;
+        self.pool.push(buf);
+        while self.retained > self.limit {
+            let largest = self
+                .pool
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, b)| b.capacity())
+                .map(|(idx, _)| idx)
+                .expect("retained > 0 implies a pooled buffer");
+            let dropped = self.pool.swap_remove(largest);
+            self.retained -= capacity_bytes(dropped.capacity());
+            evictions().inc();
         }
     }
 
@@ -125,6 +208,65 @@ impl Scratch {
     }
 }
 
+/// A buffer capacity in bytes — what the allocator actually holds, which
+/// a shrunken `len` undercounts.
+fn capacity_bytes(capacity: usize) -> usize {
+    capacity * std::mem::size_of::<f32>()
+}
+
+/// Thread-keyed arenas currently alive (mirrors the
+/// `tensor.scratch.pool.live` gauge).
+static LIVE_ARENAS: AtomicUsize = AtomicUsize::new(0);
+
+fn publish_live_arenas(count: usize) {
+    adq_telemetry::metrics::global()
+        .gauge("tensor.scratch.pool.live")
+        .set(count as f64);
+}
+
+/// A thread's slot in the process-wide pool: tracks the live-arena gauge
+/// across worker threads being spawned and torn down.
+struct ThreadArena {
+    scratch: Scratch,
+}
+
+impl ThreadArena {
+    fn new() -> Self {
+        let count = LIVE_ARENAS.fetch_add(1, Ordering::Relaxed) + 1;
+        publish_live_arenas(count);
+        Self {
+            scratch: Scratch::new(),
+        }
+    }
+}
+
+impl Drop for ThreadArena {
+    fn drop(&mut self) {
+        let count = LIVE_ARENAS.fetch_sub(1, Ordering::Relaxed) - 1;
+        publish_live_arenas(count);
+    }
+}
+
+thread_local! {
+    static THREAD_SCRATCH: RefCell<ThreadArena> = RefCell::new(ThreadArena::new());
+}
+
+/// Runs `f` with the calling thread's arena from the process-wide
+/// thread-keyed pool.
+///
+/// Each OS thread owns exactly one arena, created lazily on first use and
+/// freed when the thread exits — buffers never cross threads and no lock
+/// is taken. The number of live arenas is published to the
+/// `tensor.scratch.pool.live` gauge.
+///
+/// # Panics
+///
+/// Panics if called reentrantly from within `f` (the arena is singly
+/// borrowed).
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    THREAD_SCRATCH.with(|cell| f(&mut cell.borrow_mut().scratch))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +281,7 @@ mod tests {
         assert_eq!(again.len(), 80);
         assert_eq!(again.as_ptr(), ptr, "expected the pooled buffer back");
         assert_eq!(scratch.pooled(), 0);
+        assert_eq!(scratch.retained_bytes(), 0);
     }
 
     #[test]
@@ -175,9 +318,11 @@ mod tests {
 
     #[test]
     fn clone_starts_cold() {
-        let mut scratch = Scratch::new();
+        let mut scratch = Scratch::with_retained_limit(12345);
         scratch.give(vec![0.0; 32]);
-        assert_eq!(scratch.clone().pooled(), 0);
+        let clone = scratch.clone();
+        assert_eq!(clone.pooled(), 0);
+        assert_eq!(clone.retained_limit(), 12345);
     }
 
     #[test]
@@ -185,5 +330,93 @@ mod tests {
         let mut scratch = Scratch::new();
         scratch.give(Vec::new());
         assert_eq!(scratch.pooled(), 0);
+    }
+
+    #[test]
+    fn give_back_pool_is_bounded() {
+        // regression: the pool used to grow without bound across a long
+        // run — every distinct high-water buffer stayed pooled forever
+        let limit = 1024 * std::mem::size_of::<f32>();
+        let mut scratch = Scratch::with_retained_limit(limit);
+        let before = evictions().get();
+        let mut peak = 0usize;
+        for round in 0..100 {
+            // distinct sizes so best-fit keeps missing and give keeps adding
+            scratch.give(vec![0.0; 64 + round]);
+            peak = peak.max(scratch.retained_bytes());
+        }
+        assert!(
+            peak <= limit,
+            "retained bytes peaked at {peak}, limit {limit}"
+        );
+        assert!(
+            evictions().get() > before,
+            "bounding the pool must surface evictions"
+        );
+        // the pool still serves requests after evicting
+        let buf = scratch.take(64);
+        assert_eq!(buf.len(), 64);
+    }
+
+    #[test]
+    fn evicts_largest_unused_first() {
+        let elem = std::mem::size_of::<f32>();
+        let mut scratch = Scratch::with_retained_limit(300 * elem);
+        scratch.give(vec![0.0; 200]);
+        scratch.give(vec![0.0; 50]);
+        // 250 elements retained; adding 80 exceeds 300 -> the 200-element
+        // buffer (largest) goes first, leaving 50 + 80
+        scratch.give(vec![0.0; 80]);
+        assert_eq!(scratch.pooled(), 2);
+        assert!(scratch.retained_bytes() <= 300 * elem);
+        assert!(scratch.pool.iter().all(|b| b.capacity() < 200));
+    }
+
+    #[test]
+    fn oversized_give_back_is_dropped() {
+        let mut scratch = Scratch::with_retained_limit(16);
+        let before = evictions().get();
+        scratch.give(vec![0.0; 1000]);
+        assert_eq!(scratch.pooled(), 0);
+        assert_eq!(scratch.retained_bytes(), 0);
+        assert!(evictions().get() > before);
+    }
+
+    #[test]
+    fn thread_scratch_reuses_within_a_thread() {
+        let ptr = with_thread_scratch(|s| {
+            let buf = s.take(333);
+            let ptr = buf.as_ptr();
+            s.give(buf);
+            ptr
+        });
+        let again = with_thread_scratch(|s| {
+            let buf = s.take(333);
+            let p = buf.as_ptr();
+            s.give(buf);
+            p
+        });
+        assert_eq!(ptr, again, "same thread must get its pooled buffer back");
+    }
+
+    #[test]
+    fn thread_scratch_is_per_thread() {
+        let main_ptr = with_thread_scratch(|s| {
+            let buf = s.take(512);
+            let p = buf.as_ptr();
+            s.give(buf);
+            p
+        });
+        let other_ptr = std::thread::spawn(move || {
+            with_thread_scratch(|s| {
+                let buf = s.take(512);
+                let p = buf.as_ptr() as usize;
+                s.give(buf);
+                p
+            })
+        })
+        .join()
+        .expect("worker thread") as *const f32;
+        assert_ne!(main_ptr, other_ptr, "arenas must not cross threads");
     }
 }

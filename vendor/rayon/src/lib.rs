@@ -1,18 +1,81 @@
-//! Offline stand-in for `rayon`, covering the two parallel patterns this
-//! workspace uses: `slice.par_chunks_mut(n).enumerate().for_each(body)` and
-//! `(0..n).into_par_iter().for_each(body)`.
+//! Offline stand-in for `rayon`, covering the three parallel patterns this
+//! workspace uses: `slice.par_chunks_mut(n).enumerate().for_each(body)`,
+//! `(0..n).into_par_iter().for_each(body)`, and
+//! `vec.into_par_iter().for_each(body)` over owned work items.
 //!
 //! Instead of a work-stealing pool, work is distributed over
 //! `std::thread::scope` workers. Small slices run inline: spawning threads
 //! per call would dominate the many tiny matmuls in the test suite, so
 //! chunk parallelism only kicks in once the slice is large enough
-//! ([`PAR_MIN_ELEMENTS`]) for the split to pay for the spawns. Range
-//! iteration carries no per-element size information, so it parallelises
-//! whenever there are at least two indices and two workers — callers gate
-//! dispatch on their own work estimate, as the GEMM tile loop does.
+//! ([`PAR_MIN_ELEMENTS`]) for the split to pay for the spawns. Range and
+//! owned-item iteration carry no per-element size information, so they
+//! parallelise whenever there are at least two items and two workers —
+//! callers gate dispatch on their own work estimate, as the GEMM tile loop
+//! does.
+//!
+//! The worker count mirrors real rayon's: `RAYON_NUM_THREADS` (read once)
+//! or the machine's available parallelism, overridable per-process with
+//! [`set_thread_override`] so tests and benches can vary the count without
+//! touching the environment. Nested parallel calls run inline on their
+//! worker — scoped threads are spawned per call rather than drawn from a
+//! shared pool, so nesting would multiply OS threads instead of reusing
+//! idle ones.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Below this many elements the "parallel" iterator runs sequentially.
 const PAR_MIN_ELEMENTS: usize = 1 << 16;
+
+/// Per-process worker-count override (0 = none); see [`set_thread_override`].
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set inside scoped workers so nested parallel calls run inline.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The worker count parallel iterators fan out to: the override if one is
+/// set, else `RAYON_NUM_THREADS` (parsed once at first use), else the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    let over = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if over > 0 {
+        return over;
+    }
+    static FROM_ENV: OnceLock<usize> = OnceLock::new();
+    *FROM_ENV.get_or_init(|| {
+        if let Ok(raw) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Forces [`current_num_threads`] to `n` (`None` restores the environment
+/// default). Real rayon configures this through a pool builder; the
+/// stand-in exposes a process-global knob so determinism tests can compare
+/// runs at different worker counts within one process.
+pub fn set_thread_override(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Worker budget at this call site: 1 inside an existing worker (nested
+/// parallelism runs inline), else [`current_num_threads`].
+fn effective_workers() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        1
+    } else {
+        current_num_threads()
+    }
+}
 
 /// The glob-import surface (`use rayon::prelude::*`).
 pub mod prelude {
@@ -57,9 +120,7 @@ impl ParRange {
         F: Fn(usize) + Sync,
     {
         let len = self.end.saturating_sub(self.start);
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
+        let workers = effective_workers();
         if len < 2 || workers < 2 {
             for i in self.start..self.end {
                 body(i);
@@ -77,11 +138,64 @@ impl ParRange {
                     break;
                 }
                 scope.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
                     for i in lo..hi {
                         body(i);
                     }
                 });
             }
+        });
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = ParVec<T>;
+
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+/// Pending parallel iteration over owned work items (created by
+/// [`IntoParallelIterator::into_par_iter`] on a `Vec`). This is the
+/// fan-out the microbatch trainer and the chunked elementwise kernels
+/// use: each item is consumed by exactly one worker.
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParVec<T> {
+    /// Applies `body` to every item, possibly in parallel. Items are split
+    /// into contiguous bands in order, one band per worker; `body` must not
+    /// rely on cross-item ordering. There is no element-count floor —
+    /// callers gate on their own work estimate.
+    pub fn for_each<F>(self, body: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let len = self.items.len();
+        let workers = effective_workers();
+        if len < 2 || workers < 2 {
+            for item in self.items {
+                body(item);
+            }
+            return;
+        }
+        let bands = workers.min(len);
+        let per_band = len.div_ceil(bands);
+        let body = &body;
+        let mut items = self.items.into_iter();
+        std::thread::scope(|scope| loop {
+            let band: Vec<T> = items.by_ref().take(per_band).collect();
+            if band.is_empty() {
+                break;
+            }
+            scope.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                for item in band {
+                    body(item);
+                }
+            });
         });
     }
 }
@@ -120,9 +234,7 @@ impl<'a, T: Send> ParChunksMut<'a, T> {
         F: Fn((usize, &mut [T])) + Sync,
     {
         let total = self.slice.len();
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
+        let workers = effective_workers();
         let chunk_count = total.div_ceil(self.chunk_size);
         if total < PAR_MIN_ELEMENTS || workers < 2 || chunk_count < 2 {
             for pair in self.slice.chunks_mut(self.chunk_size).enumerate() {
@@ -139,6 +251,7 @@ impl<'a, T: Send> ParChunksMut<'a, T> {
                 let take = per_worker.min(pairs.len());
                 let band: Vec<(usize, &mut [T])> = pairs.drain(..take).collect();
                 scope.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
                     for pair in band {
                         body(pair);
                     }
@@ -215,6 +328,50 @@ mod tests {
             count.fetch_add(i as u64, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn par_vec_consumes_every_item_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let hits: Vec<AtomicU64> = (0..257).map(|_| AtomicU64::new(0)).collect();
+        let items: Vec<usize> = (0..257).collect();
+        items.into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_vec_delivers_owned_mutable_items() {
+        let mut data = vec![0u32; 8];
+        let items: Vec<(usize, &mut u32)> = data.iter_mut().enumerate().collect();
+        items.into_par_iter().for_each(|(i, v)| *v = i as u32 + 1);
+        assert_eq!(data, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn thread_override_wins_over_environment() {
+        crate::set_thread_override(Some(3));
+        assert_eq!(crate::current_num_threads(), 3);
+        crate::set_thread_override(None);
+        assert!(crate::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn nested_parallelism_runs_inline_in_workers() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        crate::set_thread_override(Some(4));
+        let count = AtomicU64::new(0);
+        let outer: Vec<usize> = (0..4).collect();
+        outer.into_par_iter().for_each(|_| {
+            // inside a worker the nested fan-out must not spawn again,
+            // but it must still visit every index
+            (0..10usize).into_par_iter().for_each(|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        crate::set_thread_override(None);
+        assert_eq!(count.load(Ordering::Relaxed), 40);
     }
 
     #[test]
