@@ -47,6 +47,32 @@ cargo test -q
 echo "==> tier-1: cargo test -q (RAYON_NUM_THREADS=2)"
 RAYON_NUM_THREADS=2 cargo test -q
 
+# Trace smoke: one Algorithm-1 bench run with tracing on must yield a
+# valid Chrome trace, a collapsed-stack file, and an adq-report whose
+# per-iteration totals reconcile with the trace within 1%.
+echo "==> tier-1: trace smoke (ADQ_TRACE=1 table2 + adq-report)"
+trace_dir="$(mktemp -d)"
+(cd "$trace_dir" && ADQ_TRACE=1 "$OLDPWD/target/release/table2_quantization" \
+    --telemetry "$trace_dir/run.jsonl" >/dev/null)
+test -s "$trace_dir/run.trace.json" || {
+    echo "ci: trace smoke wrote no Chrome trace" >&2
+    exit 1
+}
+test -s "$trace_dir/run.folded" || {
+    echo "ci: trace smoke wrote no collapsed stacks" >&2
+    exit 1
+}
+./target/release/adq-report --validate-trace "$trace_dir/run.trace.json"
+./target/release/adq-report "$trace_dir/run.jsonl" \
+    --metrics "$trace_dir/results/table2_quantization_metrics.json" \
+    --out "$trace_dir/report.md" \
+    --reconcile-trace "$trace_dir/run.trace.json"
+test -s "$trace_dir/report.md" || {
+    echo "ci: adq-report wrote no markdown report" >&2
+    exit 1
+}
+TRACE_SMOKE_DIR="$trace_dir"
+
 if [[ "$FULL" -eq 1 ]]; then
     echo "==> full: cargo test --release --test full_size_smoke -- --ignored"
     cargo test --release --test full_size_smoke -- --ignored
@@ -89,6 +115,10 @@ if [[ "$BENCH" -eq 1 ]]; then
     else
         echo "==> bench: no committed epoch baseline yet (first snapshot)"
     fi
+
+    echo "==> bench: archiving trace-smoke report -> BENCH_report.md"
+    cp "$TRACE_SMOKE_DIR/report.md" BENCH_report.md
 fi
 
+rm -rf "$TRACE_SMOKE_DIR"
 echo "ci: all green"

@@ -1,0 +1,610 @@
+//! `adq-report` — run analyzer for telemetry JSONL streams.
+//!
+//! Consumes the event stream a run wrote via `--telemetry run.jsonl`
+//! (optionally with `ADQ_TRACE=1` spans embedded) and renders a markdown
+//! report: per-iteration wall-time attribution from the span tree (self
+//! vs. child time per Algorithm-1 phase), the AD trend and bit-width
+//! schedule tables mirroring the paper's Table II, and the Table I energy
+//! model breakdown. Two auxiliary modes serve CI:
+//!
+//! * `--diff old.jsonl new.jsonl` flags per-phase wall-time and run-metric
+//!   regressions between two runs (exit 1 when any regress).
+//! * `--validate-trace trace.json` checks an exported Chrome trace's shape
+//!   (exit 2 when malformed).
+//!
+//! ```text
+//! adq-report <run.jsonl> [--metrics <metrics.json>] [--out <report.md>]
+//!            [--json <report.json>] [--reconcile-trace <trace.json>]
+//! adq-report --diff <old.jsonl> <new.jsonl> [--max-regress <frac>]
+//! adq-report --validate-trace <trace.json>
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use adq_telemetry::trace::{self, TraceSpan};
+use adq_telemetry::TelemetryEvent;
+use serde_json::json;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: adq-report <run.jsonl> [--metrics <metrics.json>] [--out <report.md>] \
+         [--json <report.json>] [--reconcile-trace <trace.json>]\n       \
+         adq-report --diff <old.jsonl> <new.jsonl> \
+         [--max-regress <frac>]\n       adq-report --validate-trace <trace.json>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    match args[0].as_str() {
+        "--validate-trace" => match args.get(1) {
+            Some(path) => validate_trace(path),
+            None => usage(),
+        },
+        "--diff" => match (args.get(1), args.get(2)) {
+            (Some(old), Some(new)) => {
+                let max_regress = flag_value(&args, "--max-regress")
+                    .and_then(|raw| raw.parse::<f64>().ok())
+                    .unwrap_or(0.25);
+                diff(old, new, max_regress)
+            }
+            _ => usage(),
+        },
+        path if !path.starts_with("--") => report(path, &args),
+        _ => usage(),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+}
+
+fn load_events(path: &str) -> Result<Vec<TelemetryEvent>, ExitCode> {
+    trace::read_events_jsonl(path).map_err(|err| {
+        eprintln!("adq-report: cannot read {path}: {err}");
+        ExitCode::from(2)
+    })
+}
+
+// ---------------------------------------------------------------- validate
+
+fn validate_trace(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("adq-report: cannot read {path}: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let doc: serde_json::Value = match serde_json::from_str(&text) {
+        Ok(doc) => doc,
+        Err(err) => {
+            eprintln!("adq-report: {path} is not JSON: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    match trace::validate_chrome_trace(&doc) {
+        Ok(count) => {
+            println!("{path}: valid Chrome trace with {count} events");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("adq-report: {path} is not a valid Chrome trace: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+// -------------------------------------------------------------------- diff
+
+/// Sum of span durations per span name, in ns.
+fn phase_totals(spans: &[TraceSpan]) -> BTreeMap<String, u64> {
+    let mut totals = BTreeMap::new();
+    for span in spans {
+        *totals.entry(span.name.clone()).or_insert(0) += span.duration_ns();
+    }
+    totals
+}
+
+/// Scalar run metrics comparable across runs. Accuracy regresses downward,
+/// everything else upward. Streams holding several runs (e.g. a bench
+/// binary driving baseline + quantized runs) get `#k` suffixes so the
+/// k-th run of one stream pairs with the k-th run of the other.
+fn run_metrics(events: &[TelemetryEvent]) -> Vec<(String, f64, bool)> {
+    let mut out = Vec::new();
+    let mut run = 0usize;
+    for event in events {
+        if let TelemetryEvent::RunCompleted {
+            iterations,
+            training_complexity,
+            final_accuracy,
+        } = event
+        {
+            run += 1;
+            let suffix = if run > 1 {
+                format!("#{run}")
+            } else {
+                String::new()
+            };
+            out.push((format!("run.iterations{suffix}"), *iterations as f64, false));
+            out.push((
+                format!("run.training_complexity{suffix}"),
+                *training_complexity,
+                false,
+            ));
+            out.push((format!("run.final_accuracy{suffix}"), *final_accuracy, true));
+        }
+    }
+    out
+}
+
+fn diff(old_path: &str, new_path: &str, max_regress: f64) -> ExitCode {
+    let (old_events, new_events) = match (load_events(old_path), load_events(new_path)) {
+        (Ok(old), Ok(new)) => (old, new),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let old_phases = phase_totals(&trace::spans_from_events(&old_events));
+    let new_phases = phase_totals(&trace::spans_from_events(&new_events));
+    let mut regressions = Vec::new();
+
+    println!("== per-phase wall time: {old_path} -> {new_path} ==");
+    println!(
+        "{:<28} {:>12} {:>12} {:>9}",
+        "phase", "old ms", "new ms", "delta"
+    );
+    for (name, new_ns) in &new_phases {
+        let old_ns = old_phases.get(name).copied().unwrap_or(0);
+        let (old_ms, new_ms) = (old_ns as f64 / 1e6, *new_ns as f64 / 1e6);
+        let delta = if old_ns > 0 {
+            (new_ms - old_ms) / old_ms
+        } else {
+            0.0
+        };
+        let flag = if old_ns > 0 && delta > max_regress {
+            regressions.push(format!(
+                "phase {name}: {old_ms:.3} ms -> {new_ms:.3} ms (+{:.0}% > +{:.0}%)",
+                delta * 100.0,
+                max_regress * 100.0
+            ));
+            "  REGRESSED"
+        } else {
+            ""
+        };
+        println!(
+            "{name:<28} {old_ms:>12.3} {new_ms:>12.3} {delta:>+8.1}%{flag}",
+            delta = delta * 100.0
+        );
+    }
+    for name in old_phases.keys() {
+        if !new_phases.contains_key(name) {
+            println!(
+                "{name:<28} {:>12.3} {:>12} (absent from new run)",
+                old_phases[name] as f64 / 1e6,
+                "-"
+            );
+        }
+    }
+
+    let old_metrics: BTreeMap<String, (f64, bool)> = run_metrics(&old_events)
+        .into_iter()
+        .map(|(name, value, down)| (name, (value, down)))
+        .collect();
+    println!("\n== run metrics ==");
+    for (name, new_value, regress_down) in run_metrics(&new_events) {
+        let Some(&(old_value, _)) = old_metrics.get(&name) else {
+            continue;
+        };
+        let regressed = if regress_down {
+            new_value < old_value * (1.0 - max_regress)
+        } else {
+            old_value.abs() > f64::EPSILON && new_value > old_value * (1.0 + max_regress)
+        };
+        let flag = if regressed {
+            regressions.push(format!("metric {name}: {old_value:.4} -> {new_value:.4}"));
+            "  REGRESSED"
+        } else {
+            ""
+        };
+        println!("{name:<28} {old_value:>12.4} {new_value:>12.4}{flag}");
+    }
+
+    if regressions.is_empty() {
+        println!("\nno regressions beyond {:.0}%", max_regress * 100.0);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "\n{} regression(s) beyond {:.0}%:",
+            regressions.len(),
+            max_regress * 100.0
+        );
+        for regression in &regressions {
+            eprintln!("  {regression}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+// ------------------------------------------------------------------ report
+
+/// Wall-time attribution for one `adq.iteration` span.
+struct IterationTiming {
+    iteration: u64,
+    wall_ns: u64,
+    self_ns: u64,
+    /// Direct-child phase name -> (total ns, self ns) in name order.
+    phases: BTreeMap<String, (u64, u64)>,
+}
+
+fn iteration_timings(spans: &[TraceSpan]) -> Vec<IterationTiming> {
+    let child_time = trace::child_time_ns(spans);
+    let mut timings: Vec<IterationTiming> = spans
+        .iter()
+        .filter(|span| span.name == "adq.iteration")
+        .map(|span| IterationTiming {
+            iteration: span.arg_u64("iteration").unwrap_or(0),
+            wall_ns: span.duration_ns(),
+            self_ns: span
+                .duration_ns()
+                .saturating_sub(child_time.get(&span.id).copied().unwrap_or(0)),
+            phases: spans.iter().filter(|child| child.parent == span.id).fold(
+                BTreeMap::new(),
+                |mut acc, child| {
+                    let entry = acc.entry(child.name.clone()).or_insert((0, 0));
+                    entry.0 += child.duration_ns();
+                    entry.1 += child
+                        .duration_ns()
+                        .saturating_sub(child_time.get(&child.id).copied().unwrap_or(0));
+                    acc
+                },
+            ),
+        })
+        .collect();
+    timings.sort_by_key(|t| t.iteration);
+    timings
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+/// Renders a markdown table.
+fn md_table(out: &mut String, headers: &[&str], rows: &[Vec<String>]) {
+    out.push_str(&format!("| {} |\n", headers.join(" | ")));
+    out.push_str(&format!(
+        "|{}\n",
+        headers.iter().map(|_| "---|").collect::<String>()
+    ));
+    for row in rows {
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    out.push('\n');
+}
+
+/// Bit-width list from a serialized `IterationRecord` (`null` = fp32).
+fn bits_from_record(record: &serde_json::Value) -> String {
+    let Some(bits) = record.get("bits").and_then(|v| v.as_seq()) else {
+        return "-".to_string();
+    };
+    let inner: Vec<String> = bits
+        .iter()
+        .map(|b| {
+            if b.is_null() {
+                "fp".to_string()
+            } else {
+                b.as_u64()
+                    .map_or_else(|| "?".to_string(), |v| v.to_string())
+            }
+        })
+        .collect();
+    format!("[{}]", inner.join(", "))
+}
+
+fn report(path: &str, args: &[String]) -> ExitCode {
+    let events = match load_events(path) {
+        Ok(events) => events,
+        Err(code) => return code,
+    };
+    let spans = trace::spans_from_events(&events);
+    let timings = iteration_timings(&spans);
+
+    let mut md = String::new();
+    let mut json_iterations = Vec::new();
+    md.push_str(&format!("# adq-report — {path}\n\n"));
+
+    // Run header
+    for event in &events {
+        if let TelemetryEvent::RunStarted { run, seed, .. } = event {
+            md.push_str(&format!("Run `{run}`, seed {seed}.\n"));
+        }
+        if let TelemetryEvent::RunCompleted {
+            iterations,
+            training_complexity,
+            final_accuracy,
+        } = event
+        {
+            md.push_str(&format!(
+                "Completed after {iterations} iteration(s): final test accuracy {:.2}%, \
+                 eqn-4 training complexity {training_complexity:.3}x.\n",
+                final_accuracy * 100.0
+            ));
+        }
+    }
+    md.push('\n');
+
+    // Wall-time attribution from the span tree
+    md.push_str("## Per-iteration wall-time attribution\n\n");
+    if timings.is_empty() {
+        md.push_str(
+            "No spans in this stream — run with `ADQ_TRACE=1` (and `--telemetry`) to \
+             record phase timings.\n\n",
+        );
+    } else {
+        for timing in &timings {
+            md.push_str(&format!(
+                "### Iteration {} — {} ms wall\n\n",
+                timing.iteration,
+                fmt_ms(timing.wall_ns)
+            ));
+            let mut rows = Vec::new();
+            let mut phase_json = Vec::new();
+            for (name, &(total_ns, self_ns)) in &timing.phases {
+                let share = if timing.wall_ns > 0 {
+                    100.0 * total_ns as f64 / timing.wall_ns as f64
+                } else {
+                    0.0
+                };
+                rows.push(vec![
+                    name.clone(),
+                    fmt_ms(total_ns),
+                    fmt_ms(self_ns),
+                    format!("{share:.1}%"),
+                ]);
+                phase_json.push(json!({
+                    "phase": name,
+                    "total_ns": total_ns,
+                    "self_ns": self_ns,
+                }));
+            }
+            rows.push(vec![
+                "(iteration self)".to_string(),
+                fmt_ms(timing.self_ns),
+                fmt_ms(timing.self_ns),
+                if timing.wall_ns > 0 {
+                    format!(
+                        "{:.1}%",
+                        100.0 * timing.self_ns as f64 / timing.wall_ns as f64
+                    )
+                } else {
+                    "0.0%".to_string()
+                },
+            ]);
+            md_table(&mut md, &["phase", "total ms", "self ms", "share"], &rows);
+            let phase_sum: u64 = timing.phases.values().map(|&(total, _)| total).sum();
+            json_iterations.push(json!({
+                "iteration": timing.iteration,
+                "wall_ns": timing.wall_ns,
+                "self_ns": timing.self_ns,
+                "phase_total_ns": phase_sum,
+                "phases": phase_json,
+            }));
+        }
+    }
+
+    // Table II mirror: bit-width schedule and accuracy per iteration
+    let mut schedule_rows = Vec::new();
+    for event in &events {
+        if let TelemetryEvent::IterationCompleted {
+            iteration,
+            epochs_trained,
+            test_accuracy,
+            record,
+        } = event
+        {
+            schedule_rows.push(vec![
+                iteration.to_string(),
+                epochs_trained.to_string(),
+                format!("{:.2}%", test_accuracy * 100.0),
+                record
+                    .get("total_ad")
+                    .and_then(|v| v.as_f64())
+                    .map_or_else(|| "-".to_string(), |ad| format!("{ad:.3}")),
+                bits_from_record(record),
+            ]);
+        }
+    }
+    if !schedule_rows.is_empty() {
+        md.push_str("## Bit-width schedule (Table II mirror)\n\n");
+        md_table(
+            &mut md,
+            &["iter", "epochs", "test acc", "total AD", "bits"],
+            &schedule_rows,
+        );
+    }
+
+    // AD trend
+    let mut ad_rows = Vec::new();
+    for event in &events {
+        if let TelemetryEvent::DensityMeasured {
+            iteration,
+            epoch,
+            total_ad,
+            ..
+        } = event
+        {
+            ad_rows.push(vec![
+                iteration.to_string(),
+                epoch.to_string(),
+                format!("{total_ad:.4}"),
+            ]);
+        }
+    }
+    if !ad_rows.is_empty() {
+        md.push_str("## Activation-density trend\n\n");
+        md_table(&mut md, &["iter", "epoch", "total AD"], &ad_rows);
+    }
+
+    // Energy breakdown (Table I model evaluations)
+    let mut energy_rows = Vec::new();
+    for event in &events {
+        if let TelemetryEvent::EnergyEstimated {
+            label,
+            total_pj,
+            efficiency_vs_baseline,
+        } = event
+        {
+            energy_rows.push(vec![
+                label.clone(),
+                format!("{total_pj:.3e}"),
+                format!("{efficiency_vs_baseline:.2}x"),
+            ]);
+        }
+    }
+    if !energy_rows.is_empty() {
+        md.push_str("## Energy breakdown (Table I model)\n\n");
+        md_table(
+            &mut md,
+            &["network", "total pJ", "efficiency vs baseline"],
+            &energy_rows,
+        );
+    }
+
+    // Optional metrics snapshot: hot-path histogram quantiles
+    if let Some(metrics_path) = flag_value(args, "--metrics") {
+        match std::fs::read_to_string(metrics_path)
+            .map_err(|err| err.to_string())
+            .and_then(|text| {
+                serde_json::from_str::<serde_json::Value>(&text).map_err(|err| err.to_string())
+            }) {
+            Ok(snapshot) => {
+                if let Some(histograms) = snapshot.get("histograms").and_then(|v| v.as_seq()) {
+                    let mut rows = Vec::new();
+                    for hist in histograms {
+                        let cell = |key: &str| {
+                            hist.get(key)
+                                .and_then(|v| v.as_f64())
+                                .map_or_else(|| "-".to_string(), |v| format!("{:.1}", v / 1e3))
+                        };
+                        rows.push(vec![
+                            hist.get("name")
+                                .and_then(|v| v.as_str())
+                                .unwrap_or("?")
+                                .to_string(),
+                            hist.get("count")
+                                .and_then(|v| v.as_u64())
+                                .map_or_else(|| "-".to_string(), |v| v.to_string()),
+                            cell("p50_ns"),
+                            cell("p90_ns"),
+                            cell("p99_ns"),
+                        ]);
+                    }
+                    if !rows.is_empty() {
+                        md.push_str("## Hot-path timing quantiles (µs)\n\n");
+                        md_table(&mut md, &["histogram", "count", "p50", "p90", "p99"], &rows);
+                    }
+                }
+            }
+            Err(err) => eprintln!("adq-report: cannot read metrics {metrics_path}: {err}"),
+        }
+    }
+
+    // Span-stream footer: drop accounting from TraceExported events
+    for event in &events {
+        if let TelemetryEvent::TraceExported {
+            path: artifact,
+            spans: count,
+            dropped,
+            format,
+        } = event
+        {
+            md.push_str(&format!(
+                "Exported {format} artifact `{artifact}` ({count} spans, {dropped} dropped).\n"
+            ));
+        }
+    }
+
+    match flag_value(args, "--out") {
+        Some(out_path) => {
+            if let Err(err) = std::fs::write(out_path, &md) {
+                eprintln!("adq-report: cannot write {out_path}: {err}");
+                return ExitCode::from(2);
+            }
+            println!("(wrote {out_path})");
+        }
+        None => print!("{md}"),
+    }
+    if let Some(json_path) = flag_value(args, "--json") {
+        let doc = json!({
+            "source": path,
+            "iterations": json_iterations,
+            "span_count": spans.len(),
+        });
+        let text = serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".to_string());
+        if let Err(err) = std::fs::write(json_path, text) {
+            eprintln!("adq-report: cannot write {json_path}: {err}");
+            return ExitCode::from(2);
+        }
+        println!("(wrote {json_path})");
+    }
+    if let Some(trace_path) = flag_value(args, "--reconcile-trace") {
+        return reconcile_trace(trace_path, &timings);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Checks that the exported Chrome trace tells the same per-iteration
+/// story as the report: one `adq.iteration` event per iteration span, with
+/// wall times agreeing within 1%.
+fn reconcile_trace(trace_path: &str, timings: &[IterationTiming]) -> ExitCode {
+    let doc: serde_json::Value = match std::fs::read_to_string(trace_path)
+        .map_err(|err| err.to_string())
+        .and_then(|text| serde_json::from_str(&text).map_err(|err| err.to_string()))
+    {
+        Ok(doc) => doc,
+        Err(err) => {
+            eprintln!("adq-report: cannot read trace {trace_path}: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(events) = doc.get("traceEvents").and_then(|v| v.as_seq()) else {
+        eprintln!("adq-report: {trace_path} has no traceEvents");
+        return ExitCode::from(2);
+    };
+    let mut trace_walls: Vec<f64> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(|v| v.as_str()) == Some("adq.iteration"))
+        .filter_map(|e| e.get("dur").and_then(|v| v.as_f64()))
+        .collect();
+    trace_walls.sort_by(f64::total_cmp);
+    let mut report_walls: Vec<f64> = timings.iter().map(|t| t.wall_ns as f64 / 1e3).collect();
+    report_walls.sort_by(f64::total_cmp);
+    if trace_walls.len() != report_walls.len() {
+        eprintln!(
+            "adq-report: trace has {} iteration events, report has {}",
+            trace_walls.len(),
+            report_walls.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    for (trace_us, report_us) in trace_walls.iter().zip(&report_walls) {
+        let tolerance = report_us.abs().max(1.0) * 0.01;
+        if (trace_us - report_us).abs() > tolerance {
+            eprintln!(
+                "adq-report: iteration wall mismatch: trace {trace_us:.1} µs vs \
+                 report {report_us:.1} µs (>1%)"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "{trace_path}: {} iteration(s) reconcile with the report within 1%",
+        report_walls.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -116,4 +116,5 @@ fn main() {
         chart.add_series(format!("layer {layer}"), series);
     }
     chart.save("fig1_ad_trend");
+    adq_bench::export_trace_artifacts(&telemetry);
 }

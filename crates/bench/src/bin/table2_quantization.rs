@@ -360,6 +360,7 @@ fn main() {
         microbatch,
     );
     adq_bench::write_json("table2_quantization", &json_rows);
+    adq_bench::export_trace_artifacts(&telemetry);
     adq_bench::write_run_artifacts(
         "table2_quantization",
         &json!({

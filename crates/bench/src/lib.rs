@@ -14,7 +14,7 @@ use std::sync::Arc;
 use adq_core::{AdQuantizer, AdqOutcome, CheckpointManager};
 use adq_nn::train::Dataset;
 use adq_nn::QuantModel;
-use adq_telemetry::{JsonlSink, NullSink, TelemetrySink};
+use adq_telemetry::{span, trace, JsonlSink, NullSink, TelemetryEvent, TelemetrySink};
 use serde::Serialize;
 
 /// The shared `--telemetry <path.jsonl>` option of the regenerator
@@ -217,6 +217,68 @@ impl CheckpointOption {
             }
         }
     }
+}
+
+/// Exports the trace artifacts of a finished run: when tracing was on
+/// (`ADQ_TRACE>=1`) and events streamed to a JSONL file, reads the
+/// `SpanClosed` lines back, writes `<stem>.trace.json` (Chrome Trace Event
+/// JSON) and `<stem>.folded` (collapsed stacks) next to the stream, and
+/// records one [`TelemetryEvent::TraceExported`] per artifact into the
+/// sink. Returns the two paths when both were written.
+///
+/// Failures are reported but not fatal, matching the other artifact
+/// writers: the run's numbers are the primary output.
+pub fn export_trace_artifacts(telemetry: &TelemetryOption) -> Option<(String, String)> {
+    let path = telemetry.path.as_ref()?;
+    if !span::enabled() {
+        return None;
+    }
+    telemetry.sink.flush();
+    let spans = match trace::read_spans_jsonl(path) {
+        Ok(spans) => spans,
+        Err(err) => {
+            eprintln!("warning: cannot read spans back from {path}: {err}");
+            return None;
+        }
+    };
+    if spans.is_empty() {
+        eprintln!("warning: no spans recorded in {path}; skipping trace export");
+        return None;
+    }
+    let dropped = span::take_dropped();
+    let stem = path.strip_suffix(".jsonl").unwrap_or(path);
+    let trace_path = format!("{stem}.trace.json");
+    let folded_path = format!("{stem}.folded");
+    for (artifact, format, write) in [
+        (
+            &trace_path,
+            "chrome-trace",
+            trace::write_chrome_trace(&trace_path, &spans),
+        ),
+        (
+            &folded_path,
+            "collapsed-stacks",
+            trace::write_collapsed_stacks(&folded_path, &spans),
+        ),
+    ] {
+        match write {
+            Ok(()) => {
+                telemetry.sink.record(&TelemetryEvent::TraceExported {
+                    path: artifact.clone(),
+                    spans: spans.len() as u64,
+                    dropped,
+                    format: format.to_string(),
+                });
+                println!("(wrote {artifact}: {} spans)", spans.len());
+            }
+            Err(err) => {
+                eprintln!("warning: cannot write {artifact}: {err}");
+                return None;
+            }
+        }
+    }
+    telemetry.sink.flush();
+    Some((trace_path, folded_path))
 }
 
 /// Writes the run manifest (`results/<name>_manifest.json`) and a snapshot

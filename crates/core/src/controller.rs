@@ -8,6 +8,7 @@ use adq_nn::train::{
 };
 use adq_nn::{Adam, Optimizer, QuantModel};
 use adq_quant::BitWidth;
+use adq_telemetry::span::{self, SpanGuard};
 use adq_telemetry::{NullSink, TelemetryEvent, TelemetrySink};
 use serde::{Deserialize, Serialize};
 
@@ -469,210 +470,244 @@ impl AdQuantizer {
         let eval_batches = metrics.counter("core.eval_batches");
 
         for iteration in start_iteration..=cfg.max_iterations {
-            // layer removal can shrink the model between iterations
-            let count = model.layer_count();
-            let mut histories: Vec<DensityHistory> =
-                (0..count).map(|_| DensityHistory::new()).collect();
-            let mut accuracy_history = Vec::new();
-            let mut epochs_trained = 0;
-            let mut last_train_acc = 0.0;
-            for epoch in 1..=cfg.max_epochs_per_iteration {
-                model.reset_densities();
-                let stats = match self.microbatch {
-                    Some(microbatch) => train_epoch_parallel_observed(
-                        model,
-                        train,
-                        &mut optimizer,
-                        cfg.batch_size,
-                        microbatch,
-                        &mut rng,
-                        &mut |_| train_batches.inc(),
-                    ),
-                    None => train_epoch_observed(
-                        model,
-                        train,
-                        &mut optimizer,
-                        cfg.batch_size,
-                        &mut rng,
-                        &mut |_| train_batches.inc(),
-                    ),
-                };
-                epochs_trained = epoch;
-                last_train_acc = stats.accuracy;
-                accuracy_history.push(stats.accuracy);
-                for (idx, history) in histories.iter_mut().enumerate() {
-                    history.record(model.density_of(idx).clamp(0.0, 1.0));
+            // The iteration body runs inside a labeled block yielding the
+            // loop-exit decision so the iteration's span guards close
+            // before the per-iteration span drain below.
+            let stop = 'iteration: {
+                let _iteration_span = phase_span("adq.iteration", iteration);
+                // layer removal can shrink the model between iterations
+                let count = model.layer_count();
+                let mut histories: Vec<DensityHistory> =
+                    (0..count).map(|_| DensityHistory::new()).collect();
+                let mut accuracy_history = Vec::new();
+                let mut epochs_trained = 0;
+                let mut last_train_acc = 0.0;
+                let mut train_span = phase_span("adq.phase.train", iteration);
+                for epoch in 1..=cfg.max_epochs_per_iteration {
+                    let mut epoch_span = phase_span("adq.epoch", iteration);
+                    epoch_span.attr("epoch", epoch);
+                    model.reset_densities();
+                    let stats = match self.microbatch {
+                        Some(microbatch) => train_epoch_parallel_observed(
+                            model,
+                            train,
+                            &mut optimizer,
+                            cfg.batch_size,
+                            microbatch,
+                            &mut rng,
+                            &mut |_| train_batches.inc(),
+                        ),
+                        None => train_epoch_observed(
+                            model,
+                            train,
+                            &mut optimizer,
+                            cfg.batch_size,
+                            &mut rng,
+                            &mut |_| train_batches.inc(),
+                        ),
+                    };
+                    epochs_trained = epoch;
+                    last_train_acc = stats.accuracy;
+                    accuracy_history.push(stats.accuracy);
+                    let mut ad_span = phase_span("adq.phase.ad_measure", iteration);
+                    ad_span.attr("epoch", epoch);
+                    for (idx, history) in histories.iter_mut().enumerate() {
+                        history.record(model.density_of(idx).clamp(0.0, 1.0));
+                    }
+                    sink.record(&TelemetryEvent::EpochCompleted {
+                        iteration,
+                        epoch,
+                        loss: stats.loss,
+                        accuracy: stats.accuracy,
+                    });
+                    let epoch_densities: Vec<f64> = histories
+                        .iter()
+                        .map(|h| h.latest().unwrap_or(0.0))
+                        .collect();
+                    sink.record(&TelemetryEvent::DensityMeasured {
+                        iteration,
+                        epoch,
+                        total_ad: mean(&epoch_densities),
+                        densities: epoch_densities,
+                    });
+                    let saturated = histories.iter().all(|h| h.is_saturated(&cfg.saturation));
+                    if epoch >= cfg.min_epochs_per_iteration && saturated {
+                        sink.record(&TelemetryEvent::SaturationDetected {
+                            iteration,
+                            epoch,
+                            window: cfg.saturation.window(),
+                            tolerance: cfg.saturation.tolerance(),
+                        });
+                        break;
+                    }
                 }
-                sink.record(&TelemetryEvent::EpochCompleted {
-                    iteration,
-                    epoch,
-                    loss: stats.loss,
-                    accuracy: stats.accuracy,
-                });
-                let epoch_densities: Vec<f64> = histories
+                train_span.attr("epochs", epochs_trained);
+                drop(train_span);
+
+                let densities: Vec<f64> = histories
                     .iter()
                     .map(|h| h.latest().unwrap_or(0.0))
                     .collect();
-                sink.record(&TelemetryEvent::DensityMeasured {
-                    iteration,
-                    epoch,
-                    total_ad: mean(&epoch_densities),
-                    densities: epoch_densities,
-                });
-                let saturated = histories.iter().all(|h| h.is_saturated(&cfg.saturation));
-                if epoch >= cfg.min_epochs_per_iteration && saturated {
-                    sink.record(&TelemetryEvent::SaturationDetected {
-                        iteration,
-                        epoch,
-                        window: cfg.saturation.window(),
-                        tolerance: cfg.saturation.tolerance(),
-                    });
-                    break;
-                }
-            }
-
-            let densities: Vec<f64> = histories
-                .iter()
-                .map(|h| h.latest().unwrap_or(0.0))
-                .collect();
-            let total_ad = mean(&densities);
-            let test_stats =
-                evaluate_observed(model, test, cfg.batch_size, &mut |_| eval_batches.inc());
-            let spec = network_spec_from_stats("iter", &model.layer_stats(), cfg.initial_bits);
-            let own_energy = spec.energy_pj(&energy_model);
-            let mac_reduction = if own_energy > 0.0 {
-                baseline_energy / own_energy
-            } else {
-                1.0
-            };
-            sink.record(&TelemetryEvent::EnergyEstimated {
-                label: format!("iteration-{iteration}"),
-                total_pj: own_energy,
-                efficiency_vs_baseline: mac_reduction,
-            });
-            let ad_history: Vec<Vec<f64>> = (0..epochs_trained)
-                .map(|e| histories.iter().map(|h| h.samples()[e]).collect())
-                .collect();
-            iterations.push(IterationRecord {
-                iteration,
-                bits: (0..count).map(|i| model.bits_of(i)).collect(),
-                channels: (0..count).map(|i| model.out_channels_of(i)).collect(),
-                epochs_trained,
-                densities: densities.clone(),
-                total_ad,
-                test_accuracy: test_stats.accuracy,
-                train_accuracy: last_train_acc,
-                ad_history,
-                accuracy_history,
-                mac_reduction,
-            });
-            let record = iterations.last().expect("just pushed");
-            sink.record(&TelemetryEvent::IterationCompleted {
-                iteration,
-                epochs_trained,
-                test_accuracy: record.test_accuracy,
-                record: serde_json::to_value(record),
-            });
-
-            if iteration == cfg.max_iterations {
-                break;
-            }
-            // convergence: AD ≈ 1 everywhere
-            if total_ad >= cfg.converged_ad {
-                break;
-            }
-            // eqn 3 re-quantization of interior layers
-            let mut any_change = false;
-            for idx in 1..count - 1 {
-                let current = model
-                    .bits_of(idx)
-                    .expect("interior layers were initialised with bits");
-                let updated = current.scaled_by_density(densities[idx]);
-                sink.record(&TelemetryEvent::BitWidthAssigned {
-                    iteration,
-                    layer: idx,
-                    old_bits: current.get(),
-                    new_bits: updated.get(),
-                });
-                if updated != current {
-                    any_change = true;
-                    model.set_bits_of(idx, Some(updated));
-                }
-            }
-            // eqn 5 simultaneous pruning
-            if let Some(prune) = cfg.prune {
-                for idx in 1..count - 1 {
-                    let channels = model.out_channels_of(idx);
-                    let keep = ((channels as f64) * densities[idx]).round() as usize;
-                    let keep = keep.clamp(prune.min_channels.min(channels), channels);
-                    if keep < channels && model.prune_layer_to(idx, keep) {
-                        any_change = true;
-                        structural_ops.push(StructuralOp::Prune { layer: idx, keep });
-                        sink.record(&TelemetryEvent::LayerPruned {
-                            iteration,
-                            layer: idx,
-                            old_channels: channels,
-                            new_channels: keep,
-                        });
-                    }
-                }
-                // pruned shapes invalidate optimizer state
-                optimizer.reset_state();
-            }
-            // iter-2a: delete layers that stay dead at extreme quantization.
-            // High-to-low order keeps the densities indices valid while the
-            // model shrinks.
-            if let Some(policy) = cfg.remove_dead_layers {
-                for idx in (1..densities.len().saturating_sub(1)).rev() {
-                    if idx >= model.layer_count().saturating_sub(1) {
-                        continue;
-                    }
-                    let dead = model
-                        .bits_of(idx)
-                        .is_some_and(|b| b.get() <= policy.at_most_bits)
-                        && densities[idx] <= policy.ad_below;
-                    if dead && model.remove_layer(idx) {
-                        any_change = true;
-                        optimizer.reset_state();
-                        structural_ops.push(StructuralOp::Remove { layer: idx });
-                        sink.record(&TelemetryEvent::LayerRemoved {
-                            iteration,
-                            layer: idx,
-                        });
-                    }
-                }
-            }
-            if !any_change {
-                break; // fixed point: k_l stable for every layer
-            }
-            // the run continues into iteration + 1: durably capture the
-            // exact state it will continue from
-            if let Some(manager) = manager {
-                let (key, counter, index) = adq_tensor::init::rng_state(&rng);
-                let checkpoint = RunCheckpoint {
-                    version: CHECKPOINT_VERSION,
-                    config: *cfg,
-                    next_iteration: iteration + 1,
-                    iterations: iterations.clone(),
-                    structural_ops: structural_ops.clone(),
-                    params: export_params(model),
-                    norm_stats: model.norm_stats(),
-                    bits: (0..model.layer_count()).map(|i| model.bits_of(i)).collect(),
-                    optimizer: optimizer.export_state(),
-                    rng: RngState {
-                        key,
-                        counter,
-                        index,
-                    },
-                    baseline_energy_pj: baseline_energy,
-                    microbatch: self.microbatch,
+                let total_ad = mean(&densities);
+                let test_stats = {
+                    let _evaluate_span = phase_span("adq.phase.evaluate", iteration);
+                    evaluate_observed(model, test, cfg.batch_size, &mut |_| eval_batches.inc())
                 };
-                let (path, bytes) = manager.save(&checkpoint)?;
-                sink.record(&TelemetryEvent::CheckpointSaved {
-                    iteration,
-                    path: path.display().to_string(),
-                    bytes,
+                let (own_energy, mac_reduction) = {
+                    let _energy_span = phase_span("adq.phase.energy_eval", iteration);
+                    let spec =
+                        network_spec_from_stats("iter", &model.layer_stats(), cfg.initial_bits);
+                    let own_energy = spec.energy_pj(&energy_model);
+                    let mac_reduction = if own_energy > 0.0 {
+                        baseline_energy / own_energy
+                    } else {
+                        1.0
+                    };
+                    (own_energy, mac_reduction)
+                };
+                sink.record(&TelemetryEvent::EnergyEstimated {
+                    label: format!("iteration-{iteration}"),
+                    total_pj: own_energy,
+                    efficiency_vs_baseline: mac_reduction,
                 });
+                let ad_history: Vec<Vec<f64>> = (0..epochs_trained)
+                    .map(|e| histories.iter().map(|h| h.samples()[e]).collect())
+                    .collect();
+                iterations.push(IterationRecord {
+                    iteration,
+                    bits: (0..count).map(|i| model.bits_of(i)).collect(),
+                    channels: (0..count).map(|i| model.out_channels_of(i)).collect(),
+                    epochs_trained,
+                    densities: densities.clone(),
+                    total_ad,
+                    test_accuracy: test_stats.accuracy,
+                    train_accuracy: last_train_acc,
+                    ad_history,
+                    accuracy_history,
+                    mac_reduction,
+                });
+                let record = iterations.last().expect("just pushed");
+                sink.record(&TelemetryEvent::IterationCompleted {
+                    iteration,
+                    epochs_trained,
+                    test_accuracy: record.test_accuracy,
+                    record: serde_json::to_value(record),
+                });
+
+                if iteration == cfg.max_iterations {
+                    break 'iteration true;
+                }
+                // convergence: AD ≈ 1 everywhere
+                if total_ad >= cfg.converged_ad {
+                    break 'iteration true;
+                }
+                // eqn 3 re-quantization of interior layers
+                let mut any_change = false;
+                {
+                    let _bitwidth_span = phase_span("adq.phase.bitwidth_update", iteration);
+                    for idx in 1..count - 1 {
+                        let current = model
+                            .bits_of(idx)
+                            .expect("interior layers were initialised with bits");
+                        let updated = current.scaled_by_density(densities[idx]);
+                        sink.record(&TelemetryEvent::BitWidthAssigned {
+                            iteration,
+                            layer: idx,
+                            old_bits: current.get(),
+                            new_bits: updated.get(),
+                        });
+                        if updated != current {
+                            any_change = true;
+                            model.set_bits_of(idx, Some(updated));
+                        }
+                    }
+                }
+                {
+                    let _prune_span = phase_span("adq.phase.prune", iteration);
+                    // eqn 5 simultaneous pruning
+                    if let Some(prune) = cfg.prune {
+                        for idx in 1..count - 1 {
+                            let channels = model.out_channels_of(idx);
+                            let keep = ((channels as f64) * densities[idx]).round() as usize;
+                            let keep = keep.clamp(prune.min_channels.min(channels), channels);
+                            if keep < channels && model.prune_layer_to(idx, keep) {
+                                any_change = true;
+                                structural_ops.push(StructuralOp::Prune { layer: idx, keep });
+                                sink.record(&TelemetryEvent::LayerPruned {
+                                    iteration,
+                                    layer: idx,
+                                    old_channels: channels,
+                                    new_channels: keep,
+                                });
+                            }
+                        }
+                        // pruned shapes invalidate optimizer state
+                        optimizer.reset_state();
+                    }
+                    // iter-2a: delete layers that stay dead at extreme
+                    // quantization. High-to-low order keeps the densities
+                    // indices valid while the model shrinks.
+                    if let Some(policy) = cfg.remove_dead_layers {
+                        for idx in (1..densities.len().saturating_sub(1)).rev() {
+                            if idx >= model.layer_count().saturating_sub(1) {
+                                continue;
+                            }
+                            let dead = model
+                                .bits_of(idx)
+                                .is_some_and(|b| b.get() <= policy.at_most_bits)
+                                && densities[idx] <= policy.ad_below;
+                            if dead && model.remove_layer(idx) {
+                                any_change = true;
+                                optimizer.reset_state();
+                                structural_ops.push(StructuralOp::Remove { layer: idx });
+                                sink.record(&TelemetryEvent::LayerRemoved {
+                                    iteration,
+                                    layer: idx,
+                                });
+                            }
+                        }
+                    }
+                }
+                if !any_change {
+                    break 'iteration true; // fixed point: k_l stable for every layer
+                }
+                // the run continues into iteration + 1: durably capture the
+                // exact state it will continue from
+                if let Some(manager) = manager {
+                    let _checkpoint_span = phase_span("adq.phase.checkpoint", iteration);
+                    let (key, counter, index) = adq_tensor::init::rng_state(&rng);
+                    let checkpoint = RunCheckpoint {
+                        version: CHECKPOINT_VERSION,
+                        config: *cfg,
+                        next_iteration: iteration + 1,
+                        iterations: iterations.clone(),
+                        structural_ops: structural_ops.clone(),
+                        params: export_params(model),
+                        norm_stats: model.norm_stats(),
+                        bits: (0..model.layer_count()).map(|i| model.bits_of(i)).collect(),
+                        optimizer: optimizer.export_state(),
+                        rng: RngState {
+                            key,
+                            counter,
+                            index,
+                        },
+                        baseline_energy_pj: baseline_energy,
+                        microbatch: self.microbatch,
+                    };
+                    let (path, bytes) = manager.save(&checkpoint)?;
+                    sink.record(&TelemetryEvent::CheckpointSaved {
+                        iteration,
+                        path: path.display().to_string(),
+                        bytes,
+                    });
+                }
+                false
+            };
+            // Stream this iteration's spans out while they are fresh;
+            // with tracing off the buffers are empty and this is a no-op.
+            span::drain_into(sink);
+            if stop {
+                break;
             }
         }
 
@@ -690,6 +725,8 @@ impl AdQuantizer {
             training_complexity: outcome.training_complexity,
             final_accuracy: outcome.final_record().test_accuracy,
         });
+        // Catch spans recorded after the last iteration drain.
+        span::drain_into(sink);
         sink.flush();
         Ok(outcome)
     }
@@ -739,7 +776,12 @@ impl AdQuantizer {
             (0..count).map(|_| DensityHistory::new()).collect();
         let mut accuracy_history = Vec::new();
         let mut last_train_acc = 0.0;
+        let mut baseline_span = phase_span("adq.iteration", 1);
+        baseline_span.attr("baseline", 1u64);
+        let mut train_span = phase_span("adq.phase.train", 1);
         for epoch in 1..=epochs {
+            let mut epoch_span = phase_span("adq.epoch", 1);
+            epoch_span.attr("epoch", epoch);
             model.reset_densities();
             let stats = match self.microbatch {
                 Some(microbatch) => train_epoch_parallel_observed(
@@ -782,11 +824,16 @@ impl AdQuantizer {
                 densities: epoch_densities,
             });
         }
+        train_span.attr("epochs", epochs);
+        drop(train_span);
         let densities: Vec<f64> = histories
             .iter()
             .map(|h| h.latest().unwrap_or(0.0))
             .collect();
-        let test_stats = evaluate_observed(model, test, cfg.batch_size, &mut |_| {});
+        let test_stats = {
+            let _evaluate_span = phase_span("adq.phase.evaluate", 1);
+            evaluate_observed(model, test, cfg.batch_size, &mut |_| {})
+        };
         let ad_history: Vec<Vec<f64>> = (0..epochs)
             .map(|e| histories.iter().map(|h| h.samples()[e]).collect())
             .collect();
@@ -817,6 +864,8 @@ impl AdQuantizer {
             ),
             final_accuracy: record.test_accuracy,
         });
+        drop(baseline_span);
+        span::drain_into(sink);
         sink.flush();
         record
     }
@@ -902,6 +951,20 @@ impl InstrumentedAdQuantizer {
     ) -> Result<AdqOutcome, CheckpointError> {
         self.quantizer
             .resume_from(model, train, test, self.sink.as_ref(), checkpoint, manager)
+    }
+}
+
+/// Opens a controller phase span carrying the iteration attribute, or a
+/// no-op guard when tracing is off (the attribute vector is only built
+/// when it will be recorded).
+fn phase_span(name: &'static str, iteration: usize) -> SpanGuard {
+    if span::enabled() {
+        span::span_with(
+            name,
+            vec![("iteration", span::AttrValue::U64(iteration as u64))],
+        )
+    } else {
+        SpanGuard::disabled()
     }
 }
 

@@ -4,6 +4,7 @@
 
 use std::sync::{Arc, OnceLock};
 
+use adq_telemetry::span::{self, SpanGuard};
 use adq_telemetry::{Histogram, ScopedTimer};
 use adq_tensor::Tensor;
 use rand::seq::SliceRandom;
@@ -29,6 +30,19 @@ fn reduce_timer() -> ScopedTimer {
     ScopedTimer::new(
         HIST.get_or_init(|| adq_telemetry::metrics::global().histogram("nn.train.reduce")),
     )
+}
+
+/// Opens an `nn.batch` span for one training batch (no-op when tracing
+/// is off; the attribute vector is only built when recorded).
+fn batch_span(batch: usize, samples: usize) -> SpanGuard {
+    if span::enabled() {
+        span::span_with(
+            "nn.batch",
+            vec![("batch", batch.into()), ("samples", samples.into())],
+        )
+    } else {
+        SpanGuard::disabled()
+    }
 }
 
 /// A labelled image-classification dataset held in memory:
@@ -137,6 +151,7 @@ pub fn train_epoch_observed(
     let mut total_loss = 0.0f64;
     let mut correct = 0.0f64;
     for (batch, chunk) in order.chunks(batch_size).enumerate() {
+        let _batch_span = batch_span(batch, chunk.len());
         let (images, labels) = data.batch(chunk);
         let logits = model.forward(&images, true);
         let out = softmax_cross_entropy(&logits, &labels);
@@ -310,20 +325,38 @@ pub fn train_epoch_parallel_observed(
     for (batch, chunk) in order.chunks(batch_size).enumerate() {
         let batch_n = chunk.len();
         let active = batch_n.div_ceil(microbatch);
+        let _batch_span = batch_span(batch, batch_n);
+        // Workers have no ambient current span, so the fan-out hands the
+        // batch span's id down explicitly (0 when tracing is off).
+        let batch_span_id = _batch_span.id();
         let params = export_params(model);
         {
             // microbatch i always runs on replica i: any replica-resident
             // state (e.g. EMA range observers) evolves identically at any
             // worker count
             let params = &params;
-            let jobs: Vec<(&mut ReplicaSlot, &[usize])> =
-                replicas.iter_mut().zip(chunk.chunks(microbatch)).collect();
-            jobs.into_par_iter().for_each(|(slot, indices)| {
+            let jobs: Vec<(usize, (&mut ReplicaSlot, &[usize]))> = replicas
+                .iter_mut()
+                .zip(chunk.chunks(microbatch))
+                .enumerate()
+                .collect();
+            jobs.into_par_iter().for_each(|(index, (slot, indices))| {
+                let _span = if span::enabled() {
+                    span::child_span_with(
+                        batch_span_id,
+                        "nn.microbatch",
+                        vec![("index", index.into()), ("samples", indices.len().into())],
+                    )
+                } else {
+                    SpanGuard::disabled()
+                };
                 let _timer = microbatch_timer();
                 run_microbatch(slot, indices, params, data, batch_n);
             });
         }
         let reduced = {
+            // Nested under the still-open batch span on this thread.
+            let _span = span::span("nn.reduce");
             let _timer = reduce_timer();
             let mut trees: Vec<Vec<Tensor>> = replicas[..active]
                 .iter_mut()

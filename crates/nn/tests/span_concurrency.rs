@@ -1,0 +1,170 @@
+//! Concurrency contract of the tracing layer under the data-parallel
+//! trainer: microbatch spans recorded on rayon workers nest under the
+//! correct `nn.batch` parent, drain into structurally identical traces at
+//! any worker count, and never interleave into corrupt JSONL lines.
+
+use std::fs;
+use std::sync::Mutex;
+
+use adq_nn::train::{train_epoch_parallel, Dataset};
+use adq_nn::{Adam, Vgg};
+use adq_telemetry::span::{self, AttrValue, SpanRecord};
+use adq_telemetry::{JsonlSink, TelemetryEvent, TelemetrySink};
+use adq_tensor::Tensor;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The tracer level and rayon override are process-global; tests in this
+/// file must not interleave with each other.
+static TRACER: Mutex<()> = Mutex::new(());
+
+const SAMPLES: usize = 12;
+const BATCH: usize = 6;
+const MICROBATCH: usize = 2;
+
+fn tiny_dataset() -> Dataset {
+    let n = SAMPLES * 3 * 8 * 8;
+    let images = Tensor::from_vec(
+        (0..n).map(|v| (v as f32 * 0.37).sin()).collect(),
+        &[SAMPLES, 3, 8, 8],
+    )
+    .expect("images");
+    Dataset::new(images, (0..SAMPLES).map(|i| i % 4).collect())
+}
+
+/// One traced parallel epoch under `threads` workers; returns the drained
+/// span records (sorted by start time, ids process-unique).
+fn traced_epoch(threads: usize) -> Vec<SpanRecord> {
+    let data = tiny_dataset();
+    let mut model = Vgg::tiny(3, 8, 4, 17);
+    let mut optimizer = Adam::new(1e-3);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+
+    rayon::set_thread_override(Some(threads));
+    span::set_level(1);
+    train_epoch_parallel(
+        &mut model,
+        &data,
+        &mut optimizer,
+        BATCH,
+        MICROBATCH,
+        &mut rng,
+    );
+    span::set_level(0);
+    rayon::set_thread_override(None);
+    span::drain()
+}
+
+fn attr_line(attrs: &[(&'static str, AttrValue)]) -> String {
+    let mut parts: Vec<String> = attrs.iter().map(|(k, v)| format!("{k}={v:?}")).collect();
+    parts.sort();
+    parts.join(",")
+}
+
+/// Structural fingerprint of a trace: one `name|parent-name|attrs` line per
+/// span, sorted. Ids, timestamps, and thread ids are scheduling-dependent;
+/// the structure must not be.
+fn normalize(records: &[SpanRecord]) -> String {
+    let name_of = |id: u64| -> &str {
+        records
+            .iter()
+            .find(|r| r.id == id)
+            .map_or("<root>", |r| r.name)
+    };
+    let mut lines: Vec<String> = records
+        .iter()
+        .map(|r| format!("{}|{}|{}", r.name, name_of(r.parent), attr_line(&r.attrs)))
+        .collect();
+    lines.sort();
+    lines.join("\n")
+}
+
+#[test]
+fn worker_spans_nest_under_their_batch_at_any_thread_count() {
+    let _guard = TRACER
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    span::set_level(0);
+    span::drain();
+
+    let serial = traced_epoch(1);
+    let wide = traced_epoch(4);
+
+    for records in [&serial, &wide] {
+        let batches: Vec<&SpanRecord> = records.iter().filter(|r| r.name == "nn.batch").collect();
+        let microbatches: Vec<&SpanRecord> = records
+            .iter()
+            .filter(|r| r.name == "nn.microbatch")
+            .collect();
+        assert_eq!(batches.len(), SAMPLES / BATCH, "one span per batch");
+        assert_eq!(
+            microbatches.len(),
+            (SAMPLES / BATCH) * BATCH.div_ceil(MICROBATCH),
+            "one span per microbatch"
+        );
+        for micro in &microbatches {
+            let parent = batches.iter().find(|b| b.id == micro.parent);
+            let parent = parent.unwrap_or_else(|| {
+                panic!(
+                    "microbatch span {} has non-batch parent {}",
+                    micro.id, micro.parent
+                )
+            });
+            // The microbatch must run inside its parent's time window.
+            assert!(
+                micro.start_ns >= parent.start_ns && micro.end_ns <= parent.end_ns,
+                "microbatch span outside its batch window"
+            );
+        }
+        for reduce in records.iter().filter(|r| r.name == "nn.reduce") {
+            assert!(
+                batches.iter().any(|b| b.id == reduce.parent),
+                "reduce span must nest under a batch span"
+            );
+        }
+    }
+
+    // Scheduling must not change the trace's structure: byte-identical
+    // normalized output at 1 and 4 workers.
+    assert_eq!(normalize(&serial), normalize(&wide));
+}
+
+#[test]
+fn concurrent_span_drain_never_corrupts_jsonl() {
+    let _guard = TRACER
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    span::set_level(0);
+    span::drain();
+
+    let records = traced_epoch(4);
+    assert!(!records.is_empty(), "traced epoch recorded no spans");
+
+    let dir = std::env::temp_dir().join(format!("adq-span-jsonl-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("spans.jsonl");
+    {
+        let sink = JsonlSink::create(&path).expect("jsonl sink");
+        for record in &records {
+            sink.record(&record.to_event());
+        }
+        sink.flush();
+        assert_eq!(sink.write_errors(), 0, "healthy target must not error");
+    }
+
+    let text = fs::read_to_string(&path).expect("read back");
+    let mut parsed = 0;
+    for (lineno, line) in text.lines().enumerate() {
+        let event: TelemetryEvent = serde_json::from_str(line)
+            .unwrap_or_else(|err| panic!("line {} is corrupt: {err}", lineno + 1));
+        assert!(
+            matches!(event, TelemetryEvent::SpanClosed { .. }),
+            "unexpected event kind on line {}",
+            lineno + 1
+        );
+        parsed += 1;
+    }
+    assert_eq!(parsed, records.len(), "every span must round-trip one line");
+    let _ = fs::remove_dir_all(&dir);
+}

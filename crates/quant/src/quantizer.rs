@@ -1,5 +1,6 @@
 use std::sync::{Arc, OnceLock};
 
+use adq_telemetry::span::{self, SpanGuard};
 use adq_telemetry::{Histogram, ScopedTimer};
 use adq_tensor::Tensor;
 use serde::{Deserialize, Serialize};
@@ -163,6 +164,18 @@ impl Quantizer {
     /// so the parallel result is bit-identical at any worker count.
     pub fn fake_quantize_slice(&self, data: &mut [f32]) {
         let _timer = forward_timer();
+        // Verbose-only (level 2): this runs once per layer per forward pass.
+        let _span = if span::verbose() {
+            span::span_with(
+                "quant.fake_quantize",
+                vec![
+                    ("elements", data.len().into()),
+                    ("bits", u64::from(self.bits.get()).into()),
+                ],
+            )
+        } else {
+            SpanGuard::disabled()
+        };
         if self.range.is_degenerate() {
             data.fill(self.range.min());
             return;

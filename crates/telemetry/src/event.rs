@@ -145,6 +145,35 @@ pub enum TelemetryEvent {
         /// Final test accuracy in `[0, 1]`.
         final_accuracy: f64,
     },
+    /// A tracing span closed (see `crate::span`); drained into the sink
+    /// in `(start_ns, id)` order.
+    SpanClosed {
+        /// Process-unique span id (1-based).
+        id: u64,
+        /// Id of the enclosing span (0 = root).
+        parent: u64,
+        /// Dense id of the recording thread (1-based, first-use order).
+        thread: u64,
+        /// Span name, dot-separated by subsystem (`adq.iteration`, ...).
+        name: String,
+        /// Monotonic start, ns since the process tracing epoch.
+        start_ns: u64,
+        /// Monotonic end, ns since the process tracing epoch.
+        end_ns: u64,
+        /// Structured attributes (layer, bits, GEMM m/n/k, ...).
+        args: serde_json::Value,
+    },
+    /// A trace artifact was exported from the buffered spans.
+    TraceExported {
+        /// Filesystem path of the exported artifact.
+        path: String,
+        /// Spans included in the export.
+        spans: u64,
+        /// Spans dropped at buffer caps before the export.
+        dropped: u64,
+        /// Artifact format (`chrome-trace` or `collapsed-stacks`).
+        format: String,
+    },
 }
 
 impl TelemetryEvent {
@@ -164,6 +193,8 @@ impl TelemetryEvent {
             TelemetryEvent::RunResumed { .. } => "RunResumed",
             TelemetryEvent::EnergyEstimated { .. } => "EnergyEstimated",
             TelemetryEvent::RunCompleted { .. } => "RunCompleted",
+            TelemetryEvent::SpanClosed { .. } => "SpanClosed",
+            TelemetryEvent::TraceExported { .. } => "TraceExported",
         }
     }
 }
@@ -214,6 +245,21 @@ mod tests {
                 iterations: 3,
                 training_complexity: 0.8,
                 final_accuracy: 0.9,
+            },
+            TelemetryEvent::SpanClosed {
+                id: 17,
+                parent: 3,
+                thread: 2,
+                name: "adq.phase.train".into(),
+                start_ns: 1_000,
+                end_ns: 5_500,
+                args: serde_json::json!({"iteration": 1, "epochs": 4}),
+            },
+            TelemetryEvent::TraceExported {
+                path: "results/run.trace.json".into(),
+                spans: 128,
+                dropped: 0,
+                format: "chrome-trace".into(),
             },
         ];
         for event in events {

@@ -15,14 +15,27 @@
 //!   histograms; [`ScopedTimer`] records wall-time into a histogram on
 //!   drop and instruments `im2col`, `matmul`, quantizer forward, and AD
 //!   metering via the process-wide [`metrics::global`] registry.
+//! * [`span`] — hierarchical tracing spans ([`SpanGuard`] with
+//!   parent/child ids, thread ids, monotonic timestamps, structured
+//!   attributes) buffered per thread and drained into any sink as
+//!   [`TelemetryEvent::SpanClosed`] events; gated by the `ADQ_TRACE`
+//!   environment variable (0 = off, 1 = phases, 2 = verbose tiles).
+//! * [`trace`] — exporters turning a span stream into Chrome Trace
+//!   Event JSON (`chrome://tracing`/Perfetto) and collapsed-stack text
+//!   for flamegraphs.
 //!
-//! Telemetry is observation-only by contract: attaching any sink must not
-//! change a run's numeric results.
+//! Telemetry is observation-only by contract: attaching any sink — and
+//! enabling tracing at any level — must not change a run's numeric
+//! results.
 
 pub mod event;
 pub mod metrics;
 pub mod sink;
+pub mod span;
+pub mod trace;
 
 pub use event::TelemetryEvent;
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, ScopedTimer};
 pub use sink::{ConsoleSink, JsonlSink, MemorySink, MultiSink, NullSink, TelemetrySink};
+pub use span::{AttrValue, SpanGuard, SpanRecord};
+pub use trace::TraceSpan;

@@ -125,6 +125,48 @@ impl Histogram {
         }
     }
 
+    /// Estimated `q`-quantile (`q` in `[0, 1]`, clamped) by linear
+    /// interpolation inside the covering bucket, the standard
+    /// fixed-bucket estimate: the true quantile is somewhere in the
+    /// covering bucket, so the error is bounded by that bucket's width.
+    /// Observations in the overflow bucket clamp to the last finite
+    /// bound. Returns 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the order statistic the quantile asks for.
+        let rank = (q * total as f64).ceil().max(1.0);
+        let mut cumulative = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            let in_bucket = bucket.load(Ordering::Relaxed);
+            if in_bucket == 0 {
+                continue;
+            }
+            let before = cumulative;
+            cumulative += in_bucket;
+            if (cumulative as f64) < rank {
+                continue;
+            }
+            let last_finite = *self.bounds.last().expect("non-empty bounds") as f64;
+            if idx == self.bounds.len() {
+                // Overflow bucket: no upper bound to interpolate toward.
+                return last_finite;
+            }
+            let lower = if idx == 0 {
+                0.0
+            } else {
+                self.bounds[idx - 1] as f64
+            };
+            let upper = self.bounds[idx] as f64;
+            let within = (rank - before as f64) / in_bucket as f64;
+            return lower + (upper - lower) * within;
+        }
+        *self.bounds.last().expect("non-empty bounds") as f64
+    }
+
     /// Per-bucket `(upper_bound, count)` pairs; the final entry uses
     /// `u64::MAX` as the overflow bound.
     pub fn buckets(&self) -> Vec<(u64, u64)> {
@@ -265,6 +307,9 @@ impl MetricsRegistry {
                     "count": h.count(),
                     "sum_ns": h.sum(),
                     "mean_ns": h.mean(),
+                    "p50_ns": h.quantile(0.50),
+                    "p90_ns": h.quantile(0.90),
+                    "p99_ns": h.quantile(0.99),
                     "buckets": buckets,
                 })
             })
@@ -313,6 +358,79 @@ mod tests {
         assert_eq!(buckets[1], (100, 2)); // 11, 100
         assert_eq!(buckets[2], (1000, 1)); // 999
         assert_eq!(buckets[3], (u64::MAX, 1)); // 5000 overflow
+    }
+
+    #[test]
+    fn quantiles_match_a_known_uniform_distribution() {
+        let registry = MetricsRegistry::new();
+        // Bucket width 100 over uniform 1..=1000: every estimate is
+        // within one bucket width of the exact order statistic.
+        let bounds: Vec<u64> = (1..=10).map(|i| i * 100).collect();
+        let h = registry.histogram_with_bounds("u", &bounds);
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.50, 500.0), (0.90, 900.0), (0.99, 990.0)] {
+            let estimate = h.quantile(q);
+            assert!(
+                (estimate - exact).abs() <= 100.0,
+                "q={q}: estimate {estimate} too far from {exact}"
+            );
+        }
+        // Within a single bucket the interpolation is exact for uniform
+        // data: rank 250 of 1000 sits at 25% (bucket 201..=300).
+        assert!((h.quantile(0.25) - 250.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn quantiles_handle_point_masses_and_overflow() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram_with_bounds("p", &[10, 100]);
+        assert_eq!(h.quantile(0.5), 0.0); // empty
+        for _ in 0..99 {
+            h.record(7);
+        }
+        h.record(5000); // overflow bucket
+                        // p50 lands in the first bucket (0, 10].
+        let p50 = h.quantile(0.50);
+        assert!(p50 > 0.0 && p50 <= 10.0, "p50 {p50}");
+        // p99 still inside the mass at the first bucket (rank 99 of 100).
+        assert!(h.quantile(0.99) <= 10.0);
+        // p100 hits the overflow observation and clamps to the last
+        // finite bound.
+        assert_eq!(h.quantile(1.0), 100.0);
+        // Out-of-range q clamps instead of panicking.
+        assert!(h.quantile(-3.0) <= 10.0);
+        assert_eq!(h.quantile(7.5), 100.0);
+    }
+
+    #[test]
+    fn snapshot_includes_quantile_estimates() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram_with_bounds("q", &[10, 20, 30, 40]);
+        for v in 1..=40u64 {
+            h.record(v);
+        }
+        let snap = registry.snapshot();
+        let histogram = &snap
+            .get("histograms")
+            .and_then(|h| h.as_seq())
+            .expect("seq")[0];
+        let p50 = histogram
+            .get("p50_ns")
+            .and_then(|v| v.as_f64())
+            .expect("p50");
+        let p90 = histogram
+            .get("p90_ns")
+            .and_then(|v| v.as_f64())
+            .expect("p90");
+        let p99 = histogram
+            .get("p99_ns")
+            .and_then(|v| v.as_f64())
+            .expect("p99");
+        assert!((p50 - 20.0).abs() <= 10.0);
+        assert!((p90 - 36.0).abs() <= 10.0);
+        assert!(p99 >= p90 && p99 <= 40.0);
     }
 
     #[test]

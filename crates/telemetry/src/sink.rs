@@ -6,9 +6,11 @@
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::event::TelemetryEvent;
+use crate::metrics::Counter;
 
 /// A destination for telemetry events.
 pub trait TelemetrySink: Send + Sync {
@@ -201,14 +203,45 @@ impl TelemetrySink for ConsoleSink {
                     final_accuracy * 100.0
                 );
             }
+            TelemetryEvent::SpanClosed {
+                name,
+                start_ns,
+                end_ns,
+                thread,
+                ..
+            } => {
+                println!(
+                    "[telemetry] span {name}: {:.3} ms on thread {thread}",
+                    end_ns.saturating_sub(*start_ns) as f64 / 1e6
+                );
+            }
+            TelemetryEvent::TraceExported {
+                path,
+                spans,
+                dropped,
+                format,
+            } => {
+                println!("[telemetry] trace exported: {path} ({format}, {spans} spans, {dropped} dropped)");
+            }
         }
     }
 }
 
 /// Appends one JSON object per line to a file (buffered).
+///
+/// Write and flush failures after creation cannot abort the run
+/// (telemetry is observation-only), but they are surfaced rather than
+/// silently swallowed: each failure increments the process-wide
+/// `telemetry.sink.write_errors` counter and this sink's
+/// [`write_errors`](JsonlSink::write_errors) tally, and the first one
+/// prints a warning to stderr.
 #[derive(Debug)]
 pub struct JsonlSink {
     writer: Mutex<BufWriter<File>>,
+    /// Failures on this sink (the global counter aggregates all sinks).
+    errors: AtomicU64,
+    /// `telemetry.sink.write_errors` in the global registry, resolved once.
+    error_counter: Arc<Counter>,
 }
 
 impl JsonlSink {
@@ -221,7 +254,22 @@ impl JsonlSink {
         let file = File::create(path)?;
         Ok(JsonlSink {
             writer: Mutex::new(BufWriter::new(file)),
+            errors: AtomicU64::new(0),
+            error_counter: crate::metrics::global().counter("telemetry.sink.write_errors"),
         })
+    }
+
+    /// Write/flush failures seen by this sink since creation.
+    pub fn write_errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    fn count_error(&self, context: &str, err: &std::io::Error) {
+        let seen = self.errors.fetch_add(1, Ordering::Relaxed);
+        self.error_counter.inc();
+        if seen == 0 {
+            eprintln!("warning: telemetry jsonl {context} failed: {err}");
+        }
     }
 }
 
@@ -231,12 +279,17 @@ impl TelemetrySink for JsonlSink {
             return;
         };
         let mut writer = self.writer.lock().expect("jsonl sink poisoned");
-        // Telemetry must never fail the run; drop the line on I/O errors.
-        let _ = writeln!(writer, "{line}");
+        // Telemetry must never fail the run; count and drop the line on
+        // I/O errors.
+        if let Err(err) = writeln!(writer, "{line}") {
+            self.count_error("write", &err);
+        }
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
+        if let Err(err) = self.writer.lock().expect("jsonl sink poisoned").flush() {
+            self.count_error("flush", &err);
+        }
     }
 }
 
@@ -337,6 +390,44 @@ mod tests {
         assert_eq!(lines.len(), 2);
         let first: TelemetryEvent = serde_json::from_str(lines[0]).expect("parse line");
         assert_eq!(first, sample_event());
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Writing through a sink whose file cannot accept data (Linux
+    /// `/dev/full` fails every write with `ENOSPC`) must not panic, must
+    /// tally the failures, and must bump the global
+    /// `telemetry.sink.write_errors` counter.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn jsonl_sink_counts_write_errors() {
+        let Ok(sink) = JsonlSink::create("/dev/full") else {
+            // Environments without /dev/full can't exercise this path.
+            return;
+        };
+        let global = crate::metrics::global().counter("telemetry.sink.write_errors");
+        let before = global.get();
+        // Overflow the BufWriter's internal buffer so the write path
+        // itself fails, not just the final flush.
+        for _ in 0..2048 {
+            sink.record(&sample_event());
+        }
+        sink.flush();
+        assert!(sink.write_errors() >= 1);
+        assert!(global.get() > before);
+    }
+
+    #[test]
+    fn jsonl_sink_reports_no_errors_on_healthy_target() {
+        let path = std::env::temp_dir().join(format!(
+            "adq-telemetry-ok-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let sink = JsonlSink::create(&path).expect("create file");
+        sink.record(&sample_event());
+        sink.flush();
+        assert_eq!(sink.write_errors(), 0);
+        drop(sink);
         std::fs::remove_file(&path).ok();
     }
 

@@ -28,6 +28,7 @@
 use crate::scratch::Scratch;
 use crate::shape::ShapeError;
 use crate::tensor::Tensor;
+use adq_telemetry::span::{self, SpanGuard};
 use rayon::prelude::*;
 
 /// Micro-kernel rows: each inner-kernel invocation produces `MR` rows of C.
@@ -118,14 +119,37 @@ pub(crate) fn gemm_into(
     let flops = m.saturating_mul(n).saturating_mul(k);
     let pa = &packed_a;
     let pb = &packed_b;
+    // Tile spans are verbose-only (level 2): at level 1 the per-tile guard
+    // cost would show up inside the very kernel being measured. The parent
+    // id is captured before the parallel loop so worker-thread tile spans
+    // still nest under the enclosing matmul span.
+    let trace_tiles = span::verbose();
+    let tile_parent = if trace_tiles {
+        span::current_span_id()
+    } else {
+        0
+    };
+    let tile_span = |tile: usize, ti: usize, tj: usize| -> SpanGuard {
+        if trace_tiles {
+            span::child_span_with(
+                tile_parent,
+                "tensor.gemm.tile",
+                vec![("tile", tile.into()), ("ti", ti.into()), ("tj", tj.into())],
+            )
+        } else {
+            SpanGuard::disabled()
+        }
+    };
     if tiles >= 2 && flops >= PAR_TILE_MIN_FLOPS {
         (0..tiles).into_par_iter().for_each(|tile| {
             let (ti, tj) = (tile / col_tiles, tile % col_tiles);
+            let _span = tile_span(tile, ti, tj);
             macro_tile(ti * MC, tj * NC, m, n, k, pa, pb, cp);
         });
     } else {
         for tile in 0..tiles {
             let (ti, tj) = (tile / col_tiles, tile % col_tiles);
+            let _span = tile_span(tile, ti, tj);
             macro_tile(ti * MC, tj * NC, m, n, k, pa, pb, cp);
         }
     }

@@ -1,5 +1,6 @@
 use std::sync::{Arc, OnceLock};
 
+use adq_telemetry::span::{self, SpanGuard};
 use adq_telemetry::{Histogram, ScopedTimer};
 use serde::{Deserialize, Serialize};
 
@@ -14,6 +15,16 @@ fn im2col_timer() -> ScopedTimer {
     ScopedTimer::new(
         HIST.get_or_init(|| adq_telemetry::metrics::global().histogram("tensor.im2col")),
     )
+}
+
+/// Verbose-only (level 2) tracing span for one lowering call — the per-batch
+/// call rate is far too high for level-1 traces.
+fn im2col_span(name: &'static str, rows: usize, cols: usize) -> SpanGuard {
+    if span::verbose() {
+        span::span_with(name, vec![("rows", rows.into()), ("cols", cols.into())])
+    } else {
+        SpanGuard::disabled()
+    }
 }
 
 /// Geometry of a 2-D convolution: square kernel, symmetric stride/padding.
@@ -165,6 +176,7 @@ pub fn im2col_scratch(
     let padding = geom.padding;
     let rows = c * p * p;
     let cols = n * oh * ow;
+    let _span = im2col_span("tensor.im2col", rows, cols);
     let mut out = scratch.take_zeroed(rows * cols);
     let data = input.data();
     for ci in 0..c {
@@ -231,6 +243,7 @@ pub fn col2im(
     if cols.dims() != [rows, ncols] {
         return Err(ShapeError::mismatch("col2im", cols.dims(), &[rows, ncols]));
     }
+    let _span = im2col_span("tensor.col2im", rows, ncols);
     let mut out = Tensor::zeros(input_dims);
     let out_data = out.data_mut();
     let col_data = cols.data();

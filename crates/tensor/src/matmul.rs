@@ -18,6 +18,7 @@
 
 use std::sync::{Arc, OnceLock};
 
+use adq_telemetry::span::{self, SpanGuard};
 use adq_telemetry::{Histogram, ScopedTimer};
 use rayon::prelude::*;
 
@@ -72,6 +73,26 @@ fn matmul_timer() -> ScopedTimer {
     )
 }
 
+/// Tracing span for one matmul call. Products big enough for the blocked
+/// kernel are worth a span at level 1; everything else (the per-batch
+/// small products) only at level 2, so level-1 traces stay below noise.
+fn matmul_span(variant: &'static str, m: usize, n: usize, k: usize) -> SpanGuard {
+    let flops = m.saturating_mul(n).saturating_mul(k);
+    if span::verbose() || (span::enabled() && flops >= BLOCKED_MIN_FLOPS) {
+        span::span_with(
+            "tensor.matmul",
+            vec![
+                ("variant", variant.into()),
+                ("m", m.into()),
+                ("n", n.into()),
+                ("k", k.into()),
+            ],
+        )
+    } else {
+        SpanGuard::disabled()
+    }
+}
+
 /// Dense matrix product `C = A · B` for rank-2 tensors.
 ///
 /// Large products use the blocked packed kernel ([`crate::gemm`]); small
@@ -113,6 +134,7 @@ pub fn matmul_scratch(a: &Tensor, b: &Tensor, scratch: &mut Scratch) -> Result<T
         return Err(ShapeError::mismatch("matmul", a.dims(), b.dims()));
     }
     let _timer = matmul_timer();
+    let _span = matmul_span("nn", m, n, k);
     if blocked_dispatch(m, n, k) {
         let mut out = scratch.take(m * n);
         gemm_into(
@@ -162,6 +184,7 @@ pub fn matmul_at_b_scratch(
         return Err(ShapeError::mismatch("matmul_at_b", a.dims(), b.dims()));
     }
     let _timer = matmul_timer();
+    let _span = matmul_span("tn", m, n, k);
     if blocked_dispatch(m, n, k) {
         let mut out = scratch.take(m * n);
         gemm_into(
@@ -211,6 +234,7 @@ pub fn matmul_a_bt_scratch(
         return Err(ShapeError::mismatch("matmul_a_bt", a.dims(), b.dims()));
     }
     let _timer = matmul_timer();
+    let _span = matmul_span("nt", m, n, k);
     if blocked_dispatch(m, n, k) {
         let mut out = scratch.take(m * n);
         gemm_into(
