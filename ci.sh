@@ -10,9 +10,11 @@
 #                    release tags or after touching the tensor/nn hot paths.
 #   ./ci.sh --bench  tier-1 gate plus the criterion kernel and epoch benches
 #                    in quick mode. Writes the medians to BENCH_kernels.json
-#                    and BENCH_epoch.json at the repo root (the cross-PR perf
-#                    trajectory) and fails if anything tracked in a committed
-#                    baseline regresses by more than 25%.
+#                    and BENCH_epoch.json, and the trace smoke run's
+#                    per-phase peak/alloc bytes to BENCH_memory.json, at the
+#                    repo root (the cross-PR perf + memory trajectory) and
+#                    fails if anything tracked in a committed baseline
+#                    regresses by more than 25%.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -36,7 +38,10 @@ echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> tier-1: cargo build --release"
-cargo build --release
+# --workspace: the smoke steps below need the bench binaries
+# (table2_quantization, adq-report, adq-watch), which a plain root-package
+# build does not link.
+cargo build --release --workspace
 
 echo "==> tier-1: cargo test -q"
 cargo test -q
@@ -47,13 +52,40 @@ cargo test -q
 echo "==> tier-1: cargo test -q (RAYON_NUM_THREADS=2)"
 RAYON_NUM_THREADS=2 cargo test -q
 
-# Trace smoke: one Algorithm-1 bench run with tracing on must yield a
-# valid Chrome trace, a collapsed-stack file, and an adq-report whose
-# per-iteration totals reconcile with the trace within 1%.
-echo "==> tier-1: trace smoke (ADQ_TRACE=1 table2 + adq-report)"
+# Trace smoke: one Algorithm-1 bench run with tracing, resource counters
+# and the live metrics endpoint on must yield a valid Chrome trace, a
+# collapsed-stack file, a scrapeable Prometheus page *while running*,
+# and an adq-report whose per-iteration totals reconcile with the trace
+# within 1%. The bench binaries carry the counting allocator, so the
+# report also gets per-phase memory/FLOP attribution.
+echo "==> tier-1: trace smoke (ADQ_TRACE=1 + metrics endpoint + adq-report)"
 trace_dir="$(mktemp -d)"
-(cd "$trace_dir" && ADQ_TRACE=1 "$OLDPWD/target/release/table2_quantization" \
-    --telemetry "$trace_dir/run.jsonl" >/dev/null)
+(cd "$trace_dir" && ADQ_TRACE=1 ADQ_METRICS_ADDR=127.0.0.1:0 \
+    ADQ_METRICS_PORT_FILE="$trace_dir/metrics.port" \
+    "$OLDPWD/target/release/table2_quantization" \
+    --telemetry "$trace_dir/run.jsonl" >/dev/null) &
+smoke_pid=$!
+# Scrape the endpoint mid-run: wait for the OS-assigned port to land in
+# the port file, then validate the exposition text with adq-watch.
+scraped=0
+for _ in $(seq 1 100); do
+    if [[ -s "$trace_dir/metrics.port" ]]; then
+        if ./target/release/adq-watch --scrape "$(cat "$trace_dir/metrics.port")"; then
+            scraped=1
+            break
+        fi
+    fi
+    if ! kill -0 "$smoke_pid" 2>/dev/null; then break; fi
+    sleep 0.1
+done
+wait "$smoke_pid" || {
+    echo "ci: trace smoke run failed" >&2
+    exit 1
+}
+if [[ "$scraped" -ne 1 ]]; then
+    echo "ci: metrics endpoint was never scraped during the run" >&2
+    exit 1
+fi
 test -s "$trace_dir/run.trace.json" || {
     echo "ci: trace smoke wrote no Chrome trace" >&2
     exit 1
@@ -62,13 +94,27 @@ test -s "$trace_dir/run.folded" || {
     echo "ci: trace smoke wrote no collapsed stacks" >&2
     exit 1
 }
+echo "==> tier-1: adq-watch --once over the run stream"
+./target/release/adq-watch --once "$trace_dir/run.jsonl" || {
+    echo "ci: adq-watch raised health alerts on a healthy run" >&2
+    exit 1
+}
 ./target/release/adq-report --validate-trace "$trace_dir/run.trace.json"
 ./target/release/adq-report "$trace_dir/run.jsonl" \
     --metrics "$trace_dir/results/table2_quantization_metrics.json" \
     --out "$trace_dir/report.md" \
+    --memory-json "$trace_dir/memory.json" \
     --reconcile-trace "$trace_dir/run.trace.json"
 test -s "$trace_dir/report.md" || {
     echo "ci: adq-report wrote no markdown report" >&2
+    exit 1
+}
+test -s "$trace_dir/memory.json" || {
+    echo "ci: adq-report wrote no per-phase memory snapshot" >&2
+    exit 1
+}
+grep -q "heap peak" "$trace_dir/report.md" || {
+    echo "ci: report lacks resource attribution columns" >&2
     exit 1
 }
 TRACE_SMOKE_DIR="$trace_dir"
@@ -118,6 +164,22 @@ if [[ "$BENCH" -eq 1 ]]; then
 
     echo "==> bench: archiving trace-smoke report -> BENCH_report.md"
     cp "$TRACE_SMOKE_DIR/report.md" BENCH_report.md
+
+    echo "==> bench: per-phase memory snapshot -> BENCH_memory.json"
+    mem_baseline=""
+    if git cat-file -e HEAD:BENCH_memory.json 2>/dev/null; then
+        mem_baseline="$(mktemp)"
+        git show HEAD:BENCH_memory.json >"$mem_baseline"
+    fi
+    cp "$TRACE_SMOKE_DIR/memory.json" BENCH_memory.json
+    if [[ -n "$mem_baseline" ]]; then
+        echo "==> bench: memory regression check vs committed baseline"
+        cargo run --release -p adq-bench --bin bench_check -- \
+            "$mem_baseline" BENCH_memory.json --key bytes --max-regress 0.25
+        rm -f "$mem_baseline"
+    else
+        echo "==> bench: no committed memory baseline yet (first snapshot)"
+    fi
 fi
 
 rm -rf "$TRACE_SMOKE_DIR"

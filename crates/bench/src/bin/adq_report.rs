@@ -19,7 +19,7 @@
 //! adq-report --validate-trace <trace.json>
 //! ```
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::process::ExitCode;
 
 use adq_telemetry::trace::{self, TraceSpan};
@@ -29,7 +29,8 @@ use serde_json::json;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: adq-report <run.jsonl> [--metrics <metrics.json>] [--out <report.md>] \
-         [--json <report.json>] [--reconcile-trace <trace.json>]\n       \
+         [--json <report.json>] [--memory-json <mem.json>] \
+         [--reconcile-trace <trace.json>]\n       \
          adq-report --diff <old.jsonl> <new.jsonl> \
          [--max-regress <frac>]\n       adq-report --validate-trace <trace.json>"
     );
@@ -233,34 +234,133 @@ fn diff(old_path: &str, new_path: &str, max_regress: f64) -> ExitCode {
 
 // ------------------------------------------------------------------ report
 
-/// Wall-time attribution for one `adq.iteration` span.
+/// Resource deltas attributed to a span subtree (see `adq-telemetry`'s
+/// `alloc` module for how spans record them).
+#[derive(Debug, Default, Clone, Copy)]
+struct PhaseResources {
+    flops: u64,
+    bytes_moved: u64,
+    alloc_bytes: u64,
+    freed_bytes: u64,
+    allocs: u64,
+    /// Process heap high-water mark at span close (max over the subtree).
+    heap_peak_bytes: u64,
+}
+
+impl PhaseResources {
+    /// A span's own recorded deltas (zero when the run was untracked).
+    fn of_span(span: &TraceSpan) -> Self {
+        Self {
+            flops: span.arg_u64("flops").unwrap_or(0),
+            bytes_moved: span.arg_u64("bytes_moved").unwrap_or(0),
+            alloc_bytes: span.arg_u64("alloc_bytes").unwrap_or(0),
+            freed_bytes: span.arg_u64("freed_bytes").unwrap_or(0),
+            allocs: span.arg_u64("allocs").unwrap_or(0),
+            heap_peak_bytes: span.arg_u64("heap_peak_bytes").unwrap_or(0),
+        }
+    }
+
+    fn add(&mut self, other: &PhaseResources) {
+        self.flops += other.flops;
+        self.bytes_moved += other.bytes_moved;
+        self.alloc_bytes += other.alloc_bytes;
+        self.freed_bytes += other.freed_bytes;
+        self.allocs += other.allocs;
+        self.heap_peak_bytes = self.heap_peak_bytes.max(other.heap_peak_bytes);
+    }
+
+    fn any(&self) -> bool {
+        self.flops > 0 || self.bytes_moved > 0 || self.alloc_bytes > 0 || self.allocs > 0
+    }
+
+    /// Bytes still held at span close (allocation churn nets out).
+    fn net_bytes(&self) -> i64 {
+        self.alloc_bytes as i64 - self.freed_bytes as i64
+    }
+}
+
+/// Resources attributed to the subtree rooted at `spans[root]`.
+///
+/// A span's own counters already include everything its *same-thread*
+/// descendants did (thread counters are monotonic and spans record
+/// start/close deltas), so summing the whole subtree would double-count.
+/// Work fanned out to other threads is invisible to the parent's delta,
+/// though: each descendant opening on a different thread than its parent
+/// contributes its own delta exactly once. The heap high-water mark is a
+/// process-wide gauge, so the subtree maximum is taken regardless of
+/// thread.
+fn subtree_resources(
+    root: usize,
+    spans: &[TraceSpan],
+    children: &HashMap<u64, Vec<usize>>,
+) -> PhaseResources {
+    let mut total = PhaseResources::of_span(&spans[root]);
+    let mut stack = vec![root];
+    while let Some(i) = stack.pop() {
+        for &child in children.get(&spans[i].id).into_iter().flatten() {
+            let own = PhaseResources::of_span(&spans[child]);
+            if spans[child].thread != spans[i].thread {
+                total.add(&own);
+            } else {
+                total.heap_peak_bytes = total.heap_peak_bytes.max(own.heap_peak_bytes);
+            }
+            stack.push(child);
+        }
+    }
+    total
+}
+
+/// Per-phase timing plus attributed resources.
+#[derive(Default)]
+struct PhaseStats {
+    total_ns: u64,
+    self_ns: u64,
+    resources: PhaseResources,
+}
+
+/// Wall-time and resource attribution for one `adq.iteration` span.
 struct IterationTiming {
     iteration: u64,
     wall_ns: u64,
     self_ns: u64,
-    /// Direct-child phase name -> (total ns, self ns) in name order.
-    phases: BTreeMap<String, (u64, u64)>,
+    /// Whole-iteration resource attribution.
+    resources: PhaseResources,
+    /// Direct-child phase name -> stats, in name order.
+    phases: BTreeMap<String, PhaseStats>,
 }
 
 fn iteration_timings(spans: &[TraceSpan]) -> Vec<IterationTiming> {
     let child_time = trace::child_time_ns(spans);
+    let mut children: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, span) in spans.iter().enumerate() {
+        if span.parent != 0 {
+            children.entry(span.parent).or_default().push(i);
+        }
+    }
     let mut timings: Vec<IterationTiming> = spans
         .iter()
-        .filter(|span| span.name == "adq.iteration")
-        .map(|span| IterationTiming {
+        .enumerate()
+        .filter(|(_, span)| span.name == "adq.iteration")
+        .map(|(index, span)| IterationTiming {
             iteration: span.arg_u64("iteration").unwrap_or(0),
             wall_ns: span.duration_ns(),
             self_ns: span
                 .duration_ns()
                 .saturating_sub(child_time.get(&span.id).copied().unwrap_or(0)),
-            phases: spans.iter().filter(|child| child.parent == span.id).fold(
+            resources: subtree_resources(index, spans, &children),
+            phases: children.get(&span.id).into_iter().flatten().fold(
                 BTreeMap::new(),
-                |mut acc, child| {
-                    let entry = acc.entry(child.name.clone()).or_insert((0, 0));
-                    entry.0 += child.duration_ns();
-                    entry.1 += child
+                |mut acc, &child| {
+                    let entry = acc
+                        .entry(spans[child].name.clone())
+                        .or_insert_with(PhaseStats::default);
+                    entry.total_ns += spans[child].duration_ns();
+                    entry.self_ns += spans[child]
                         .duration_ns()
-                        .saturating_sub(child_time.get(&child.id).copied().unwrap_or(0));
+                        .saturating_sub(child_time.get(&spans[child].id).copied().unwrap_or(0));
+                    entry
+                        .resources
+                        .add(&subtree_resources(child, spans, &children));
                     acc
                 },
             ),
@@ -272,6 +372,39 @@ fn iteration_timings(spans: &[TraceSpan]) -> Vec<IterationTiming> {
 
 fn fmt_ms(ns: u64) -> String {
     format!("{:.3}", ns as f64 / 1e6)
+}
+
+/// Human-scale count (`1.23 G` flops) for the report tables.
+fn fmt_scaled(value: u64) -> String {
+    let v = value as f64;
+    match value {
+        0 => "0".to_string(),
+        _ if v >= 1e9 => format!("{:.2} G", v / 1e9),
+        _ if v >= 1e6 => format!("{:.2} M", v / 1e6),
+        _ if v >= 1e3 => format!("{:.2} k", v / 1e3),
+        _ => format!("{value}"),
+    }
+}
+
+/// Human-scale byte count (`1.2 MiB`).
+fn fmt_bytes(bytes: u64) -> String {
+    let v = bytes as f64;
+    match bytes {
+        0 => "0".to_string(),
+        _ if v >= 1024.0 * 1024.0 * 1024.0 => format!("{:.2} GiB", v / (1024.0 * 1024.0 * 1024.0)),
+        _ if v >= 1024.0 * 1024.0 => format!("{:.2} MiB", v / (1024.0 * 1024.0)),
+        _ if v >= 1024.0 => format!("{:.2} KiB", v / 1024.0),
+        _ => format!("{bytes} B"),
+    }
+}
+
+/// Signed variant of [`fmt_bytes`] for net (alloc − freed) columns.
+fn fmt_bytes_signed(bytes: i64) -> String {
+    if bytes < 0 {
+        format!("-{}", fmt_bytes(bytes.unsigned_abs()))
+    } else {
+        fmt_bytes(bytes as u64)
+    }
 }
 
 /// Renders a markdown table.
@@ -318,6 +451,24 @@ fn report(path: &str, args: &[String]) -> ExitCode {
     let mut json_iterations = Vec::new();
     md.push_str(&format!("# adq-report — {path}\n\n"));
 
+    // Dropped-span banner: a lossy trace silently skews every
+    // attribution below, so it leads the report.
+    let dropped_spans: u64 = events
+        .iter()
+        .filter_map(|event| match event {
+            TelemetryEvent::TraceExported { dropped, .. } => Some(*dropped),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    if dropped_spans > 0 {
+        md.push_str(&format!(
+            "> **Warning:** {dropped_spans} span(s) were dropped at the tracer's buffer \
+             cap before export — wall-time and resource attribution below is incomplete. \
+             Lower the trace level or trace a shorter run.\n\n"
+        ));
+    }
+
     // Run header
     for event in &events {
         if let TelemetryEvent::RunStarted { run, seed, .. } = event {
@@ -346,6 +497,10 @@ fn report(path: &str, args: &[String]) -> ExitCode {
              record phase timings.\n\n",
         );
     } else {
+        // Resource columns appear only when the run recorded resource
+        // deltas (counting allocator + `ADQ_RESOURCES`), so untracked
+        // reports keep the compact wall-time-only layout.
+        let tracked = timings.iter().any(|t| t.resources.any());
         for timing in &timings {
             md.push_str(&format!(
                 "### Iteration {} — {} ms wall\n\n",
@@ -354,25 +509,42 @@ fn report(path: &str, args: &[String]) -> ExitCode {
             ));
             let mut rows = Vec::new();
             let mut phase_json = Vec::new();
-            for (name, &(total_ns, self_ns)) in &timing.phases {
+            for (name, stats) in &timing.phases {
                 let share = if timing.wall_ns > 0 {
-                    100.0 * total_ns as f64 / timing.wall_ns as f64
+                    100.0 * stats.total_ns as f64 / timing.wall_ns as f64
                 } else {
                     0.0
                 };
-                rows.push(vec![
+                let mut row = vec![
                     name.clone(),
-                    fmt_ms(total_ns),
-                    fmt_ms(self_ns),
+                    fmt_ms(stats.total_ns),
+                    fmt_ms(stats.self_ns),
                     format!("{share:.1}%"),
-                ]);
+                ];
+                if tracked {
+                    let r = &stats.resources;
+                    row.extend([
+                        fmt_scaled(r.flops),
+                        fmt_bytes(r.bytes_moved),
+                        fmt_bytes(r.alloc_bytes),
+                        fmt_bytes_signed(r.net_bytes()),
+                        fmt_bytes(r.heap_peak_bytes),
+                    ]);
+                }
+                rows.push(row);
                 phase_json.push(json!({
                     "phase": name,
-                    "total_ns": total_ns,
-                    "self_ns": self_ns,
+                    "total_ns": stats.total_ns,
+                    "self_ns": stats.self_ns,
+                    "flops": stats.resources.flops,
+                    "bytes_moved": stats.resources.bytes_moved,
+                    "alloc_bytes": stats.resources.alloc_bytes,
+                    "freed_bytes": stats.resources.freed_bytes,
+                    "allocs": stats.resources.allocs,
+                    "heap_peak_bytes": stats.resources.heap_peak_bytes,
                 }));
             }
-            rows.push(vec![
+            let mut self_row = vec![
                 "(iteration self)".to_string(),
                 fmt_ms(timing.self_ns),
                 fmt_ms(timing.self_ns),
@@ -384,14 +556,37 @@ fn report(path: &str, args: &[String]) -> ExitCode {
                 } else {
                     "0.0%".to_string()
                 },
-            ]);
-            md_table(&mut md, &["phase", "total ms", "self ms", "share"], &rows);
-            let phase_sum: u64 = timing.phases.values().map(|&(total, _)| total).sum();
+            ];
+            if tracked {
+                self_row.extend(std::iter::repeat_n("-".to_string(), 5));
+            }
+            rows.push(self_row);
+            let headers: &[&str] = if tracked {
+                &[
+                    "phase",
+                    "total ms",
+                    "self ms",
+                    "share",
+                    "flops",
+                    "bytes moved",
+                    "alloc",
+                    "net alloc",
+                    "heap peak",
+                ]
+            } else {
+                &["phase", "total ms", "self ms", "share"]
+            };
+            md_table(&mut md, headers, &rows);
+            let phase_sum: u64 = timing.phases.values().map(|stats| stats.total_ns).sum();
             json_iterations.push(json!({
                 "iteration": timing.iteration,
                 "wall_ns": timing.wall_ns,
                 "self_ns": timing.self_ns,
                 "phase_total_ns": phase_sum,
+                "flops": timing.resources.flops,
+                "bytes_moved": timing.resources.bytes_moved,
+                "alloc_bytes": timing.resources.alloc_bytes,
+                "heap_peak_bytes": timing.resources.heap_peak_bytes,
                 "phases": phase_json,
             }));
         }
@@ -552,10 +747,53 @@ fn report(path: &str, args: &[String]) -> ExitCode {
         }
         println!("(wrote {json_path})");
     }
+    if let Some(memory_path) = flag_value(args, "--memory-json") {
+        let records = memory_records(&timings);
+        if records.is_empty() {
+            eprintln!(
+                "adq-report: no resource attribution in {path} (run with the counting \
+                 allocator and ADQ_RESOURCES=1); skipping {memory_path}"
+            );
+        } else {
+            let text = serde_json::to_string_pretty(&records).unwrap_or_else(|_| "[]".to_string());
+            if let Err(err) = std::fs::write(memory_path, text) {
+                eprintln!("adq-report: cannot write {memory_path}: {err}");
+                return ExitCode::from(2);
+            }
+            println!("(wrote {memory_path})");
+        }
+    }
     if let Some(trace_path) = flag_value(args, "--reconcile-trace") {
         return reconcile_trace(trace_path, &timings);
     }
     ExitCode::SUCCESS
+}
+
+/// Per-phase memory records for `bench_check --key bytes`: for each
+/// Algorithm-1 phase, the peak heap high-water mark and total allocated
+/// bytes across iterations, in `{name, bytes}` rows named
+/// `<phase>/peak` and `<phase>/alloc`.
+fn memory_records(timings: &[IterationTiming]) -> Vec<serde_json::Value> {
+    let mut peaks: BTreeMap<String, u64> = BTreeMap::new();
+    let mut allocs: BTreeMap<String, u64> = BTreeMap::new();
+    for timing in timings {
+        for (name, stats) in &timing.phases {
+            if !stats.resources.any() && stats.resources.heap_peak_bytes == 0 {
+                continue;
+            }
+            let peak = peaks.entry(name.clone()).or_insert(0);
+            *peak = (*peak).max(stats.resources.heap_peak_bytes);
+            *allocs.entry(name.clone()).or_insert(0) += stats.resources.alloc_bytes;
+        }
+    }
+    let mut records = Vec::new();
+    for (name, bytes) in &peaks {
+        records.push(json!({"name": format!("{name}/peak"), "bytes": bytes}));
+    }
+    for (name, bytes) in &allocs {
+        records.push(json!({"name": format!("{name}/alloc"), "bytes": bytes}));
+    }
+    records
 }
 
 /// Checks that the exported Chrome trace tells the same per-iteration

@@ -1,0 +1,77 @@
+//! `adq-watch` — live dashboard over a run's telemetry JSONL stream,
+//! plus a one-shot Prometheus endpoint checker.
+//!
+//! ```text
+//! adq-watch <run.jsonl>              follow the stream (refreshing dashboard)
+//! adq-watch --once <run.jsonl>       read once, render once, exit
+//! adq-watch --scrape <host:port>     scrape + validate the metrics endpoint
+//! adq-watch --poll-ms <n> <file>     follow with a custom poll interval
+//! ```
+//!
+//! Exit status: `0` healthy, `1` when any [`adq_telemetry::RunHealth`]
+//! anomaly was raised (or the scrape was invalid), `2` on usage/IO
+//! errors — so CI can gate on a run's health without parsing output.
+
+use adq_bench::watch::{self, WatchState};
+
+const USAGE: &str =
+    "usage: adq-watch [--once] [--poll-ms <n>] <run.jsonl>\n       adq-watch --scrape <host:port>";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut once = false;
+    let mut poll_ms: u64 = 200;
+    let mut scrape: Option<String> = None;
+    let mut path: Option<String> = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--once" => once = true,
+            "--scrape" => scrape = iter.next(),
+            "--poll-ms" => {
+                poll_ms = iter
+                    .next()
+                    .and_then(|raw| raw.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --poll-ms requires a positive integer\n{USAGE}");
+                        std::process::exit(2);
+                    });
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other if !other.starts_with('-') && path.is_none() => path = Some(arg),
+            other => {
+                eprintln!("error: unknown argument {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(addr) = scrape {
+        match watch::scrape(&addr) {
+            Ok(_) => return,
+            Err(err) => {
+                eprintln!("error: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    if once {
+        let mut state = WatchState::new();
+        if let Err(err) = watch::apply_file(&mut state, &path, 0.0) {
+            eprintln!("error: cannot read {path}: {err}");
+            std::process::exit(2);
+        }
+        print!("{}", state.render());
+        std::process::exit(i32::from(!state.alerts.is_empty()));
+    }
+    if let Err(err) = watch::follow(&path, poll_ms) {
+        eprintln!("error: cannot follow {path}: {err}");
+        std::process::exit(2);
+    }
+}

@@ -1,15 +1,19 @@
-//! Compares two `BENCH_kernels.json` snapshots and fails (exit 1) when any
-//! kernel tracked in both regresses beyond the allowed fraction.
+//! Compares two benchmark snapshots (`BENCH_kernels.json`,
+//! `BENCH_memory.json`, ...) and fails (exit 1) when any record tracked
+//! in both regresses beyond the allowed fraction.
 //!
-//! Usage: `bench_check <baseline.json> <current.json> [--max-regress 0.25]`
+//! Usage: `bench_check <baseline.json> <current.json> [--max-regress 0.25]
+//! [--key median_ns]`
 //!
-//! Kernels present in only one file are reported but never fail the check —
-//! adding or retiring a benchmark must not break CI. Comparison is on
-//! `median_ns` (medians shrug off scheduler noise that skews means).
+//! `--key` names the numeric field compared per record: `median_ns` for
+//! kernel timings (medians shrug off scheduler noise that skews means),
+//! `bytes` for the per-phase memory snapshots `adq-report --memory-json`
+//! emits. Records present in only one file are reported but never fail
+//! the check — adding or retiring a benchmark must not break CI.
 
 use std::process::ExitCode;
 
-fn load(path: &str) -> Vec<(String, f64)> {
+fn load(path: &str, key: &str) -> Vec<(String, f64)> {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("bench_check: cannot read {path}: {e}"));
     let value: serde_json::Value = serde_json::from_str(&text)
@@ -25,11 +29,11 @@ fn load(path: &str) -> Vec<(String, f64)> {
                 .and_then(|v| v.as_str())
                 .unwrap_or_else(|| panic!("bench_check: record without name in {path}"))
                 .to_string();
-            let median = r
-                .get("median_ns")
+            let metric = r
+                .get(key)
                 .and_then(|v| v.as_f64())
-                .unwrap_or_else(|| panic!("bench_check: {name} has no median_ns in {path}"));
-            (name, median)
+                .unwrap_or_else(|| panic!("bench_check: {name} has no {key} in {path}"));
+            (name, metric)
         })
         .collect()
 }
@@ -37,6 +41,7 @@ fn load(path: &str) -> Vec<(String, f64)> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut max_regress = 0.25f64;
+    let mut key = "median_ns".to_string();
     let mut files: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -45,30 +50,34 @@ fn main() -> ExitCode {
             max_regress = v
                 .parse()
                 .unwrap_or_else(|e| panic!("bench_check: bad --max-regress {v}: {e}"));
+        } else if arg == "--key" {
+            key = it
+                .next()
+                .expect("bench_check: --key needs a field name")
+                .clone();
         } else {
             files.push(arg);
         }
     }
     let [baseline_path, current_path] = files[..] else {
-        eprintln!("usage: bench_check <baseline.json> <current.json> [--max-regress 0.25]");
+        eprintln!(
+            "usage: bench_check <baseline.json> <current.json> [--max-regress 0.25] \
+             [--key median_ns]"
+        );
         return ExitCode::FAILURE;
     };
 
-    let baseline = load(baseline_path);
-    let current = load(current_path);
+    let baseline = load(baseline_path, &key);
+    let current = load(current_path, &key);
     let mut failures = 0usize;
     let mut compared = 0usize;
-    for (name, base_ns) in &baseline {
-        let Some((_, cur_ns)) = current.iter().find(|(n, _)| n == name) else {
+    for (name, base) in &baseline {
+        let Some((_, cur)) = current.iter().find(|(n, _)| n == name) else {
             println!("  {name}: only in baseline (skipped)");
             continue;
         };
         compared += 1;
-        let ratio = if *base_ns > 0.0 {
-            cur_ns / base_ns
-        } else {
-            1.0
-        };
+        let ratio = if *base > 0.0 { cur / base } else { 1.0 };
         let delta_pct = (ratio - 1.0) * 100.0;
         let verdict = if ratio > 1.0 + max_regress {
             failures += 1;
@@ -78,7 +87,7 @@ fn main() -> ExitCode {
         } else {
             "ok"
         };
-        println!("  {name}: {base_ns:.0} ns -> {cur_ns:.0} ns ({delta_pct:+.1}%) {verdict}");
+        println!("  {name}: {base:.0} {key} -> {cur:.0} {key} ({delta_pct:+.1}%) {verdict}");
     }
     for (name, _) in &current {
         if !baseline.iter().any(|(n, _)| n == name) {
@@ -86,7 +95,7 @@ fn main() -> ExitCode {
         }
     }
     println!(
-        "bench_check: {compared} kernels compared, {failures} regressed beyond {:.0}%",
+        "bench_check: {compared} records compared on {key}, {failures} regressed beyond {:.0}%",
         max_regress * 100.0
     );
     if failures > 0 {

@@ -6,16 +6,28 @@
 //! cite exact numbers.
 
 pub mod plot;
+pub mod watch;
 
 use std::fs;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use adq_core::{AdQuantizer, AdqOutcome, CheckpointManager};
 use adq_nn::train::Dataset;
 use adq_nn::QuantModel;
-use adq_telemetry::{span, trace, JsonlSink, NullSink, TelemetryEvent, TelemetrySink};
+use adq_telemetry::{
+    alloc, metrics, span, trace, JsonlSink, MetricsEndpoint, NullSink, TelemetryEvent,
+    TelemetrySink,
+};
 use serde::Serialize;
+
+/// Every regenerator binary and bench harness links the counting
+/// allocator, so per-phase memory attribution (DESIGN.md §12) is
+/// available the moment `ADQ_RESOURCES` turns tracking on. When
+/// tracking is off the shim is one relaxed atomic load over the
+/// system allocator.
+#[global_allocator]
+static ALLOC: adq_telemetry::CountingAllocator = adq_telemetry::CountingAllocator;
 
 /// The shared `--telemetry <path.jsonl>` option of the regenerator
 /// binaries: a sink plus the path it streams to (when one was given).
@@ -26,12 +38,50 @@ pub struct TelemetryOption {
     pub path: Option<String>,
 }
 
+/// Binds the Prometheus metrics endpoint when `ADQ_METRICS_ADDR` is
+/// set (e.g. `127.0.0.1:9184`, or port `0` to let the OS pick). The
+/// endpoint lives for the rest of the process; the bound address is
+/// printed and, when `ADQ_METRICS_PORT_FILE` names a path, written
+/// there so scripts scraping an OS-assigned port can find it.
+///
+/// Failures are reported but not fatal: the run's numbers are the
+/// primary output, live observability is best-effort.
+fn bind_metrics_endpoint_from_env() {
+    static ENDPOINT: OnceLock<Option<MetricsEndpoint>> = OnceLock::new();
+    ENDPOINT.get_or_init(|| {
+        let addr = std::env::var("ADQ_METRICS_ADDR").ok()?;
+        match MetricsEndpoint::bind(&addr, metrics::global()) {
+            Ok(endpoint) => {
+                let bound = endpoint.local_addr();
+                println!("(metrics endpoint listening on {bound})");
+                if let Ok(port_file) = std::env::var("ADQ_METRICS_PORT_FILE") {
+                    if let Err(err) = fs::write(&port_file, bound.to_string()) {
+                        eprintln!("warning: cannot write {port_file}: {err}");
+                    }
+                }
+                Some(endpoint)
+            }
+            Err(err) => {
+                eprintln!("warning: cannot bind metrics endpoint on {addr}: {err}");
+                None
+            }
+        }
+    });
+}
+
 /// Parses `--telemetry <path.jsonl>` from the process arguments.
+///
+/// Also performs the run-wide observability setup every regenerator
+/// binary shares: resource tracking defaults **on** here (the bench
+/// binaries carry the counting allocator; `ADQ_RESOURCES=0` opts out)
+/// and the metrics endpoint is bound when `ADQ_METRICS_ADDR` is set.
 ///
 /// Without the flag (or if the file cannot be created — reported, not
 /// fatal) the returned sink is the no-op [`NullSink`], so binaries can
 /// thread it unconditionally.
 pub fn telemetry_from_args() -> TelemetryOption {
+    alloc::init_from_env(true);
+    bind_metrics_endpoint_from_env();
     let args: Vec<String> = std::env::args().collect();
     let flag = args.iter().position(|a| a == "--telemetry");
     let path = flag.and_then(|i| args.get(i + 1)).cloned();
@@ -246,6 +296,15 @@ pub fn export_trace_artifacts(telemetry: &TelemetryOption) -> Option<(String, St
         return None;
     }
     let dropped = span::take_dropped();
+    if dropped > 0 {
+        // Surface lossy tracing where dashboards can see it: the
+        // scrapeable counter feeds the endpoint, the TraceExported
+        // events below feed adq-report's warning banner.
+        metrics::global()
+            .counter("telemetry.spans.dropped")
+            .add(dropped);
+        eprintln!("warning: {dropped} span(s) dropped during tracing; trace is incomplete");
+    }
     let stem = path.strip_suffix(".jsonl").unwrap_or(path);
     let trace_path = format!("{stem}.trace.json");
     let folded_path = format!("{stem}.folded");

@@ -1,0 +1,673 @@
+//! Live run monitoring: the logic behind the `adq-watch` binary.
+//!
+//! `adq-watch` tails a run's telemetry JSONL (the `--telemetry` stream of
+//! any regenerator binary) and renders a refreshing text dashboard —
+//! loss/accuracy/AD trend, current bit schedule, epoch rate and
+//! iteration ETA — while a [`HealthMonitor`] raises typed [`RunHealth`]
+//! anomalies (non-finite loss, accuracy collapse, stalled run).
+//!
+//! Everything stateful lives in [`WatchState`], which is pure over
+//! `(line, now_secs)` observations: the clock is always passed in, so
+//! tests drive the dashboard and the watchdog deterministically without
+//! sleeping. Only [`follow`] touches the wall clock and the terminal.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader, Seek, SeekFrom};
+use std::path::Path;
+
+use adq_telemetry::health::{DEFAULT_COLLAPSE_FRACTION, DEFAULT_STALL_SECS, DEFAULT_WARMUP_EPOCHS};
+use adq_telemetry::{HealthMonitor, RunHealth};
+use serde_json::Value;
+
+/// Points kept per trend series (loss / accuracy / total AD).
+const TREND_WINDOW: usize = 64;
+
+/// Epoch arrivals kept for the epoch-rate / ETA estimate.
+const RATE_WINDOW: usize = 16;
+
+/// Unicode sparkline ramp, low to high.
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Rolling view of one run's telemetry stream plus its health monitor.
+pub struct WatchState {
+    /// Run label from `RunStarted` (e.g. `table2_quantization`).
+    pub run: Option<String>,
+    /// Seed from `RunStarted`.
+    pub seed: Option<u64>,
+    /// Worker threads from `WorkerPoolConfigured`.
+    pub threads: Option<u64>,
+    /// Epoch budget per iteration, from the run config when present.
+    pub max_epochs: Option<u64>,
+    /// Iteration cap `N`, from the run config when present.
+    pub max_iterations: Option<u64>,
+    /// Latest Algorithm-1 iteration seen.
+    pub iteration: u64,
+    /// Latest epoch within that iteration.
+    pub epoch: u64,
+    /// Trailing training-loss series (non-finite kept as NaN).
+    pub loss: Vec<f64>,
+    /// Trailing training-accuracy series.
+    pub accuracy: Vec<f64>,
+    /// Trailing network-mean activation density series.
+    pub total_ad: Vec<f64>,
+    /// Current bit schedule: layer index → assigned bits.
+    pub bits: BTreeMap<u64, u64>,
+    /// Channels-pruned events seen.
+    pub pruned: u64,
+    /// Dead-layer removals seen.
+    pub removed: u64,
+    /// Latest energy estimate `(label, total_pj, efficiency)`.
+    pub energy: Option<(String, f64, f64)>,
+    /// Final `(iterations, final_accuracy)` once `RunCompleted` arrives.
+    pub completed: Option<(u64, f64)>,
+    /// Events applied so far.
+    pub events: u64,
+    /// Lines that failed to parse as telemetry events.
+    pub malformed: u64,
+    /// Every anomaly raised so far, in arrival order.
+    pub alerts: Vec<RunHealth>,
+    /// Arrival clocks of recent `EpochCompleted` events, for the rate
+    /// estimate.
+    epoch_arrivals: Vec<f64>,
+    /// Clock of the last applied event, for the stall watchdog.
+    last_event_secs: f64,
+    health: HealthMonitor,
+}
+
+impl Default for WatchState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WatchState {
+    /// A fresh dashboard with the default health thresholds.
+    pub fn new() -> Self {
+        Self::with_monitor(HealthMonitor::new(
+            DEFAULT_COLLAPSE_FRACTION,
+            DEFAULT_WARMUP_EPOCHS,
+            DEFAULT_STALL_SECS,
+        ))
+    }
+
+    /// A fresh dashboard around a custom-threshold monitor.
+    pub fn with_monitor(health: HealthMonitor) -> Self {
+        Self {
+            run: None,
+            seed: None,
+            threads: None,
+            max_epochs: None,
+            max_iterations: None,
+            iteration: 0,
+            epoch: 0,
+            loss: Vec::new(),
+            accuracy: Vec::new(),
+            total_ad: Vec::new(),
+            bits: BTreeMap::new(),
+            pruned: 0,
+            removed: 0,
+            energy: None,
+            completed: None,
+            events: 0,
+            malformed: 0,
+            alerts: Vec::new(),
+            epoch_arrivals: Vec::new(),
+            last_event_secs: 0.0,
+            health,
+        }
+    }
+
+    /// Applies one JSONL line observed at `now_secs` (any monotonic
+    /// clock, seconds). Returns the anomalies this line raised; they
+    /// are also appended to [`WatchState::alerts`].
+    ///
+    /// Unknown tags are counted as events and ignored; unparsable lines
+    /// bump [`WatchState::malformed`] (a live tailer can catch a line
+    /// mid-write — the rewritten complete line arrives next poll).
+    pub fn apply_line(&mut self, line: &str, now_secs: f64) -> Vec<RunHealth> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Vec::new();
+        }
+        let Ok(value) = serde_json::from_str::<Value>(line) else {
+            self.malformed += 1;
+            return Vec::new();
+        };
+        let Some((tag, payload)) = value.as_map().and_then(|m| m.first()) else {
+            self.malformed += 1;
+            return Vec::new();
+        };
+        self.events += 1;
+        self.last_event_secs = now_secs;
+        self.health.reset_stall();
+        let mut raised = Vec::new();
+        match tag.as_str() {
+            "RunStarted" => {
+                self.run = payload.get("run").and_then(Value::as_str).map(String::from);
+                self.seed = payload.get("seed").and_then(Value::as_u64);
+                if let Some(config) = payload.get("config") {
+                    self.max_epochs = config
+                        .get("max_epochs_per_iteration")
+                        .and_then(Value::as_u64);
+                    self.max_iterations = config.get("max_iterations").and_then(Value::as_u64);
+                }
+                // Streams can hold several back-to-back runs (baseline,
+                // then quantized): the new run starting from scratch
+                // accuracy is not a collapse of the previous one.
+                self.health.reset_run();
+                self.bits.clear();
+                self.epoch_arrivals.clear();
+            }
+            "WorkerPoolConfigured" => {
+                self.threads = payload.get("threads").and_then(Value::as_u64);
+            }
+            "EpochCompleted" => {
+                let iteration = payload
+                    .get("iteration")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0);
+                let epoch = payload.get("epoch").and_then(Value::as_u64).unwrap_or(0);
+                // Non-finite floats serialize as JSON null: read them
+                // back as NaN so the health monitor sees the bad loss.
+                let loss = non_finite_aware_f64(payload.get("loss"));
+                let accuracy = non_finite_aware_f64(payload.get("accuracy"));
+                self.iteration = iteration;
+                self.epoch = epoch;
+                push_trend(&mut self.loss, loss);
+                push_trend(&mut self.accuracy, accuracy);
+                self.epoch_arrivals.push(now_secs);
+                if self.epoch_arrivals.len() > RATE_WINDOW {
+                    self.epoch_arrivals.remove(0);
+                }
+                raised =
+                    self.health
+                        .observe_epoch(iteration as usize, epoch as usize, loss, accuracy);
+            }
+            "DensityMeasured" => {
+                push_trend(
+                    &mut self.total_ad,
+                    non_finite_aware_f64(payload.get("total_ad")),
+                );
+            }
+            "BitWidthAssigned" => {
+                if let (Some(layer), Some(bits)) = (
+                    payload.get("layer").and_then(Value::as_u64),
+                    payload.get("new_bits").and_then(Value::as_u64),
+                ) {
+                    self.bits.insert(layer, bits);
+                }
+            }
+            "LayerPruned" => self.pruned += 1,
+            "LayerRemoved" => {
+                self.removed += 1;
+                if let Some(layer) = payload.get("layer").and_then(Value::as_u64) {
+                    self.bits.remove(&layer);
+                }
+            }
+            "EnergyEstimated" => {
+                self.energy = Some((
+                    payload
+                        .get("label")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string(),
+                    non_finite_aware_f64(payload.get("total_pj")),
+                    non_finite_aware_f64(payload.get("efficiency_vs_baseline")),
+                ));
+            }
+            "RunCompleted" => {
+                self.completed = Some((
+                    payload
+                        .get("iterations")
+                        .and_then(Value::as_u64)
+                        .unwrap_or(0),
+                    non_finite_aware_f64(payload.get("final_accuracy")),
+                ));
+            }
+            _ => {}
+        }
+        self.alerts.extend(raised.iter().cloned());
+        raised
+    }
+
+    /// Runs the stalled-iteration watchdog against `now_secs`. Only
+    /// meaningful in follow mode — a finished file is idle by nature.
+    pub fn check_stall(&mut self, now_secs: f64) -> Option<RunHealth> {
+        if self.events == 0 || self.completed.is_some() {
+            return None;
+        }
+        let idle = (now_secs - self.last_event_secs).max(0.0) as u64;
+        let raised = self.health.check_stall(idle);
+        if let Some(alert) = &raised {
+            self.alerts.push(alert.clone());
+        }
+        raised
+    }
+
+    /// Epochs per second over the recent arrival window.
+    pub fn epoch_rate(&self) -> Option<f64> {
+        let (first, last) = (self.epoch_arrivals.first()?, self.epoch_arrivals.last()?);
+        let spanned = self.epoch_arrivals.len() - 1;
+        if spanned == 0 || last <= first {
+            return None;
+        }
+        Some(spanned as f64 / (last - first))
+    }
+
+    /// Seconds until the current iteration exhausts its epoch budget at
+    /// the observed epoch rate (saturation can end it earlier).
+    pub fn iteration_eta_secs(&self) -> Option<f64> {
+        let rate = self.epoch_rate()?;
+        let remaining = self.max_epochs?.saturating_sub(self.epoch);
+        Some(remaining as f64 / rate)
+    }
+
+    /// Renders the dashboard as plain text (no cursor control — follow
+    /// mode clears the screen around it).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let run = self.run.as_deref().unwrap_or("(awaiting RunStarted)");
+        out.push_str(&format!("== adq-watch: {run} ==\n"));
+        let mut line = format!("events {:>6}", self.events);
+        if let Some(seed) = self.seed {
+            line.push_str(&format!("  seed {seed}"));
+        }
+        if let Some(threads) = self.threads {
+            line.push_str(&format!("  threads {threads}"));
+        }
+        if self.malformed > 0 {
+            line.push_str(&format!("  malformed {}", self.malformed));
+        }
+        out.push_str(&line);
+        out.push('\n');
+        let progress = match (self.max_iterations, self.max_epochs) {
+            (Some(n), Some(e)) => {
+                format!("iteration {}/{n}  epoch {}/{e}", self.iteration, self.epoch)
+            }
+            _ => format!("iteration {}  epoch {}", self.iteration, self.epoch),
+        };
+        out.push_str(&progress);
+        if let Some(rate) = self.epoch_rate() {
+            out.push_str(&format!("  ({rate:.2} epochs/s"));
+            match self.iteration_eta_secs() {
+                Some(eta) => out.push_str(&format!(", iteration ETA {eta:.0}s)")),
+                None => out.push(')'),
+            }
+        }
+        out.push('\n');
+        for (label, series) in [
+            ("loss    ", &self.loss),
+            ("accuracy", &self.accuracy),
+            ("total AD", &self.total_ad),
+        ] {
+            if let Some(latest) = series.last() {
+                out.push_str(&format!("{label} {latest:>9.4}  {}\n", sparkline(series)));
+            }
+        }
+        if !self.bits.is_empty() {
+            let schedule: Vec<String> = self
+                .bits
+                .iter()
+                .map(|(layer, bits)| format!("L{layer}:{bits}"))
+                .collect();
+            out.push_str(&format!("bits     [{}]\n", schedule.join(" ")));
+        }
+        if self.pruned > 0 || self.removed > 0 {
+            out.push_str(&format!(
+                "pruning  {} layer-prune events, {} dead layers removed\n",
+                self.pruned, self.removed
+            ));
+        }
+        if let Some((label, total_pj, efficiency)) = &self.energy {
+            out.push_str(&format!(
+                "energy   {label}: {total_pj:.1} pJ ({efficiency:.2}x vs 16-bit baseline)\n"
+            ));
+        }
+        if let Some((iterations, final_accuracy)) = self.completed {
+            out.push_str(&format!(
+                "DONE     {iterations} iterations, final accuracy {final_accuracy:.4}\n"
+            ));
+        }
+        match self.alerts.len() {
+            0 => out.push_str("health   ok\n"),
+            n => {
+                out.push_str(&format!("health   {n} alert(s):\n"));
+                for alert in &self.alerts {
+                    out.push_str(&format!("  !! [{}] {}\n", alert.kind(), alert.describe()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `Some(value)` widened to f64; JSON null (serde's non-finite float
+/// encoding) and absent fields read back as NaN.
+fn non_finite_aware_f64(value: Option<&Value>) -> f64 {
+    value.and_then(Value::as_f64).unwrap_or(f64::NAN)
+}
+
+fn push_trend(series: &mut Vec<f64>, value: f64) {
+    series.push(value);
+    if series.len() > TREND_WINDOW {
+        series.remove(0);
+    }
+}
+
+/// Renders a numeric series as a unicode sparkline; NaN points render
+/// as `?` so a poisoned run is visible in the trend itself.
+pub fn sparkline(series: &[f64]) -> String {
+    let finite: Vec<f64> = series.iter().copied().filter(|v| v.is_finite()).collect();
+    let (lo, hi) = finite
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    series
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                '?'
+            } else if hi <= lo {
+                SPARKS[0]
+            } else {
+                let t = (v - lo) / (hi - lo);
+                SPARKS[((t * (SPARKS.len() - 1) as f64).round() as usize).min(SPARKS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Reads every line currently in `path` into `state` (the `--once`
+/// mode, and the catch-up pass of follow mode). Returns the byte offset
+/// reached, for the tail loop to resume from.
+pub fn apply_file(
+    state: &mut WatchState,
+    path: impl AsRef<Path>,
+    now_secs: f64,
+) -> std::io::Result<u64> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return reader.stream_position();
+        }
+        // Hold back a partial trailing line (no newline yet): the
+        // writer is mid-append, the complete line arrives next poll.
+        if !line.ends_with('\n') {
+            return Ok(reader.stream_position()? - line.len() as u64);
+        }
+        for alert in state.apply_line(&line, now_secs) {
+            eprintln!("!! [{}] {}", alert.kind(), alert.describe());
+        }
+    }
+}
+
+/// Follow mode: render the dashboard, then poll `path` for appended
+/// lines every `poll_ms`, re-rendering on growth and running the stall
+/// watchdog, until `RunCompleted` arrives (then one final render).
+pub fn follow(path: &str, poll_ms: u64) -> std::io::Result<()> {
+    let start = std::time::Instant::now();
+    let now = || start.elapsed().as_secs_f64();
+    let mut state = WatchState::new();
+    let mut offset = apply_file(&mut state, path, now())?;
+    print!("\x1b[2J\x1b[H{}", state.render());
+    while state.completed.is_none() {
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len < offset {
+            // Truncated / rewritten underneath us: start over.
+            state = WatchState::new();
+            offset = 0;
+        }
+        let mut grew = false;
+        if len > offset {
+            file.seek(SeekFrom::Start(offset))?;
+            let mut reader = BufReader::new(file);
+            let mut line = String::new();
+            loop {
+                line.clear();
+                if reader.read_line(&mut line)? == 0 || !line.ends_with('\n') {
+                    break;
+                }
+                offset += line.len() as u64;
+                grew = true;
+                for alert in state.apply_line(&line, now()) {
+                    eprintln!("!! [{}] {}", alert.kind(), alert.describe());
+                }
+            }
+        }
+        let stalled = state.check_stall(now());
+        if let Some(alert) = &stalled {
+            eprintln!("!! [{}] {}", alert.kind(), alert.describe());
+        }
+        if grew || stalled.is_some() {
+            print!("\x1b[2J\x1b[H{}", state.render());
+        }
+    }
+    Ok(())
+}
+
+/// Scrape mode: fetch `http://addr/metrics` once, validate the
+/// Prometheus exposition text, and print a short summary plus any
+/// `adq_run_*` sample lines. Returns the number of samples.
+pub fn scrape(addr: &str) -> Result<usize, String> {
+    let text = adq_telemetry::endpoint::scrape_text(addr)
+        .map_err(|err| format!("cannot scrape {addr}: {err}"))?;
+    let samples = adq_telemetry::endpoint::validate_prometheus_text(&text)
+        .map_err(|err| format!("invalid Prometheus text from {addr}: {err}"))?;
+    println!("scraped {addr}: {samples} samples, valid Prometheus text 0.0.4");
+    for line in text.lines() {
+        if line.starts_with("adq_run_") || line.starts_with("adq_resource_") {
+            println!("  {line}");
+        }
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adq_telemetry::TelemetryEvent;
+
+    fn line(event: &TelemetryEvent) -> String {
+        serde_json::to_string(event).expect("serialize event")
+    }
+
+    fn epoch_line(iteration: usize, epoch: usize, loss: f64, accuracy: f64) -> String {
+        line(&TelemetryEvent::EpochCompleted {
+            iteration,
+            epoch,
+            loss,
+            accuracy,
+        })
+    }
+
+    #[test]
+    fn dashboard_tracks_run_progress_and_bit_schedule() {
+        let mut state = WatchState::new();
+        state.apply_line(
+            &line(&TelemetryEvent::RunStarted {
+                run: "table2".into(),
+                config: serde_json::json!({
+                    "max_epochs_per_iteration": 8,
+                    "max_iterations": 4,
+                }),
+                seed: 7,
+            }),
+            0.0,
+        );
+        for epoch in 1..=4 {
+            let alerts = state.apply_line(
+                &epoch_line(1, epoch, 2.0 / epoch as f64, 0.2 * epoch as f64),
+                epoch as f64,
+            );
+            assert!(alerts.is_empty(), "healthy run raised {alerts:?}");
+        }
+        state.apply_line(
+            &line(&TelemetryEvent::DensityMeasured {
+                iteration: 1,
+                epoch: 4,
+                densities: vec![0.5, 0.7],
+                total_ad: 0.6,
+            }),
+            4.1,
+        );
+        for (layer, bits) in [(0u64, 12u64), (1, 9)] {
+            state.apply_line(
+                &line(&TelemetryEvent::BitWidthAssigned {
+                    iteration: 1,
+                    layer: layer as usize,
+                    old_bits: 16,
+                    new_bits: bits as u32,
+                }),
+                4.2,
+            );
+        }
+        assert_eq!(state.run.as_deref(), Some("table2"));
+        assert_eq!(state.max_epochs, Some(8));
+        assert_eq!((state.iteration, state.epoch), (1, 4));
+        assert_eq!(state.bits.get(&1), Some(&9));
+        // 3 epoch gaps over 3 seconds → 1 epoch/s → 4 remaining epochs.
+        assert!((state.epoch_rate().unwrap() - 1.0).abs() < 1e-9);
+        assert!((state.iteration_eta_secs().unwrap() - 4.0).abs() < 1e-9);
+        let rendered = state.render();
+        assert!(rendered.contains("table2"));
+        assert!(rendered.contains("iteration 1/4  epoch 4/8"));
+        assert!(rendered.contains("L1:9"));
+        assert!(rendered.contains("health   ok"));
+    }
+
+    #[test]
+    fn nan_loss_serialized_as_null_raises_non_finite_alert() {
+        let mut state = WatchState::new();
+        // Through the real serializer: non-finite f64 becomes null.
+        let poisoned = epoch_line(2, 3, f64::NAN, 0.5);
+        assert!(poisoned.contains("\"loss\":null"), "line: {poisoned}");
+        let alerts = state.apply_line(&poisoned, 1.0);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind(), "non_finite_loss");
+        assert!(state
+            .render()
+            .contains("non-finite loss at iteration 2 epoch 3"));
+    }
+
+    #[test]
+    fn accuracy_collapse_is_raised_once_per_episode() {
+        let mut state = WatchState::new();
+        let mut kinds = Vec::new();
+        for (epoch, accuracy) in [(1, 0.8), (2, 0.82), (3, 0.85), (4, 0.9), (5, 0.1), (6, 0.1)] {
+            for alert in state.apply_line(&epoch_line(1, epoch, 0.3, accuracy), epoch as f64) {
+                kinds.push(alert.kind());
+            }
+        }
+        assert_eq!(kinds, vec!["accuracy_collapse"]);
+    }
+
+    #[test]
+    fn back_to_back_runs_do_not_fake_a_collapse() {
+        let mut state = WatchState::new();
+        let run_started = line(&TelemetryEvent::RunStarted {
+            run: "adq.baseline".into(),
+            config: serde_json::json!({}),
+            seed: 1,
+        });
+        state.apply_line(&run_started, 0.0);
+        // A healthy first run climbing to perfect accuracy...
+        for epoch in 1..=6 {
+            let alerts = state.apply_line(
+                &epoch_line(1, epoch, 0.1, 0.9 + 0.01 * epoch as f64),
+                epoch as f64,
+            );
+            assert!(alerts.is_empty());
+        }
+        // ...then the stream's next run starts from scratch accuracy.
+        state.apply_line(&run_started, 7.0);
+        for epoch in 1..=4 {
+            let alerts = state.apply_line(
+                &epoch_line(1, epoch, 0.5, 0.2 * epoch as f64),
+                7.0 + epoch as f64,
+            );
+            assert!(
+                alerts.is_empty(),
+                "run restart misread as collapse: {alerts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stall_watchdog_fires_after_idle_window_and_rearms() {
+        let mut state = WatchState::new();
+        state.apply_line(&epoch_line(1, 1, 0.5, 0.5), 10.0);
+        assert!(state.check_stall(50.0).is_none());
+        let alert = state.check_stall(200.0).expect("stalled");
+        assert_eq!(alert.kind(), "stalled");
+        // Edge-triggered: still idle → no second alert.
+        assert!(state.check_stall(300.0).is_none());
+        // A fresh event re-arms the watchdog.
+        state.apply_line(&epoch_line(1, 2, 0.4, 0.6), 301.0);
+        assert!(state.check_stall(302.0).is_none());
+        assert!(state.check_stall(600.0).is_some());
+    }
+
+    #[test]
+    fn malformed_and_unknown_lines_are_tolerated() {
+        let mut state = WatchState::new();
+        state.apply_line("{not json", 0.0);
+        state.apply_line("[1, 2, 3]", 0.0);
+        state.apply_line("", 0.0);
+        state.apply_line("{\"FutureEvent\": {\"x\": 1}}", 0.0);
+        assert_eq!(state.malformed, 2);
+        assert_eq!(state.events, 1);
+        assert!(state.alerts.is_empty());
+    }
+
+    #[test]
+    fn apply_file_holds_back_partial_trailing_lines() {
+        let dir = std::env::temp_dir().join(format!("adq_watch_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let complete = epoch_line(1, 1, 0.5, 0.5);
+        std::fs::write(&path, format!("{complete}\n{{\"EpochComp")).unwrap();
+        let mut state = WatchState::new();
+        let offset = apply_file(&mut state, &path, 1.0).unwrap();
+        assert_eq!(state.events, 1);
+        assert_eq!(
+            state.malformed, 0,
+            "partial line must not count as malformed"
+        );
+        assert_eq!(offset, complete.len() as u64 + 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn completed_runs_report_done_and_quiet_watchdog() {
+        let mut state = WatchState::new();
+        state.apply_line(&epoch_line(1, 1, 0.5, 0.5), 1.0);
+        state.apply_line(
+            &line(&TelemetryEvent::RunCompleted {
+                iterations: 3,
+                training_complexity: 1.4,
+                final_accuracy: 0.91,
+            }),
+            2.0,
+        );
+        assert_eq!(state.completed, Some((3, 0.91)));
+        assert!(state.check_stall(10_000.0).is_none());
+        assert!(state
+            .render()
+            .contains("DONE     3 iterations, final accuracy 0.9100"));
+    }
+
+    #[test]
+    fn sparkline_marks_non_finite_points() {
+        let s = sparkline(&[0.0, 0.5, f64::NAN, 1.0]);
+        assert_eq!(s.chars().count(), 4);
+        assert_eq!(s.chars().nth(2), Some('?'));
+        assert_eq!(s.chars().last(), Some('█'));
+        assert_eq!(sparkline(&[2.0, 2.0]), "▁▁");
+    }
+}

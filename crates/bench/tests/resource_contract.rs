@@ -1,0 +1,167 @@
+//! The observation-only contract of resource tracking, enforced where
+//! the counting allocator is actually installed: this test binary links
+//! `adq_bench`, whose `#[global_allocator]` shim meters every
+//! allocation, so the contract is exercised under the exact conditions
+//! of the regenerator binaries.
+//!
+//! Two properties:
+//!
+//! 1. Tracking on vs. off yields **byte-identical** Algorithm-1
+//!    outcomes — counters never feed back into the computation.
+//! 2. With tracking and tracing on, every Algorithm-1 phase span
+//!    carries the resource attribution (`flops`, `bytes_moved`, and —
+//!    because the shim is live here — allocator deltas) that
+//!    `adq-report` renders next to wall time.
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+// Pull in `adq_bench` even though no item is needed: linking the lib is
+// what installs its `#[global_allocator]` shim in this test binary.
+use adq_bench as _;
+use adq_core::{AdQuantizer, AdqConfig, AdqOutcome};
+use adq_datasets::SyntheticSpec;
+use adq_nn::train::Dataset;
+use adq_nn::Vgg;
+use adq_telemetry::trace::{self, TraceSpan};
+use adq_telemetry::{alloc, span, MemorySink, NullSink};
+
+/// Tracking and the tracer level are process-global; tests in this file
+/// must not interleave.
+static GLOBALS: Mutex<()> = Mutex::new(());
+
+fn tiny_task() -> (Dataset, Dataset) {
+    SyntheticSpec::cifar10_like()
+        .with_classes(4)
+        .with_resolution(8)
+        .with_samples(8, 4)
+        .generate()
+}
+
+fn run_once(seed: u64, tracked: bool) -> AdqOutcome {
+    let (train, test) = tiny_task();
+    let mut model = Vgg::tiny(3, 8, 4, seed);
+    alloc::set_tracking(tracked);
+    let outcome = AdQuantizer::new(AdqConfig::fast())
+        .with_telemetry(Arc::new(NullSink))
+        .run(&mut model, &train, &test);
+    alloc::set_tracking(false);
+    outcome
+}
+
+#[test]
+fn the_counting_allocator_shim_is_installed_here() {
+    let _guard = GLOBALS.lock().unwrap_or_else(PoisonError::into_inner);
+    alloc::set_tracking(true);
+    // Any heap allocation under tracking latches `allocator_active`.
+    let probe = vec![0u8; 4096];
+    drop(probe);
+    alloc::set_tracking(false);
+    assert!(
+        alloc::allocator_active(),
+        "bench binaries must route allocations through CountingAllocator"
+    );
+}
+
+#[test]
+fn tracked_and_untracked_outcomes_are_byte_identical() {
+    let _guard = GLOBALS.lock().unwrap_or_else(PoisonError::into_inner);
+    let untracked = run_once(77, false);
+    let tracked = run_once(77, true);
+    assert_eq!(
+        untracked, tracked,
+        "resource tracking changed the Algorithm-1 outcome"
+    );
+    // Belt and braces: the serialized records match byte for byte.
+    assert_eq!(
+        serde_json::to_string(&untracked).unwrap(),
+        serde_json::to_string(&tracked).unwrap()
+    );
+}
+
+#[test]
+fn phase_spans_carry_resource_attribution_when_tracked() {
+    let _guard = GLOBALS.lock().unwrap_or_else(PoisonError::into_inner);
+    span::set_level(0);
+    span::drain();
+
+    let (train, test) = tiny_task();
+    let mut model = Vgg::tiny(3, 8, 4, 31);
+    let sink = Arc::new(MemorySink::new());
+    span::set_level(1);
+    alloc::set_tracking(true);
+    AdQuantizer::new(AdqConfig::fast())
+        .with_telemetry(sink.clone())
+        .run(&mut model, &train, &test);
+    alloc::set_tracking(false);
+    span::set_level(0);
+    span::drain();
+    let spans: Vec<TraceSpan> = trace::spans_from_events(&sink.take());
+    assert!(!spans.is_empty(), "traced run produced no spans");
+
+    // Every span opened while tracking records the full attribution
+    // attr set (the allocator columns because the shim is live here).
+    for s in &spans {
+        for attr in [
+            "flops",
+            "bytes_moved",
+            "alloc_bytes",
+            "allocs",
+            "heap_peak_bytes",
+        ] {
+            assert!(
+                s.arg_u64(attr).is_some(),
+                "span {} lacks tracked resource attr {attr}",
+                s.name
+            );
+        }
+    }
+    // The training phase did real work: compute, traffic, and heap all
+    // register. (GEMMs run under it, so flops must be nonzero.)
+    let train_phase =
+        spans
+            .iter()
+            .filter(|s| s.name == "adq.phase.train")
+            .fold((0u64, 0u64, 0u64), |acc, s| {
+                (
+                    acc.0 + s.arg_u64("flops").unwrap(),
+                    acc.1 + s.arg_u64("bytes_moved").unwrap(),
+                    acc.2.max(s.arg_u64("heap_peak_bytes").unwrap()),
+                )
+            });
+    assert!(train_phase.0 > 0, "train phase recorded no flops");
+    assert!(train_phase.1 > 0, "train phase recorded no bytes moved");
+    assert!(train_phase.2 > 0, "train phase recorded no heap high-water");
+    // The evaluate phase runs real forward passes: compute registers
+    // there too, not just under training.
+    let eval_phase = spans
+        .iter()
+        .find(|s| s.name == "adq.phase.evaluate")
+        .expect("evaluate phase span");
+    assert!(eval_phase.arg_u64("flops").unwrap() > 0);
+}
+
+#[test]
+fn untracked_spans_stay_attribution_free() {
+    let _guard = GLOBALS.lock().unwrap_or_else(PoisonError::into_inner);
+    span::set_level(0);
+    span::drain();
+
+    let (train, test) = tiny_task();
+    let mut model = Vgg::tiny(3, 8, 4, 31);
+    let sink = Arc::new(MemorySink::new());
+    span::set_level(1);
+    AdQuantizer::new(AdqConfig::fast())
+        .with_telemetry(sink.clone())
+        .run(&mut model, &train, &test);
+    span::set_level(0);
+    span::drain();
+    let spans = trace::spans_from_events(&sink.take());
+    assert!(!spans.is_empty());
+    for s in &spans {
+        assert!(
+            s.arg_u64("flops").is_none() && s.arg_u64("alloc_bytes").is_none(),
+            "untracked span {} carries resource attrs",
+            s.name
+        );
+    }
+}

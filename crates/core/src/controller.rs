@@ -468,6 +468,14 @@ impl AdQuantizer {
         let metrics = adq_telemetry::metrics::global();
         let train_batches = metrics.counter("core.train_batches");
         let eval_batches = metrics.counter("core.eval_batches");
+        // Live-run gauges: last-write-wins progress values the metrics
+        // endpoint serves mid-run (Prometheus scrapers, `adq-watch`).
+        // Observation-only — nothing reads them back into the run.
+        let run_iteration = metrics.gauge("run.iteration");
+        let run_epoch = metrics.gauge("run.epoch");
+        let run_loss = metrics.gauge("run.loss");
+        let run_accuracy = metrics.gauge("run.accuracy");
+        let run_total_ad = metrics.gauge("run.total_ad");
 
         for iteration in start_iteration..=cfg.max_iterations {
             // The iteration body runs inside a labeled block yielding the
@@ -520,10 +528,15 @@ impl AdQuantizer {
                         loss: stats.loss,
                         accuracy: stats.accuracy,
                     });
+                    run_iteration.set(iteration as f64);
+                    run_epoch.set(epoch as f64);
+                    run_loss.set(stats.loss);
+                    run_accuracy.set(stats.accuracy);
                     let epoch_densities: Vec<f64> = histories
                         .iter()
                         .map(|h| h.latest().unwrap_or(0.0))
                         .collect();
+                    run_total_ad.set(mean(&epoch_densities));
                     sink.record(&TelemetryEvent::DensityMeasured {
                         iteration,
                         epoch,
@@ -616,6 +629,11 @@ impl AdQuantizer {
                             old_bits: current.get(),
                             new_bits: updated.get(),
                         });
+                        // Current bit schedule as gauges, one per layer,
+                        // for the live endpoint's dashboard view.
+                        metrics
+                            .gauge(&format!("run.bits.layer{idx}"))
+                            .set(updated.get() as f64);
                         if updated != current {
                             any_change = true;
                             model.set_bits_of(idx, Some(updated));
@@ -769,7 +787,12 @@ impl AdQuantizer {
             threads: adq_tensor::dispatch::current_num_threads(),
             microbatch: self.microbatch,
         });
-        let train_batches = adq_telemetry::metrics::global().counter("core.train_batches");
+        let metrics = adq_telemetry::metrics::global();
+        let train_batches = metrics.counter("core.train_batches");
+        let run_epoch = metrics.gauge("run.epoch");
+        let run_loss = metrics.gauge("run.loss");
+        let run_accuracy = metrics.gauge("run.accuracy");
+        let run_total_ad = metrics.gauge("run.total_ad");
         let mut optimizer = Adam::new(cfg.lr);
         let mut rng = adq_tensor::init::rng(cfg.seed);
         let mut histories: Vec<DensityHistory> =
@@ -813,10 +836,14 @@ impl AdQuantizer {
                 loss: stats.loss,
                 accuracy: stats.accuracy,
             });
+            run_epoch.set(epoch as f64);
+            run_loss.set(stats.loss);
+            run_accuracy.set(stats.accuracy);
             let epoch_densities: Vec<f64> = histories
                 .iter()
                 .map(|h| h.latest().unwrap_or(0.0))
                 .collect();
+            run_total_ad.set(mean(&epoch_densities));
             sink.record(&TelemetryEvent::DensityMeasured {
                 iteration: 1,
                 epoch,

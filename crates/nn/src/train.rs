@@ -34,7 +34,15 @@ fn reduce_timer() -> ScopedTimer {
 
 /// Opens an `nn.batch` span for one training batch (no-op when tracing
 /// is off; the attribute vector is only built when recorded).
+///
+/// Also feeds the `nn.train.samples` counter, the live-throughput signal
+/// the metrics endpoint exposes (`adq-watch` derives iteration ETA from
+/// its rate); counting happens whether or not tracing is on.
 fn batch_span(batch: usize, samples: usize) -> SpanGuard {
+    static SAMPLES: OnceLock<Arc<adq_telemetry::Counter>> = OnceLock::new();
+    SAMPLES
+        .get_or_init(|| adq_telemetry::metrics::global().counter("nn.train.samples"))
+        .add(samples as u64);
     if span::enabled() {
         span::span_with(
             "nn.batch",

@@ -176,6 +176,13 @@ impl Quantizer {
         } else {
             SpanGuard::disabled()
         };
+        if adq_telemetry::alloc::tracking() {
+            // Clamp → scale → round → reconstruct is ~5 flops per
+            // element; the slice is read and written once in place.
+            let elements = data.len() as u64;
+            adq_telemetry::alloc::add_flops(5 * elements);
+            adq_telemetry::alloc::add_bytes_moved(8 * elements);
+        }
         if self.range.is_degenerate() {
             data.fill(self.range.min());
             return;

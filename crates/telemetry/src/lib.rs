@@ -23,19 +23,44 @@
 //! * [`trace`] — exporters turning a span stream into Chrome Trace
 //!   Event JSON (`chrome://tracing`/Perfetto) and collapsed-stack text
 //!   for flamegraphs.
+//! * [`alloc`] — resource counters: a counting [`CountingAllocator`]
+//!   (`GlobalAlloc` shim binaries opt into) plus FLOP/bytes-moved
+//!   counters the kernels feed; spans attach the per-phase deltas as
+//!   attributes when `ADQ_RESOURCES` tracking is on.
+//! * [`endpoint`] — [`MetricsEndpoint`], a std-only TCP server exposing
+//!   the registry (and resource totals) in Prometheus text exposition
+//!   format for live scraping.
+//! * [`health`] — [`HealthMonitor`]/[`RunHealth`], typed anomaly
+//!   detection (non-finite loss, accuracy collapse, stalled run) over
+//!   the event stream, used by `adq-watch`.
 //!
-//! Telemetry is observation-only by contract: attaching any sink — and
-//! enabling tracing at any level — must not change a run's numeric
-//! results.
+//! Telemetry is observation-only by contract: attaching any sink —
+//! enabling tracing at any level, resource tracking, or the live
+//! endpoint — must not change a run's numeric results.
 
+pub mod alloc;
+pub mod endpoint;
 pub mod event;
+pub mod health;
 pub mod metrics;
 pub mod sink;
 pub mod span;
 pub mod trace;
 
+pub use alloc::CountingAllocator;
+pub use endpoint::MetricsEndpoint;
 pub use event::TelemetryEvent;
+pub use health::{HealthMonitor, RunHealth};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, ScopedTimer};
 pub use sink::{ConsoleSink, JsonlSink, MemorySink, MultiSink, NullSink, TelemetrySink};
 pub use span::{AttrValue, SpanGuard, SpanRecord};
 pub use trace::TraceSpan;
+
+/// Serialises unit tests that mutate process-global telemetry state
+/// (trace level, resource tracking) across this crate's test modules.
+#[cfg(test)]
+pub(crate) fn global_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

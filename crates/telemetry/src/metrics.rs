@@ -274,6 +274,36 @@ impl MetricsRegistry {
         )
     }
 
+    /// Every counter as `(name, value)`, in name order.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.counters
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect()
+    }
+
+    /// Every gauge as `(name, value)`, in name order.
+    pub fn gauge_values(&self) -> Vec<(String, f64)> {
+        self.gauges
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect()
+    }
+
+    /// Every histogram as `(name, handle)`, in name order.
+    pub fn histogram_handles(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.histograms
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(name, h)| (name.clone(), Arc::clone(h)))
+            .collect()
+    }
+
     /// Serializable snapshot of every instrument's current state.
     pub fn snapshot(&self) -> serde_json::Value {
         let counters: Vec<serde_json::Value> = self

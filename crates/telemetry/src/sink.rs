@@ -229,6 +229,14 @@ impl TelemetrySink for ConsoleSink {
 
 /// Appends one JSON object per line to a file (buffered).
 ///
+/// Writes go through a [`BufWriter`] so hot instrumented runs (span
+/// drains can emit thousands of lines per iteration) don't pay one
+/// syscall per event; the buffer is flushed every
+/// [`FLUSH_EVERY_EVENTS`](JsonlSink::FLUSH_EVERY_EVENTS) events or
+/// [`FLUSH_INTERVAL`](JsonlSink::FLUSH_INTERVAL) of wall time, whichever
+/// comes first, so live tailers (`adq-watch`) see fresh lines mid-run,
+/// and once more on drop.
+///
 /// Write and flush failures after creation cannot abort the run
 /// (telemetry is observation-only), but they are surfaced rather than
 /// silently swallowed: each failure increments the process-wide
@@ -237,14 +245,31 @@ impl TelemetrySink for ConsoleSink {
 /// prints a warning to stderr.
 #[derive(Debug)]
 pub struct JsonlSink {
-    writer: Mutex<BufWriter<File>>,
+    writer: Mutex<BufferedState>,
     /// Failures on this sink (the global counter aggregates all sinks).
     errors: AtomicU64,
     /// `telemetry.sink.write_errors` in the global registry, resolved once.
     error_counter: Arc<Counter>,
 }
 
+/// The buffered writer plus the periodic-flush bookkeeping it owns.
+#[derive(Debug)]
+struct BufferedState {
+    writer: BufWriter<File>,
+    /// Events written since the last flush.
+    pending: usize,
+    /// When the last flush happened.
+    last_flush: std::time::Instant,
+}
+
 impl JsonlSink {
+    /// Events buffered before a flush is forced.
+    pub const FLUSH_EVERY_EVENTS: usize = 64;
+
+    /// Maximum wall time an event sits in the buffer before the next
+    /// record flushes it through.
+    pub const FLUSH_INTERVAL: std::time::Duration = std::time::Duration::from_millis(250);
+
     /// Creates (truncating) the JSONL file at `path`.
     ///
     /// # Errors
@@ -253,7 +278,11 @@ impl JsonlSink {
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let file = File::create(path)?;
         Ok(JsonlSink {
-            writer: Mutex::new(BufWriter::new(file)),
+            writer: Mutex::new(BufferedState {
+                writer: BufWriter::new(file),
+                pending: 0,
+                last_flush: std::time::Instant::now(),
+            }),
             errors: AtomicU64::new(0),
             error_counter: crate::metrics::global().counter("telemetry.sink.write_errors"),
         })
@@ -271,6 +300,15 @@ impl JsonlSink {
             eprintln!("warning: telemetry jsonl {context} failed: {err}");
         }
     }
+
+    /// Flushes `state` and resets its periodic-flush bookkeeping.
+    fn flush_state(&self, state: &mut BufferedState) {
+        if let Err(err) = state.writer.flush() {
+            self.count_error("flush", &err);
+        }
+        state.pending = 0;
+        state.last_flush = std::time::Instant::now();
+    }
 }
 
 impl TelemetrySink for JsonlSink {
@@ -278,18 +316,23 @@ impl TelemetrySink for JsonlSink {
         let Ok(line) = serde_json::to_string(event) else {
             return;
         };
-        let mut writer = self.writer.lock().expect("jsonl sink poisoned");
+        let mut state = self.writer.lock().expect("jsonl sink poisoned");
         // Telemetry must never fail the run; count and drop the line on
         // I/O errors.
-        if let Err(err) = writeln!(writer, "{line}") {
+        if let Err(err) = writeln!(state.writer, "{line}") {
             self.count_error("write", &err);
+        }
+        state.pending += 1;
+        if state.pending >= Self::FLUSH_EVERY_EVENTS
+            || state.last_flush.elapsed() >= Self::FLUSH_INTERVAL
+        {
+            self.flush_state(&mut state);
         }
     }
 
     fn flush(&self) {
-        if let Err(err) = self.writer.lock().expect("jsonl sink poisoned").flush() {
-            self.count_error("flush", &err);
-        }
+        let mut state = self.writer.lock().expect("jsonl sink poisoned");
+        self.flush_state(&mut state);
     }
 }
 
@@ -427,6 +470,32 @@ mod tests {
         sink.record(&sample_event());
         sink.flush();
         assert_eq!(sink.write_errors(), 0);
+        drop(sink);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_periodically_for_live_tailers() {
+        let path = std::env::temp_dir().join(format!(
+            "adq-telemetry-periodic-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let sink = JsonlSink::create(&path).expect("create file");
+        // Count threshold: the batch is on disk without an explicit flush
+        // while the sink is still alive.
+        for _ in 0..JsonlSink::FLUSH_EVERY_EVENTS {
+            sink.record(&sample_event());
+        }
+        let text = std::fs::read_to_string(&path).expect("read while live");
+        assert_eq!(text.lines().count(), JsonlSink::FLUSH_EVERY_EVENTS);
+        // Time threshold: one stale buffered event flushes through with
+        // the next record once the interval has passed.
+        sink.record(&sample_event());
+        std::thread::sleep(JsonlSink::FLUSH_INTERVAL + std::time::Duration::from_millis(50));
+        sink.record(&sample_event());
+        let text = std::fs::read_to_string(&path).expect("read while live");
+        assert_eq!(text.lines().count(), JsonlSink::FLUSH_EVERY_EVENTS + 2);
         drop(sink);
         std::fs::remove_file(&path).ok();
     }

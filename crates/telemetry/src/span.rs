@@ -34,6 +34,7 @@ use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
+use crate::alloc::{self, ThreadCounters};
 use crate::event::TelemetryEvent;
 use crate::sink::TelemetrySink;
 
@@ -314,6 +315,9 @@ struct SpanData {
     name: &'static str,
     start_ns: u64,
     attrs: Vec<(&'static str, AttrValue)>,
+    /// Thread resource counters at open, when resource tracking is on;
+    /// the drop handler attaches the deltas as attributes.
+    res_base: Option<ThreadCounters>,
 }
 
 impl SpanGuard {
@@ -328,6 +332,7 @@ impl SpanGuard {
     fn open(name: &'static str, parent: u64, attrs: Vec<(&'static str, AttrValue)>) -> Self {
         let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
         let prev = CURRENT.with(|cell| cell.replace(id));
+        let res_base = alloc::tracking().then(alloc::thread_counters);
         SpanGuard {
             data: Some(SpanData {
                 id,
@@ -337,6 +342,7 @@ impl SpanGuard {
                 name,
                 start_ns: now_ns(),
                 attrs,
+                res_base,
             }),
             _not_send: std::marker::PhantomData,
         }
@@ -364,11 +370,30 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some(data) = self.data.take() else {
+        let Some(mut data) = self.data.take() else {
             return;
         };
         let end_ns = now_ns();
         CURRENT.with(|cell| cell.set(data.prev));
+        if let Some(base) = data.res_base.take() {
+            // Deltas cover same-thread work inside the span, children
+            // included; cross-thread children carry their own spans.
+            let delta = alloc::thread_counters().delta_since(&base);
+            data.attrs.push(("flops", AttrValue::U64(delta.flops)));
+            data.attrs
+                .push(("bytes_moved", AttrValue::U64(delta.bytes_moved)));
+            if alloc::allocator_active() {
+                data.attrs
+                    .push(("alloc_bytes", AttrValue::U64(delta.alloc_bytes)));
+                data.attrs
+                    .push(("freed_bytes", AttrValue::U64(delta.freed_bytes)));
+                data.attrs.push(("allocs", AttrValue::U64(delta.allocs)));
+                // The process high-water mark as of span close; the phase
+                // whose close first reports a value is where it was set.
+                data.attrs
+                    .push(("heap_peak_bytes", AttrValue::U64(alloc::heap_peak_bytes())));
+            }
+        }
         let record = SpanRecord {
             id: data.id,
             parent: data.parent,
@@ -430,12 +455,11 @@ mod tests {
     use super::*;
     use crate::sink::MemorySink;
 
-    /// Tracer state is process-global; tests in this module serialize and
-    /// drain behind one lock so they cannot see each other's spans.
+    /// Tracer state is process-global; tests serialize and drain behind
+    /// the crate-wide lock (shared with the alloc tests, whose tracking
+    /// toggles would otherwise inject resource attrs into spans here).
     fn tracer_lock() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        crate::global_test_lock()
     }
 
     #[test]
@@ -562,6 +586,60 @@ mod tests {
         }
         // A second drain finds nothing.
         assert_eq!(drain_into(&sink), 0);
+    }
+
+    #[test]
+    fn resource_deltas_attach_as_attrs_when_tracked() {
+        let _guard = tracer_lock();
+        set_level(1);
+        alloc::set_tracking(true);
+        drain();
+        {
+            let _outer = span("tracked.outer");
+            alloc::add_flops(100);
+            {
+                let _inner = span("tracked.inner");
+                alloc::add_flops(23);
+                alloc::add_bytes_moved(456);
+            }
+        }
+        alloc::set_tracking(false);
+        set_level(0);
+        let records = drain();
+        let attr = |name: &str, key: &str| {
+            records
+                .iter()
+                .find(|r| r.name == name)
+                .and_then(|r| r.attrs.iter().find(|(k, _)| *k == key))
+                .map(|(_, v)| v.clone())
+        };
+        // The inner span sees only its own work; the outer span's delta
+        // includes the same-thread child.
+        assert_eq!(attr("tracked.inner", "flops"), Some(AttrValue::U64(23)));
+        assert_eq!(
+            attr("tracked.inner", "bytes_moved"),
+            Some(AttrValue::U64(456))
+        );
+        assert_eq!(attr("tracked.outer", "flops"), Some(AttrValue::U64(123)));
+    }
+
+    #[test]
+    fn untracked_spans_carry_no_resource_attrs() {
+        let _guard = tracer_lock();
+        set_level(1);
+        alloc::set_tracking(false);
+        drain();
+        {
+            let _s = span("untracked");
+        }
+        set_level(0);
+        let records = drain();
+        let rec = records
+            .iter()
+            .find(|r| r.name == "untracked")
+            .expect("span");
+        assert!(rec.attrs.iter().all(|(k, _)| *k != "flops"));
+        assert!(rec.attrs.iter().all(|(k, _)| *k != "alloc_bytes"));
     }
 
     #[test]

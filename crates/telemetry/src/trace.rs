@@ -391,6 +391,78 @@ mod tests {
     }
 
     #[test]
+    fn empty_traces_export_cleanly() {
+        // An empty span stream renders an empty (but well-formed)
+        // document in both formats rather than erroring.
+        assert_eq!(collapsed_stacks(&[]), "");
+        assert!(child_time_ns(&[]).is_empty());
+        let doc = chrome_trace(&[]);
+        let events = doc.get("traceEvents").and_then(|v| v.as_seq());
+        assert_eq!(events.map(<[serde_json::Value]>::len), Some(0));
+        // The validator calls that document out as carrying no events.
+        let err = validate_chrome_trace(&doc).unwrap_err();
+        assert!(err.contains("empty"), "unexpected message: {err}");
+        assert_eq!(spans_from_events(&[]), Vec::<TraceSpan>::new());
+    }
+
+    #[test]
+    fn orphaned_spans_keep_their_subtrees_renderable() {
+        // Parent id 50 was dropped (buffer cap) or lives in an earlier
+        // drain: the orphan roots its own subtree in both exporters.
+        let spans = vec![
+            span(10, 50, "orphan.parent", 0, 100),
+            span(11, 10, "orphan.child", 10, 40),
+        ];
+        let folded = collapsed_stacks(&spans);
+        assert!(folded.contains("orphan.parent 70\n"), "folded: {folded}");
+        assert!(
+            folded.contains("orphan.parent;orphan.child 30\n"),
+            "folded: {folded}"
+        );
+        // The child credit against the missing id must not corrupt any
+        // present span's self-time.
+        let children = child_time_ns(&spans);
+        assert_eq!(children.get(&10), Some(&30));
+        assert_eq!(children.get(&50), Some(&100));
+        // Chrome trace still renders both spans with their stated parent.
+        let doc = chrome_trace(&spans);
+        assert_eq!(validate_chrome_trace(&doc), Ok(2));
+    }
+
+    #[test]
+    fn zero_duration_spans_do_not_distort_self_time() {
+        let spans = vec![
+            span(1, 0, "root", 0, 100),
+            // Zero-duration leaf: no weight of its own, no line.
+            span(2, 1, "instant", 50, 50),
+            // Zero-duration parent of a real child: its self-time
+            // saturates at zero instead of underflowing, and the child's
+            // path still runs through it.
+            span(3, 1, "empty.parent", 60, 60),
+            span(4, 3, "busy.child", 60, 80),
+        ];
+        let folded = collapsed_stacks(&spans);
+        assert!(!folded.contains("instant"), "folded: {folded}");
+        assert!(
+            !folded.contains("root;empty.parent "),
+            "zero-self parent got a line: {folded}"
+        );
+        assert!(
+            folded.contains("root;empty.parent;busy.child 20\n"),
+            "folded: {folded}"
+        );
+        // Root self-time subtracts only *direct* children (both zero
+        // here), so the grandchild's 20 ns is attributed once, on its
+        // own path, and root keeps its full 100 ns.
+        assert!(folded.contains("root 100\n"), "folded: {folded}");
+        // Children overlapping beyond the parent's duration saturate.
+        let overlapping = vec![span(1, 0, "tiny", 0, 10), span(2, 1, "wide", 0, 50)];
+        let folded = collapsed_stacks(&overlapping);
+        assert!(!folded.contains("tiny "), "folded: {folded}");
+        assert!(folded.contains("tiny;wide 50\n"), "folded: {folded}");
+    }
+
+    #[test]
     fn jsonl_files_roundtrip_spans() {
         let dir = std::env::temp_dir().join(format!(
             "adq-trace-test-{}-{:?}",

@@ -135,7 +135,13 @@ pub fn for_each_chunk4(
 /// Elements of `data` different from exactly zero — the Activation
 /// Density counting primitive. Partial counts are integers, so the
 /// parallel combine is exact and order-invariant.
+///
+/// Reports one read pass (`4·len` bytes, no flops) to the resource
+/// counters: AD metering is pure memory traffic in the roofline picture.
 pub fn count_nonzero_slice(data: &[f32]) -> usize {
+    if adq_telemetry::alloc::tracking() {
+        adq_telemetry::alloc::add_bytes_moved(4 * data.len() as u64);
+    }
     if !elementwise_dispatch(data.len()) {
         return data.iter().filter(|&&x| x != 0.0).count();
     }

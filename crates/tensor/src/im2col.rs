@@ -1,5 +1,6 @@
 use std::sync::{Arc, OnceLock};
 
+use adq_telemetry::alloc;
 use adq_telemetry::span::{self, SpanGuard};
 use adq_telemetry::{Histogram, ScopedTimer};
 use serde::{Deserialize, Serialize};
@@ -25,6 +26,19 @@ fn im2col_span(name: &'static str, rows: usize, cols: usize) -> SpanGuard {
     } else {
         SpanGuard::disabled()
     }
+}
+
+/// Reports one lowering call's memory traffic: the `rows·cols` column
+/// matrix is written (or read, for `col2im`) once and the corresponding
+/// input pixels are read (or accumulated) once — `2·rows·cols` `f32`
+/// elements of traffic. Lowering performs no arithmetic, so it moves
+/// bytes without flops: exactly the memory-bound corner of the roofline.
+#[inline]
+fn count_lowering_resources(rows: usize, cols: usize) {
+    if !alloc::tracking() {
+        return;
+    }
+    alloc::add_bytes_moved(8 * (rows as u64) * (cols as u64));
 }
 
 /// Geometry of a 2-D convolution: square kernel, symmetric stride/padding.
@@ -177,6 +191,7 @@ pub fn im2col_scratch(
     let rows = c * p * p;
     let cols = n * oh * ow;
     let _span = im2col_span("tensor.im2col", rows, cols);
+    count_lowering_resources(rows, cols);
     let mut out = scratch.take_zeroed(rows * cols);
     let data = input.data();
     for ci in 0..c {
@@ -244,6 +259,7 @@ pub fn col2im(
         return Err(ShapeError::mismatch("col2im", cols.dims(), &[rows, ncols]));
     }
     let _span = im2col_span("tensor.col2im", rows, ncols);
+    count_lowering_resources(rows, ncols);
     let mut out = Tensor::zeros(input_dims);
     let out_data = out.data_mut();
     let col_data = cols.data();

@@ -18,6 +18,7 @@
 
 use std::sync::{Arc, OnceLock};
 
+use adq_telemetry::alloc;
 use adq_telemetry::span::{self, SpanGuard};
 use adq_telemetry::{Histogram, ScopedTimer};
 use rayon::prelude::*;
@@ -71,6 +72,21 @@ fn matmul_timer() -> ScopedTimer {
     ScopedTimer::new(
         HIST.get_or_init(|| adq_telemetry::metrics::global().histogram("tensor.matmul")),
     )
+}
+
+/// Reports one GEMM call's compute and memory traffic to the resource
+/// counters: `2·m·n·k` flops (multiply + add) and one pass over each
+/// operand plus the output (`4·(m·k + k·n + m·n)` bytes of `f32`), the
+/// standard roofline lower bound. One call per matmul, whatever kernel
+/// the shape dispatches to.
+#[inline]
+fn count_gemm_resources(m: usize, n: usize, k: usize) {
+    if !alloc::tracking() {
+        return;
+    }
+    let (m, n, k) = (m as u64, n as u64, k as u64);
+    alloc::add_flops(2 * m * n * k);
+    alloc::add_bytes_moved(4 * (m * k + k * n + m * n));
 }
 
 /// Tracing span for one matmul call. Products big enough for the blocked
@@ -135,6 +151,7 @@ pub fn matmul_scratch(a: &Tensor, b: &Tensor, scratch: &mut Scratch) -> Result<T
     }
     let _timer = matmul_timer();
     let _span = matmul_span("nn", m, n, k);
+    count_gemm_resources(m, n, k);
     if blocked_dispatch(m, n, k) {
         let mut out = scratch.take(m * n);
         gemm_into(
@@ -185,6 +202,7 @@ pub fn matmul_at_b_scratch(
     }
     let _timer = matmul_timer();
     let _span = matmul_span("tn", m, n, k);
+    count_gemm_resources(m, n, k);
     if blocked_dispatch(m, n, k) {
         let mut out = scratch.take(m * n);
         gemm_into(
@@ -235,6 +253,7 @@ pub fn matmul_a_bt_scratch(
     }
     let _timer = matmul_timer();
     let _span = matmul_span("nt", m, n, k);
+    count_gemm_resources(m, n, k);
     if blocked_dispatch(m, n, k) {
         let mut out = scratch.take(m * n);
         gemm_into(
@@ -270,6 +289,7 @@ pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
         return Err(ShapeError::mismatch("matmul", a.dims(), b.dims()));
     }
     let _timer = matmul_timer();
+    count_gemm_resources(m, n, k);
     let mut out = vec![0.0f32; m * n];
     nn_fallback(m, n, k, a.data(), b.data(), &mut out);
     Tensor::from_vec(out, &[m, n])
@@ -289,6 +309,7 @@ pub fn matmul_at_b_naive(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
         return Err(ShapeError::mismatch("matmul_at_b", a.dims(), b.dims()));
     }
     let _timer = matmul_timer();
+    count_gemm_resources(m, n, k);
     let mut out = vec![0.0f32; m * n];
     tn_fallback(m, n, k, a.data(), b.data(), &mut out);
     Tensor::from_vec(out, &[m, n])
@@ -308,6 +329,7 @@ pub fn matmul_a_bt_naive(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
         return Err(ShapeError::mismatch("matmul_a_bt", a.dims(), b.dims()));
     }
     let _timer = matmul_timer();
+    count_gemm_resources(m, n, k);
     let mut out = vec![0.0f32; m * n];
     nt_fallback(m, n, k, a.data(), b.data(), &mut out);
     Tensor::from_vec(out, &[m, n])
