@@ -139,10 +139,12 @@ if [[ "$BENCH" -eq 1 ]]; then
     if [[ -n "$baseline" ]]; then
         echo "==> bench: regression check vs committed baseline"
         cargo run --release -p adq-bench --bin bench_check -- \
-            "$baseline" BENCH_kernels.json --max-regress 0.25
+            "$baseline" BENCH_kernels.json --max-regress 0.25 --scratch-within 0.25
         rm -f "$baseline"
     else
-        echo "==> bench: no committed baseline yet (first snapshot)"
+        echo "==> bench: no committed baseline yet (self-check only)"
+        cargo run --release -p adq-bench --bin bench_check -- \
+            BENCH_kernels.json --scratch-within 0.25
     fi
 
     echo "==> bench: criterion epoch (quick mode) -> BENCH_epoch.json"

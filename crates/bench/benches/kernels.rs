@@ -23,13 +23,20 @@ fn bench_gemm_nn(c: &mut Criterion) {
     // vgg19_conv:   O=512 filters over C·p² = 512·9 = 4608 taps, 1024 output
     //               pixels — the widest layer of Table 2's VGG19 runs.
     // resnet18_conv: O=128, C·p² = 128·9 = 1152, 1024 pixels.
-    // wide_short:   the dispatch-gap shape (m=4) the old row-only split
-    //               left fully serial.
+    // wide_short:   one row strip (m=4): packing B cannot amortise, the
+    //               plan layer must keep this on the streaming loops.
+    // wide_mid:     m=32 straddles the other side of the row-strip gate —
+    //               few strips but enough reuse for the tuned blocking.
+    // tall_thin:    n=4 < NR: the transpose of the wide_short pathology.
+    // tiny_k:       k=8 < MIN_K: too short an inner loop to pack for.
     let shapes: &[(&str, usize, usize, usize)] = &[
         ("square512", 512, 512, 512),
         ("vgg19_conv", 512, 4608, 1024),
         ("resnet18_conv", 128, 1152, 1024),
         ("wide_short", 4, 4096, 4096),
+        ("wide_mid", 32, 2048, 2048),
+        ("tall_thin", 4096, 512, 4),
+        ("tiny_k", 512, 8, 512),
     ];
     for &(name, m, k, n) in shapes {
         let mut rng = init::rng(11);
@@ -77,6 +84,31 @@ fn bench_gemm_transposed(c: &mut Criterion) {
         bch.iter(|| black_box(matmul_at_b_naive(black_box(&weight), black_box(&dy)).unwrap()))
     });
     group.bench_function("at_b_blocked", |bch| {
+        bch.iter(|| black_box(matmul_at_b(black_box(&weight), black_box(&dy)).unwrap()))
+    });
+    group.finish();
+
+    // The wide-short backward pair: a 4-filter conv layer's dW = dY·colsᵀ
+    // is an m=4 NT product (one row strip — packing must not win) and its
+    // dCols = Wᵀ·dY is a k=4 TN product (tiny-k). Both regressed under
+    // the old single-cutoff dispatch.
+    let (o, taps, pixels) = (4, 4096, 4096);
+    let mut rng = init::rng(15);
+    let dy = init::normal(&[o, pixels], 0.0, 1.0, &mut rng);
+    let cols = init::normal(&[taps, pixels], 0.0, 1.0, &mut rng);
+    let weight = init::normal(&[o, taps], 0.0, 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("conv_backward_wide_short");
+    group.bench_function("a_bt_naive", |bch| {
+        bch.iter(|| black_box(matmul_a_bt_naive(black_box(&dy), black_box(&cols)).unwrap()))
+    });
+    group.bench_function("a_bt_dispatched", |bch| {
+        bch.iter(|| black_box(matmul_a_bt(black_box(&dy), black_box(&cols)).unwrap()))
+    });
+    group.bench_function("at_b_naive", |bch| {
+        bch.iter(|| black_box(matmul_at_b_naive(black_box(&weight), black_box(&dy)).unwrap()))
+    });
+    group.bench_function("at_b_dispatched", |bch| {
         bch.iter(|| black_box(matmul_at_b(black_box(&weight), black_box(&dy)).unwrap()))
     });
     group.finish();

@@ -2,18 +2,46 @@
 //! `BENCH_memory.json`, ...) and fails (exit 1) when any record tracked
 //! in both regresses beyond the allowed fraction.
 //!
-//! Usage: `bench_check <baseline.json> <current.json> [--max-regress 0.25]
-//! [--key median_ns]`
+//! Usage: `bench_check [<baseline.json>] <current.json>
+//! [--max-regress 0.25] [--key median_ns] [--scratch-within 0.25]`
 //!
 //! `--key` names the numeric field compared per record: `median_ns` for
-//! kernel timings (medians shrug off scheduler noise that skews means),
-//! `bytes` for the per-phase memory snapshots `adq-report --memory-json`
-//! emits. Records present in only one file are reported but never fail
-//! the check — adding or retiring a benchmark must not break CI.
+//! kernel timings — the gate deliberately reads **medians**, because a
+//! single scheduler hiccup can double a mean without saying anything
+//! about the kernel (the PR-3 `wide_short/blocked_scratch` record shows
+//! mean 197 ms against median 73 ms). Whenever a record carries both
+//! `mean_ns` and `median_ns` and they diverge by more than 2×, a
+//! `NOISY` warning is printed so such samples are visible instead of
+//! silently shaping the gate. `bytes` selects the per-phase memory
+//! snapshots `adq-report --memory-json` emits.
+//!
+//! `--scratch-within FRAC` additionally checks the *current* snapshot
+//! against itself: every `<name>_scratch` record must be within
+//! `(1 + FRAC)` of its `<name>` counterpart — the arena exists to make
+//! kernels faster, so a scratch variant slower than its plain twin
+//! beyond noise is a regression wherever the baseline sits. With this
+//! flag the baseline file may be omitted entirely (self-check mode,
+//! used by CI before the first baseline is committed).
+//!
+//! Records present in only one file are reported but never fail the
+//! check — adding or retiring a benchmark must not break CI.
 
 use std::process::ExitCode;
 
-fn load(path: &str, key: &str) -> Vec<(String, f64)> {
+/// Ratio between mean and median beyond which a record is flagged noisy.
+const NOISY_MEAN_MEDIAN_RATIO: f64 = 2.0;
+
+/// One benchmark record: the gated metric plus the mean/median pair when
+/// the snapshot carries them (memory snapshots do not).
+#[derive(Debug, Clone, PartialEq)]
+struct Record {
+    name: String,
+    metric: f64,
+    mean_ns: Option<f64>,
+    median_ns: Option<f64>,
+}
+
+fn load(path: &str, key: &str) -> Vec<Record> {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("bench_check: cannot read {path}: {e}"));
     let value: serde_json::Value = serde_json::from_str(&text)
@@ -33,15 +61,99 @@ fn load(path: &str, key: &str) -> Vec<(String, f64)> {
                 .get(key)
                 .and_then(|v| v.as_f64())
                 .unwrap_or_else(|| panic!("bench_check: {name} has no {key} in {path}"));
-            (name, metric)
+            Record {
+                name,
+                metric,
+                mean_ns: r.get("mean_ns").and_then(|v| v.as_f64()),
+                median_ns: r.get("median_ns").and_then(|v| v.as_f64()),
+            }
         })
         .collect()
+}
+
+/// Whether a record's mean and median disagree enough to distrust the
+/// sample (one outlier can double a mean; it barely moves a median).
+fn is_noisy(record: &Record) -> bool {
+    let (Some(mean), Some(median)) = (record.mean_ns, record.median_ns) else {
+        return false;
+    };
+    if mean <= 0.0 || median <= 0.0 {
+        return false;
+    }
+    let ratio = if mean > median {
+        mean / median
+    } else {
+        median / mean
+    };
+    ratio > NOISY_MEAN_MEDIAN_RATIO
+}
+
+/// Baseline-vs-current comparison: returns `(compared, failures)` and
+/// prints one line per record.
+fn compare(baseline: &[Record], current: &[Record], key: &str, max_regress: f64) -> (usize, usize) {
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    for base in baseline {
+        let Some(cur) = current.iter().find(|c| c.name == base.name) else {
+            println!("  {}: only in baseline (skipped)", base.name);
+            continue;
+        };
+        compared += 1;
+        let ratio = if base.metric > 0.0 {
+            cur.metric / base.metric
+        } else {
+            1.0
+        };
+        let delta_pct = (ratio - 1.0) * 100.0;
+        let verdict = if ratio > 1.0 + max_regress {
+            failures += 1;
+            "REGRESSED"
+        } else if ratio < 1.0 {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {}: {:.0} {key} -> {:.0} {key} ({delta_pct:+.1}%) {verdict}",
+            base.name, base.metric, cur.metric
+        );
+    }
+    for cur in current {
+        if !baseline.iter().any(|b| b.name == cur.name) {
+            println!("  {}: new (no baseline)", cur.name);
+        }
+    }
+    (compared, failures)
+}
+
+/// Self-check of a snapshot's scratch pairs: every `<name>_scratch`
+/// record must be within `(1 + frac)` of its `<name>` counterpart.
+/// Returns the violating `(scratch, counterpart, ratio)` triples.
+fn scratch_violations(current: &[Record], frac: f64) -> Vec<(String, String, f64)> {
+    let mut violations = Vec::new();
+    for record in current {
+        let Some(base_name) = record.name.strip_suffix("_scratch") else {
+            continue;
+        };
+        let Some(plain) = current.iter().find(|c| c.name == base_name) else {
+            continue;
+        };
+        if plain.metric <= 0.0 {
+            continue;
+        }
+        let ratio = record.metric / plain.metric;
+        if ratio > 1.0 + frac {
+            violations.push((record.name.clone(), plain.name.clone(), ratio));
+        }
+    }
+    violations
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut max_regress = 0.25f64;
     let mut key = "median_ns".to_string();
+    let mut scratch_within: Option<f64> = None;
     let mut files: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -55,52 +167,146 @@ fn main() -> ExitCode {
                 .next()
                 .expect("bench_check: --key needs a field name")
                 .clone();
+        } else if arg == "--scratch-within" {
+            let v = it
+                .next()
+                .expect("bench_check: --scratch-within needs a fraction");
+            scratch_within = Some(
+                v.parse()
+                    .unwrap_or_else(|e| panic!("bench_check: bad --scratch-within {v}: {e}")),
+            );
         } else {
             files.push(arg);
         }
     }
-    let [baseline_path, current_path] = files[..] else {
-        eprintln!(
-            "usage: bench_check <baseline.json> <current.json> [--max-regress 0.25] \
-             [--key median_ns]"
-        );
-        return ExitCode::FAILURE;
+    let (baseline_path, current_path) = match files[..] {
+        [baseline, current] => (Some(baseline), current),
+        // self-check mode: the scratch gate needs no baseline
+        [current] if scratch_within.is_some() => (None, current),
+        _ => {
+            eprintln!(
+                "usage: bench_check [<baseline.json>] <current.json> [--max-regress 0.25] \
+                 [--key median_ns] [--scratch-within 0.25]"
+            );
+            return ExitCode::FAILURE;
+        }
     };
 
-    let baseline = load(baseline_path, &key);
     let current = load(current_path, &key);
     let mut failures = 0usize;
+
+    for record in current.iter().filter(|r| is_noisy(r)) {
+        // meaningful medians with untrustworthy means: surface, don't fail
+        println!(
+            "  {}: NOISY sample (mean {:.0} ns vs median {:.0} ns differ >{NOISY_MEAN_MEDIAN_RATIO}x)",
+            record.name,
+            record.mean_ns.unwrap_or(0.0),
+            record.median_ns.unwrap_or(0.0),
+        );
+    }
+
     let mut compared = 0usize;
-    for (name, base) in &baseline {
-        let Some((_, cur)) = current.iter().find(|(n, _)| n == name) else {
-            println!("  {name}: only in baseline (skipped)");
-            continue;
-        };
-        compared += 1;
-        let ratio = if *base > 0.0 { cur / base } else { 1.0 };
-        let delta_pct = (ratio - 1.0) * 100.0;
-        let verdict = if ratio > 1.0 + max_regress {
-            failures += 1;
-            "REGRESSED"
-        } else if ratio < 1.0 {
-            "improved"
-        } else {
-            "ok"
-        };
-        println!("  {name}: {base:.0} {key} -> {cur:.0} {key} ({delta_pct:+.1}%) {verdict}");
+    if let Some(baseline_path) = baseline_path {
+        let baseline = load(baseline_path, &key);
+        let (c, f) = compare(&baseline, &current, &key, max_regress);
+        compared = c;
+        failures += f;
     }
-    for (name, _) in &current {
-        if !baseline.iter().any(|(n, _)| n == name) {
-            println!("  {name}: new (no baseline)");
+
+    if let Some(frac) = scratch_within {
+        let violations = scratch_violations(&current, frac);
+        for (scratch, plain, ratio) in &violations {
+            println!(
+                "  {scratch}: {:.1}% slower than {plain} (allowed {:.0}%) SCRATCH-REGRESSED",
+                (ratio - 1.0) * 100.0,
+                frac * 100.0
+            );
         }
+        failures += violations.len();
     }
+
     println!(
-        "bench_check: {compared} records compared on {key}, {failures} regressed beyond {:.0}%",
+        "bench_check: {compared} records compared on {key}, {failures} failures \
+         (regress cap {:.0}%)",
         max_regress * 100.0
     );
     if failures > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &str, metric: f64) -> Record {
+        Record {
+            name: name.to_string(),
+            metric,
+            mean_ns: None,
+            median_ns: None,
+        }
+    }
+
+    fn timed(name: &str, mean: f64, median: f64) -> Record {
+        Record {
+            name: name.to_string(),
+            metric: median,
+            mean_ns: Some(mean),
+            median_ns: Some(median),
+        }
+    }
+
+    #[test]
+    fn outlier_skewed_means_are_flagged_noisy() {
+        // the committed PR-3 wide_short/blocked_scratch record: mean
+        // 197 ms vs median 73 ms — exactly what the median gate ignores
+        // and the warning must surface
+        assert!(is_noisy(&timed("wide_short/blocked_scratch", 197e6, 73e6)));
+        assert!(!is_noisy(&timed("resnet18_conv/blocked", 7.2e6, 7.1e6)));
+        // exactly 2x is still considered clean; beyond it is not
+        assert!(!is_noisy(&timed("edge", 2.0, 1.0)));
+        assert!(is_noisy(&timed("edge", 2.01, 1.0)));
+        // the ratio is symmetric
+        assert!(is_noisy(&timed("inverted", 1.0, 2.5)));
+        // records without the pair (memory snapshots) never warn
+        assert!(!is_noisy(&rec("phase/bytes", 1e9)));
+    }
+
+    #[test]
+    fn compare_gates_on_the_selected_metric() {
+        let baseline = vec![rec("a", 100.0), rec("b", 100.0), rec("gone", 5.0)];
+        let current = vec![rec("a", 120.0), rec("b", 126.0), rec("new", 7.0)];
+        // 25% cap: a (+20%) passes, b (+26%) fails; gone/new are skipped
+        let (compared, failures) = compare(&baseline, &current, "median_ns", 0.25);
+        assert_eq!(compared, 2);
+        assert_eq!(failures, 1);
+    }
+
+    #[test]
+    fn scratch_pairs_must_stay_within_the_window() {
+        let current = vec![
+            rec("conv/blocked", 100.0),
+            rec("conv/blocked_scratch", 110.0), // within 25%
+            rec("gemm/blocked", 100.0),
+            rec("gemm/blocked_scratch", 150.0), // 50% slower: violation
+            rec("orphan_scratch", 42.0),        // no counterpart: skipped
+        ];
+        let violations = scratch_violations(&current, 0.25);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].0, "gemm/blocked_scratch");
+        assert_eq!(violations[0].1, "gemm/blocked");
+        assert!((violations[0].2 - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_scratch_variants_never_violate() {
+        let current = vec![
+            rec("conv/blocked", 100.0),
+            rec("conv/blocked_scratch", 80.0),
+        ];
+        assert!(scratch_violations(&current, 0.0).is_empty());
     }
 }

@@ -40,6 +40,7 @@ mod hw;
 mod observer;
 mod quantizer;
 mod range;
+mod simd;
 
 pub use bitwidth::BitWidth;
 pub use error::QuantError;

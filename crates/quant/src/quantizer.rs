@@ -153,11 +153,13 @@ impl Quantizer {
     /// The per-element [`Quantizer::fake_quantize`] re-derives the scale
     /// (`max_code / width`), step and clamp bounds on every call; this path
     /// computes them once and runs a tight clamp → scale → round →
-    /// reconstruct loop. The arithmetic per element is the *same
-    /// expressions in the same order* as the scalar path, so results are
-    /// bit-identical to calling [`Quantizer::fake_quantize`] per element —
-    /// including NaN inputs (mapped to the range minimum, as the scalar
-    /// path's saturating `as u64` cast does) and infinities (clamped).
+    /// reconstruct loop, explicitly vectorized where the CPU supports it
+    /// (see `crate::simd`). Whichever body runs, the arithmetic per element
+    /// is the *same expressions in the same rounding order* as the scalar
+    /// path, so results are bit-identical to calling
+    /// [`Quantizer::fake_quantize`] per element — including NaN inputs
+    /// (mapped to the range minimum, as the scalar path's saturating
+    /// `as u64` cast does) and infinities (clamped).
     ///
     /// Activation-sized slices fan chunks out to rayon workers through
     /// [`adq_tensor::dispatch`]; the transform is per-element independent,
@@ -187,19 +189,16 @@ impl Quantizer {
             data.fill(self.range.min());
             return;
         }
-        let lo = self.range.min();
-        let hi = self.range.max();
-        let min64 = f64::from(lo);
-        let max_code = self.bits.max_code();
-        let inv_step = max_code as f64 / self.width_f64();
-        let step = self.step_f64();
+        let params = crate::simd::FakeQuantParams {
+            lo: self.range.min(),
+            hi: self.range.max(),
+            min64: f64::from(self.range.min()),
+            inv_step: self.bits.max_code() as f64 / self.width_f64(),
+            step: self.step_f64(),
+            max_code: self.bits.max_code(),
+        };
         adq_tensor::dispatch::for_each_chunk(data, |chunk| {
-            for v in chunk {
-                let x = (*v).clamp(lo, hi);
-                let scaled = (f64::from(x) - min64) * inv_step;
-                let code = (scaled.round() as u64).min(max_code);
-                *v = (min64 + code as f64 * step) as f32;
-            }
+            crate::simd::fake_quantize_chunk(chunk, &params);
         });
     }
 

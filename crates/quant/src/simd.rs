@@ -1,0 +1,228 @@
+//! Explicitly vectorized fake-quantization, gated on runtime CPU
+//! feature detection.
+//!
+//! [`Quantizer::fake_quantize_slice`](crate::Quantizer::fake_quantize_slice)
+//! promises results bit-identical to the per-element scalar path, so the
+//! vector body reproduces the scalar arithmetic operation-for-operation
+//! in 4 × `f64` lanes:
+//!
+//! * **clamp** — `max` then `min` against the range bounds. `maxpd`
+//!   returns its second operand when the first is NaN, so a NaN lane
+//!   becomes the range minimum — the same final output as the scalar
+//!   path's NaN → saturating-cast-to-0 → code 0 route.
+//! * **scale** — a subtract then a separate multiply, never an FMA: the
+//!   scalar expression `(x - min) * inv_step` is two roundings and the
+//!   lanes must round in the same places.
+//! * **round half away from zero** — `f64::round` is not the `roundpd`
+//!   nearest-even mode, so the lanes compute `trunc(s)` plus one when
+//!   `s - trunc(s) >= 0.5`; the fraction subtraction is exact, making
+//!   the tie comparison exact too (values here are non-negative).
+//! * **saturate** — `min` against `max_code` as `f64`; bit-widths are
+//!   capped at 32, so every code is exactly representable.
+//! * **reconstruct** — multiply then separate add (again no FMA), then
+//!   one rounding down to `f32`.
+//!
+//! The unit tests drive both paths over NaN, infinities, signed zero,
+//! subnormals and random streams at every tail length and compare
+//! outputs bit-for-bit.
+
+/// The loop constants [`fake_quantize_chunk`] needs, hoisted once per
+/// slice by the caller (see `Quantizer::fake_quantize_slice`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FakeQuantParams {
+    /// Range minimum, the clamp floor.
+    pub lo: f32,
+    /// Range maximum, the clamp ceiling.
+    pub hi: f32,
+    /// `f64::from(lo)`, the dequantization origin.
+    pub min64: f64,
+    /// `max_code / width`: scale from the clamped value to code space.
+    pub inv_step: f64,
+    /// `width / max_code`: scale from code space back to values.
+    pub step: f64,
+    /// Largest valid integer code (`2^bits - 1`).
+    pub max_code: u64,
+}
+
+/// Fake-quantizes one chunk in place via the widest available vector
+/// path, bit-identical to [`fake_quantize_scalar`].
+pub(crate) fn fake_quantize_chunk(chunk: &mut [f32], p: &FakeQuantParams) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        debug_assert!(p.max_code < 1 << 52, "codes must be exact in f64");
+        // SAFETY: the AVX2 feature was detected at runtime.
+        unsafe { fake_quantize_avx2(chunk, p) };
+        return;
+    }
+    fake_quantize_scalar(chunk, p);
+}
+
+/// The scalar reference loop — the exact arithmetic of
+/// `Quantizer::fake_quantize` per element, with the constants hoisted.
+pub(crate) fn fake_quantize_scalar(chunk: &mut [f32], p: &FakeQuantParams) {
+    for v in chunk {
+        let x = (*v).clamp(p.lo, p.hi);
+        let scaled = (f64::from(x) - p.min64) * p.inv_step;
+        let code = (scaled.round() as u64).min(p.max_code);
+        *v = (p.min64 + code as f64 * p.step) as f32;
+    }
+}
+
+/// Runtime AVX2 detection, resolved once per process.
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    static AVX2: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *AVX2.get_or_init(|| is_x86_feature_detected!("avx2"))
+}
+
+/// AVX2 fake-quantize: 4 values per iteration, widened to `f64` lanes
+/// (the scalar path computes in `f64`), scalar tail.
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn fake_quantize_avx2(chunk: &mut [f32], p: &FakeQuantParams) {
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_and_pd, _mm256_cmp_pd, _mm256_cvtpd_ps, _mm256_cvtps_pd,
+        _mm256_max_pd, _mm256_min_pd, _mm256_mul_pd, _mm256_round_pd, _mm256_set1_pd,
+        _mm256_sub_pd, _mm_loadu_ps, _mm_storeu_ps, _CMP_GE_OQ, _MM_FROUND_NO_EXC,
+        _MM_FROUND_TO_ZERO,
+    };
+    let lo = _mm256_set1_pd(f64::from(p.lo));
+    let hi = _mm256_set1_pd(f64::from(p.hi));
+    let min64 = _mm256_set1_pd(p.min64);
+    let inv_step = _mm256_set1_pd(p.inv_step);
+    let step = _mm256_set1_pd(p.step);
+    let max_code = _mm256_set1_pd(p.max_code as f64);
+    let half = _mm256_set1_pd(0.5);
+    let one = _mm256_set1_pd(1.0);
+
+    let mut iter = chunk.chunks_exact_mut(4);
+    for quad in &mut iter {
+        let x = _mm256_cvtps_pd(_mm_loadu_ps(quad.as_ptr()));
+        // max(x, lo) yields lo for NaN lanes (maxpd returns the second
+        // operand on unordered), min then clamps the top — widening
+        // before the clamp is exact and monotone, so this equals the
+        // scalar f32 clamp.
+        let x = _mm256_min_pd(_mm256_max_pd(x, lo), hi);
+        let scaled = _mm256_mul_pd(_mm256_sub_pd(x, min64), inv_step);
+        // round half away from zero (all lanes are >= +0.0 here)
+        let trunc = _mm256_round_pd::<{ _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC }>(scaled);
+        let frac = _mm256_sub_pd(scaled, trunc);
+        let bump = _mm256_and_pd(_mm256_cmp_pd::<_CMP_GE_OQ>(frac, half), one);
+        let code = _mm256_min_pd(_mm256_add_pd(trunc, bump), max_code);
+        let out = _mm256_add_pd(min64, _mm256_mul_pd(code, step));
+        _mm_storeu_ps(quad.as_mut_ptr(), _mm256_cvtpd_ps(out));
+    }
+    fake_quantize_scalar(iter.into_remainder(), p);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Params for a handful of representative quantizers, derived the
+    /// same way `fake_quantize_slice` derives them.
+    fn param_sets() -> Vec<FakeQuantParams> {
+        [
+            (-1.0f32, 1.0f32, 8u32),
+            (-6.3, 6.7, 4),
+            (0.0, 1.0, 1),
+            (-0.0, 1000.0, 16),
+            (-3.0e-4, 2.9e-4, 32),
+        ]
+        .into_iter()
+        .map(|(lo, hi, bits)| {
+            let max_code = (1u64 << bits) - 1;
+            let width = f64::from(hi) - f64::from(lo);
+            FakeQuantParams {
+                lo,
+                hi,
+                min64: f64::from(lo),
+                inv_step: max_code as f64 / width,
+                step: width / max_code as f64,
+                max_code,
+            }
+        })
+        .collect()
+    }
+
+    /// Deterministic LCG stream with the special values salted in.
+    fn awkward_data(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..len)
+            .map(|i| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                match i % 13 {
+                    0 => 0.0,
+                    1 => -0.0,
+                    2 => f32::NAN,
+                    3 => f32::INFINITY,
+                    4 => f32::NEG_INFINITY,
+                    5 => f32::MIN_POSITIVE / 2.0, // subnormal
+                    6 => 0.5,                     // a likely exact tie
+                    _ => ((state >> 33) as f32 / u32::MAX as f32) * 20.0 - 10.0,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn vector_path_is_bit_identical_to_scalar() {
+        for p in param_sets() {
+            // every tail length around the 4-lane width
+            for len in 0..24 {
+                for seed in [3, 17, 91] {
+                    let data = awkward_data(len, seed);
+                    let mut fast = data.clone();
+                    let mut slow = data;
+                    fake_quantize_chunk(&mut fast, &p);
+                    fake_quantize_scalar(&mut slow, &p);
+                    let fast_bits: Vec<u32> = fast.iter().map(|v| v.to_bits()).collect();
+                    let slow_bits: Vec<u32> = slow.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(fast_bits, slow_bits, "len {len} seed {seed} params {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn long_streams_are_bit_identical() {
+        for p in param_sets() {
+            let data = awkward_data(10_007, 5);
+            let mut fast = data.clone();
+            let mut slow = data;
+            fake_quantize_chunk(&mut fast, &p);
+            fake_quantize_scalar(&mut slow, &p);
+            assert!(
+                fast.iter()
+                    .zip(&slow)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "params {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ties_round_away_from_zero_like_the_scalar_path() {
+        // lo = 0, hi = max_code puts every half-integer input exactly on
+        // a tie: x.5 must round up (away from zero), not to even
+        let max_code = 255u64;
+        let p = FakeQuantParams {
+            lo: 0.0,
+            hi: 255.0,
+            min64: 0.0,
+            inv_step: 1.0,
+            step: 1.0,
+            max_code,
+        };
+        let mut data: Vec<f32> = (0..16).map(|i| i as f32 + 0.5).collect();
+        let expected: Vec<f32> = (0..16).map(|i| (i + 1) as f32).collect();
+        fake_quantize_chunk(&mut data, &p);
+        assert_eq!(data, expected);
+    }
+}

@@ -33,6 +33,10 @@
 //! * [`health`] — [`HealthMonitor`]/[`RunHealth`], typed anomaly
 //!   detection (non-finite loss, accuracy collapse, stalled run) over
 //!   the event stream, used by `adq-watch`.
+//! * [`env`] — hardened parsing for the `ADQ_*` tuning knobs: invalid
+//!   values produce a typed warning (logged once, counted in
+//!   `telemetry.env.invalid`) and fall back to the documented default
+//!   instead of being silently ignored.
 //!
 //! Telemetry is observation-only by contract: attaching any sink —
 //! enabling tracing at any level, resource tracking, or the live
@@ -40,6 +44,7 @@
 
 pub mod alloc;
 pub mod endpoint;
+pub mod env;
 pub mod event;
 pub mod health;
 pub mod metrics;

@@ -36,15 +36,13 @@ pub const ELEMENTWISE_PAR_MIN_DEFAULT: usize = 1 << 16;
 /// every per-element result — is identical at any worker count.
 pub const ELEMENTWISE_CHUNK: usize = 1 << 13;
 
-/// The `ADQ_PAR_FLOPS` override, parsed once at first use (`None` when the
-/// variable is unset or unparsable).
+/// The `ADQ_PAR_FLOPS` override, parsed once at first use through the
+/// hardened [`adq_telemetry::env`] reader: `None` when the variable is
+/// unset or unusable — an unusable value logs a typed warning and is
+/// counted in `telemetry.env.invalid` instead of being silently ignored.
 pub fn par_flops_override() -> Option<usize> {
     static OVERRIDE: OnceLock<Option<usize>> = OnceLock::new();
-    *OVERRIDE.get_or_init(|| {
-        std::env::var("ADQ_PAR_FLOPS")
-            .ok()
-            .and_then(|raw| raw.trim().parse::<usize>().ok())
-    })
+    *OVERRIDE.get_or_init(|| adq_telemetry::env::usize_var("ADQ_PAR_FLOPS"))
 }
 
 /// Minimum estimated flops before GEMM fallback kernels parallelise.
@@ -143,7 +141,7 @@ pub fn count_nonzero_slice(data: &[f32]) -> usize {
         adq_telemetry::alloc::add_bytes_moved(4 * data.len() as u64);
     }
     if !elementwise_dispatch(data.len()) {
-        return data.iter().filter(|&&x| x != 0.0).count();
+        return crate::simd::count_nonzero(data);
     }
     let mut partials = vec![0usize; data.len().div_ceil(ELEMENTWISE_CHUNK)];
     let items: Vec<(&mut usize, &[f32])> = partials
@@ -152,7 +150,7 @@ pub fn count_nonzero_slice(data: &[f32]) -> usize {
         .collect();
     items
         .into_par_iter()
-        .for_each(|(p, chunk)| *p = chunk.iter().filter(|&&x| x != 0.0).count());
+        .for_each(|(p, chunk)| *p = crate::simd::count_nonzero(chunk));
     partials.iter().sum()
 }
 

@@ -25,6 +25,7 @@
 //! thread count, so whole-run determinism — and with it PR 2's bit-identical
 //! checkpoint resume — is preserved.
 
+use crate::plan::Blocking;
 use crate::scratch::Scratch;
 use crate::shape::ShapeError;
 use crate::tensor::Tensor;
@@ -40,12 +41,14 @@ pub const MR: usize = 4;
 /// Micro-kernel columns: each invocation produces `NR` columns of C. One
 /// `NR`-wide row is exactly one cache line of f32s.
 pub const NR: usize = 16;
-/// Macro-tile rows (multiple of [`MR`]); one parallel task owns `MC` rows.
+/// Default macro-tile rows (multiple of [`MR`]); one parallel task owns
+/// `MC` rows. Per-shape plans may override ([`crate::plan`]).
 pub const MC: usize = 64;
-/// Macro-tile columns (multiple of [`NR`]); one task owns `NC` columns.
+/// Default macro-tile columns (multiple of [`NR`]); one task owns `NC`
+/// columns.
 pub const NC: usize = 128;
-/// k-dimension block: packed panels of `KC·MR`/`KC·NR` floats stay cache
-/// resident while the micro-kernel streams them.
+/// Default k-dimension block: packed panels of `KC·MR`/`KC·NR` floats
+/// stay cache resident while the micro-kernel streams them.
 pub const KC: usize = 256;
 
 /// Minimum `m·n·k` before the tile grid is dispatched across threads —
@@ -80,13 +83,23 @@ struct CPtr(*mut f32);
 unsafe impl Send for CPtr {}
 unsafe impl Sync for CPtr {}
 
-/// Blocked GEMM `C = A·B` over raw row-major buffers.
+/// Blocked GEMM over raw row-major buffers, returning the output drawn
+/// from `scratch`.
 ///
-/// `c` must hold exactly `m·n` elements; every element is written (no
-/// pre-zeroing required). Pack panels are drawn from `scratch` and returned
-/// to it, so repeated calls through one arena stop allocating.
+/// Every element of the returned `m·n` buffer is written (no pre-zeroing
+/// happens or is needed). Pack panels are drawn from `scratch` and
+/// returned to it, so repeated calls through one arena stop allocating.
+///
+/// **Take order matters**: the pack panels are taken *before* the output
+/// buffer. The output escapes into a `Tensor` and never comes back, so
+/// if it were taken first it would steal a pooled pack panel (best-fit
+/// hands the smallest covering buffer to whoever asks first), cascading
+/// into a fresh zeroed allocation of the *largest* panel on every call —
+/// the PR-3 `blocked_scratch` conv regression. Panels first means both
+/// panels exact-hit their own buffers from the previous call and the one
+/// unavoidable fresh allocation per call is the `m·n` output.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn gemm_into(
+pub(crate) fn gemm_alloc(
     m: usize,
     n: usize,
     k: usize,
@@ -94,26 +107,27 @@ pub(crate) fn gemm_into(
     a_store: AStore,
     b: &[f32],
     b_store: BStore,
-    c: &mut [f32],
+    blocking: Blocking,
     scratch: &mut Scratch,
-) {
-    debug_assert_eq!(c.len(), m * n);
+) -> Vec<f32> {
+    debug_assert!(blocking.is_valid(), "invalid blocking {blocking:?}");
     if m == 0 || n == 0 {
-        return;
+        return scratch.take(m * n);
     }
     if k == 0 {
-        c.fill(0.0);
-        return;
+        return scratch.take_zeroed(m * n);
     }
+    let kc = blocking.kc;
     let m_strips = m.div_ceil(MR);
     let n_strips = n.div_ceil(NR);
     let mut packed_a = scratch.take(k * m_strips * MR);
     let mut packed_b = scratch.take(k * n_strips * NR);
-    pack_a(a, m, k, a_store, &mut packed_a);
-    pack_b(b, k, n, b_store, &mut packed_b);
+    let mut c = scratch.take(m * n);
+    pack_a(a, m, k, kc, a_store, &mut packed_a);
+    pack_b(b, k, n, kc, b_store, &mut packed_b);
 
-    let row_tiles = m.div_ceil(MC);
-    let col_tiles = n.div_ceil(NC);
+    let row_tiles = m.div_ceil(blocking.mc);
+    let col_tiles = n.div_ceil(blocking.nc);
     let tiles = row_tiles * col_tiles;
     let cp = CPtr(c.as_mut_ptr());
     let flops = m.saturating_mul(n).saturating_mul(k);
@@ -144,17 +158,38 @@ pub(crate) fn gemm_into(
         (0..tiles).into_par_iter().for_each(|tile| {
             let (ti, tj) = (tile / col_tiles, tile % col_tiles);
             let _span = tile_span(tile, ti, tj);
-            macro_tile(ti * MC, tj * NC, m, n, k, pa, pb, cp);
+            macro_tile(
+                ti * blocking.mc,
+                tj * blocking.nc,
+                m,
+                n,
+                k,
+                blocking,
+                pa,
+                pb,
+                cp,
+            );
         });
     } else {
         for tile in 0..tiles {
             let (ti, tj) = (tile / col_tiles, tile % col_tiles);
             let _span = tile_span(tile, ti, tj);
-            macro_tile(ti * MC, tj * NC, m, n, k, pa, pb, cp);
+            macro_tile(
+                ti * blocking.mc,
+                tj * blocking.nc,
+                m,
+                n,
+                k,
+                blocking,
+                pa,
+                pb,
+                cp,
+            );
         }
     }
     scratch.give(packed_a);
     scratch.give(packed_b);
+    c
 }
 
 /// Computes the `[i0.., j0..]` macro-tile of `C` from the packed panels.
@@ -165,23 +200,24 @@ fn macro_tile(
     m: usize,
     n: usize,
     k: usize,
+    blocking: Blocking,
     packed_a: &[f32],
     packed_b: &[f32],
     cp: CPtr,
 ) {
-    let mc = MC.min(m - i0);
-    let nc = NC.min(n - j0);
+    let mc = blocking.mc.min(m - i0);
+    let nc = blocking.nc.min(n - j0);
     let m_strips = m.div_ceil(MR);
     let n_strips = n.div_ceil(NR);
-    // MC/NC are multiples of MR/NR, so tile bounds land on strip bounds.
+    // mc/nc are multiples of MR/NR, so tile bounds land on strip bounds.
     let s_lo = i0 / MR;
     let s_hi = (i0 + mc).div_ceil(MR);
     let t_lo = j0 / NR;
     let t_hi = (j0 + nc).div_ceil(NR);
-    let k_blocks = k.div_ceil(KC);
+    let k_blocks = k.div_ceil(blocking.kc);
     for kb in 0..k_blocks {
-        let k0 = kb * KC;
-        let kc_len = KC.min(k - k0);
+        let k0 = kb * blocking.kc;
+        let kc_len = blocking.kc.min(k - k0);
         let a_base = k0 * m_strips * MR;
         let b_base = k0 * n_strips * NR;
         let first_block = kb == 0;
@@ -319,11 +355,11 @@ fn store_edge(
 
 /// Packs `A` (logical `[m, k]`) into `[k-block][row-strip][kk][MR]` order,
 /// zero-padding the tail strip so the micro-kernel never branches on edges.
-fn pack_a(src: &[f32], m: usize, k: usize, store: AStore, out: &mut [f32]) {
+fn pack_a(src: &[f32], m: usize, k: usize, kc: usize, store: AStore, out: &mut [f32]) {
     let m_strips = m.div_ceil(MR);
-    for kb in 0..k.div_ceil(KC) {
-        let k0 = kb * KC;
-        let kc_len = KC.min(k - k0);
+    for kb in 0..k.div_ceil(kc) {
+        let k0 = kb * kc;
+        let kc_len = kc.min(k - k0);
         let base = k0 * m_strips * MR;
         match store {
             AStore::Normal => {
@@ -363,11 +399,11 @@ fn pack_a(src: &[f32], m: usize, k: usize, store: AStore, out: &mut [f32]) {
 
 /// Packs `B` (logical `[k, n]`) into `[k-block][col-strip][kk][NR]` order,
 /// zero-padding the tail strip.
-fn pack_b(src: &[f32], k: usize, n: usize, store: BStore, out: &mut [f32]) {
+fn pack_b(src: &[f32], k: usize, n: usize, kc: usize, store: BStore, out: &mut [f32]) {
     let n_strips = n.div_ceil(NR);
-    for kb in 0..k.div_ceil(KC) {
-        let k0 = kb * KC;
-        let kc_len = KC.min(k - k0);
+    for kb in 0..k.div_ceil(kc) {
+        let k0 = kb * kc;
+        let kc_len = kc.min(k - k0);
         let base = k0 * n_strips * NR;
         match store {
             BStore::Normal => {
@@ -423,8 +459,7 @@ pub fn gemm_nn(a: &Tensor, b: &Tensor, scratch: &mut Scratch) -> Result<Tensor, 
     if k != kb {
         return Err(ShapeError::mismatch("gemm_nn", a.dims(), b.dims()));
     }
-    let mut out = scratch.take(m * n);
-    gemm_into(
+    let out = gemm_alloc(
         m,
         n,
         k,
@@ -432,7 +467,7 @@ pub fn gemm_nn(a: &Tensor, b: &Tensor, scratch: &mut Scratch) -> Result<Tensor, 
         AStore::Normal,
         b.data(),
         BStore::Normal,
-        &mut out,
+        Blocking::default_tiles(),
         scratch,
     );
     Tensor::from_vec(out, &[m, n])
@@ -451,8 +486,7 @@ pub fn gemm_tn(a: &Tensor, b: &Tensor, scratch: &mut Scratch) -> Result<Tensor, 
     if k != kb {
         return Err(ShapeError::mismatch("gemm_tn", a.dims(), b.dims()));
     }
-    let mut out = scratch.take(m * n);
-    gemm_into(
+    let out = gemm_alloc(
         m,
         n,
         k,
@@ -460,7 +494,7 @@ pub fn gemm_tn(a: &Tensor, b: &Tensor, scratch: &mut Scratch) -> Result<Tensor, 
         AStore::Transposed,
         b.data(),
         BStore::Normal,
-        &mut out,
+        Blocking::default_tiles(),
         scratch,
     );
     Tensor::from_vec(out, &[m, n])
@@ -479,8 +513,7 @@ pub fn gemm_nt(a: &Tensor, b: &Tensor, scratch: &mut Scratch) -> Result<Tensor, 
     if k != kb {
         return Err(ShapeError::mismatch("gemm_nt", a.dims(), b.dims()));
     }
-    let mut out = scratch.take(m * n);
-    gemm_into(
+    let out = gemm_alloc(
         m,
         n,
         k,
@@ -488,7 +521,7 @@ pub fn gemm_nt(a: &Tensor, b: &Tensor, scratch: &mut Scratch) -> Result<Tensor, 
         AStore::Normal,
         b.data(),
         BStore::Transposed,
-        &mut out,
+        Blocking::default_tiles(),
         scratch,
     );
     Tensor::from_vec(out, &[m, n])

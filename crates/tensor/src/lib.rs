@@ -35,10 +35,12 @@ mod matmul;
 mod ops;
 mod scratch;
 mod shape;
+mod simd;
 mod tensor;
 
 pub mod dispatch;
 pub mod init;
+pub mod plan;
 
 pub use gemm::{gemm_nn, gemm_nt, gemm_tn, KC, MC, MR, NC, NR};
 pub use im2col::{col2im, im2col, im2col_scratch, Conv2dGeom};

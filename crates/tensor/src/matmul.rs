@@ -1,11 +1,23 @@
-//! Matrix-multiply entry points with size-based kernel dispatch.
+//! Matrix-multiply entry points with shape-adaptive kernel dispatch.
 //!
-//! Each of the three variants (`A·B`, `Aᵀ·B`, `A·Bᵀ`) routes through the
-//! cache-blocked packed kernel in [`crate::gemm`] once the product is large
-//! enough ([`blocked_dispatch`]) and falls back to the original streaming
-//! `ikj` loops below that, where packing overhead would dominate. The
-//! `*_scratch` variants additionally draw their output and pack buffers
-//! from a caller-owned [`Scratch`] arena so per-batch allocations disappear
+//! Each of the three variants (`A·B`, `Aᵀ·B`, `A·Bᵀ`) asks
+//! [`crate::plan`] for a [`KernelPlan`] keyed on `(m, n, k, variant)` and
+//! executes it: the streaming fallback loops below for shapes where
+//! packing cannot pay for itself, or the cache-blocked packed kernel in
+//! [`crate::gemm`] with either the default or a shape-tuned blocking.
+//! The chosen plan is surfaced through the `tensor.dispatch.plan` span
+//! attribute and the `tensor.dispatch.plan.*` counters, and with
+//! `ADQ_AUTOTUNE=1` the static heuristic is replaced by a one-shot
+//! bench of every candidate on the first call per shape (see
+//! [`crate::plan`] for the caching rules).
+//!
+//! Plan choice never changes results: every kernel accumulates each
+//! output element in the same strictly ascending-k order (the numerical
+//! contract in [`crate::gemm`]), so dispatch is purely a performance
+//! decision.
+//!
+//! The `*_scratch` variants draw their output and pack buffers from a
+//! caller-owned [`Scratch`] arena so per-batch allocations disappear
 //! from the training loop; the plain variants draw from the calling
 //! thread's arena in the process-wide thread-keyed pool
 //! ([`crate::scratch::with_thread_scratch`]), so their pack panels are
@@ -13,17 +25,19 @@
 //!
 //! The pre-blocking kernels remain available as `matmul_naive` /
 //! `matmul_at_b_naive` / `matmul_a_bt_naive` — they are the comparison
-//! baseline for the `kernels` criterion bench and the reference oracle for
-//! the blocked-vs-naive proptests.
+//! baseline for the `kernels` criterion bench and the reference oracle
+//! for the dispatch-boundary proptests.
 
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use adq_telemetry::alloc;
 use adq_telemetry::span::{self, SpanGuard};
-use adq_telemetry::{Histogram, ScopedTimer};
+use adq_telemetry::{Counter, Histogram, ScopedTimer};
 use rayon::prelude::*;
 
-use crate::gemm::{self, gemm_into, AStore, BStore};
+use crate::gemm::{self, AStore, BStore};
+use crate::plan::{self, KernelPlan, Variant};
 use crate::scratch::Scratch;
 use crate::shape::ShapeError;
 use crate::tensor::Tensor;
@@ -39,30 +53,12 @@ const PAR_ROW_THRESHOLD: usize = 8;
 // product (say 64×4·4, a training-batch logits matmul) has plenty of rows
 // yet finishes serially long before the thread pool warms up.
 
-/// Minimum estimated work (m·n·k multiply-adds) before dispatching to the
-/// blocked packed kernel. Below this, packing A and B into panels costs
-/// more than the cache locality recovers; above it the blocked kernel wins
-/// decisively (the 512³ bench shape is 512× this threshold).
-const BLOCKED_MIN_FLOPS: usize = 1 << 18;
-
 /// Parallel-dispatch heuristic for the *fallback* loops: enough rows to
 /// split and enough total work to amortise the dispatch.
 #[inline]
 fn par_dispatch(m: usize, n: usize, k: usize) -> bool {
     m >= PAR_ROW_THRESHOLD
         && m.saturating_mul(n).saturating_mul(k) >= crate::dispatch::gemm_par_flop_threshold()
-}
-
-/// Whether a product of this shape routes to the blocked packed kernel.
-///
-/// Requires at least one full micro-kernel tile (`m ≥ MR`, `n ≥ NR`) —
-/// thinner products would pack the full untouched operand for a kernel
-/// that cannot use it — plus enough work to amortise packing. Wide-short
-/// products like `[4, 4096]·[4096, 4096]` qualify (m = MR) and parallelise
-/// over column tiles, closing the old row-only dispatch gap.
-#[inline]
-fn blocked_dispatch(m: usize, n: usize, k: usize) -> bool {
-    m >= gemm::MR && n >= gemm::NR && m.saturating_mul(n).saturating_mul(k) >= BLOCKED_MIN_FLOPS
 }
 
 /// Wall-time of every matmul variant, recorded into the process-wide
@@ -89,19 +85,49 @@ fn count_gemm_resources(m: usize, n: usize, k: usize) {
     alloc::add_bytes_moved(4 * (m * k + k * n + m * n));
 }
 
-/// Tracing span for one matmul call. Products big enough for the blocked
-/// kernel are worth a span at level 1; everything else (the per-batch
+/// Counts one dispatch into the chosen plan's
+/// `tensor.dispatch.plan.<label>` counter.
+fn count_plan(chosen: &KernelPlan) {
+    static NAIVE: OnceLock<Arc<Counter>> = OnceLock::new();
+    static BLOCKED: OnceLock<Arc<Counter>> = OnceLock::new();
+    static TUNED: OnceLock<Arc<Counter>> = OnceLock::new();
+    let (cell, name) = match chosen {
+        KernelPlan::Naive => (&NAIVE, "tensor.dispatch.plan.naive"),
+        KernelPlan::Blocked(_) => (&BLOCKED, "tensor.dispatch.plan.blocked"),
+        KernelPlan::BlockedTuned(_) => (&TUNED, "tensor.dispatch.plan.blocked_tuned"),
+    };
+    cell.get_or_init(|| adq_telemetry::metrics::global().counter(name))
+        .inc();
+}
+
+/// One dispatched product: the transpose variant, the output shape, and
+/// the raw operands in their declared storage orders.
+struct GemmOp<'a> {
+    variant: Variant,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &'a [f32],
+    a_store: AStore,
+    b: &'a [f32],
+    b_store: BStore,
+}
+
+/// Tracing span for one matmul call, carrying the chosen plan as the
+/// `tensor.dispatch.plan` attribute. Products big enough for a blocked
+/// plan are worth a span at level 1; everything else (the per-batch
 /// small products) only at level 2, so level-1 traces stay below noise.
-fn matmul_span(variant: &'static str, m: usize, n: usize, k: usize) -> SpanGuard {
-    let flops = m.saturating_mul(n).saturating_mul(k);
-    if span::verbose() || (span::enabled() && flops >= BLOCKED_MIN_FLOPS) {
+fn matmul_span(op: &GemmOp, chosen: &KernelPlan) -> SpanGuard {
+    let flops = op.m.saturating_mul(op.n).saturating_mul(op.k);
+    if span::verbose() || (span::enabled() && flops >= plan::MIN_BLOCKED_FLOPS) {
         span::span_with(
             "tensor.matmul",
             vec![
-                ("variant", variant.into()),
-                ("m", m.into()),
-                ("n", n.into()),
-                ("k", k.into()),
+                ("variant", op.variant.label().into()),
+                ("m", op.m.into()),
+                ("n", op.n.into()),
+                ("k", op.k.into()),
+                ("tensor.dispatch.plan", chosen.label().into()),
             ],
         )
     } else {
@@ -109,11 +135,72 @@ fn matmul_span(variant: &'static str, m: usize, n: usize, k: usize) -> SpanGuard
     }
 }
 
+/// Runs one plan on raw operands, drawing every buffer from `scratch`.
+/// The returned buffer is the `m·n` output, row-major.
+fn execute_plan(chosen: &KernelPlan, op: &GemmOp, scratch: &mut Scratch) -> Vec<f32> {
+    let GemmOp { m, n, k, a, b, .. } = *op;
+    if let Some(blocking) = chosen.blocking() {
+        return gemm::gemm_alloc(m, n, k, a, op.a_store, b, op.b_store, blocking, scratch);
+    }
+    match (op.a_store, op.b_store) {
+        (AStore::Normal, BStore::Normal) => {
+            let mut out = scratch.take_zeroed(m * n);
+            nn_fallback(m, n, k, a, b, &mut out);
+            out
+        }
+        (AStore::Transposed, BStore::Normal) => {
+            let mut out = scratch.take_zeroed(m * n);
+            tn_fallback(m, n, k, a, b, &mut out);
+            out
+        }
+        (AStore::Normal, BStore::Transposed) => {
+            let mut out = scratch.take(m * n);
+            nt_fallback(m, n, k, a, b, &mut out);
+            out
+        }
+        (AStore::Transposed, BStore::Transposed) => {
+            unreachable!("no matmul entry point produces a TT product")
+        }
+    }
+}
+
+/// Picks the plan for a shape: the static heuristic, or — when
+/// `ADQ_AUTOTUNE=1` — the cached autotune winner, timing each candidate
+/// on the live operands (one warm-up run, one timed run) at first sight
+/// of the shape.
+fn select_plan(op: &GemmOp, scratch: &mut Scratch) -> KernelPlan {
+    if !plan::autotune_enabled() || op.m == 0 || op.n == 0 || op.k == 0 {
+        return plan::static_plan(op.variant, op.m, op.n, op.k);
+    }
+    plan::autotuned(op.variant, op.m, op.n, op.k, |candidate| {
+        let out = execute_plan(candidate, op, scratch);
+        scratch.give(out);
+        let start = Instant::now();
+        let out = execute_plan(candidate, op, scratch);
+        let elapsed = start.elapsed();
+        scratch.give(out);
+        elapsed
+    })
+}
+
+/// The shared driver behind all three dispatched variants: time, count,
+/// plan, trace, execute.
+fn dispatch_matmul(op: &GemmOp, scratch: &mut Scratch) -> Vec<f32> {
+    let _timer = matmul_timer();
+    count_gemm_resources(op.m, op.n, op.k);
+    let chosen = select_plan(op, scratch);
+    let _span = matmul_span(op, &chosen);
+    count_plan(&chosen);
+    execute_plan(&chosen, op, scratch)
+}
+
 /// Dense matrix product `C = A · B` for rank-2 tensors.
 ///
-/// Large products use the blocked packed kernel ([`crate::gemm`]); small
-/// ones an `ikj` loop parallelised over rows. See the module docs of
-/// [`crate::gemm`] for the exact numerical guarantee relating the two.
+/// The shape picks the kernel (see [`crate::plan`]): large well-shaped
+/// products use the blocked packed kernel ([`crate::gemm`]); small or
+/// lopsided ones an `ikj` loop parallelised over rows. See the module
+/// docs of [`crate::gemm`] for the exact numerical guarantee relating
+/// the kernels.
 ///
 /// # Errors
 ///
@@ -149,26 +236,19 @@ pub fn matmul_scratch(a: &Tensor, b: &Tensor, scratch: &mut Scratch) -> Result<T
     if k != kb {
         return Err(ShapeError::mismatch("matmul", a.dims(), b.dims()));
     }
-    let _timer = matmul_timer();
-    let _span = matmul_span("nn", m, n, k);
-    count_gemm_resources(m, n, k);
-    if blocked_dispatch(m, n, k) {
-        let mut out = scratch.take(m * n);
-        gemm_into(
+    let out = dispatch_matmul(
+        &GemmOp {
+            variant: Variant::NN,
             m,
             n,
             k,
-            a.data(),
-            AStore::Normal,
-            b.data(),
-            BStore::Normal,
-            &mut out,
-            scratch,
-        );
-        return Tensor::from_vec(out, &[m, n]);
-    }
-    let mut out = scratch.take_zeroed(m * n);
-    nn_fallback(m, n, k, a.data(), b.data(), &mut out);
+            a: a.data(),
+            a_store: AStore::Normal,
+            b: b.data(),
+            b_store: BStore::Normal,
+        },
+        scratch,
+    );
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -200,26 +280,19 @@ pub fn matmul_at_b_scratch(
     if k != kb {
         return Err(ShapeError::mismatch("matmul_at_b", a.dims(), b.dims()));
     }
-    let _timer = matmul_timer();
-    let _span = matmul_span("tn", m, n, k);
-    count_gemm_resources(m, n, k);
-    if blocked_dispatch(m, n, k) {
-        let mut out = scratch.take(m * n);
-        gemm_into(
+    let out = dispatch_matmul(
+        &GemmOp {
+            variant: Variant::TN,
             m,
             n,
             k,
-            a.data(),
-            AStore::Transposed,
-            b.data(),
-            BStore::Normal,
-            &mut out,
-            scratch,
-        );
-        return Tensor::from_vec(out, &[m, n]);
-    }
-    let mut out = scratch.take_zeroed(m * n);
-    tn_fallback(m, n, k, a.data(), b.data(), &mut out);
+            a: a.data(),
+            a_store: AStore::Transposed,
+            b: b.data(),
+            b_store: BStore::Normal,
+        },
+        scratch,
+    );
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -251,26 +324,19 @@ pub fn matmul_a_bt_scratch(
     if k != kb {
         return Err(ShapeError::mismatch("matmul_a_bt", a.dims(), b.dims()));
     }
-    let _timer = matmul_timer();
-    let _span = matmul_span("nt", m, n, k);
-    count_gemm_resources(m, n, k);
-    if blocked_dispatch(m, n, k) {
-        let mut out = scratch.take(m * n);
-        gemm_into(
+    let out = dispatch_matmul(
+        &GemmOp {
+            variant: Variant::NT,
             m,
             n,
             k,
-            a.data(),
-            AStore::Normal,
-            b.data(),
-            BStore::Transposed,
-            &mut out,
-            scratch,
-        );
-        return Tensor::from_vec(out, &[m, n]);
-    }
-    let mut out = scratch.take(m * n);
-    nt_fallback(m, n, k, a.data(), b.data(), &mut out);
+            a: a.data(),
+            a_store: AStore::Normal,
+            b: b.data(),
+            b_store: BStore::Transposed,
+        },
+        scratch,
+    );
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -410,6 +476,7 @@ fn check_rank2(context: &str, a: &Tensor, b: &Tensor) -> Result<(), ShapeError> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::static_plan;
 
     fn naive(a: &Tensor, b: &Tensor) -> Tensor {
         let (m, k) = (a.dims()[0], a.dims()[1]);
@@ -525,8 +592,8 @@ mod tests {
     fn fallback_dispatch_requires_both_rows_and_flops() {
         // many rows, trivial work: stays serial
         assert!(!par_dispatch(64, 4, 4));
-        // few rows: the fallback never splits (the blocked path handles
-        // wide-short products instead — see blocked_dispatch tests)
+        // few rows: the fallback never splits (wide-short products route
+        // to the naive plan and stream serially — see crate::plan)
         assert!(!par_dispatch(4, 1024, 1024));
         // both thresholds met: parallel
         assert!(par_dispatch(64, 64, 64));
@@ -538,44 +605,125 @@ mod tests {
     }
 
     #[test]
-    fn blocked_dispatch_covers_wide_short_products() {
-        // the old gap: 4 rows ran fully serial no matter how wide
-        assert!(blocked_dispatch(4, 4096, 4096));
-        // thinner than a micro-tile: stays on the fallback
-        assert!(!blocked_dispatch(3, 4096, 4096));
-        assert!(!blocked_dispatch(4096, 4, 4096));
-        // too little work: stays on the fallback
-        assert!(!blocked_dispatch(8, 8, 8));
-        // the bench shapes are far above the threshold
-        assert!(blocked_dispatch(512, 512, 512));
-        assert!(blocked_dispatch(512, 1024, 4608));
-        assert!(blocked_dispatch(usize::MAX, usize::MAX, usize::MAX));
+    fn every_plan_kind_matches_the_naive_reference() {
+        // one shape per plan kind, checked via the public entry points
+        let cases = [
+            // 64·64·64 = 2^18 flops, k ≥ MIN_K, 16 row / 4 col strips
+            (64usize, 64usize, 64usize, "blocked"),
+            // m ≤ TUNED_MAX_M with k > KC: shape-tuned k blocking
+            (16, 2048, 32, "blocked_tuned"),
+            // one row strip: the wide-short regression class
+            (4, 256, 256, "naive"),
+        ];
+        for (m, k, n, label) in cases {
+            assert_eq!(
+                static_plan(Variant::NN, m, n, k).label(),
+                label,
+                "plan for ({m},{k},{n})"
+            );
+            let a = random_tensor(&[m, k], 101 + m as u64);
+            let b = random_tensor(&[k, n], 102 + n as u64);
+            assert_close(
+                &matmul(&a, &b).unwrap(),
+                &matmul_naive(&a, &b).unwrap(),
+                1e-4,
+            );
+
+            let at = random_tensor(&[k, m], 103 + m as u64);
+            assert_close(
+                &matmul_at_b(&at, &b).unwrap(),
+                &matmul_at_b_naive(&at, &b).unwrap(),
+                1e-4,
+            );
+            let bt = random_tensor(&[n, k], 104 + n as u64);
+            assert_close(
+                &matmul_a_bt(&a, &bt).unwrap(),
+                &matmul_a_bt_naive(&a, &bt).unwrap(),
+                1e-4,
+            );
+        }
     }
 
     #[test]
-    fn wide_short_regression_blocked_and_fallback_agree() {
-        // m = 4 rows: exactly the shape class the old row-only dispatch
-        // left serial. k·n sized so m·n·k = 2^18 hits BLOCKED_MIN_FLOPS —
-        // the blocked path — while staying cheap in debug builds.
-        let (m, k, n) = (4usize, 256usize, 256usize);
-        assert!(blocked_dispatch(m, n, k));
-        let a = random_tensor(&[m, k], 101);
-        let b = random_tensor(&[k, n], 102);
-        let blocked = matmul(&a, &b).unwrap();
-        let fallback = matmul_naive(&a, &b).unwrap();
-        assert_close(&blocked, &fallback, 1e-4);
+    fn wide_short_products_take_the_naive_plan() {
+        // the PR-3 regression: one row strip cannot amortise packing B,
+        // so the plan layer now keeps these on the streaming loops
+        assert_eq!(static_plan(Variant::NN, 4, 4096, 4096).label(), "naive");
+        assert_eq!(static_plan(Variant::NT, 4, 4096, 4096).label(), "naive");
+        // the square-ish bench winners stay blocked
+        assert_eq!(static_plan(Variant::NN, 512, 512, 512).label(), "blocked");
+    }
 
-        let at = random_tensor(&[k, m], 103);
-        assert_close(
-            &matmul_at_b(&at, &b).unwrap(),
-            &matmul_at_b_naive(&at, &b).unwrap(),
-            1e-4,
+    #[test]
+    fn forced_blocked_plans_match_naive_even_where_the_plan_says_no() {
+        // dispatch is a pure performance decision: running the packed
+        // kernel on a shape the heuristic routes to naive must still
+        // produce the same numbers
+        let (m, k, n) = (4usize, 300usize, 256usize);
+        assert_eq!(static_plan(Variant::NN, m, n, k).label(), "naive");
+        let a = random_tensor(&[m, k], 301);
+        let b = random_tensor(&[k, n], 302);
+        let mut scratch = Scratch::new();
+        for chosen in [
+            KernelPlan::Blocked(crate::plan::Blocking::default_tiles()),
+            KernelPlan::BlockedTuned(crate::plan::Blocking {
+                kc: 300,
+                ..crate::plan::Blocking::default_tiles()
+            }),
+        ] {
+            let out = execute_plan(
+                &chosen,
+                &GemmOp {
+                    variant: Variant::NN,
+                    m,
+                    n,
+                    k,
+                    a: a.data(),
+                    a_store: AStore::Normal,
+                    b: b.data(),
+                    b_store: BStore::Normal,
+                },
+                &mut scratch,
+            );
+            let expected = matmul_naive(&a, &b).unwrap();
+            for (x, y) in out.iter().zip(expected.data()) {
+                assert!((x - y).abs() <= 1e-4, "{chosen:?}: {x} vs {y}");
+            }
+            scratch.give(out);
+        }
+    }
+
+    #[test]
+    fn warm_scratch_blocked_matmul_allocates_only_the_escaping_output() {
+        // the conv blocked_scratch regression: the output buffer was
+        // taken from the arena *before* the pack panels, so best-fit
+        // handed the output a pooled pack panel and every warm call
+        // cascaded into a fresh allocation of the largest panel. With
+        // panels taken first, a warm call's only fresh allocation is the
+        // m·n output that escapes to the caller as a Tensor.
+        if plan::autotune_enabled() {
+            // the autotune bench runs extra candidates through the arena,
+            // so the exact alloc accounting below only holds for the
+            // static plan this test is about
+            return;
+        }
+        let (m, k, n) = (64usize, 512usize, 64usize); // conv-like: panels > output
+        assert!(
+            static_plan(Variant::NN, m, n, k).blocking().is_some(),
+            "the test shape must route to a packed-kernel plan"
         );
-        let bt = random_tensor(&[n, k], 104);
-        assert_close(
-            &matmul_a_bt(&a, &bt).unwrap(),
-            &matmul_a_bt_naive(&a, &bt).unwrap(),
-            1e-4,
+        let a = random_tensor(&[m, k], 401);
+        let b = random_tensor(&[k, n], 402);
+        let mut scratch = Scratch::new();
+        let _ = matmul_scratch(&a, &b, &mut scratch).unwrap(); // cold call warms the pool
+        let warm = scratch.fresh_allocs();
+        for _ in 0..3 {
+            let _ = matmul_scratch(&a, &b, &mut scratch).unwrap();
+        }
+        assert_eq!(
+            scratch.fresh_allocs() - warm,
+            3,
+            "a warm blocked matmul_scratch call must allocate exactly once (the escaping output)"
         );
     }
 

@@ -78,6 +78,10 @@ pub struct Scratch {
     retained: usize,
     /// Cap on `retained`.
     limit: usize,
+    /// Lifetime count of takes the pool could not serve (fresh
+    /// allocations), per arena — the deterministic signal the
+    /// take-ordering regression tests assert on.
+    fresh_allocs: u64,
 }
 
 impl Default for Scratch {
@@ -110,6 +114,7 @@ impl Scratch {
             pool: Vec::new(),
             retained: 0,
             limit,
+            fresh_allocs: 0,
         }
     }
 
@@ -128,6 +133,16 @@ impl Scratch {
         self.limit
     }
 
+    /// Lifetime number of [`Scratch::take`] calls this arena served with
+    /// a fresh allocation instead of a pooled buffer. On a warm arena a
+    /// well-ordered kernel performs exactly one fresh allocation per
+    /// call — the output that escapes to the caller — so this counter is
+    /// the deterministic regression signal for take-ordering bugs that
+    /// timing-based checks can only see as noise.
+    pub fn fresh_allocs(&self) -> u64 {
+        self.fresh_allocs
+    }
+
     /// Takes a buffer of exactly `len` elements with **unspecified
     /// contents** — stale data from a previous use may be present. Use
     /// [`Scratch::take_zeroed`] when the caller relies on zero
@@ -143,16 +158,32 @@ impl Scratch {
             }
             None => {
                 allocs().inc();
+                self.fresh_allocs += 1;
                 vec![0.0; len]
             }
         }
     }
 
-    /// Takes a buffer of `len` elements, every element zero.
+    /// Takes a buffer of `len` elements, every element zero. Only a
+    /// pooled buffer is actually scrubbed — a fresh allocation is
+    /// already zeroed by the allocator, and re-clearing it would cost a
+    /// second pass over the output of every cold call.
     pub fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
-        let mut buf = self.take(len);
-        buf.fill(0.0);
-        buf
+        match self.best_fit(len) {
+            Some(idx) => {
+                reuse_hits().inc();
+                let mut buf = self.pool.swap_remove(idx);
+                self.retained -= capacity_bytes(buf.capacity());
+                buf.resize(len, 0.0);
+                buf.fill(0.0);
+                buf
+            }
+            None => {
+                allocs().inc();
+                self.fresh_allocs += 1;
+                vec![0.0; len]
+            }
+        }
     }
 
     /// Returns a buffer to the pool for reuse. Zero-capacity buffers are

@@ -1,0 +1,123 @@
+//! Explicitly vectorized streaming kernels, gated on runtime CPU
+//! feature detection.
+//!
+//! The pure streaming passes (Activation-Density counting here,
+//! fake-quantization in `adq-quant`) are memory-bound single loops the
+//! auto-vectorizer handles inconsistently across the dispatch branches,
+//! so the hot bodies get explicit `target_feature` implementations with
+//! a scalar fallback. The contract is **bit-identical results**: the
+//! vector path must agree with the scalar path on every input, including
+//! NaN, infinities, signed zero and subnormals — the unit tests below
+//! enforce it element-for-element. Integer counting is trivially exact;
+//! the comparison just has to classify each lane the way `x != 0.0`
+//! does (`NaN` counts, `±0.0` does not), which `_CMP_NEQ_UQ` matches.
+
+/// Elements of `data` different from exactly zero, via the widest
+/// available vector path.
+pub(crate) fn count_nonzero(data: &[f32]) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: the AVX2 feature was detected at runtime.
+        return unsafe { count_nonzero_avx2(data) };
+    }
+    count_nonzero_scalar(data)
+}
+
+/// The scalar reference the vector paths must match bit-for-bit.
+fn count_nonzero_scalar(data: &[f32]) -> usize {
+    data.iter().filter(|&&x| x != 0.0).count()
+}
+
+/// Runtime AVX2 detection, resolved once per process.
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    static AVX2: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *AVX2.get_or_init(|| is_x86_feature_detected!("avx2"))
+}
+
+/// AVX2 nonzero count: 8 lanes per compare, one `movemask`/`count_ones`
+/// per vector, scalar tail.
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn count_nonzero_avx2(data: &[f32]) -> usize {
+    use std::arch::x86_64::{
+        _mm256_cmp_ps, _mm256_loadu_ps, _mm256_movemask_ps, _mm256_setzero_ps, _CMP_NEQ_UQ,
+    };
+    let zero = _mm256_setzero_ps();
+    let mut count = 0usize;
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        // NEQ_UQ: true for NaN lanes (unordered) and any lane != ±0.0 —
+        // exactly the lanes `x != 0.0` counts.
+        let mask = _mm256_cmp_ps::<_CMP_NEQ_UQ>(_mm256_loadu_ps(chunk.as_ptr()), zero);
+        count += (_mm256_movemask_ps(mask) as u32).count_ones() as usize;
+    }
+    count + count_nonzero_scalar(chunks.remainder())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic LCG stream with the special values salted in.
+    fn awkward_data(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..len)
+            .map(|i| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                match i % 11 {
+                    0 => 0.0,
+                    1 => -0.0,
+                    2 => f32::NAN,
+                    3 => f32::INFINITY,
+                    4 => f32::NEG_INFINITY,
+                    5 => f32::MIN_POSITIVE / 2.0, // subnormal
+                    _ => ((state >> 33) as f32 / u32::MAX as f32) * 2.0 - 1.0,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn vector_count_matches_scalar_on_every_length() {
+        // lengths straddle the 8-lane width and its tail in every phase
+        for len in 0..64 {
+            for seed in [1, 7, 99] {
+                let data = awkward_data(len, seed);
+                assert_eq!(
+                    count_nonzero(&data),
+                    count_nonzero_scalar(&data),
+                    "len {len} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn special_values_classify_like_the_scalar_comparison() {
+        let data = [
+            0.0f32,
+            -0.0,
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MIN_POSITIVE / 2.0,
+            1.0,
+            -1.0,
+        ];
+        // NaN, infinities, subnormals and finite values count; ±0.0 do not
+        assert_eq!(count_nonzero(&data), 6);
+    }
+
+    #[test]
+    fn long_streams_agree_with_scalar() {
+        let data = awkward_data(100_003, 42);
+        assert_eq!(count_nonzero(&data), count_nonzero_scalar(&data));
+    }
+}
