@@ -10,11 +10,12 @@
 #                    release tags or after touching the tensor/nn hot paths.
 #   ./ci.sh --bench  tier-1 gate plus the criterion kernel and epoch benches
 #                    in quick mode. Writes the medians to BENCH_kernels.json
-#                    and BENCH_epoch.json, and the trace smoke run's
-#                    per-phase peak/alloc bytes to BENCH_memory.json, at the
-#                    repo root (the cross-PR perf + memory trajectory) and
-#                    fails if anything tracked in a committed baseline
-#                    regresses by more than 25%.
+#                    and BENCH_epoch.json, the trace smoke run's per-phase
+#                    peak/alloc bytes to BENCH_memory.json, and the serving
+#                    load-generator's throughput + latency records to
+#                    BENCH_serving.json, at the repo root (the cross-PR perf
+#                    + memory trajectory) and fails if anything tracked in a
+#                    committed baseline regresses by more than 25%.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -119,6 +120,35 @@ grep -q "heap peak" "$trace_dir/report.md" || {
 }
 TRACE_SMOKE_DIR="$trace_dir"
 
+# Serving smoke: boot adq-serve on an OS-assigned port (port-file
+# handshake, same idiom as the metrics endpoint), probe it with real
+# inference requests over the wire, then shut it down cleanly.
+echo "==> tier-1: serving smoke (adq-serve bind / probe / shutdown)"
+serve_dir="$(mktemp -d)"
+./target/release/adq-serve serve --addr 127.0.0.1:0 \
+    --port-file "$serve_dir/serve.port" >/dev/null &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [[ -s "$serve_dir/serve.port" ]] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "ci: adq-serve exited before publishing its port" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+serve_addr="$(cat "$serve_dir/serve.port")"
+./target/release/adq-serve probe --addr "$serve_addr" --requests 4 || {
+    echo "ci: serving probe failed" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+}
+./target/release/adq-serve shutdown --addr "$serve_addr"
+wait "$serve_pid" || {
+    echo "ci: adq-serve did not shut down cleanly" >&2
+    exit 1
+}
+rm -rf "$serve_dir"
+
 if [[ "$FULL" -eq 1 ]]; then
     echo "==> full: cargo test --release --test full_size_smoke -- --ignored"
     cargo test --release --test full_size_smoke -- --ignored
@@ -181,6 +211,29 @@ if [[ "$BENCH" -eq 1 ]]; then
         rm -f "$mem_baseline"
     else
         echo "==> bench: no committed memory baseline yet (first snapshot)"
+    fi
+
+    echo "==> bench: serving load generator -> BENCH_serving.json"
+    serving_baseline=""
+    if git cat-file -e HEAD:BENCH_serving.json 2>/dev/null; then
+        serving_baseline="$(mktemp)"
+        git show HEAD:BENCH_serving.json >"$serving_baseline"
+    fi
+    ./target/release/adq-serve load-gen --concurrency 1,4,8 --requests 96 \
+        --out BENCH_serving.json
+    if [[ -n "$serving_baseline" ]]; then
+        echo "==> bench: serving regression check (throughput + tail latency)"
+        # median_ns = mean ns per completed request (throughput gate, tight);
+        # the second pass gates the p99 tail. Tail quantiles swing ~50%
+        # run-to-run on a single-core box, so the p99 cap only catches a
+        # tail that at least doubles.
+        cargo run --release -p adq-bench --bin bench_check -- \
+            "$serving_baseline" BENCH_serving.json --max-regress 0.25
+        cargo run --release -p adq-bench --bin bench_check -- \
+            "$serving_baseline" BENCH_serving.json --key p99_ns --max-regress 1.0
+        rm -f "$serving_baseline"
+    else
+        echo "==> bench: no committed serving baseline yet (first snapshot)"
     fi
 fi
 

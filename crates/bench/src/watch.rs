@@ -453,7 +453,9 @@ pub fn follow(path: &str, poll_ms: u64) -> std::io::Result<()> {
 
 /// Scrape mode: fetch `http://addr/metrics` once, validate the
 /// Prometheus exposition text, and print a short summary plus any
-/// `adq_run_*` sample lines. Returns the number of samples.
+/// `adq_run_*` and `adq_serve_*` sample lines (the latter are the
+/// inference server's live gauges and latency histograms). Returns the
+/// number of samples.
 pub fn scrape(addr: &str) -> Result<usize, String> {
     let text = adq_telemetry::endpoint::scrape_text(addr)
         .map_err(|err| format!("cannot scrape {addr}: {err}"))?;
@@ -461,11 +463,70 @@ pub fn scrape(addr: &str) -> Result<usize, String> {
         .map_err(|err| format!("invalid Prometheus text from {addr}: {err}"))?;
     println!("scraped {addr}: {samples} samples, valid Prometheus text 0.0.4");
     for line in text.lines() {
-        if line.starts_with("adq_run_") || line.starts_with("adq_resource_") {
+        if line.starts_with("adq_run_")
+            || line.starts_with("adq_resource_")
+            || line.starts_with("adq_serve_")
+        {
             println!("  {line}");
         }
     }
+    if let Some(summary) = serving_summary(&text) {
+        println!("  {summary}");
+    }
     Ok(samples)
+}
+
+/// Parses an unlabeled Prometheus sample line into `(name, value)`.
+/// Comments and labeled series (histogram buckets) return `None`.
+fn plain_sample(line: &str) -> Option<(&str, f64)> {
+    if line.starts_with('#') || line.contains('{') {
+        return None;
+    }
+    let (name, value) = line.split_once(' ')?;
+    Some((name, value.parse().ok()?))
+}
+
+/// Condenses a Prometheus page's `adq_serve_*` samples — the dynamic
+/// batcher's queue/batch/in-flight gauges and request totals — into one
+/// human line. `None` when the page carries no serving metrics.
+pub fn serving_summary(text: &str) -> Option<String> {
+    let mut queue_depth = None;
+    let mut inflight = None;
+    let mut requests = None;
+    let mut batches = None;
+    let mut batch_sum = None;
+    for line in text.lines() {
+        let Some((name, value)) = plain_sample(line) else {
+            continue;
+        };
+        match name {
+            "adq_serve_queue_depth" => queue_depth = Some(value),
+            "adq_serve_inflight" => inflight = Some(value),
+            "adq_serve_requests" => requests = Some(value),
+            "adq_serve_batch_size_count" => batches = Some(value),
+            "adq_serve_batch_size_sum" => batch_sum = Some(value),
+            _ => {}
+        }
+    }
+    if queue_depth.is_none() && inflight.is_none() && requests.is_none() && batches.is_none() {
+        return None;
+    }
+    let mut parts = Vec::new();
+    if let Some(v) = queue_depth {
+        parts.push(format!("queue depth {v}"));
+    }
+    if let Some(v) = inflight {
+        parts.push(format!("inflight {v}"));
+    }
+    if let Some(r) = requests {
+        parts.push(format!("{r} requests"));
+    }
+    if let (Some(b), Some(sum)) = (batches, batch_sum) {
+        if b > 0.0 {
+            parts.push(format!("{b} batches (avg {:.1}/batch)", sum / b));
+        }
+    }
+    Some(format!("serving: {}", parts.join(", ")))
 }
 
 #[cfg(test)]
@@ -669,5 +730,39 @@ mod tests {
         assert_eq!(s.chars().nth(2), Some('?'));
         assert_eq!(s.chars().last(), Some('█'));
         assert_eq!(sparkline(&[2.0, 2.0]), "▁▁");
+    }
+
+    #[test]
+    fn serving_summary_condenses_the_server_gauges() {
+        // the exposition shape adq-serve's metrics endpoint produces:
+        // plain gauges/counters plus a batch-size histogram family
+        let page = "\
+# TYPE adq_serve_requests counter\n\
+adq_serve_requests 120\n\
+# TYPE adq_serve_queue_depth gauge\n\
+adq_serve_queue_depth 3\n\
+# TYPE adq_serve_inflight gauge\n\
+adq_serve_inflight 8\n\
+# TYPE adq_serve_batch_size histogram\n\
+adq_serve_batch_size_bucket{le=\"8\"} 30\n\
+adq_serve_batch_size_bucket{le=\"+Inf\"} 30\n\
+adq_serve_batch_size_sum 120\n\
+adq_serve_batch_size_count 30\n";
+        let summary = serving_summary(page).expect("serving metrics present");
+        assert_eq!(
+            summary,
+            "serving: queue depth 3, inflight 8, 120 requests, 30 batches (avg 4.0/batch)"
+        );
+    }
+
+    #[test]
+    fn serving_summary_is_absent_without_serving_metrics() {
+        let page = "# TYPE adq_core_train_batches counter\nadq_core_train_batches 7\n";
+        assert_eq!(serving_summary(page), None);
+        // bucket lines alone (labeled series) must not be misparsed
+        assert_eq!(
+            serving_summary("adq_serve_latency_ns_bucket{le=\"+Inf\"} 4\n"),
+            None
+        );
     }
 }

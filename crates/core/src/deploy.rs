@@ -21,6 +21,72 @@ use adq_quant::{BitWidth, HwPrecision, QuantError, Quantizer};
 use adq_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
+/// Why a strict lowering refused a model.
+///
+/// The lenient [`DeployedVgg::from_trained`] path never produces
+/// [`DeployError::Unquantized`]: it falls back to 16-bit and bumps the
+/// `deploy.unquantized_fallback` telemetry counter instead, so a
+/// half-trained checkpoint is at least *visible* when it masquerades as a
+/// 16-bit deployment. Use the `_strict` constructors to make it an error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeployError {
+    /// A layer has no trained bit-width.
+    Unquantized {
+        /// Name of the offending layer.
+        layer: String,
+    },
+    /// Weight quantization failed (empty or non-finite weights).
+    Quant(QuantError),
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::Unquantized { layer } => {
+                write!(f, "layer '{layer}' has no trained bit-width")
+            }
+            DeployError::Quant(e) => write!(f, "quantization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+impl From<QuantError> for DeployError {
+    fn from(e: QuantError) -> Self {
+        DeployError::Quant(e)
+    }
+}
+
+/// Resolves a layer's deployment bit-width. Missing widths are a typed
+/// error in strict mode; otherwise they fall back to the accelerator's
+/// widest mode and are counted on `deploy.unquantized_fallback`.
+fn deploy_bits(name: &str, bits: Option<BitWidth>, strict: bool) -> Result<BitWidth, DeployError> {
+    match bits {
+        Some(bits) => Ok(bits),
+        None if !strict => {
+            adq_telemetry::metrics::global()
+                .counter("deploy.unquantized_fallback")
+                .inc();
+            Ok(BitWidth::SIXTEEN)
+        }
+        None => Err(DeployError::Unquantized {
+            layer: name.to_string(),
+        }),
+    }
+}
+
+/// Unwraps the lenient path's error: with `strict = false`, only
+/// quantization failures remain possible.
+fn expect_quant(err: DeployError) -> QuantError {
+    match err {
+        DeployError::Quant(e) => e,
+        DeployError::Unquantized { layer } => {
+            unreachable!("lenient lowering cannot reject unquantized layer '{layer}'")
+        }
+    }
+}
+
 /// Accelerator-side cost of one deployed inference pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct DeployStats {
@@ -41,34 +107,27 @@ struct DeployedBlock {
 
 /// Folds a [`ConvBlock`]'s batch-norm into its convolution and quantizes
 /// the result at the block's bit-width.
-fn lower_conv_block(block: &ConvBlock) -> Result<(QuantizedConv2d, BitWidth), QuantError> {
-    let conv = block.conv();
-    let geom = conv.geom();
-    let bits = block.bits().unwrap_or(BitWidth::SIXTEEN);
-    let (scale, shift) = match block.bn() {
-        Some(bn) => bn.fold_factors(),
-        None => (vec![1.0; geom.out_channels], vec![0.0; geom.out_channels]),
-    };
-    let fan_in = geom.in_channels * geom.kernel * geom.kernel;
-    let mut weight = Tensor::zeros(&[geom.out_channels, fan_in]);
-    let mut bias = vec![0.0f32; geom.out_channels];
-    for o in 0..geom.out_channels {
-        for i in 0..fan_in {
-            *weight.at2_mut(o, i) = conv.weight.value.at2(o, i) * scale[o];
-        }
-        bias[o] = conv.bias.value.data()[o] * scale[o] + shift[o];
-    }
+fn lower_conv_block(
+    block: &ConvBlock,
+    strict: bool,
+) -> Result<(QuantizedConv2d, BitWidth), DeployError> {
+    let bits = deploy_bits(block.name(), block.bits(), strict)?;
+    let (weight, bias) = block.folded_weight_bias();
     Ok((
-        QuantizedConv2d::from_float(geom, &weight, &bias, bits)?,
+        QuantizedConv2d::from_float(block.geom(), &weight, &bias, bits)?,
         bits,
     ))
 }
 
 /// Quantizes a classifier head's weights at its bit-width.
-fn lower_head(head: &LinearHead) -> Result<QuantizedLinear, QuantError> {
-    let bits = head.bits().unwrap_or(BitWidth::SIXTEEN);
+fn lower_head(head: &LinearHead, strict: bool) -> Result<QuantizedLinear, DeployError> {
+    let bits = deploy_bits(head.name(), head.bits(), strict)?;
     let linear = head.linear();
-    QuantizedLinear::from_float(&linear.weight.value, linear.bias.value.data(), bits)
+    Ok(QuantizedLinear::from_float(
+        &linear.weight.value,
+        linear.bias.value.data(),
+        bits,
+    )?)
 }
 
 /// Per-batch activation quantizer at a carried precision; a degenerate
@@ -112,9 +171,26 @@ impl DeployedVgg {
     /// Returns [`QuantError`] if any layer's weights are empty or
     /// non-finite.
     pub fn from_trained(model: &Vgg) -> Result<Self, QuantError> {
+        Self::lower(model, false).map_err(expect_quant)
+    }
+
+    /// Like [`DeployedVgg::from_trained`], but a layer without a trained
+    /// bit-width is a [`DeployError::Unquantized`] instead of a silent
+    /// 16-bit fallback — a half-trained checkpoint cannot masquerade as a
+    /// 16-bit deployment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] on unquantized layers or non-finite
+    /// weights.
+    pub fn from_trained_strict(model: &Vgg) -> Result<Self, DeployError> {
+        Self::lower(model, true)
+    }
+
+    fn lower(model: &Vgg, strict: bool) -> Result<Self, DeployError> {
         let mut blocks = Vec::new();
         for (index, block) in model.conv_blocks().iter().enumerate() {
-            let (conv, out_bits) = lower_conv_block(block)?;
+            let (conv, out_bits) = lower_conv_block(block, strict)?;
             blocks.push(DeployedBlock {
                 conv,
                 pool: model.pool_after(index),
@@ -123,7 +199,7 @@ impl DeployedVgg {
         }
         Ok(Self {
             blocks,
-            head: lower_head(model.head())?,
+            head: lower_head(model.head(), strict)?,
             energy_model: PimEnergyModel::paper_table4(),
         })
     }
@@ -231,14 +307,29 @@ impl DeployedResNet {
     /// Returns [`QuantError`] if any layer's weights are empty or
     /// non-finite.
     pub fn from_trained(model: &ResNet) -> Result<Self, QuantError> {
-        let (stem, stem_bits) = lower_conv_block(model.stem())?;
+        Self::lower(model, false).map_err(expect_quant)
+    }
+
+    /// Like [`DeployedResNet::from_trained`], but unquantized layers are a
+    /// typed [`DeployError::Unquantized`] instead of a 16-bit fallback.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] on unquantized layers or non-finite
+    /// weights.
+    pub fn from_trained_strict(model: &ResNet) -> Result<Self, DeployError> {
+        Self::lower(model, true)
+    }
+
+    fn lower(model: &ResNet, strict: bool) -> Result<Self, DeployError> {
+        let (stem, stem_bits) = lower_conv_block(model.stem(), strict)?;
         let mut blocks = Vec::new();
         for index in 0..model.block_count() {
             let view = model.block_view(index);
-            let (conv1, conv1_bits) = lower_conv_block(view.conv1)?;
-            let (conv2, _) = lower_conv_block(view.conv2)?;
+            let (conv1, conv1_bits) = lower_conv_block(view.conv1, strict)?;
+            let (conv2, _) = lower_conv_block(view.conv2, strict)?;
             let proj = match view.proj {
-                Some(p) => Some(lower_conv_block(p)?.0),
+                Some(p) => Some(lower_conv_block(p, strict)?.0),
                 None => None,
             };
             blocks.push(DeployedBasicBlock {
@@ -253,7 +344,7 @@ impl DeployedResNet {
             stem,
             stem_bits,
             blocks,
-            head: lower_head(model.head())?,
+            head: lower_head(model.head(), strict)?,
             energy_model: PimEnergyModel::paper_table4(),
         })
     }
@@ -499,6 +590,38 @@ mod tests {
         let deployed = DeployedResNet::from_trained(&model).unwrap();
         // stem + block0 (2 convs, identity) + block1 (2 convs + proj) + head
         assert_eq!(deployed.precisions().len(), 1 + 2 + 3 + 1);
+    }
+
+    #[test]
+    fn strict_lowering_rejects_unquantized_layers() {
+        let model = Vgg::tiny(3, 8, 4, 30); // no bits assigned anywhere
+        match DeployedVgg::from_trained_strict(&model) {
+            Err(DeployError::Unquantized { layer }) => assert_eq!(layer, "conv1"),
+            other => panic!("expected Unquantized error, got {:?}", other.err()),
+        }
+        let resnet = adq_nn::ResNet::tiny(3, 8, 4, 31);
+        assert!(matches!(
+            DeployedResNet::from_trained_strict(&resnet),
+            Err(DeployError::Unquantized { .. })
+        ));
+    }
+
+    #[test]
+    fn strict_lowering_accepts_fully_quantized_models() {
+        let (mut model, _, _) = trained_model();
+        for i in 0..model.layer_count() {
+            model.set_bits_of(i, Some(BitWidth::new(4).unwrap()));
+        }
+        assert!(DeployedVgg::from_trained_strict(&model).is_ok());
+    }
+
+    #[test]
+    fn lenient_lowering_counts_unquantized_fallbacks() {
+        let model = Vgg::tiny(3, 8, 4, 32); // 3 convs + head, none quantized
+        let counter = adq_telemetry::metrics::global().counter("deploy.unquantized_fallback");
+        let before = counter.get();
+        DeployedVgg::from_trained(&model).unwrap();
+        assert_eq!(counter.get() - before, 4);
     }
 
     #[test]

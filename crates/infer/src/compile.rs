@@ -1,0 +1,647 @@
+//! Lowering a trained [`Vgg`] into a self-contained [`CompiledVgg`]:
+//! BN-folded weights quantized at each layer's trained bit-width, packed
+//! into the bit-width's storage container, plus the frozen requantization
+//! parameters the integer kernels need between layers.
+//!
+//! This extends the float-simulated lowering in `adq-core`'s `deploy`
+//! module with a datapath that executes real integer arithmetic through
+//! [`crate::qgemm`]. The affine algebra is the same one the PIM
+//! simulation uses: for uniform affine quantizers `x = x_min + c·s`,
+//!
+//! ```text
+//! Σ fq(w)·fq(a) = s_w·s_a·Σ c_w·c_a
+//!               + w_min·s_a·Σ c_a + a_min·s_w·Σ c_w + n·w_min·a_min
+//! ```
+//!
+//! so each output needs one wide integer dot product (the GEMM) plus the
+//! cheap per-row code sums [`PackedMatrix`] precomputes. One deliberate
+//! difference from the PIM path: convolution padding is quantized like
+//! any other activation (its code is `quantize(0.0)`, the zero point), so
+//! `n` is the full fan-in — the convention of real integer engines, which
+//! pad the code matrix with the zero point rather than skipping taps.
+//! The residual against exact-zero padding is below one activation
+//! quantization step per padded tap; argmax-level agreement with the
+//! float-simulated deployment is enforced by `tests/golden_equivalence.rs`.
+//!
+//! Activation quantizers are **calibrated post-training**: compilation
+//! runs a calibration batch through the integer engine itself, fits each
+//! layer's input range at the carried precision, and freezes it. This
+//! replaces the per-batch range fitting the training-time simulation uses
+//! — a server cannot re-fit ranges per request batch without making
+//! results batch-composition-dependent.
+
+use adq_nn::{MaxPool2d, QuantModel, Vgg};
+use adq_quant::{BitWidth, Encoder, HwPrecision, QuantError, Quantizer};
+use adq_telemetry::metrics;
+use adq_tensor::{Conv2dGeom, Tensor};
+
+use crate::qgemm::{qgemm, Container, PackedMatrix};
+
+/// Why a model could not be lowered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// A layer has no trained bit-width and [`CompileOptions`] forbids the
+    /// 16-bit fallback.
+    Unquantized {
+        /// Name of the offending layer.
+        layer: String,
+    },
+    /// Weight or activation quantization failed (empty / non-finite data).
+    Quant(QuantError),
+    /// The calibration batch does not match the model's input shape.
+    Shape(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Unquantized { layer } => {
+                write!(f, "layer '{layer}' has no trained bit-width")
+            }
+            CompileError::Quant(e) => write!(f, "quantization failed: {e}"),
+            CompileError::Shape(msg) => write!(f, "shape mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<QuantError> for CompileError {
+    fn from(e: QuantError) -> Self {
+        CompileError::Quant(e)
+    }
+}
+
+/// Lowering policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CompileOptions {
+    /// When `true` (the default, matching `deploy.rs`), layers without a
+    /// trained bit-width fall back to 16-bit and bump the
+    /// `infer.compile.unquantized_fallback` counter; when `false` they
+    /// fail with [`CompileError::Unquantized`].
+    pub allow_unquantized: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        Self {
+            allow_unquantized: true,
+        }
+    }
+}
+
+fn layer_bits(
+    name: &str,
+    bits: Option<BitWidth>,
+    options: CompileOptions,
+) -> Result<BitWidth, CompileError> {
+    match bits {
+        Some(b) => Ok(b),
+        None if options.allow_unquantized => {
+            metrics::global()
+                .counter("infer.compile.unquantized_fallback")
+                .inc();
+            Ok(BitWidth::SIXTEEN)
+        }
+        None => Err(CompileError::Unquantized {
+            layer: name.to_string(),
+        }),
+    }
+}
+
+/// A frozen activation quantizer at a carried precision; degenerate
+/// calibration data falls back to the point range (same convention as
+/// `deploy.rs`).
+fn frozen_act_quantizer(bits: BitWidth, data: &[f32]) -> Quantizer {
+    Quantizer::fit(bits, data).unwrap_or_else(|_| Quantizer::new(bits, Default::default()))
+}
+
+/// One lowered convolution layer: packed BN-folded weight codes plus the
+/// requantization constants of the affine expansion.
+#[derive(Debug, Clone)]
+pub struct CompiledConv {
+    geom: Conv2dGeom,
+    /// Packed weight codes, `[O, I·p·p]`.
+    weights: PackedMatrix,
+    weight_q: Quantizer,
+    /// Frozen quantizer for this layer's *input* activations.
+    act_q: Quantizer,
+    bias: Vec<f32>,
+    precision: HwPrecision,
+    container: Container,
+    /// Whether a 2×2 max-pool follows.
+    pool: bool,
+}
+
+/// The lowered classifier head.
+#[derive(Debug, Clone)]
+pub struct CompiledLinear {
+    in_features: usize,
+    out_features: usize,
+    weights: PackedMatrix,
+    weight_q: Quantizer,
+    act_q: Quantizer,
+    bias: Vec<f32>,
+    precision: HwPrecision,
+    container: Container,
+}
+
+/// A trained [`Vgg`] lowered to bit-packed integer inference — weights
+/// folded, quantized, and packed; activation ranges calibrated and frozen.
+/// Self-contained: holds no reference to the training model and is `Send +
+/// Sync`, so a server can share it behind an `Arc`.
+#[derive(Debug, Clone)]
+pub struct CompiledVgg {
+    convs: Vec<CompiledConv>,
+    head: CompiledLinear,
+    classes: usize,
+    in_channels: usize,
+    input_hw: usize,
+}
+
+impl CompiledVgg {
+    /// Lowers `model`, calibrating activation ranges on `calibration`
+    /// (shape `[N, C, H, W]` matching the model input).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] on unquantized layers (strict mode only),
+    /// non-finite weights, or a calibration shape mismatch.
+    pub fn compile(
+        model: &Vgg,
+        calibration: &Tensor,
+        options: CompileOptions,
+    ) -> Result<Self, CompileError> {
+        let stats = model.layer_stats();
+        let first_geom = model.conv_blocks()[0].geom();
+        let input_hw = stats[0].input_hw;
+        if calibration.rank() != 4
+            || calibration.dims()[1] != first_geom.in_channels
+            || calibration.dims()[2] != input_hw
+            || calibration.dims()[3] != input_hw
+        {
+            return Err(CompileError::Shape(format!(
+                "calibration batch {:?} does not match model input [N, {}, {input_hw}, {input_hw}]",
+                calibration.dims(),
+                first_geom.in_channels
+            )));
+        }
+
+        let mut convs = Vec::new();
+        let mut x = calibration.clone();
+        // network input is carried at the accelerator's full width
+        let mut carry_bits = BitWidth::SIXTEEN;
+        for (index, block) in model.conv_blocks().iter().enumerate() {
+            let bits = layer_bits(block.name(), block.bits(), options)?;
+            let (weight, bias) = block.folded_weight_bias();
+            let weight_q = Quantizer::fit(bits, weight.data())?;
+            let act_q = frozen_act_quantizer(carry_bits, x.data());
+            let container = Container::for_max_code(weight_q.bits().max_code())
+                .join(Container::for_max_code(act_q.bits().max_code()));
+            let geom = block.geom();
+            let fan_in = geom.in_channels * geom.kernel * geom.kernel;
+            let layer = CompiledConv {
+                geom,
+                weights: PackedMatrix::pack_rows(
+                    weight.data(),
+                    geom.out_channels,
+                    fan_in,
+                    &weight_q,
+                    container,
+                ),
+                weight_q,
+                act_q,
+                bias,
+                precision: HwPrecision::legalize(bits),
+                container,
+                pool: model.pool_after(index),
+            };
+            // calibrate the next layer on this layer's integer output;
+            // encoding through the layer's own quantizer is exactly what
+            // the serving chain feeds it
+            let codes = encode_all(x.data(), &layer.act_q);
+            let dims = [x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]];
+            x = layer.run_calibrate(&codes, dims);
+            carry_bits = bits;
+            convs.push(layer);
+        }
+
+        let head = model.head();
+        let bits = layer_bits(head.name(), head.bits(), options)?;
+        let linear = head.linear();
+        let weight_q = Quantizer::fit(bits, linear.weight.value.data())?;
+        let n = x.dims()[0];
+        let features = x.len() / n.max(1);
+        let flat = x.reshaped(&[n, features]).expect("flatten preserves count");
+        let act_q = frozen_act_quantizer(carry_bits, flat.data());
+        let container = Container::for_max_code(weight_q.bits().max_code())
+            .join(Container::for_max_code(act_q.bits().max_code()));
+        let head = CompiledLinear {
+            in_features: head.in_features(),
+            out_features: head.out_features(),
+            weights: PackedMatrix::pack_rows(
+                linear.weight.value.data(),
+                head.out_features(),
+                head.in_features(),
+                &weight_q,
+                container,
+            ),
+            weight_q,
+            act_q,
+            bias: linear.bias.value.data().to_vec(),
+            precision: HwPrecision::legalize(bits),
+            container,
+        };
+
+        Ok(Self {
+            convs,
+            head,
+            classes: model.classes(),
+            in_channels: first_geom.in_channels,
+            input_hw,
+        })
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Expected input shape as `(channels, height/width)`.
+    pub fn input_shape(&self) -> (usize, usize) {
+        (self.in_channels, self.input_hw)
+    }
+
+    /// Flattened input length of one image.
+    pub fn input_len(&self) -> usize {
+        self.in_channels * self.input_hw * self.input_hw
+    }
+
+    /// Hardware precisions the layers execute at, convs then classifier.
+    pub fn precisions(&self) -> Vec<HwPrecision> {
+        let mut out: Vec<HwPrecision> = self.convs.iter().map(|c| c.precision).collect();
+        out.push(self.head.precision);
+        out
+    }
+
+    /// Storage containers per layer (diagnostics / size accounting).
+    pub fn containers(&self) -> Vec<Container> {
+        let mut out: Vec<Container> = self.convs.iter().map(|c| c.container).collect();
+        out.push(self.head.container);
+        out
+    }
+
+    /// Total packed weight bytes across all layers.
+    pub fn packed_weight_bytes(&self) -> usize {
+        self.convs
+            .iter()
+            .map(|c| c.weights.packed_bytes())
+            .sum::<usize>()
+            + self.head.weights.packed_bytes()
+    }
+
+    /// Integer-only inference: logits `[N, classes]`.
+    ///
+    /// The whole network runs as a fused requantization chain — the input
+    /// is encoded once, every conv consumes and emits integer codes in
+    /// the next layer's code space, and only the head's logits come back
+    /// as floats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is not `[N, C, H, W]` matching the model.
+    pub fn run(&self, images: &Tensor) -> Tensor {
+        assert_eq!(images.rank(), 4, "input must be NCHW");
+        let d = images.dims();
+        let mut dims = [d[0], d[1], d[2], d[3]];
+        let mut codes = encode_all(images.data(), &self.convs[0].act_q);
+        for (i, conv) in self.convs.iter().enumerate() {
+            let next_q = match self.convs.get(i + 1) {
+                Some(next) => &next.act_q,
+                None => &self.head.act_q,
+            };
+            (codes, dims) = conv.run_codes(&codes, dims, &next_q.encoder());
+        }
+        let [n, c, h, w] = dims;
+        self.head.run_codes(&codes, n, c * h * w)
+    }
+}
+
+/// Encodes a float slice into a `u16` code buffer — the entry into the
+/// fused code chain (network input, or calibration activations).
+fn encode_all(values: &[f32], quantizer: &Quantizer) -> Vec<u16> {
+    let enc = quantizer.encoder();
+    values.iter().map(|&v| enc.encode(v) as u16).collect()
+}
+
+/// 2×2 stride-2 max-pool on a code tensor. Quantization codes are
+/// monotone in the values they represent, so pooling codes is exactly
+/// pooling values followed by encoding.
+fn maxpool2_codes(codes: &[u16], dims: [usize; 4]) -> (Vec<u16>, [usize; 4]) {
+    let [n, c, h, w] = dims;
+    assert!(
+        h % 2 == 0 && w % 2 == 0,
+        "spatial dims {h}x{w} not divisible by pool window 2"
+    );
+    let (oh, ow) = (h / 2, w / 2);
+    let mut out = vec![0u16; n * c * oh * ow];
+    for plane in 0..n * c {
+        let src = &codes[plane * h * w..(plane + 1) * h * w];
+        let dst = &mut out[plane * oh * ow..(plane + 1) * oh * ow];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let i0 = (oy * 2) * w + ox * 2;
+                dst[oy * ow + ox] = src[i0]
+                    .max(src[i0 + 1])
+                    .max(src[i0 + w])
+                    .max(src[i0 + w + 1]);
+            }
+        }
+    }
+    (out, [n, c, oh, ow])
+}
+
+impl CompiledConv {
+    /// Gathers the transposed `[M, fan_in]` code matrix straight from the
+    /// NCHW input codes — integer im2col. Out-of-bounds taps get the
+    /// activation quantizer's zero-point code (`quantize(0.0)`), matching
+    /// what quantizing a zero-padded float buffer would produce.
+    fn gather_cols(&self, codes: &[u16], dims: [usize; 4]) -> PackedMatrix {
+        let [n, c, h, w] = dims;
+        assert_eq!(
+            c, self.geom.in_channels,
+            "channel mismatch: input {dims:?} vs geom {:?}",
+            self.geom
+        );
+        let (oh, ow) = (self.geom.output_size(h), self.geom.output_size(w));
+        let p = self.geom.kernel;
+        let stride = self.geom.stride;
+        let padding = self.geom.padding;
+        let fan_in = c * p * p;
+        let m = n * oh * ow;
+        let pad_code = self.act_q.quantize(0.0) as u16;
+        let mut staged = vec![0u16; m * fan_in];
+        let mut idx = 0;
+        for ni in 0..n {
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    for ci in 0..c {
+                        let in_base = (ni * c + ci) * h * w;
+                        for kh in 0..p {
+                            // underflow wraps far past `h`, folding both
+                            // padding sides into one bounds check
+                            let ih = (ohi * stride + kh).wrapping_sub(padding);
+                            if ih >= h {
+                                staged[idx..idx + p].fill(pad_code);
+                                idx += p;
+                                continue;
+                            }
+                            let row = in_base + ih * w;
+                            for kw in 0..p {
+                                let iw = (owi * stride + kw).wrapping_sub(padding);
+                                staged[idx] = if iw < w { codes[row + iw] } else { pad_code };
+                                idx += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        PackedMatrix::from_codes(&staged, m, fan_in, self.container)
+    }
+
+    /// Shared GEMM + requantization core: computes every pre-pool output
+    /// as a bias-added, ReLU-clamped float and hands it to `sink` with
+    /// its NCHW index.
+    fn forward_into(
+        &self,
+        codes: &[u16],
+        dims: [usize; 4],
+        mut sink: impl FnMut(usize, f32),
+    ) -> [usize; 4] {
+        let [n, _, h, w] = dims;
+        let acts = self.gather_cols(codes, dims);
+        let (oh, ow) = (self.geom.output_size(h), self.geom.output_size(w));
+        let spatial = oh * ow;
+        let oc = self.geom.out_channels;
+        let fan_in = acts.k();
+        // requantization constants of the affine expansion
+        let s_w = f64::from(self.weight_q.step());
+        let s_a = f64::from(self.act_q.step());
+        let w_min = f64::from(self.weight_q.range().min());
+        let a_min = f64::from(self.act_q.range().min());
+        let taps = fan_in as f64;
+        let sum_ca = acts.row_sums();
+        let sum_cw = self.weights.row_sums();
+        qgemm(&acts, &self.weights, |mi, oi, acc| {
+            let value = s_w * s_a * acc as f64
+                + w_min * s_a * sum_ca[mi] as f64
+                + a_min * s_w * sum_cw[oi] as f64
+                + taps * w_min * a_min
+                + f64::from(self.bias[oi]);
+            let (ni, s) = (mi / spatial, mi % spatial);
+            // fused ReLU, delivered in NCHW order
+            sink((ni * oc + oi) * spatial + s, (value as f32).max(0.0));
+        });
+        [n, oc, oh, ow]
+    }
+
+    /// Serving path: consumes input codes, emits the *next* layer's input
+    /// codes directly (fused requantization chain — no float tensor
+    /// materializes between layers). Max-pooling runs on codes.
+    fn run_codes(
+        &self,
+        codes: &[u16],
+        dims: [usize; 4],
+        next_enc: &Encoder,
+    ) -> (Vec<u16>, [usize; 4]) {
+        let mut out = Vec::new();
+        let out_dims = {
+            let [n, _, h, w] = dims;
+            let (oh, ow) = (self.geom.output_size(h), self.geom.output_size(w));
+            out.resize(n * self.geom.out_channels * oh * ow, 0u16);
+            self.forward_into(codes, dims, |i, v| out[i] = next_enc.encode(v) as u16)
+        };
+        if self.pool {
+            maxpool2_codes(&out, out_dims)
+        } else {
+            (out, out_dims)
+        }
+    }
+
+    /// Calibration path: same integer datapath, but the requantized
+    /// activations are kept as floats so the *next* layer's quantizer can
+    /// be fitted on them before its encoder exists.
+    fn run_calibrate(&self, codes: &[u16], dims: [usize; 4]) -> Tensor {
+        let mut staged = Vec::new();
+        let out_dims = {
+            let [n, _, h, w] = dims;
+            let (oh, ow) = (self.geom.output_size(h), self.geom.output_size(w));
+            staged.resize(n * self.geom.out_channels * oh * ow, 0f32);
+            self.forward_into(codes, dims, |i, v| staged[i] = v)
+        };
+        let mut out = Tensor::from_vec(staged, &out_dims).expect("sized above");
+        if self.pool {
+            let mut pool = MaxPool2d::new(2);
+            out = pool.forward(&out);
+        }
+        out
+    }
+}
+
+impl CompiledLinear {
+    /// Runs the head on flattened `[N, in]` input codes, producing float
+    /// logits — the only float tensor the serving chain materializes.
+    fn run_codes(&self, codes: &[u16], n: usize, features: usize) -> Tensor {
+        assert_eq!(features, self.in_features, "feature mismatch");
+        let acts = PackedMatrix::from_codes(codes, n, self.in_features, self.container);
+        let s_w = f64::from(self.weight_q.step());
+        let s_a = f64::from(self.act_q.step());
+        let w_min = f64::from(self.weight_q.range().min());
+        let a_min = f64::from(self.act_q.range().min());
+        let taps = self.in_features as f64;
+        let sum_ca = acts.row_sums();
+        let sum_cw = self.weights.row_sums();
+        let mut out = Tensor::zeros(&[n, self.out_features]);
+        {
+            let o = self.out_features;
+            let dst = out.data_mut();
+            qgemm(&acts, &self.weights, |ni, oi, acc| {
+                dst[ni * o + oi] = (s_w * s_a * acc as f64
+                    + w_min * s_a * sum_ca[ni] as f64
+                    + a_min * s_w * sum_cw[oi] as f64
+                    + taps * w_min * a_min
+                    + f64::from(self.bias[oi])) as f32;
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adq_nn::QuantModel;
+    use adq_tensor::init;
+
+    fn quantized_tiny(bits: &[u32]) -> Vgg {
+        let mut model = Vgg::tiny(3, 8, 4, 42);
+        for (i, &b) in bits.iter().enumerate() {
+            model.set_bits_of(i, Some(BitWidth::new(b).unwrap()));
+        }
+        model
+    }
+
+    #[test]
+    fn compile_and_run_shapes() {
+        let model = quantized_tiny(&[8, 4, 2, 8]);
+        let mut r = init::rng(1);
+        let images = init::normal(&[3, 3, 8, 8], 0.0, 1.0, &mut r);
+        let compiled = CompiledVgg::compile(&model, &images, CompileOptions::default()).unwrap();
+        let logits = compiled.run(&images);
+        assert_eq!(logits.dims(), &[3, 4]);
+        assert!(logits.data().iter().all(|v| v.is_finite()));
+        assert_eq!(compiled.precisions().len(), 4);
+        assert_eq!(compiled.input_shape(), (3, 8));
+        assert_eq!(compiled.input_len(), 3 * 8 * 8);
+    }
+
+    #[test]
+    fn containers_snap_to_the_hw_grid() {
+        let model = quantized_tiny(&[2, 4, 8, 16]);
+        let mut r = init::rng(2);
+        let images = init::normal(&[2, 3, 8, 8], 0.0, 1.0, &mut r);
+        let compiled = CompiledVgg::compile(&model, &images, CompileOptions::default()).unwrap();
+        // first conv reads SIXTEEN-bit network input, so its container is
+        // U16 regardless of its 2-bit weights; conv2 reads 2-bit codes
+        // with 4-bit weights (Nib); conv3 reads 4-bit with 8-bit (U8);
+        // the head reads 8-bit with 16-bit weights (U16)
+        assert_eq!(
+            compiled.containers(),
+            vec![
+                Container::U16,
+                Container::Nib,
+                Container::U8,
+                Container::U16
+            ]
+        );
+        assert_eq!(
+            compiled.precisions(),
+            vec![
+                HwPrecision::B2,
+                HwPrecision::B4,
+                HwPrecision::B8,
+                HwPrecision::B16
+            ]
+        );
+        assert!(compiled.packed_weight_bytes() > 0);
+    }
+
+    #[test]
+    fn strict_mode_rejects_unquantized_layers() {
+        let model = Vgg::tiny(3, 8, 4, 7); // no bits assigned
+        let images = Tensor::zeros(&[1, 3, 8, 8]);
+        let strict = CompileOptions {
+            allow_unquantized: false,
+        };
+        match CompiledVgg::compile(&model, &images, strict) {
+            Err(CompileError::Unquantized { layer }) => assert_eq!(layer, "conv1"),
+            other => panic!("expected Unquantized error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lenient_mode_counts_fallbacks() {
+        let model = Vgg::tiny(3, 8, 4, 8); // no bits assigned
+        let mut r = init::rng(3);
+        let images = init::normal(&[2, 3, 8, 8], 0.0, 1.0, &mut r);
+        let counter = metrics::global().counter("infer.compile.unquantized_fallback");
+        let before = counter.get();
+        let compiled = CompiledVgg::compile(&model, &images, CompileOptions::default()).unwrap();
+        // 3 convs + head all fell back
+        assert_eq!(counter.get() - before, 4);
+        assert!(compiled.precisions().iter().all(|&p| p == HwPrecision::B16));
+    }
+
+    #[test]
+    fn calibration_shape_mismatch_is_a_typed_error() {
+        let model = quantized_tiny(&[8, 8, 8, 8]);
+        let images = Tensor::zeros(&[1, 3, 16, 16]);
+        assert!(matches!(
+            CompiledVgg::compile(&model, &images, CompileOptions::default()),
+            Err(CompileError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn inference_is_deterministic_across_runs() {
+        let model = quantized_tiny(&[8, 4, 8, 8]);
+        let mut r = init::rng(4);
+        let images = init::normal(&[2, 3, 8, 8], 0.0, 1.0, &mut r);
+        let compiled = CompiledVgg::compile(&model, &images, CompileOptions::default()).unwrap();
+        let a = compiled.run(&images);
+        let b = compiled.run(&images);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batch_of_one_matches_row_of_batch() {
+        // dynamic batching must not change results: running an image alone
+        // and inside a batch must produce identical logits, because the
+        // quantizers are frozen (not per-batch)
+        let model = quantized_tiny(&[8, 4, 2, 8]);
+        let mut r = init::rng(5);
+        let images = init::normal(&[3, 3, 8, 8], 0.0, 1.0, &mut r);
+        let compiled = CompiledVgg::compile(&model, &images, CompileOptions::default()).unwrap();
+        let batched = compiled.run(&images);
+        for i in 0..3 {
+            let one = images.index_axis0(i);
+            let solo = compiled.run(&one.reshaped(&[1, 3, 8, 8]).unwrap());
+            assert_eq!(
+                solo.data(),
+                &batched.data()[i * 4..(i + 1) * 4],
+                "image {i}"
+            );
+        }
+    }
+}

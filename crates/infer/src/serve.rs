@@ -1,0 +1,771 @@
+//! Dynamic-batching TCP serving front-end for a [`CompiledVgg`].
+//!
+//! Same std-only networking pattern as `adq-telemetry`'s
+//! `MetricsEndpoint`: a [`TcpListener`] owned by an accept thread, one
+//! thread per connection, no HTTP library. Connections speak a
+//! length-prefixed binary protocol; inference requests from *all*
+//! connections funnel into one queue, where a batcher thread coalesces
+//! them — up to [`ServeConfig::max_batch`] requests, or whatever has
+//! arrived when the oldest request's [`ServeConfig::max_wait`] deadline
+//! expires — and runs them through the batched integer kernels in a
+//! single [`CompiledVgg::run`] call.
+//!
+//! ## Wire protocol
+//!
+//! Every frame is `u32` little-endian payload length, then the payload.
+//! Request payload: `[kind: u8][id: u64 LE][n: u32 LE][n × f32 LE]`
+//! with kinds `1` = infer (`n` = flattened input length), `2` = ping,
+//! `3` = shutdown. Response payload: `[status: u8][id: u64 LE]
+//! [n: u32 LE][n × f32 LE]`; status `0` carries the logits, status `1`
+//! carries a UTF-8 error message in place of the floats.
+//!
+//! ## Observability
+//!
+//! The batcher publishes `serve.queue_depth` and `serve.inflight` gauges,
+//! `serve.batch_size`, `serve.latency_ns` (enqueue → response ready) and
+//! `serve.batch_run_ns` histograms, and `serve.requests` / `serve.errors`
+//! counters through the global [`adq_telemetry::metrics`] registry — so a
+//! `MetricsEndpoint` bound in the same process exposes them to Prometheus
+//! and `adq-watch --scrape` with no extra wiring.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use adq_telemetry::metrics;
+use adq_telemetry::span;
+use adq_tensor::Tensor;
+
+use crate::compile::CompiledVgg;
+
+/// Request kind: run inference on one flattened image.
+const KIND_INFER: u8 = 1;
+/// Request kind: liveness check, echoes an empty OK.
+const KIND_PING: u8 = 2;
+/// Request kind: stop the server after draining the queue.
+const KIND_SHUTDOWN: u8 = 3;
+
+/// Response status: success, payload carries logits.
+const STATUS_OK: u8 = 0;
+/// Response status: failure, payload carries a UTF-8 message.
+const STATUS_ERR: u8 = 1;
+
+/// Upper bound on accepted frame payloads (guards the length prefix).
+const MAX_FRAME: usize = 16 << 20;
+
+/// Batching knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Most requests coalesced into one model invocation.
+    pub max_batch: usize,
+    /// Longest the oldest queued request waits for company.
+    pub max_wait: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        // Concurrent closed-loop clients re-enqueue within microseconds of
+        // each other (their previous responses complete together), so a
+        // short gather window coalesces full batches without taxing the
+        // lightly-loaded case a long deadline would.
+        Self {
+            max_batch: 8,
+            max_wait: Duration::from_micros(500),
+        }
+    }
+}
+
+/// One queued inference request.
+struct Pending {
+    input: Vec<f32>,
+    enqueued: Instant,
+    resp: std::sync::mpsc::Sender<Result<Vec<f32>, String>>,
+}
+
+#[derive(Default)]
+struct Queue {
+    items: VecDeque<Pending>,
+    /// Set once; the batcher drains what is queued, then exits.
+    closed: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let mut q = self.queue.lock().expect("serve queue lock");
+        q.closed = true;
+        drop(q);
+        self.wake.notify_all();
+    }
+}
+
+/// A running inference server. Dropping without [`Server::shutdown`]
+/// leaks the accept thread; tests and binaries should shut down
+/// explicitly.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+    batcher_handle: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an OS-assigned port) and starts the
+    /// accept loop and the batcher thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket-level error from binding.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        model: Arc<CompiledVgg>,
+        config: ServeConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue::default()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_model = Arc::clone(&model);
+        let accept_handle = std::thread::Builder::new()
+            .name("adq-serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_model, accept_shared))
+            .expect("spawn accept thread");
+
+        let batcher_shared = Arc::clone(&shared);
+        let batcher_handle = std::thread::Builder::new()
+            .name("adq-serve-batch".into())
+            .spawn(move || batcher_loop(model, batcher_shared, config))
+            .expect("spawn batcher thread");
+
+        Ok(Server {
+            addr: local,
+            shared,
+            accept_handle: Some(accept_handle),
+            batcher_handle: Some(batcher_handle),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a shutdown has been requested (locally or over the wire).
+    pub fn shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, drains queued requests, and joins both service
+    /// threads.
+    pub fn shutdown(&mut self) {
+        self.shared.request_shutdown();
+        // unblock the accept loop with a wake-up connection
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.batcher_handle.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Parks the caller until both service threads exit (a remote
+    /// shutdown frame, or a prior [`Server::shutdown`]).
+    pub fn wait(&mut self) {
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.batcher_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, model: Arc<CompiledVgg>, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_shared = Arc::clone(&shared);
+        let conn_model = Arc::clone(&model);
+        let _ = std::thread::Builder::new()
+            .name("adq-serve-conn".into())
+            .spawn(move || {
+                let _ = serve_connection(stream, conn_model, conn_shared);
+            });
+    }
+}
+
+/// Handles one client connection until EOF or shutdown.
+fn serve_connection(
+    mut stream: TcpStream,
+    model: Arc<CompiledVgg>,
+    shared: Arc<Shared>,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let requests = metrics::global().counter("serve.requests");
+    let errors = metrics::global().counter("serve.errors");
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => return Ok(()), // clean EOF
+            Err(e) => return Err(e),
+        };
+        let Some((kind, id, body)) = parse_request(&payload) else {
+            errors.inc();
+            write_response(&mut stream, STATUS_ERR, 0, ErrBody("malformed frame"))?;
+            continue;
+        };
+        match kind {
+            KIND_PING => write_response(&mut stream, STATUS_OK, id, OkBody(&[]))?,
+            KIND_SHUTDOWN => {
+                write_response(&mut stream, STATUS_OK, id, OkBody(&[]))?;
+                shared.request_shutdown();
+                // wake the accept loop so it can observe the flag
+                let _ = TcpStream::connect(stream.local_addr()?);
+                return Ok(());
+            }
+            KIND_INFER => {
+                requests.inc();
+                if body.len() != model.input_len() {
+                    errors.inc();
+                    write_response(&mut stream, STATUS_ERR, id, ErrBody("bad input length"))?;
+                    continue;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    errors.inc();
+                    write_response(&mut stream, STATUS_ERR, id, ErrBody("shutting down"))?;
+                    continue;
+                }
+                let (tx, rx) = std::sync::mpsc::channel();
+                {
+                    let mut q = shared.queue.lock().expect("serve queue lock");
+                    if q.closed {
+                        errors.inc();
+                        write_response(&mut stream, STATUS_ERR, id, ErrBody("shutting down"))?;
+                        continue;
+                    }
+                    q.items.push_back(Pending {
+                        input: body,
+                        enqueued: Instant::now(),
+                        resp: tx,
+                    });
+                    metrics::global()
+                        .gauge("serve.queue_depth")
+                        .set(q.items.len() as f64);
+                }
+                shared.wake.notify_all();
+                match rx.recv() {
+                    Ok(Ok(logits)) => write_response(&mut stream, STATUS_OK, id, OkBody(&logits))?,
+                    Ok(Err(msg)) => {
+                        errors.inc();
+                        write_response(&mut stream, STATUS_ERR, id, ErrBody(&msg))?;
+                    }
+                    Err(_) => {
+                        errors.inc();
+                        write_response(&mut stream, STATUS_ERR, id, ErrBody("server stopped"))?;
+                    }
+                }
+            }
+            _ => {
+                errors.inc();
+                write_response(&mut stream, STATUS_ERR, id, ErrBody("unknown request kind"))?;
+            }
+        }
+    }
+}
+
+/// The batcher: waits for work, coalesces up to `max_batch` requests or
+/// until the oldest request's deadline, and runs one batched inference.
+fn batcher_loop(model: Arc<CompiledVgg>, shared: Arc<Shared>, config: ServeConfig) {
+    let max_batch = config.max_batch.max(1);
+    let queue_depth = metrics::global().gauge("serve.queue_depth");
+    let inflight = metrics::global().gauge("serve.inflight");
+    let batch_sizes =
+        metrics::global().histogram_with_bounds("serve.batch_size", &[1, 2, 4, 8, 16, 32, 64, 128]);
+    let latency = metrics::global().histogram("serve.latency_ns");
+    let batch_run = metrics::global().histogram("serve.batch_run_ns");
+
+    loop {
+        let batch: Vec<Pending> = {
+            let mut q = shared.queue.lock().expect("serve queue lock");
+            // wait for the first request (or close)
+            while q.items.is_empty() && !q.closed {
+                let (guard, _) = shared
+                    .wake
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .expect("serve queue lock");
+                q = guard;
+            }
+            if q.items.is_empty() && q.closed {
+                return;
+            }
+            // give the oldest request's deadline a chance to gather company
+            let deadline = q.items.front().expect("non-empty").enqueued + config.max_wait;
+            while q.items.len() < max_batch && !q.closed {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = shared
+                    .wake
+                    .wait_timeout(q, deadline - now)
+                    .expect("serve queue lock");
+                q = guard;
+            }
+            let take = q.items.len().min(max_batch);
+            let batch: Vec<Pending> = q.items.drain(..take).collect();
+            queue_depth.set(q.items.len() as f64);
+            batch
+        };
+        if batch.is_empty() {
+            continue;
+        }
+
+        let _span = span::span("serve.batch");
+        let started = Instant::now();
+        inflight.set(batch.len() as f64);
+        batch_sizes.record(batch.len() as u64);
+
+        let (c, hw) = {
+            let (c, hw) = model.input_shape();
+            (c, hw)
+        };
+        let mut images = Tensor::zeros(&[batch.len(), c, hw, hw]);
+        let input_len = model.input_len();
+        for (i, pending) in batch.iter().enumerate() {
+            images.data_mut()[i * input_len..(i + 1) * input_len].copy_from_slice(&pending.input);
+        }
+        let logits = model.run(&images);
+        let classes = model.classes();
+        let run_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        batch_run.record(run_ns);
+
+        let done = Instant::now();
+        for (i, pending) in batch.into_iter().enumerate() {
+            let row = logits.data()[i * classes..(i + 1) * classes].to_vec();
+            let waited = u64::try_from((done - pending.enqueued).as_nanos()).unwrap_or(u64::MAX);
+            latency.record(waited);
+            // a disconnected client just drops its response
+            let _ = pending.resp.send(Ok(row));
+        }
+        inflight.set(0.0);
+    }
+}
+
+// ---- wire helpers -------------------------------------------------------
+
+/// Reads one length-prefixed frame; `None` on clean EOF at a frame
+/// boundary.
+fn read_frame(stream: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME} byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> io::Result<()> {
+    stream.write_all(&u32::to_le_bytes(payload.len() as u32))?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+/// Parses a request payload into `(kind, id, floats)`.
+fn parse_request(payload: &[u8]) -> Option<(u8, u64, Vec<f32>)> {
+    if payload.len() < 13 {
+        return None;
+    }
+    let kind = payload[0];
+    let id = u64::from_le_bytes(payload[1..9].try_into().ok()?);
+    let n = u32::from_le_bytes(payload[9..13].try_into().ok()?) as usize;
+    let body = &payload[13..];
+    if body.len() != n * 4 {
+        return None;
+    }
+    let floats = body
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
+        .collect();
+    Some((kind, id, floats))
+}
+
+struct OkBody<'a>(&'a [f32]);
+struct ErrBody<'a>(&'a str);
+
+trait ResponseBody {
+    fn encode(&self, out: &mut Vec<u8>);
+}
+
+impl ResponseBody for OkBody<'_> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&u32::to_le_bytes(self.0.len() as u32));
+        for v in self.0 {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+impl ResponseBody for ErrBody<'_> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&u32::to_le_bytes(0));
+        out.extend_from_slice(self.0.as_bytes());
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u8,
+    id: u64,
+    body: impl ResponseBody,
+) -> io::Result<()> {
+    let mut payload = Vec::with_capacity(13);
+    payload.push(status);
+    payload.extend_from_slice(&id.to_le_bytes());
+    body.encode(&mut payload);
+    write_frame(stream, &payload)
+}
+
+// ---- client -------------------------------------------------------------
+
+/// A blocking client for the serving protocol.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Returns socket-level connect errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream, next_id: 0 })
+    }
+
+    fn request(&mut self, kind: u8, input: &[f32]) -> io::Result<Result<Vec<f32>, String>> {
+        self.next_id += 1;
+        let id = self.next_id;
+        let mut payload = Vec::with_capacity(13 + input.len() * 4);
+        payload.push(kind);
+        payload.extend_from_slice(&id.to_le_bytes());
+        payload.extend_from_slice(&u32::to_le_bytes(input.len() as u32));
+        for v in input {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        write_frame(&mut self.stream, &payload)?;
+        let response = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-request")
+        })?;
+        if response.len() < 13 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "short response frame",
+            ));
+        }
+        let status = response[0];
+        let got_id = u64::from_le_bytes(response[1..9].try_into().expect("8 bytes"));
+        if got_id != id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response id {got_id} does not match request id {id}"),
+            ));
+        }
+        if status == STATUS_OK {
+            let n = u32::from_le_bytes(response[9..13].try_into().expect("4 bytes")) as usize;
+            let body = &response[13..];
+            if body.len() != n * 4 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "response length mismatch",
+                ));
+            }
+            Ok(Ok(body
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
+                .collect()))
+        } else {
+            Ok(Err(String::from_utf8_lossy(&response[13..]).into_owned()))
+        }
+    }
+
+    /// Runs inference on one flattened image, returning logits or the
+    /// server's error message.
+    ///
+    /// # Errors
+    ///
+    /// Returns socket-level I/O errors.
+    pub fn infer(&mut self, input: &[f32]) -> io::Result<Result<Vec<f32>, String>> {
+        self.request(KIND_INFER, input)
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    ///
+    /// Returns socket-level I/O errors or a server-side refusal.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.request(KIND_PING, &[])? {
+            Ok(_) => Ok(()),
+            Err(msg) => Err(io::Error::other(msg)),
+        }
+    }
+
+    /// Asks the server to drain and stop.
+    ///
+    /// # Errors
+    ///
+    /// Returns socket-level I/O errors.
+    pub fn shutdown_server(&mut self) -> io::Result<()> {
+        match self.request(KIND_SHUTDOWN, &[])? {
+            Ok(_) => Ok(()),
+            Err(msg) => Err(io::Error::other(msg)),
+        }
+    }
+}
+
+// ---- load generator -----------------------------------------------------
+
+/// Result of one closed-loop load run.
+#[derive(Debug, Clone)]
+pub struct LoadStats {
+    /// Concurrency level (number of closed-loop clients).
+    pub concurrency: usize,
+    /// Requests completed successfully.
+    pub requests: u64,
+    /// Requests that returned an error.
+    pub errors: u64,
+    /// Wall-clock of the whole run.
+    pub elapsed: Duration,
+    /// Exact per-request latency quantiles, in nanoseconds.
+    pub p50_ns: u64,
+    /// 90th percentile latency in nanoseconds.
+    pub p90_ns: u64,
+    /// 99th percentile latency in nanoseconds.
+    pub p99_ns: u64,
+    /// Mean latency in nanoseconds.
+    pub mean_ns: u64,
+}
+
+impl LoadStats {
+    /// Completed requests per second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.requests as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// Mean wall-clock nanoseconds per completed request, from the
+    /// server's point of view (`elapsed / requests` — the throughput
+    /// metric expressed lower-is-better for `bench_check`).
+    pub fn ns_per_request(&self) -> u64 {
+        if self.requests == 0 {
+            u64::MAX
+        } else {
+            (self.elapsed.as_nanos() / u128::from(self.requests)) as u64
+        }
+    }
+}
+
+/// Runs `concurrency` closed-loop clients, each issuing
+/// `requests_per_client` inference requests back-to-back, and merges the
+/// exact latency distribution.
+///
+/// # Errors
+///
+/// Returns the first socket-level failure any client hits.
+pub fn load_generate(
+    addr: SocketAddr,
+    concurrency: usize,
+    requests_per_client: usize,
+    input_len: usize,
+) -> io::Result<LoadStats> {
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for worker in 0..concurrency {
+        handles.push(std::thread::spawn(
+            move || -> io::Result<(Vec<u64>, u64)> {
+                let mut client = Client::connect(addr)?;
+                // deterministic per-worker input stream (cheap LCG)
+                let mut state = 0x9E3779B97F4A7C15u64 ^ (worker as u64) << 32;
+                let mut latencies = Vec::with_capacity(requests_per_client);
+                let mut errors = 0u64;
+                let mut input = vec![0f32; input_len];
+                for _ in 0..requests_per_client {
+                    for slot in input.iter_mut() {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        *slot = ((state >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0;
+                    }
+                    let sent = Instant::now();
+                    match client.infer(&input)? {
+                        Ok(_) => latencies
+                            .push(u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX)),
+                        Err(_) => errors += 1,
+                    }
+                }
+                Ok((latencies, errors))
+            },
+        ));
+    }
+    let mut latencies = Vec::new();
+    let mut errors = 0u64;
+    for handle in handles {
+        let (worker_latencies, worker_errors) = handle
+            .join()
+            .map_err(|_| io::Error::other("load worker panicked"))??;
+        latencies.extend(worker_latencies);
+        errors += worker_errors;
+    }
+    let elapsed = started.elapsed();
+    latencies.sort_unstable();
+    let quantile = |q: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        latencies[rank - 1]
+    };
+    let mean = if latencies.is_empty() {
+        0
+    } else {
+        (latencies.iter().map(|&v| u128::from(v)).sum::<u128>() / latencies.len() as u128) as u64
+    };
+    Ok(LoadStats {
+        concurrency,
+        requests: latencies.len() as u64,
+        errors,
+        elapsed,
+        p50_ns: quantile(0.50),
+        p90_ns: quantile(0.90),
+        p99_ns: quantile(0.99),
+        mean_ns: mean,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{CompileOptions, CompiledVgg};
+    use adq_nn::{QuantModel, Vgg};
+    use adq_quant::BitWidth;
+    use adq_tensor::init;
+
+    fn compiled_tiny() -> Arc<CompiledVgg> {
+        let mut model = Vgg::tiny(3, 8, 4, 99);
+        for (i, bits) in [8u32, 4, 8, 8].into_iter().enumerate() {
+            model.set_bits_of(i, Some(BitWidth::new(bits).unwrap()));
+        }
+        let mut r = init::rng(100);
+        let calibration = init::normal(&[4, 3, 8, 8], 0.0, 1.0, &mut r);
+        Arc::new(CompiledVgg::compile(&model, &calibration, CompileOptions::default()).unwrap())
+    }
+
+    #[test]
+    fn parse_rejects_malformed_payloads() {
+        assert!(parse_request(&[]).is_none());
+        assert!(parse_request(&[1; 5]).is_none());
+        // n claims 2 floats but body has 1
+        let mut p = vec![KIND_INFER];
+        p.extend_from_slice(&1u64.to_le_bytes());
+        p.extend_from_slice(&2u32.to_le_bytes());
+        p.extend_from_slice(&1.0f32.to_le_bytes());
+        assert!(parse_request(&p).is_none());
+    }
+
+    #[test]
+    fn serve_roundtrip_batches_and_shuts_down() {
+        let model = compiled_tiny();
+        let input_len = model.input_len();
+        let classes = model.classes();
+        let mut server = Server::bind(
+            "127.0.0.1:0",
+            Arc::clone(&model),
+            ServeConfig {
+                max_batch: 4,
+                max_wait: Duration::from_millis(5),
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        // responses must match a direct batched model run exactly
+        let mut r = init::rng(7);
+        let images = init::normal(&[3, 3, 8, 8], 0.0, 1.0, &mut r);
+        let direct = model.run(&images);
+        let mut client = Client::connect(addr).unwrap();
+        client.ping().unwrap();
+        for i in 0..3 {
+            let row = &images.data()[i * input_len..(i + 1) * input_len];
+            let logits = client.infer(row).unwrap().unwrap();
+            assert_eq!(logits.len(), classes);
+            assert_eq!(logits, &direct.data()[i * classes..(i + 1) * classes]);
+        }
+
+        // wrong input length is a protocol-level error, not a hang
+        let err = client.infer(&[1.0, 2.0]).unwrap().unwrap_err();
+        assert!(err.contains("length"), "unexpected error: {err}");
+
+        // concurrent clients coalesce into batches
+        let stats = load_generate(addr, 4, 10, input_len).unwrap();
+        assert_eq!(stats.requests, 40);
+        assert_eq!(stats.errors, 0);
+        assert!(stats.p99_ns >= stats.p50_ns);
+        let sizes = metrics::global()
+            .histogram_with_bounds("serve.batch_size", &[1, 2, 4, 8, 16, 32, 64, 128]);
+        assert!(sizes.count() > 0, "batcher recorded no batches");
+
+        // remote shutdown drains and stops both threads
+        client.shutdown_server().unwrap();
+        server.wait();
+        assert!(server.shutting_down());
+        assert!(
+            Client::connect(addr).is_err() || {
+                // the listener may accept one last queued connection; a fresh
+                // request on it must be refused
+                true
+            }
+        );
+    }
+
+    #[test]
+    fn local_shutdown_joins_threads() {
+        let model = compiled_tiny();
+        let mut server = Server::bind("127.0.0.1:0", model, ServeConfig::default()).unwrap();
+        server.shutdown();
+        assert!(server.shutting_down());
+    }
+}

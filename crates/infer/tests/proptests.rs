@@ -1,0 +1,155 @@
+//! Property-based bit-exactness tests for the integer kernels: every
+//! dispatched path (AVX2 when the CPU has it, scalar otherwise) must
+//! agree with the plain wide-integer reference at every length — the
+//! requantization algebra in `compile.rs` is only correct if the raw
+//! code dot products are exact.
+
+use adq_infer::qgemm::{
+    dot4_u8, dot_nib, dot_nib_reference, dot_u16, dot_u16_reference, dot_u8, dot_u8_reference,
+    qgemm, Container, PackedMatrix,
+};
+use proptest::prelude::*;
+
+/// Exact dot product in plain u64/i64 arithmetic — the ground truth all
+/// kernel paths must reproduce bit-for-bit.
+fn wide_dot(a: &[u64], w: &[u64]) -> i64 {
+    a.iter().zip(w).map(|(&x, &y)| (x * y) as i64).sum()
+}
+
+/// Packs nibble codes (values 0..=15) low-nibble-first, the layout
+/// `Container::Nib` uses; an odd tail leaves the final high nibble zero.
+fn pack_nibbles(codes: &[u64]) -> Vec<u8> {
+    let mut out = vec![0u8; codes.len().div_ceil(2)];
+    for (i, &c) in codes.iter().enumerate() {
+        out[i / 2] |= (c as u8) << ((i & 1) * 4);
+    }
+    out
+}
+
+fn codes_pair(
+    max: u64,
+    len: impl Strategy<Value = usize>,
+) -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
+    len.prop_flat_map(move |n| {
+        (
+            proptest::collection::vec(0..=max, n),
+            proptest::collection::vec(0..=max, n),
+        )
+    })
+}
+
+proptest! {
+    // Lengths up to 128 sweep every tail residue of the 16/8/64-lane
+    // SIMD strides several times over.
+    #[test]
+    fn u8_dot_is_bit_exact((a, w) in codes_pair(255, 0usize..=128)) {
+        let a8: Vec<u8> = a.iter().map(|&c| c as u8).collect();
+        let w8: Vec<u8> = w.iter().map(|&c| c as u8).collect();
+        let want = wide_dot(&a, &w);
+        prop_assert_eq!(dot_u8_reference(&a8, &w8), want);
+        prop_assert_eq!(dot_u8(&a8, &w8), want);
+    }
+
+    #[test]
+    fn u8_blocked_dot_matches_four_plain_dots(
+        (a, w0) in codes_pair(255, 0usize..=128),
+        seed in 0u64..1000,
+    ) {
+        let a8: Vec<u8> = a.iter().map(|&c| c as u8).collect();
+        // derive three more weight rows of the same length from the seed
+        let mut rows = vec![w0.iter().map(|&c| c as u8).collect::<Vec<u8>>()];
+        let mut state = seed;
+        for _ in 0..3 {
+            rows.push(
+                (0..a.len())
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        (state >> 33) as u8
+                    })
+                    .collect(),
+            );
+        }
+        let got = dot4_u8(&a8, [&rows[0], &rows[1], &rows[2], &rows[3]]);
+        for j in 0..4 {
+            prop_assert_eq!(got[j], dot_u8_reference(&a8, &rows[j]), "row {}", j);
+        }
+    }
+
+    #[test]
+    fn u16_dot_is_bit_exact((a, w) in codes_pair(65_535, 0usize..=64)) {
+        let a16: Vec<u16> = a.iter().map(|&c| c as u16).collect();
+        let w16: Vec<u16> = w.iter().map(|&c| c as u16).collect();
+        let want = wide_dot(&a, &w);
+        prop_assert_eq!(dot_u16_reference(&a16, &w16), want);
+        prop_assert_eq!(dot_u16(&a16, &w16), want);
+    }
+
+    #[test]
+    fn nibble_dot_is_bit_exact((a, w) in codes_pair(15, 0usize..=160)) {
+        let ap = pack_nibbles(&a);
+        let wp = pack_nibbles(&w);
+        let want = wide_dot(&a, &w);
+        prop_assert_eq!(dot_nib_reference(&ap, &wp), want);
+        prop_assert_eq!(dot_nib(&ap, &wp), want);
+    }
+
+    // End-to-end through packing and dispatch: for every storage
+    // container, a full qgemm over packed code matrices must emit the
+    // exact wide-integer accumulator for every (row, row) pair.
+    #[test]
+    fn qgemm_emits_exact_accumulators(
+        container_pick in 0usize..3,
+        m in 1usize..6,
+        o in 1usize..6,
+        k in 0usize..40,
+        seed in 0u64..1000,
+    ) {
+        let (container, max) = [
+            (Container::Nib, 15u64),
+            (Container::U8, 255),
+            (Container::U16, 65_535),
+        ][container_pick];
+        let mut state = seed;
+        let mut draw = |n: usize| -> Vec<u64> {
+            (0..n)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (state >> 33) % (max + 1)
+                })
+                .collect()
+        };
+        let act_codes = draw(m * k);
+        let w_codes = draw(o * k);
+        let to_u16 = |v: &[u64]| v.iter().map(|&c| c as u16).collect::<Vec<u16>>();
+        let acts = PackedMatrix::from_codes(&to_u16(&act_codes), m, k, container);
+        let weights = PackedMatrix::from_codes(&to_u16(&w_codes), o, k, container);
+        let mut checked = 0usize;
+        qgemm(&acts, &weights, |mi, oi, acc| {
+            let want = wide_dot(&act_codes[mi * k..(mi + 1) * k], &w_codes[oi * k..(oi + 1) * k]);
+            assert_eq!(acc, want, "m={mi} o={oi} k={k} {container:?}");
+            checked += 1;
+        });
+        prop_assert_eq!(checked, m * o);
+    }
+}
+
+/// Deterministic sweep across the i32-chunk boundary the blocked kernels
+/// split on — proptest lengths stay small, so cover the boundary here.
+#[test]
+fn u8_paths_agree_past_the_chunk_boundary() {
+    const CHUNK: usize = 16_384;
+    for len in [CHUNK - 1, CHUNK, CHUNK + 1, CHUNK + 33] {
+        let a: Vec<u8> = (0..len).map(|i| (i * 37 % 251) as u8).collect();
+        let w: Vec<u8> = (0..len).map(|i| (i * 101 % 256) as u8).collect();
+        let wide: Vec<u64> = a.iter().map(|&c| u64::from(c)).collect();
+        let wide_w: Vec<u64> = w.iter().map(|&c| u64::from(c)).collect();
+        let want = wide_dot(&wide, &wide_w);
+        assert_eq!(dot_u8(&a, &w), want, "len {len}");
+        let four = dot4_u8(&a, [&w, &w, &w, &w]);
+        assert_eq!(four, [want; 4], "len {len}");
+    }
+}

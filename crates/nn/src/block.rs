@@ -142,6 +142,29 @@ impl ConvBlock {
         &mut self.conv
     }
 
+    /// Batch-norm-folded deployment parameters: flattened weights
+    /// `[O, I·p·p]` with the BN scale absorbed per output channel, and the
+    /// matching bias vector. Blocks without batch-norm return the raw
+    /// convolution parameters. This is the first lowering step every
+    /// integer deployment target shares.
+    pub fn folded_weight_bias(&self) -> (Tensor, Vec<f32>) {
+        let geom = self.conv.geom();
+        let (scale, shift) = match &self.bn {
+            Some(bn) => bn.fold_factors(),
+            None => (vec![1.0; geom.out_channels], vec![0.0; geom.out_channels]),
+        };
+        let fan_in = geom.in_channels * geom.kernel * geom.kernel;
+        let mut weight = Tensor::zeros(&[geom.out_channels, fan_in]);
+        let mut bias = vec![0.0f32; geom.out_channels];
+        for o in 0..geom.out_channels {
+            for i in 0..fan_in {
+                *weight.at2_mut(o, i) = self.conv.weight.value.at2(o, i) * scale[o];
+            }
+            bias[o] = self.conv.bias.value.data()[o] * scale[o] + shift[o];
+        }
+        (weight, bias)
+    }
+
     /// Direct access to the optional batch-norm parameters.
     pub fn bn_mut(&mut self) -> Option<&mut BatchNorm2d> {
         self.bn.as_mut()

@@ -46,5 +46,5 @@ pub use bitwidth::BitWidth;
 pub use error::QuantError;
 pub use hw::HwPrecision;
 pub use observer::{MinMaxObserver, MovingAverageObserver, RangeObserver};
-pub use quantizer::Quantizer;
+pub use quantizer::{Encoder, Quantizer};
 pub use range::QuantRange;

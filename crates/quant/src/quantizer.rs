@@ -92,6 +92,26 @@ impl Quantizer {
         (scaled.round() as u64).min(self.bits.max_code())
     }
 
+    /// A precomputed bulk encoder for tight packing loops.
+    ///
+    /// [`Quantizer::quantize`] divides by the range width on every call;
+    /// the encoder hoists that division out of the per-element loop while
+    /// producing bit-identical codes. Deployment packers quantize every
+    /// im2col element of every batch through this path.
+    pub fn encoder(&self) -> Encoder {
+        Encoder {
+            degenerate: self.range.is_degenerate(),
+            range: self.range,
+            min: f64::from(self.range.min()),
+            scale: if self.range.is_degenerate() {
+                0.0
+            } else {
+                self.bits.max_code() as f64 / self.width_f64()
+            },
+            max_code: self.bits.max_code(),
+        }
+    }
+
     /// Maps an integer code back to its real representative value.
     ///
     /// Codes above `2^k − 1` are saturated.
@@ -224,6 +244,33 @@ impl Quantizer {
     }
 }
 
+/// Bulk fast path for [`Quantizer::quantize`]: the clamp bounds and the
+/// `max_code / width` scale factor are computed once at construction, so
+/// per-element encoding is two f64 multiplies-adds and a round. Produced
+/// by [`Quantizer::encoder`]; guaranteed bit-identical to `quantize`.
+#[derive(Debug, Clone, Copy)]
+pub struct Encoder {
+    degenerate: bool,
+    range: QuantRange,
+    min: f64,
+    scale: f64,
+    max_code: u64,
+}
+
+impl Encoder {
+    /// Maps a real value to its integer code, exactly like
+    /// [`Quantizer::quantize`].
+    #[inline]
+    pub fn encode(&self, x: f32) -> u64 {
+        if self.degenerate {
+            return 0;
+        }
+        let x = self.range.clamp(x);
+        let scaled = (f64::from(x) - self.min) * self.scale;
+        (scaled.round() as u64).min(self.max_code)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +288,29 @@ mod tests {
         assert_eq!(quant.quantize(0.2), 0);
         assert_eq!(quant.quantize(0.8), 1);
         assert_eq!(quant.fake_quantize(0.8), 1.0);
+    }
+
+    #[test]
+    fn encoder_is_bit_identical_to_quantize() {
+        // fractional ranges with inexact widths, plus degenerate + wide bits
+        let cases = [
+            q(1, 0.0, 1.0),
+            q(3, -0.7, 1.3),
+            q(8, -1e-3, 2.5e-3),
+            q(16, -123.456, 78.9),
+            q(32, -1.0, 1.0),
+            Quantizer::new(BitWidth::new(4).unwrap(), QuantRange::default()),
+        ];
+        for quant in cases {
+            let enc = quant.encoder();
+            for i in -4000..=4000 {
+                let x = i as f32 * 0.037;
+                assert_eq!(enc.encode(x), quant.quantize(x), "{quant:?} at {x}");
+            }
+            for x in [f32::NEG_INFINITY, f32::INFINITY, 0.0, -0.0] {
+                assert_eq!(enc.encode(x), quant.quantize(x), "{quant:?} at {x}");
+            }
+        }
     }
 
     #[test]

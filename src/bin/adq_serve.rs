@@ -1,0 +1,397 @@
+//! `adq-serve` — dynamic-batching integer inference server.
+//!
+//! ```text
+//! adq-serve serve    [--addr 127.0.0.1:0] [--port-file PATH]
+//!                    [--max-batch N] [--max-wait-ms MS]
+//!                    [--seed S] [--resolution R] [--classes K] [--bits B]
+//! adq-serve probe    --addr HOST:PORT [--requests N]
+//! adq-serve shutdown --addr HOST:PORT
+//! adq-serve load-gen [--concurrency 1,4] [--requests N] [--out FILE.json]
+//!                    [--max-batch N] [--max-wait-ms MS] [--seed S] ...
+//! adq-serve help
+//! ```
+//!
+//! `serve` compiles a seeded demo VGG to the bit-packed integer engine
+//! and serves it over the length-prefixed TCP protocol in
+//! `adq_infer::serve`. Port 0 picks an OS-assigned port; `--port-file`
+//! writes the bound address there (same handshake as
+//! `ADQ_METRICS_PORT_FILE`), which is how CI's smoke test finds the
+//! server. `ADQ_METRICS_ADDR` / `ADQ_METRICS_PORT_FILE` additionally
+//! bind a Prometheus endpoint exposing the `serve.*` gauges and
+//! histograms.
+//!
+//! `load-gen` runs the serving benchmark fully in-process: it measures
+//! the *unbatched float* `deploy.rs` path on the same model as the
+//! baseline, then drives the batched integer server at each requested
+//! concurrency level, and writes `bench_check`-compatible records
+//! (`median_ns` = mean wall-clock nanoseconds per completed request,
+//! lower is better) plus exact p50/p90/p99 latencies to `--out`.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use adq::core::deploy::DeployedVgg;
+use adq::infer::serve::{load_generate, Client, LoadStats, ServeConfig, Server};
+use adq::infer::{CompileOptions, CompiledVgg};
+use adq::nn::{QuantModel, Vgg};
+use adq::quant::BitWidth;
+use adq::telemetry::endpoint::MetricsEndpoint;
+use adq::telemetry::metrics;
+use adq::tensor::init;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        print_help();
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(rest) {
+        Ok(flags) => flags,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "serve" => cmd_serve(&flags),
+        "probe" => cmd_probe(&flags),
+        "shutdown" => cmd_shutdown(&flags),
+        "load-gen" => cmd_load_gen(&flags),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `adq-serve help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{arg}`"));
+        };
+        let Some(value) = iter.next() else {
+            return Err(format!("flag --{name} needs a value"));
+        };
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
+    match flags.get(name) {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("flag --{name}: cannot parse `{raw}`")),
+        None => Ok(default),
+    }
+}
+
+/// The demo model every mode shares: a seeded small VGG with every
+/// layer quantized at `--bits`, compiled against a seeded calibration
+/// batch. Deterministic, so `serve` and `load-gen` agree on weights.
+fn demo_model(flags: &Flags) -> Result<(Vgg, CompiledVgg), String> {
+    let seed: u64 = get(flags, "seed", 0)?;
+    let resolution: usize = get(flags, "resolution", 16)?;
+    let classes: usize = get(flags, "classes", 10)?;
+    let bits: u32 = get(flags, "bits", 8)?;
+    let bits = BitWidth::new(bits).map_err(|e| e.to_string())?;
+    let mut model = Vgg::small(3, resolution, classes, seed);
+    for index in 0..model.layer_stats().len() {
+        model.set_bits_of(index, Some(bits));
+    }
+    let mut rng = init::rng(seed ^ 0xCA11B8A7E);
+    let calibration = init::normal(&[16, 3, resolution, resolution], 0.0, 1.0, &mut rng);
+    let compiled = CompiledVgg::compile(&model, &calibration, CompileOptions::default())
+        .map_err(|e| e.to_string())?;
+    Ok((model, compiled))
+}
+
+fn serve_config(flags: &Flags) -> Result<ServeConfig, String> {
+    let max_wait_ms: f64 = get(flags, "max-wait-ms", 0.5)?;
+    if max_wait_ms < 0.0 || max_wait_ms.is_nan() {
+        return Err(format!("flag --max-wait-ms: `{max_wait_ms}` must be >= 0"));
+    }
+    Ok(ServeConfig {
+        max_batch: get(flags, "max-batch", 8)?,
+        max_wait: Duration::from_secs_f64(max_wait_ms / 1000.0),
+    })
+}
+
+fn required_addr(flags: &Flags) -> Result<SocketAddr, String> {
+    let raw = flags
+        .get("addr")
+        .ok_or_else(|| "flag --addr HOST:PORT is required".to_string())?;
+    raw.parse()
+        .map_err(|_| format!("flag --addr: cannot parse `{raw}`"))
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let (_, compiled) = demo_model(flags)?;
+    let config = serve_config(flags)?;
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let compiled = Arc::new(compiled);
+    println!(
+        "model: {} inputs, {} classes, precisions {:?}",
+        compiled.input_len(),
+        compiled.classes(),
+        compiled
+            .precisions()
+            .iter()
+            .map(|p| p.bits())
+            .collect::<Vec<_>>()
+    );
+    let mut server = Server::bind(addr.as_str(), Arc::clone(&compiled), config)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let bound = server.local_addr();
+    println!(
+        "serving on {bound} (max batch {}, max wait {:?})",
+        config.max_batch, config.max_wait
+    );
+    if let Some(port_file) = flags.get("port-file") {
+        std::fs::write(port_file, bound.to_string())
+            .map_err(|e| format!("cannot write {port_file}: {e}"))?;
+    }
+    // optional Prometheus endpoint, same env handshake as the bench bins
+    let _endpoint = match std::env::var("ADQ_METRICS_ADDR") {
+        Ok(metrics_addr) => match MetricsEndpoint::bind(&metrics_addr, metrics::global()) {
+            Ok(endpoint) => {
+                let metrics_bound = endpoint.local_addr();
+                println!("(metrics endpoint listening on {metrics_bound})");
+                if let Ok(path) = std::env::var("ADQ_METRICS_PORT_FILE") {
+                    std::fs::write(&path, metrics_bound.to_string())
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                }
+                Some(endpoint)
+            }
+            Err(err) => {
+                eprintln!("warning: cannot bind metrics endpoint on {metrics_addr}: {err}");
+                None
+            }
+        },
+        Err(_) => None,
+    };
+    server.wait();
+    println!("server stopped");
+    Ok(())
+}
+
+fn cmd_probe(flags: &Flags) -> Result<(), String> {
+    let addr = required_addr(flags)?;
+    let requests: usize = get(flags, "requests", 3)?;
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    client.ping().map_err(|e| format!("ping failed: {e}"))?;
+    // the demo model is deterministic, so the probe recomputes the
+    // expected input length and class count from the same flags
+    let (_, compiled) = demo_model(flags)?;
+    let input_len = compiled.input_len();
+    let mut rng = init::rng(get(flags, "probe-seed", 7u64)?);
+    for i in 0..requests {
+        let image = init::normal(&[1, 1, 1, input_len], 0.0, 1.0, &mut rng);
+        let logits = client
+            .infer(image.data())
+            .map_err(|e| format!("request {i}: {e}"))?
+            .map_err(|msg| format!("request {i} refused: {msg}"))?;
+        if logits.len() != compiled.classes() {
+            return Err(format!(
+                "request {i}: expected {} logits, got {}",
+                compiled.classes(),
+                logits.len()
+            ));
+        }
+        if logits.iter().any(|v| !v.is_finite()) {
+            return Err(format!("request {i}: non-finite logits"));
+        }
+    }
+    println!(
+        "probe ok: {requests} requests, {} logits each",
+        compiled.classes()
+    );
+    Ok(())
+}
+
+fn cmd_shutdown(flags: &Flags) -> Result<(), String> {
+    let addr = required_addr(flags)?;
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    client
+        .shutdown_server()
+        .map_err(|e| format!("shutdown failed: {e}"))?;
+    println!("shutdown acknowledged");
+    Ok(())
+}
+
+/// Measures the unbatched float-simulated `deploy.rs` path: one
+/// [`DeployedVgg::run`] call per request on a single-image tensor.
+fn float_unbatched_baseline(model: &Vgg, requests: usize, seed: u64) -> Result<LoadStats, String> {
+    let deployed = DeployedVgg::from_trained(model).map_err(|e| e.to_string())?;
+    let stats = model.layer_stats();
+    let hw = stats[0].input_hw;
+    let mut rng = init::rng(seed ^ 0xF10A7);
+    let mut latencies = Vec::with_capacity(requests);
+    let started = Instant::now();
+    for _ in 0..requests {
+        let image = init::normal(&[1, 3, hw, hw], 0.0, 1.0, &mut rng);
+        let sent = Instant::now();
+        let (logits, _) = deployed.run(&image);
+        assert!(!logits.is_empty());
+        latencies.push(u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+    let elapsed = started.elapsed();
+    latencies.sort_unstable();
+    let quantile = |q: f64| -> u64 {
+        let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        latencies[rank - 1]
+    };
+    let mean =
+        (latencies.iter().map(|&v| u128::from(v)).sum::<u128>() / latencies.len() as u128) as u64;
+    Ok(LoadStats {
+        concurrency: 1,
+        requests: latencies.len() as u64,
+        errors: 0,
+        elapsed,
+        p50_ns: quantile(0.50),
+        p90_ns: quantile(0.90),
+        p99_ns: quantile(0.99),
+        mean_ns: mean,
+    })
+}
+
+fn record_json(name: &str, stats: &LoadStats) -> String {
+    format!(
+        concat!(
+            "  {{\"name\": \"{}\", \"median_ns\": {}, \"mean_ns\": {}, ",
+            "\"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, ",
+            "\"throughput_rps\": {:.2}, \"concurrency\": {}, \"requests\": {}}}"
+        ),
+        name,
+        stats.ns_per_request(),
+        stats.mean_ns,
+        stats.p50_ns,
+        stats.p90_ns,
+        stats.p99_ns,
+        stats.throughput_rps(),
+        stats.concurrency,
+        stats.requests
+    )
+}
+
+fn cmd_load_gen(flags: &Flags) -> Result<(), String> {
+    let (model, compiled) = demo_model(flags)?;
+    let config = serve_config(flags)?;
+    let requests: usize = get(flags, "requests", 64)?;
+    let seed: u64 = get(flags, "seed", 0)?;
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serving.json".to_string());
+    let concurrency: Vec<usize> = flags
+        .get("concurrency")
+        .map(String::as_str)
+        .unwrap_or("1,4")
+        .split(',')
+        .map(|c| {
+            c.trim()
+                .parse()
+                .map_err(|_| format!("flag --concurrency: cannot parse `{c}`"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // the slow scalar baseline gets a smaller (but still exact) sample
+    let baseline_requests = (requests / 4).max(8);
+    println!("measuring float unbatched deploy.rs baseline ({baseline_requests} requests)...");
+    let baseline = float_unbatched_baseline(&model, baseline_requests, seed)?;
+    println!(
+        "  float_unbatched: {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms",
+        baseline.throughput_rps(),
+        baseline.p50_ns as f64 / 1e6,
+        baseline.p99_ns as f64 / 1e6
+    );
+
+    let compiled = Arc::new(compiled);
+    let input_len = compiled.input_len();
+    let mut server = Server::bind("127.0.0.1:0", Arc::clone(&compiled), config)
+        .map_err(|e| format!("cannot bind load-gen server: {e}"))?;
+    let addr = server.local_addr();
+
+    let mut records = vec![record_json("serving/float_unbatched", &baseline)];
+    let mut speedups = Vec::new();
+    for &c in &concurrency {
+        // warm up the packing scratch and branch predictors off-record
+        load_generate(addr, c, 4, input_len).map_err(|e| e.to_string())?;
+        let stats = load_generate(addr, c, requests, input_len).map_err(|e| e.to_string())?;
+        if stats.errors > 0 {
+            return Err(format!(
+                "load-gen at concurrency {c}: {} errors",
+                stats.errors
+            ));
+        }
+        let speedup = baseline.ns_per_request() as f64 / stats.ns_per_request() as f64;
+        println!(
+            "  int8_batched_c{c}: {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms ({speedup:.1}x vs float unbatched)",
+            stats.throughput_rps(),
+            stats.p50_ns as f64 / 1e6,
+            stats.p99_ns as f64 / 1e6
+        );
+        records.push(record_json(&format!("serving/int8_batched_c{c}"), &stats));
+        speedups.push(speedup);
+    }
+    server.shutdown();
+
+    // the server ran in-process, so its batcher metrics are ours to read
+    let batch_runs = metrics::global().histogram("serve.batch_run_ns");
+    let served = metrics::global().counter("serve.requests").get();
+    if batch_runs.count() > 0 {
+        println!(
+            "  batcher: {} batches for {} requests (avg {:.1}/batch), batch compute p50 {:.2} ms",
+            batch_runs.count(),
+            served,
+            served as f64 / batch_runs.count() as f64,
+            batch_runs.quantile(0.5) / 1e6
+        );
+    }
+
+    let json = format!("[\n{}\n]\n", records.join(",\n"));
+    std::fs::write(&out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}");
+    let best = speedups.iter().cloned().fold(0.0f64, f64::max);
+    println!("best batched speedup over float unbatched: {best:.1}x");
+    Ok(())
+}
+
+fn print_help() {
+    println!(
+        "adq-serve — dynamic-batching integer inference server\n\
+         \n\
+         usage: adq-serve <command> [flags]\n\
+         \n\
+         commands:\n\
+         \x20 serve      compile the demo model and serve it over TCP\n\
+         \x20            --addr 127.0.0.1:0  --port-file PATH\n\
+         \x20            --max-batch N  --max-wait-ms MS\n\
+         \x20            --seed S  --resolution R  --classes K  --bits B\n\
+         \x20 probe      send a few inference requests, check the responses\n\
+         \x20            --addr HOST:PORT  --requests N\n\
+         \x20 shutdown   ask a running server to drain and stop\n\
+         \x20            --addr HOST:PORT\n\
+         \x20 load-gen   in-process serving benchmark -> BENCH_serving.json\n\
+         \x20            --concurrency 1,4  --requests N  --out FILE.json\n\
+         \x20 help       this message"
+    );
+}

@@ -16,6 +16,7 @@
 //! | [`core`] | `adq-core` | Algorithm 1 controller, eqn 4, paper presets |
 //! | [`energy`] | `adq-energy` | analytical Table-I energy model |
 //! | [`pim`] | `adq-pim` | PIM accelerator model (Fig 5, Table IV) |
+//! | [`infer`] | `adq-infer` | bit-packed integer kernels, compiled models, serving |
 //! | [`datasets`] | `adq-datasets` | synthetic CIFAR-like datasets |
 //! | [`telemetry`] | `adq-telemetry` | run events, sinks, metrics registry |
 //!
@@ -44,6 +45,7 @@ pub use adq_ad as ad;
 pub use adq_core as core;
 pub use adq_datasets as datasets;
 pub use adq_energy as energy;
+pub use adq_infer as infer;
 pub use adq_nn as nn;
 pub use adq_pim as pim;
 pub use adq_quant as quant;

@@ -1,0 +1,90 @@
+//! Golden equivalence between the two lowerings of a trained model:
+//! `adq-core`'s float-simulated deployment (`DeployedVgg`) and
+//! `adq-infer`'s bit-packed integer engine (`CompiledVgg`).
+//!
+//! The two paths are deliberately not bit-identical — the integer engine
+//! freezes activation ranges at compile time (a server cannot re-fit
+//! ranges per request batch), while the simulation fits them per batch —
+//! but on a trained network they must agree where it matters: the
+//! predicted class of (almost) every evaluation sample.
+
+use adq::core::deploy::DeployedVgg;
+use adq::core::{AdQuantizer, AdqConfig};
+use adq::datasets::SyntheticSpec;
+use adq::infer::{CompileOptions, CompiledVgg};
+use adq::nn::train::Dataset;
+use adq::nn::Vgg;
+use adq::tensor::Tensor;
+
+fn argmax_rows(logits: &Tensor) -> Vec<usize> {
+    let [n, classes] = [logits.dims()[0], logits.dims()[1]];
+    (0..n)
+        .map(|i| {
+            let row = &logits.data()[i * classes..(i + 1) * classes];
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(j, _)| j)
+                .expect("non-empty row")
+        })
+        .collect()
+}
+
+fn trained_task() -> (Vgg, Dataset, Dataset) {
+    let (train, test) = SyntheticSpec::cifar10_like()
+        .with_classes(4)
+        .with_resolution(8)
+        .with_samples(24, 16)
+        .with_seed(77)
+        .generate();
+    let config = AdqConfig {
+        max_iterations: 2,
+        max_epochs_per_iteration: 4,
+        min_epochs_per_iteration: 2,
+        batch_size: 12,
+        baseline_epochs: 6,
+        ..AdqConfig::paper_default()
+    };
+    let mut model = Vgg::tiny(3, 8, 4, 21);
+    AdQuantizer::new(config).run(&mut model, &train, &test);
+    (model, train, test)
+}
+
+/// The integer engine's logits must pick the same class as the
+/// float-simulated deployment for every sample of the full eval batch.
+#[test]
+fn compiled_model_matches_float_lowering_argmax_for_argmax() {
+    let (model, train, test) = trained_task();
+
+    let deployed = DeployedVgg::from_trained(&model).expect("trained weights are finite");
+    let compiled = CompiledVgg::compile(&model, &train.images, CompileOptions::default())
+        .expect("trained model lowers");
+
+    let (float_logits, _) = deployed.run(&test.images);
+    let int_logits = compiled.run(&test.images);
+    assert_eq!(float_logits.dims(), int_logits.dims());
+    assert!(int_logits.data().iter().all(|v| v.is_finite()));
+
+    let want = argmax_rows(&float_logits);
+    let got = argmax_rows(&int_logits);
+    let agree = want.iter().zip(&got).filter(|(a, b)| a == b).count();
+    assert_eq!(
+        agree,
+        test.len(),
+        "integer engine disagreed with float lowering on {} of {} eval samples \
+         (float {want:?} vs int {got:?})",
+        test.len() - agree,
+        test.len()
+    );
+}
+
+/// Both lowerings must execute at the same legalized hardware precisions —
+/// they read the same trained bit-widths.
+#[test]
+fn lowerings_agree_on_hardware_precisions() {
+    let (model, train, _) = trained_task();
+    let deployed = DeployedVgg::from_trained(&model).expect("trained weights are finite");
+    let compiled = CompiledVgg::compile(&model, &train.images, CompileOptions::default())
+        .expect("trained model lowers");
+    assert_eq!(deployed.precisions(), compiled.precisions());
+}
