@@ -120,12 +120,16 @@ grep -q "heap peak" "$trace_dir/report.md" || {
 }
 TRACE_SMOKE_DIR="$trace_dir"
 
-# Serving smoke: boot adq-serve on an OS-assigned port (port-file
-# handshake, same idiom as the metrics endpoint), probe it with real
-# inference requests over the wire, then shut it down cleanly.
-echo "==> tier-1: serving smoke (adq-serve bind / probe / shutdown)"
+# Serving smoke: boot adq-serve with 2 replicas and a deliberately tiny
+# admission queue (port-file handshake, same idiom as the metrics
+# endpoint), probe it with real inference requests over the wire, drive
+# a burst that must observe a typed shed frame, confirm the shed counter
+# on the Prometheus page via adq-watch --scrape, then shut down cleanly.
+echo "==> tier-1: serving smoke (adq-serve replicas / probe / shed / scrape / shutdown)"
 serve_dir="$(mktemp -d)"
+ADQ_METRICS_ADDR=127.0.0.1:0 ADQ_METRICS_PORT_FILE="$serve_dir/metrics.port" \
 ./target/release/adq-serve serve --addr 127.0.0.1:0 \
+    --replicas 2 --queue-cap 1 --max-wait-ms 100 \
     --port-file "$serve_dir/serve.port" >/dev/null &
 serve_pid=$!
 for _ in $(seq 1 100); do
@@ -139,6 +143,30 @@ done
 serve_addr="$(cat "$serve_dir/serve.port")"
 ./target/release/adq-serve probe --addr "$serve_addr" --requests 4 || {
     echo "ci: serving probe failed" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+}
+# 8 simultaneous requests against queue-cap 1: admission control must
+# shed some with typed frames while answering the rest
+./target/release/adq-serve probe --addr "$serve_addr" --burst 8 --expect-shed 1 || {
+    echo "ci: serving burst saw no shed response over the wire" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+}
+metrics_addr="$(cat "$serve_dir/metrics.port")"
+scrape_out="$(./target/release/adq-watch --scrape "$metrics_addr")" || {
+    echo "ci: cannot scrape the serving metrics endpoint" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+}
+echo "$scrape_out" | grep -Eq 'adq_serve_shed_total [1-9]' || {
+    echo "ci: adq_serve_shed_total did not advance after the shed burst" >&2
+    echo "$scrape_out" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+}
+echo "$scrape_out" | grep -Eq 'adq_serve_replicas 2' || {
+    echo "ci: adq_serve_replicas gauge does not report the fan-out" >&2
     kill "$serve_pid" 2>/dev/null || true
     exit 1
 }
@@ -219,22 +247,30 @@ if [[ "$BENCH" -eq 1 ]]; then
         serving_baseline="$(mktemp)"
         git show HEAD:BENCH_serving.json >"$serving_baseline"
     fi
-    ./target/release/adq-serve load-gen --concurrency 1,4,8 --requests 96 \
-        --out BENCH_serving.json
+    ./target/release/adq-serve load-gen --concurrency 1,4,8 --replicas 1,2,4 \
+        --requests 96 --out BENCH_serving.json
     if [[ -n "$serving_baseline" ]]; then
         echo "==> bench: serving regression check (throughput + tail latency)"
-        # median_ns = mean ns per completed request (throughput gate, tight);
-        # the second pass gates the p99 tail. Tail quantiles swing ~50%
-        # run-to-run on a single-core box, so the p99 cap only catches a
-        # tail that at least doubles.
+        # ns_per_request = mean wall-clock per completed request (the
+        # throughput gate, tight); the second pass gates the p99 tail.
+        # Tail quantiles swing ~50% run-to-run on a single-core box, so
+        # the p99 cap only catches a tail that at least doubles.
         cargo run --release -p adq-bench --bin bench_check -- \
-            "$serving_baseline" BENCH_serving.json --max-regress 0.25
+            "$serving_baseline" BENCH_serving.json \
+            --key ns_per_request --max-regress 0.25
         cargo run --release -p adq-bench --bin bench_check -- \
             "$serving_baseline" BENCH_serving.json --key p99_ns --max-regress 1.0
         rm -f "$serving_baseline"
     else
         echo "==> bench: no committed serving baseline yet (first snapshot)"
     fi
+    echo "==> bench: replica-scaling floor (r=2 within 25% of r=1 at c=8)"
+    # Self-check against the fresh snapshot: on multi-core boxes two
+    # replicas should *beat* one; on the 1-core reference container the
+    # extra executor must cost at most the allowed overhead.
+    cargo run --release -p adq-bench --bin bench_check -- \
+        BENCH_serving.json --key ns_per_request \
+        --within serving/int8_batched_c8_r2:serving/int8_batched_c8:0.25
 fi
 
 rm -rf "$TRACE_SMOKE_DIR"

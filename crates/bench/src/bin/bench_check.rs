@@ -23,8 +23,16 @@
 //! flag the baseline file may be omitted entirely (self-check mode,
 //! used by CI before the first baseline is committed).
 //!
-//! Records present in only one file are reported but never fail the
-//! check — adding or retiring a benchmark must not break CI.
+//! `--within SUBJECT:REFERENCE:FRAC` (repeatable) is the general form of
+//! the same idea: record `SUBJECT` of the current snapshot must stay
+//! within `(1 + FRAC)` of record `REFERENCE` on the gated key. CI uses
+//! it as a replica-scaling floor — `int8_batched_c8_r2` must hold
+//! ns/request within 25% of single-replica `int8_batched_c8`, whatever
+//! the hardware. Like `--scratch-within`, it needs no baseline file.
+//!
+//! Records present in only one file, and records missing the gated key
+//! (older snapshot formats), are reported but never fail the check —
+//! adding or retiring a benchmark or a field must not break CI.
 
 use std::process::ExitCode;
 
@@ -51,22 +59,25 @@ fn load(path: &str, key: &str) -> Vec<Record> {
         .unwrap_or_else(|| panic!("bench_check: {path} is not a JSON array"));
     records
         .iter()
-        .map(|r| {
+        .filter_map(|r| {
             let name = r
                 .get("name")
                 .and_then(|v| v.as_str())
                 .unwrap_or_else(|| panic!("bench_check: record without name in {path}"))
                 .to_string();
-            let metric = r
-                .get(key)
-                .and_then(|v| v.as_f64())
-                .unwrap_or_else(|| panic!("bench_check: {name} has no {key} in {path}"));
-            Record {
+            // a record without the gated key is skipped, not fatal: older
+            // snapshot formats predate some fields, and a gate must not
+            // block the PR that introduces its metric
+            let Some(metric) = r.get(key).and_then(|v| v.as_f64()) else {
+                println!("  {name}: no {key} in {path} (skipped)");
+                return None;
+            };
+            Some(Record {
                 name,
                 metric,
                 mean_ns: r.get("mean_ns").and_then(|v| v.as_f64()),
                 median_ns: r.get("median_ns").and_then(|v| v.as_f64()),
-            }
+            })
         })
         .collect()
 }
@@ -126,6 +137,47 @@ fn compare(baseline: &[Record], current: &[Record], key: &str, max_regress: f64)
     (compared, failures)
 }
 
+/// One `--within a:b:frac` constraint: record `a` of the *current*
+/// snapshot must have `metric <= (1 + frac) * b.metric`. Used for
+/// intra-snapshot floors like "2 replicas must stay within 25% of 1
+/// replica on ns/request" that hold wherever the baseline sits.
+#[derive(Debug, Clone, PartialEq)]
+struct WithinCheck {
+    subject: String,
+    reference: String,
+    frac: f64,
+}
+
+impl WithinCheck {
+    /// Parses `subject:reference:frac`.
+    fn parse(raw: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = raw.split(':').collect();
+        let [subject, reference, frac] = parts[..] else {
+            return Err(format!("`{raw}` is not subject:reference:frac"));
+        };
+        let frac: f64 = frac
+            .parse()
+            .map_err(|e| format!("bad fraction in `{raw}`: {e}"))?;
+        Ok(Self {
+            subject: subject.to_string(),
+            reference: reference.to_string(),
+            frac,
+        })
+    }
+
+    /// `Some((ratio, failed))` when both records exist; `None` (skip)
+    /// otherwise — a retired record must not break the gate.
+    fn evaluate(&self, current: &[Record]) -> Option<(f64, bool)> {
+        let subject = current.iter().find(|r| r.name == self.subject)?;
+        let reference = current.iter().find(|r| r.name == self.reference)?;
+        if reference.metric <= 0.0 {
+            return None;
+        }
+        let ratio = subject.metric / reference.metric;
+        Some((ratio, ratio > 1.0 + self.frac))
+    }
+}
+
 /// Self-check of a snapshot's scratch pairs: every `<name>_scratch`
 /// record must be within `(1 + frac)` of its `<name>` counterpart.
 /// Returns the violating `(scratch, counterpart, ratio)` triples.
@@ -154,10 +206,18 @@ fn main() -> ExitCode {
     let mut max_regress = 0.25f64;
     let mut key = "median_ns".to_string();
     let mut scratch_within: Option<f64> = None;
+    let mut within_checks: Vec<WithinCheck> = Vec::new();
     let mut files: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        if arg == "--max-regress" {
+        if arg == "--within" {
+            let v = it
+                .next()
+                .expect("bench_check: --within needs subject:reference:frac");
+            within_checks.push(
+                WithinCheck::parse(v).unwrap_or_else(|e| panic!("bench_check: --within: {e}")),
+            );
+        } else if arg == "--max-regress" {
             let v = it.next().expect("bench_check: --max-regress needs a value");
             max_regress = v
                 .parse()
@@ -181,12 +241,12 @@ fn main() -> ExitCode {
     }
     let (baseline_path, current_path) = match files[..] {
         [baseline, current] => (Some(baseline), current),
-        // self-check mode: the scratch gate needs no baseline
-        [current] if scratch_within.is_some() => (None, current),
+        // self-check mode: the intra-snapshot gates need no baseline
+        [current] if scratch_within.is_some() || !within_checks.is_empty() => (None, current),
         _ => {
             eprintln!(
                 "usage: bench_check [<baseline.json>] <current.json> [--max-regress 0.25] \
-                 [--key median_ns] [--scratch-within 0.25]"
+                 [--key median_ns] [--scratch-within 0.25] [--within subject:reference:frac]"
             );
             return ExitCode::FAILURE;
         }
@@ -223,6 +283,30 @@ fn main() -> ExitCode {
             );
         }
         failures += violations.len();
+    }
+
+    for check in &within_checks {
+        match check.evaluate(&current) {
+            Some((ratio, failed)) => {
+                let verdict = if failed {
+                    failures += 1;
+                    "WITHIN-VIOLATED"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "  {}: {:+.1}% vs {} on {key} (allowed +{:.0}%) {verdict}",
+                    check.subject,
+                    (ratio - 1.0) * 100.0,
+                    check.reference,
+                    check.frac * 100.0
+                );
+            }
+            None => println!(
+                "  {}: --within skipped ({} or {} missing {key})",
+                check.subject, check.subject, check.reference
+            ),
+        }
     }
 
     println!(
@@ -299,6 +383,29 @@ mod tests {
         assert_eq!(violations[0].0, "gemm/blocked_scratch");
         assert_eq!(violations[0].1, "gemm/blocked");
         assert!((violations[0].2 - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn within_checks_gate_replica_scaling_floors() {
+        let current = vec![
+            rec("serving/int8_batched_c8", 100.0),
+            rec("serving/int8_batched_c8_r2", 120.0),
+            rec("serving/int8_batched_c8_r4", 180.0),
+        ];
+        let ok =
+            WithinCheck::parse("serving/int8_batched_c8_r2:serving/int8_batched_c8:0.25").unwrap();
+        assert_eq!(ok.evaluate(&current), Some((1.2, false)));
+        let bad =
+            WithinCheck::parse("serving/int8_batched_c8_r4:serving/int8_batched_c8:0.25").unwrap();
+        let (ratio, failed) = bad.evaluate(&current).unwrap();
+        assert!((ratio - 1.8).abs() < 1e-9);
+        assert!(failed);
+        // a missing record skips instead of failing
+        let gone = WithinCheck::parse("serving/retired:serving/int8_batched_c8:0.25").unwrap();
+        assert_eq!(gone.evaluate(&current), None);
+        // malformed specs are rejected
+        assert!(WithinCheck::parse("only_two:parts").is_err());
+        assert!(WithinCheck::parse("a:b:not_a_number").is_err());
     }
 
     #[test]

@@ -486,15 +486,20 @@ fn plain_sample(line: &str) -> Option<(&str, f64)> {
     Some((name, value.parse().ok()?))
 }
 
-/// Condenses a Prometheus page's `adq_serve_*` samples — the dynamic
-/// batcher's queue/batch/in-flight gauges and request totals — into one
-/// human line. `None` when the page carries no serving metrics.
+/// Condenses a Prometheus page's `adq_serve_*` samples — replica fan-out,
+/// queue/batch/in-flight gauges, request totals and the admission-control
+/// shed counters — into one human line. `None` when the page carries no
+/// serving metrics.
 pub fn serving_summary(text: &str) -> Option<String> {
     let mut queue_depth = None;
     let mut inflight = None;
     let mut requests = None;
     let mut batches = None;
     let mut batch_sum = None;
+    let mut replicas = None;
+    let mut queue_cap = None;
+    let mut shed = None;
+    let mut rejected = None;
     for line in text.lines() {
         let Some((name, value)) = plain_sample(line) else {
             continue;
@@ -505,6 +510,10 @@ pub fn serving_summary(text: &str) -> Option<String> {
             "adq_serve_requests" => requests = Some(value),
             "adq_serve_batch_size_count" => batches = Some(value),
             "adq_serve_batch_size_sum" => batch_sum = Some(value),
+            "adq_serve_replicas" => replicas = Some(value),
+            "adq_serve_queue_cap" => queue_cap = Some(value),
+            "adq_serve_shed_total" => shed = Some(value),
+            "adq_serve_queue_rejected" => rejected = Some(value),
             _ => {}
         }
     }
@@ -512,8 +521,13 @@ pub fn serving_summary(text: &str) -> Option<String> {
         return None;
     }
     let mut parts = Vec::new();
-    if let Some(v) = queue_depth {
-        parts.push(format!("queue depth {v}"));
+    if let Some(r) = replicas {
+        parts.push(format!("{r} replicas"));
+    }
+    match (queue_depth, queue_cap) {
+        (Some(v), Some(cap)) => parts.push(format!("queue depth {v}/{cap}")),
+        (Some(v), None) => parts.push(format!("queue depth {v}")),
+        _ => {}
     }
     if let Some(v) = inflight {
         parts.push(format!("inflight {v}"));
@@ -524,6 +538,14 @@ pub fn serving_summary(text: &str) -> Option<String> {
     if let (Some(b), Some(sum)) = (batches, batch_sum) {
         if b > 0.0 {
             parts.push(format!("{b} batches (avg {:.1}/batch)", sum / b));
+        }
+    }
+    // surface overload even when zero: sheds are the signal that the
+    // admission queue is saturating
+    if let Some(s) = shed {
+        match rejected {
+            Some(r) => parts.push(format!("{s} shed ({r} rejected)")),
+            None => parts.push(format!("{s} shed")),
         }
     }
     Some(format!("serving: {}", parts.join(", ")))
@@ -741,8 +763,16 @@ mod tests {
 adq_serve_requests 120\n\
 # TYPE adq_serve_queue_depth gauge\n\
 adq_serve_queue_depth 3\n\
+# TYPE adq_serve_queue_cap gauge\n\
+adq_serve_queue_cap 256\n\
+# TYPE adq_serve_replicas gauge\n\
+adq_serve_replicas 2\n\
 # TYPE adq_serve_inflight gauge\n\
 adq_serve_inflight 8\n\
+# TYPE adq_serve_shed_total counter\n\
+adq_serve_shed_total 5\n\
+# TYPE adq_serve_queue_rejected counter\n\
+adq_serve_queue_rejected 4\n\
 # TYPE adq_serve_batch_size histogram\n\
 adq_serve_batch_size_bucket{le=\"8\"} 30\n\
 adq_serve_batch_size_bucket{le=\"+Inf\"} 30\n\
@@ -751,7 +781,17 @@ adq_serve_batch_size_count 30\n";
         let summary = serving_summary(page).expect("serving metrics present");
         assert_eq!(
             summary,
-            "serving: queue depth 3, inflight 8, 120 requests, 30 batches (avg 4.0/batch)"
+            "serving: 2 replicas, queue depth 3/256, inflight 8, 120 requests, \
+             30 batches (avg 4.0/batch), 5 shed (4 rejected)"
+        );
+        // pre-replica exposition (no fan-out/shed samples) still condenses
+        let old_page = "\
+adq_serve_requests 12\n\
+adq_serve_queue_depth 1\n\
+adq_serve_inflight 2\n";
+        assert_eq!(
+            serving_summary(old_page).expect("serving metrics present"),
+            "serving: queue depth 1, inflight 2, 12 requests"
         );
     }
 

@@ -23,7 +23,8 @@ use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-use adq_nn::AdamState;
+use adq_nn::train::import_params;
+use adq_nn::{AdamState, QuantModel};
 use adq_quant::BitWidth;
 use adq_tensor::Tensor;
 use serde::{Deserialize, Serialize};
@@ -366,6 +367,58 @@ impl CheckpointManager {
             None => Ok(None),
         }
     }
+}
+
+/// Rebuilds a checkpoint's *model* state onto `model`, which must be a
+/// freshly constructed instance of the originating run's architecture
+/// (same constructor arguments; the construction seed is irrelevant
+/// because every parameter is overwritten).
+///
+/// Replays the structural edits in application order, restores per-layer
+/// bit-widths, imports parameters, and installs batch-norm running
+/// statistics — everything inference needs. Training-only state
+/// (optimizer moments, RNG position, iteration records) is *not* touched;
+/// the controller layers that on top when resuming a run, while serving
+/// and deployment paths use this alone to lower a trained artifact.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::ModelMismatch`] when the model rejects a
+/// structural replay, the layer count after replay disagrees with the
+/// checkpoint, or parameter/norm-stat shapes do not line up — i.e. the
+/// model handed in was not built like the checkpointed one.
+pub fn restore_model(
+    model: &mut dyn QuantModel,
+    ckpt: &RunCheckpoint,
+) -> Result<(), CheckpointError> {
+    // replay the original run's structural edits, in application order,
+    // to rebuild the checkpointed architecture
+    for op in &ckpt.structural_ops {
+        let ok = match *op {
+            StructuralOp::Prune { layer, keep } => model.prune_layer_to(layer, keep),
+            StructuralOp::Remove { layer } => model.remove_layer(layer),
+        };
+        if !ok {
+            return Err(CheckpointError::ModelMismatch(format!(
+                "model rejected structural replay of {op:?}"
+            )));
+        }
+    }
+    if model.layer_count() != ckpt.bits.len() {
+        return Err(CheckpointError::ModelMismatch(format!(
+            "{} layers after structural replay, checkpoint has {}",
+            model.layer_count(),
+            ckpt.bits.len()
+        )));
+    }
+    for (idx, bits) in ckpt.bits.iter().enumerate() {
+        model.set_bits_of(idx, *bits);
+    }
+    import_params(model, &ckpt.params).map_err(CheckpointError::ModelMismatch)?;
+    model
+        .set_norm_stats(&ckpt.norm_stats)
+        .map_err(CheckpointError::ModelMismatch)?;
+    Ok(())
 }
 
 /// Parses `iter-NNNN.ckpt` file names.

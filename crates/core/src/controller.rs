@@ -3,8 +3,7 @@ use std::sync::Arc;
 use adq_ad::{DensityHistory, SaturationDetector};
 use adq_energy::EnergyModel;
 use adq_nn::train::{
-    evaluate_observed, export_params, import_params, train_epoch_observed,
-    train_epoch_parallel_observed, Dataset,
+    evaluate_observed, export_params, train_epoch_observed, train_epoch_parallel_observed, Dataset,
 };
 use adq_nn::{Adam, Optimizer, QuantModel};
 use adq_quant::BitWidth;
@@ -394,33 +393,7 @@ impl AdQuantizer {
                     self.microbatch, ckpt.microbatch,
                 )));
             }
-            // replay the original run's structural edits, in application
-            // order, to rebuild the checkpointed architecture
-            for op in &ckpt.structural_ops {
-                let ok = match *op {
-                    StructuralOp::Prune { layer, keep } => model.prune_layer_to(layer, keep),
-                    StructuralOp::Remove { layer } => model.remove_layer(layer),
-                };
-                if !ok {
-                    return Err(CheckpointError::ModelMismatch(format!(
-                        "model rejected structural replay of {op:?}"
-                    )));
-                }
-            }
-            if model.layer_count() != ckpt.bits.len() {
-                return Err(CheckpointError::ModelMismatch(format!(
-                    "{} layers after structural replay, checkpoint has {}",
-                    model.layer_count(),
-                    ckpt.bits.len()
-                )));
-            }
-            for (idx, bits) in ckpt.bits.iter().enumerate() {
-                model.set_bits_of(idx, *bits);
-            }
-            import_params(model, &ckpt.params).map_err(CheckpointError::ModelMismatch)?;
-            model
-                .set_norm_stats(&ckpt.norm_stats)
-                .map_err(CheckpointError::ModelMismatch)?;
+            crate::checkpoint::restore_model(model, &ckpt)?;
             optimizer.import_state(ckpt.optimizer);
             rng = adq_tensor::init::rng_from_state(ckpt.rng.key, ckpt.rng.counter, ckpt.rng.index);
             baseline_energy = ckpt.baseline_energy_pj;

@@ -54,7 +54,9 @@ pub mod checkpoint;
 pub mod deploy;
 pub mod paper;
 
-pub use checkpoint::{CheckpointError, CheckpointManager, RunCheckpoint, StructuralOp};
+pub use checkpoint::{
+    restore_model, CheckpointError, CheckpointManager, RunCheckpoint, StructuralOp,
+};
 pub use complexity::{training_complexity, IterationCost};
 pub use controller::{
     AdQuantizer, AdqConfig, AdqOutcome, DeadLayerPolicy, InstrumentedAdQuantizer, IterationRecord,

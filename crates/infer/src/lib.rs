@@ -16,9 +16,12 @@
 //!   each layer's trained bit-width, frozen post-training activation
 //!   calibration, and the requantization chain that turns integer
 //!   accumulators back into floats.
-//! - [`serve`] — a dynamic-batching TCP serving front-end
-//!   ([`serve::Server`] / [`serve::Client`]) that coalesces concurrent
-//!   requests into batched kernel invocations.
+//! - [`serve`] — a scaled-out TCP serving front-end
+//!   ([`serve::Server`] / [`serve::Client`]): a fixed connection-worker
+//!   pool multiplexes sockets, replica executors share the packed
+//!   weights and run batches concurrently, and a bounded queue with
+//!   admission control ([`serve::OverloadPolicy`]) sheds load with typed
+//!   wire frames instead of growing without bound.
 
 pub mod compile;
 pub mod qgemm;
@@ -26,4 +29,7 @@ pub mod serve;
 
 pub use compile::{CompileError, CompileOptions, CompiledVgg};
 pub use qgemm::{Container, PackedMatrix};
-pub use serve::{load_generate, Client, LoadStats, ServeConfig, Server};
+pub use serve::{
+    load_generate, stats_from_latencies, Client, LoadStats, OverloadPolicy, Reply, ServeConfig,
+    ServeModel, Server,
+};

@@ -1,14 +1,32 @@
-//! Dynamic-batching TCP serving front-end for a [`CompiledVgg`].
+//! Scaled-out TCP serving front-end for bit-packed integer inference.
 //!
-//! Same std-only networking pattern as `adq-telemetry`'s
-//! `MetricsEndpoint`: a [`TcpListener`] owned by an accept thread, one
-//! thread per connection, no HTTP library. Connections speak a
-//! length-prefixed binary protocol; inference requests from *all*
-//! connections funnel into one queue, where a batcher thread coalesces
-//! them — up to [`ServeConfig::max_batch`] requests, or whatever has
-//! arrived when the oldest request's [`ServeConfig::max_wait`] deadline
-//! expires — and runs them through the batched integer kernels in a
-//! single [`CompiledVgg::run`] call.
+//! Three fixed-size thread pools replace PR-8's thread-per-connection /
+//! single-batcher design:
+//!
+//! - an **accept thread** owns the listener and hands accepted sockets to
+//!   a shared injector queue;
+//! - a pool of [`ServeConfig::conn_workers`] **connection workers**
+//!   multiplexes all sockets with non-blocking reads behind a small
+//!   `poll(2)` readiness loop (no external deps — the raw syscall via an
+//!   `extern "C"` declaration on Unix, a short-sleep scan elsewhere).
+//!   Workers decode frames incrementally, answer control frames inline,
+//!   and push inference work onto the request queue;
+//! - [`ServeConfig::replicas`] **replica executors** pop coalesced
+//!   batches off the queue and run them through a *shared*
+//!   [`ServeModel`] (an `Arc` clone per replica — packed weights are
+//!   shared, while each replica thread gets its own thread-keyed scratch
+//!   arena and staging buffers), writing responses straight back to each
+//!   request's connection. Batches therefore execute concurrently across
+//!   replicas.
+//!
+//! The request queue is **bounded** ([`ServeConfig::queue_cap`]). When it
+//! is full, admission control applies [`ServeConfig::overload`]: either
+//! the newcomer is refused with a 503-style shed frame
+//! ([`OverloadPolicy::Reject`]) or the oldest queued request — the one
+//! closest to blowing its deadline — is shed to make room
+//! ([`OverloadPolicy::ShedOldest`]). Either way the server's memory is
+//! bounded and overload degrades into explicit, typed shed responses
+//! instead of unbounded queue growth.
 //!
 //! ## Wire protocol
 //!
@@ -16,22 +34,27 @@
 //! Request payload: `[kind: u8][id: u64 LE][n: u32 LE][n × f32 LE]`
 //! with kinds `1` = infer (`n` = flattened input length), `2` = ping,
 //! `3` = shutdown. Response payload: `[status: u8][id: u64 LE]
-//! [n: u32 LE][n × f32 LE]`; status `0` carries the logits, status `1`
-//! carries a UTF-8 error message in place of the floats.
+//! [n: u32 LE][body]`; status `0` carries `n × f32 LE` logits, status `1`
+//! carries a UTF-8 error message, status `2` is a shed/overload refusal
+//! (UTF-8 reason), and status `3` is a **goodbye** frame the server sends
+//! on every connection right before closing it during shutdown — a client
+//! never sees an unexplained EOF mid-request.
 //!
 //! ## Observability
 //!
-//! The batcher publishes `serve.queue_depth` and `serve.inflight` gauges,
-//! `serve.batch_size`, `serve.latency_ns` (enqueue → response ready) and
-//! `serve.batch_run_ns` histograms, and `serve.requests` / `serve.errors`
-//! counters through the global [`adq_telemetry::metrics`] registry — so a
-//! `MetricsEndpoint` bound in the same process exposes them to Prometheus
-//! and `adq-watch --scrape` with no extra wiring.
+//! `serve.queue_depth` / `serve.inflight` / `serve.replicas` /
+//! `serve.conn_workers` / `serve.queue_cap` gauges; `serve.batch_size`,
+//! `serve.latency_ns` (enqueue → response written) and
+//! `serve.batch_run_ns` histograms plus a per-replica
+//! `serve.replica{i}.batch_run_ns`; `serve.requests` / `serve.errors` /
+//! `serve.shed_total` / `serve.queue_rejected` counters — all through the
+//! global [`adq_telemetry::metrics`] registry, so a `MetricsEndpoint` in
+//! the same process exposes them to Prometheus and `adq-watch --scrape`.
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -53,17 +76,149 @@ const KIND_SHUTDOWN: u8 = 3;
 const STATUS_OK: u8 = 0;
 /// Response status: failure, payload carries a UTF-8 message.
 const STATUS_ERR: u8 = 1;
+/// Response status: request shed by admission control (503-style).
+const STATUS_SHED: u8 = 2;
+/// Response status: server is closing this connection (shutdown).
+const STATUS_GOODBYE: u8 = 3;
 
 /// Upper bound on accepted frame payloads (guards the length prefix).
 const MAX_FRAME: usize = 16 << 20;
 
-/// Batching knobs.
+/// Readiness-poll timeout: bounds new-connection pickup and shutdown
+/// observation latency without burning CPU when idle.
+const POLL_TIMEOUT_MS: i32 = 2;
+
+/// How long a blocked response write may retry before the connection is
+/// declared dead (a client that stops reading must not wedge a worker).
+const WRITE_STALL_LIMIT: Duration = Duration::from_secs(2);
+
+// ---- readiness ----------------------------------------------------------
+
+/// Minimal `poll(2)` wrapper. Std already links libc on every Unix
+/// target, so declaring the symbol adds no dependency.
+#[cfg(unix)]
+mod readiness {
+    use std::os::unix::io::RawFd;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    /// Indices of `fds` with pending events (readable, hung up, or
+    /// errored — all of which a subsequent `read` surfaces) within
+    /// `timeout_ms`. An empty `fds` just sleeps out the timeout.
+    pub fn ready(fds: &[RawFd], timeout_ms: i32) -> Vec<usize> {
+        if fds.is_empty() {
+            std::thread::sleep(std::time::Duration::from_millis(timeout_ms.max(0) as u64));
+            return Vec::new();
+        }
+        let mut pollfds: Vec<PollFd> = fds
+            .iter()
+            .map(|&fd| PollFd {
+                fd,
+                events: POLLIN,
+                revents: 0,
+            })
+            .collect();
+        let rc = unsafe { poll(pollfds.as_mut_ptr(), pollfds.len() as u64, timeout_ms) };
+        if rc <= 0 {
+            return Vec::new();
+        }
+        pollfds
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.revents != 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Portable fallback: report every socket as possibly-readable after a
+/// short sleep; the non-blocking reads then sort out who actually was.
+#[cfg(not(unix))]
+mod readiness {
+    pub type RawFd = i32;
+
+    pub fn ready(fds: &[RawFd], timeout_ms: i32) -> Vec<usize> {
+        std::thread::sleep(std::time::Duration::from_millis(timeout_ms.max(1) as u64));
+        (0..fds.len()).collect()
+    }
+}
+
+// ---- model abstraction --------------------------------------------------
+
+/// What the serving layer needs from a model: shape metadata and a
+/// batched forward pass. [`CompiledVgg`] is the production
+/// implementation; tests substitute slow or synthetic stubs to exercise
+/// overload behavior without real kernels.
+pub trait ServeModel: Send + Sync {
+    /// Expected input shape as `(channels, height/width)`.
+    fn input_shape(&self) -> (usize, usize);
+    /// Number of output classes (logits per image).
+    fn classes(&self) -> usize;
+    /// Batched forward pass: `[N, C, H, W]` images to `[N, classes]`
+    /// logits.
+    fn run(&self, images: &Tensor) -> Tensor;
+    /// Flattened input length of one image.
+    fn input_len(&self) -> usize {
+        let (c, hw) = self.input_shape();
+        c * hw * hw
+    }
+}
+
+impl ServeModel for CompiledVgg {
+    fn input_shape(&self) -> (usize, usize) {
+        CompiledVgg::input_shape(self)
+    }
+
+    fn classes(&self) -> usize {
+        CompiledVgg::classes(self)
+    }
+
+    fn run(&self, images: &Tensor) -> Tensor {
+        CompiledVgg::run(self, images)
+    }
+}
+
+// ---- configuration ------------------------------------------------------
+
+/// What admission control does with a request that finds the queue full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Refuse the newcomer with a shed frame; queued work is untouched.
+    Reject,
+    /// Shed the *oldest* queued request — the one closest to its
+    /// deadline, hence least worth finishing — and admit the newcomer.
+    ShedOldest,
+}
+
+/// Batching, pooling and admission knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
     /// Most requests coalesced into one model invocation.
     pub max_batch: usize,
     /// Longest the oldest queued request waits for company.
     pub max_wait: Duration,
+    /// Fixed number of connection workers multiplexing all sockets.
+    pub conn_workers: usize,
+    /// Model replicas executing batches in parallel. Replicas share the
+    /// packed weights (`Arc` clones); each gets its own executor thread,
+    /// thread-keyed scratch, and `serve.replica{i}.batch_run_ns`
+    /// histogram.
+    pub replicas: usize,
+    /// Bound on queued (admitted, not yet executing) requests.
+    pub queue_cap: usize,
+    /// Admission policy once `queue_cap` is reached.
+    pub overload: OverloadPolicy,
 }
 
 impl Default for ServeConfig {
@@ -75,28 +230,116 @@ impl Default for ServeConfig {
         Self {
             max_batch: 8,
             max_wait: Duration::from_micros(500),
+            conn_workers: 2,
+            replicas: 1,
+            queue_cap: 256,
+            overload: OverloadPolicy::Reject,
         }
     }
 }
 
-/// One queued inference request.
+// ---- shared state -------------------------------------------------------
+
+/// Write half of a connection, shared between the worker that reads the
+/// socket and the executors that answer its requests. `inflight` counts
+/// admitted-but-unanswered requests; shutdown only closes a connection
+/// once it reaches zero, so no admitted request ever loses its response.
+#[derive(Clone)]
+struct ConnWriter {
+    stream: Arc<Mutex<TcpStream>>,
+    inflight: Arc<AtomicUsize>,
+    dead: Arc<AtomicBool>,
+}
+
+impl ConnWriter {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream: Arc::new(Mutex::new(stream)),
+            inflight: Arc::new(AtomicUsize::new(0)),
+            dead: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Writes one response frame, retrying `WouldBlock` with short sleeps
+    /// up to [`WRITE_STALL_LIMIT`]; a connection that stays unwritable is
+    /// marked dead and silently dropped from then on.
+    fn send(&self, status: u8, id: u64, body: &dyn ResponseBody) {
+        if self.dead.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut payload = Vec::with_capacity(13);
+        payload.push(status);
+        payload.extend_from_slice(&id.to_le_bytes());
+        body.encode(&mut payload);
+        let mut frame = Vec::with_capacity(4 + payload.len());
+        frame.extend_from_slice(&u32::to_le_bytes(payload.len() as u32));
+        frame.extend_from_slice(&payload);
+
+        let mut stream = self.stream.lock().expect("conn writer lock");
+        let mut written = 0usize;
+        let started = Instant::now();
+        while written < frame.len() {
+            match stream.write(&frame[written..]) {
+                Ok(0) => {
+                    self.dead.store(true, Ordering::Relaxed);
+                    return;
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if started.elapsed() > WRITE_STALL_LIMIT {
+                        self.dead.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+        let _ = stream.flush();
+    }
+}
+
+/// One admitted inference request.
 struct Pending {
     input: Vec<f32>,
     enqueued: Instant,
-    resp: std::sync::mpsc::Sender<Result<Vec<f32>, String>>,
+    id: u64,
+    writer: ConnWriter,
 }
 
 #[derive(Default)]
 struct Queue {
     items: VecDeque<Pending>,
-    /// Set once; the batcher drains what is queued, then exits.
+    /// Set once; executors drain what is queued, then exit.
     closed: bool,
+}
+
+/// Outcome of offering a request to the bounded queue.
+enum Admission {
+    /// Enqueued; wake an executor.
+    Admitted,
+    /// Enqueued after shedding the oldest queued request (returned).
+    AdmittedShedding(Pending),
+    /// Queue full under [`OverloadPolicy::Reject`]; the request bounces.
+    Rejected(Pending),
+    /// Queue closed (shutdown); the request bounces as an error.
+    Closed(Pending),
 }
 
 struct Shared {
     queue: Mutex<Queue>,
     wake: Condvar,
     shutdown: AtomicBool,
+    /// Executors still running; conn workers may only say goodbye and
+    /// close once this reaches zero (all admitted work answered).
+    executors_live: AtomicUsize,
+    config: ServeConfig,
+    addr: SocketAddr,
+    input_len: usize,
 }
 
 impl Shared {
@@ -107,56 +350,132 @@ impl Shared {
         drop(q);
         self.wake.notify_all();
     }
+
+    /// Bounded-queue admission control (see [`OverloadPolicy`]).
+    fn offer(&self, pending: Pending) -> Admission {
+        let cap = self.config.queue_cap.max(1);
+        let mut q = self.queue.lock().expect("serve queue lock");
+        if q.closed {
+            return Admission::Closed(pending);
+        }
+        let mut shed = None;
+        if q.items.len() >= cap {
+            match self.config.overload {
+                OverloadPolicy::Reject => return Admission::Rejected(pending),
+                OverloadPolicy::ShedOldest => {
+                    // front = oldest enqueue time = nearest deadline
+                    shed = q.items.pop_front();
+                }
+            }
+        }
+        q.items.push_back(pending);
+        metrics::global()
+            .gauge("serve.queue_depth")
+            .set(q.items.len() as f64);
+        drop(q);
+        self.wake.notify_all();
+        match shed {
+            Some(victim) => Admission::AdmittedShedding(victim),
+            None => Admission::Admitted,
+        }
+    }
 }
 
+// ---- server -------------------------------------------------------------
+
 /// A running inference server. Dropping without [`Server::shutdown`]
-/// leaks the accept thread; tests and binaries should shut down
+/// leaks the service threads; tests and binaries should shut down
 /// explicitly.
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept_handle: Option<JoinHandle<()>>,
-    batcher_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+    executor_handles: Vec<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds `addr` (use port 0 for an OS-assigned port) and starts the
-    /// accept loop and the batcher thread.
+    /// accept loop, the connection-worker pool, and one executor thread
+    /// per model replica.
     ///
     /// # Errors
     ///
     /// Returns any socket-level error from binding.
     pub fn bind(
         addr: impl ToSocketAddrs,
-        model: Arc<CompiledVgg>,
+        model: Arc<dyn ServeModel>,
         config: ServeConfig,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let conn_workers = config.conn_workers.max(1);
+        let replicas = config.replicas.max(1);
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue::default()),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            executors_live: AtomicUsize::new(replicas),
+            config,
+            addr: local,
+            input_len: model.input_len(),
         });
 
+        // register the serving metrics eagerly so a scrape sees the full
+        // dashboard (zeros included) before the first overload
+        let m = metrics::global();
+        m.counter("serve.requests");
+        m.counter("serve.errors");
+        m.counter("serve.shed_total");
+        m.counter("serve.queue_rejected");
+        m.gauge("serve.queue_depth").set(0.0);
+        m.gauge("serve.inflight").set(0.0);
+        m.gauge("serve.replicas").set(replicas as f64);
+        m.gauge("serve.conn_workers").set(conn_workers as f64);
+        m.gauge("serve.queue_cap")
+            .set(config.queue_cap.max(1) as f64);
+
+        let injector: Arc<Mutex<VecDeque<Conn>>> = Arc::new(Mutex::new(VecDeque::new()));
+
         let accept_shared = Arc::clone(&shared);
-        let accept_model = Arc::clone(&model);
+        let accept_injector = Arc::clone(&injector);
         let accept_handle = std::thread::Builder::new()
             .name("adq-serve-accept".into())
-            .spawn(move || accept_loop(listener, accept_model, accept_shared))
+            .spawn(move || accept_loop(listener, accept_injector, accept_shared))
             .expect("spawn accept thread");
 
-        let batcher_shared = Arc::clone(&shared);
-        let batcher_handle = std::thread::Builder::new()
-            .name("adq-serve-batch".into())
-            .spawn(move || batcher_loop(model, batcher_shared, config))
-            .expect("spawn batcher thread");
+        let mut worker_handles = Vec::with_capacity(conn_workers);
+        for i in 0..conn_workers {
+            let worker_shared = Arc::clone(&shared);
+            let worker_injector = Arc::clone(&injector);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("adq-serve-conn{i}"))
+                    .spawn(move || conn_worker_loop(worker_shared, worker_injector))
+                    .expect("spawn connection worker"),
+            );
+        }
+
+        let exec_inflight = Arc::new(AtomicUsize::new(0));
+        let mut executor_handles = Vec::with_capacity(replicas);
+        for i in 0..replicas {
+            let exec_shared = Arc::clone(&shared);
+            let exec_model = Arc::clone(&model);
+            let exec_count = Arc::clone(&exec_inflight);
+            executor_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("adq-serve-exec{i}"))
+                    .spawn(move || executor_loop(exec_model, exec_shared, exec_count, i))
+                    .expect("spawn replica executor"),
+            );
+        }
 
         Ok(Server {
             addr: local,
             shared,
             accept_handle: Some(accept_handle),
-            batcher_handle: Some(batcher_handle),
+            worker_handles,
+            executor_handles,
         })
     }
 
@@ -170,130 +489,293 @@ impl Server {
         self.shared.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Stops accepting, drains queued requests, and joins both service
-    /// threads.
+    /// Stops accepting, drains admitted requests, sends a goodbye frame
+    /// on every open connection, and joins all service threads.
     pub fn shutdown(&mut self) {
         self.shared.request_shutdown();
         // unblock the accept loop with a wake-up connection
         let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_handle.take() {
-            let _ = handle.join();
-        }
-        if let Some(handle) = self.batcher_handle.take() {
-            let _ = handle.join();
-        }
+        self.join_all();
     }
 
-    /// Parks the caller until both service threads exit (a remote
+    /// Parks the caller until the service threads exit (a remote
     /// shutdown frame, or a prior [`Server::shutdown`]).
     pub fn wait(&mut self) {
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
         if let Some(handle) = self.accept_handle.take() {
             let _ = handle.join();
         }
-        if let Some(handle) = self.batcher_handle.take() {
+        for handle in self.executor_handles.drain(..) {
+            let _ = handle.join();
+        }
+        for handle in self.worker_handles.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-fn accept_loop(listener: TcpListener, model: Arc<CompiledVgg>, shared: Arc<Shared>) {
+fn accept_loop(listener: TcpListener, injector: Arc<Mutex<VecDeque<Conn>>>, shared: Arc<Shared>) {
     for stream in listener.incoming() {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        let conn_shared = Arc::clone(&shared);
-        let conn_model = Arc::clone(&model);
-        let _ = std::thread::Builder::new()
-            .name("adq-serve-conn".into())
-            .spawn(move || {
-                let _ = serve_connection(stream, conn_model, conn_shared);
-            });
+        stream.set_nodelay(true).ok();
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        let Ok(write_half) = stream.try_clone() else {
+            continue;
+        };
+        injector
+            .lock()
+            .expect("conn injector lock")
+            .push_back(Conn::new(stream, ConnWriter::new(write_half)));
     }
 }
 
-/// Handles one client connection until EOF or shutdown.
-fn serve_connection(
-    mut stream: TcpStream,
-    model: Arc<CompiledVgg>,
-    shared: Arc<Shared>,
-) -> io::Result<()> {
-    stream.set_nodelay(true).ok();
-    let requests = metrics::global().counter("serve.requests");
-    let errors = metrics::global().counter("serve.errors");
-    loop {
-        let payload = match read_frame(&mut stream) {
-            Ok(Some(p)) => p,
-            Ok(None) => return Ok(()), // clean EOF
-            Err(e) => return Err(e),
-        };
-        let Some((kind, id, body)) = parse_request(&payload) else {
-            errors.inc();
-            write_response(&mut stream, STATUS_ERR, 0, ErrBody("malformed frame"))?;
-            continue;
-        };
-        match kind {
-            KIND_PING => write_response(&mut stream, STATUS_OK, id, OkBody(&[]))?,
-            KIND_SHUTDOWN => {
-                write_response(&mut stream, STATUS_OK, id, OkBody(&[]))?;
-                shared.request_shutdown();
-                // wake the accept loop so it can observe the flag
-                let _ = TcpStream::connect(stream.local_addr()?);
-                return Ok(());
-            }
-            KIND_INFER => {
-                requests.inc();
-                if body.len() != model.input_len() {
-                    errors.inc();
-                    write_response(&mut stream, STATUS_ERR, id, ErrBody("bad input length"))?;
-                    continue;
-                }
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    errors.inc();
-                    write_response(&mut stream, STATUS_ERR, id, ErrBody("shutting down"))?;
-                    continue;
-                }
-                let (tx, rx) = std::sync::mpsc::channel();
-                {
-                    let mut q = shared.queue.lock().expect("serve queue lock");
-                    if q.closed {
-                        errors.inc();
-                        write_response(&mut stream, STATUS_ERR, id, ErrBody("shutting down"))?;
-                        continue;
-                    }
-                    q.items.push_back(Pending {
-                        input: body,
-                        enqueued: Instant::now(),
-                        resp: tx,
-                    });
-                    metrics::global()
-                        .gauge("serve.queue_depth")
-                        .set(q.items.len() as f64);
-                }
-                shared.wake.notify_all();
-                match rx.recv() {
-                    Ok(Ok(logits)) => write_response(&mut stream, STATUS_OK, id, OkBody(&logits))?,
-                    Ok(Err(msg)) => {
-                        errors.inc();
-                        write_response(&mut stream, STATUS_ERR, id, ErrBody(&msg))?;
-                    }
-                    Err(_) => {
-                        errors.inc();
-                        write_response(&mut stream, STATUS_ERR, id, ErrBody("server stopped"))?;
-                    }
-                }
-            }
-            _ => {
-                errors.inc();
-                write_response(&mut stream, STATUS_ERR, id, ErrBody("unknown request kind"))?;
-            }
+// ---- connection workers -------------------------------------------------
+
+/// Incremental length-prefixed frame decoder over a non-blocking socket.
+#[derive(Default)]
+struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame, `Err` on an oversized length prefix.
+    fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {len} bytes exceeds the {MAX_FRAME} byte cap"),
+            ));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = self.buf[4..4 + len].to_vec();
+        self.buf.drain(..4 + len);
+        Ok(Some(frame))
+    }
+}
+
+/// One multiplexed connection, owned by exactly one worker.
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    writer: ConnWriter,
+    alive: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, writer: ConnWriter) -> Self {
+        Self {
+            stream,
+            reader: FrameReader::default(),
+            writer,
+            alive: true,
         }
     }
 }
 
-/// The batcher: waits for work, coalesces up to `max_batch` requests or
-/// until the oldest request's deadline, and runs one batched inference.
-fn batcher_loop(model: Arc<CompiledVgg>, shared: Arc<Shared>, config: ServeConfig) {
+/// A connection worker: adopts sockets from the injector, polls the ones
+/// it owns for readability, decodes frames, answers control frames
+/// inline, and routes inference frames through admission control.
+fn conn_worker_loop(shared: Arc<Shared>, injector: Arc<Mutex<VecDeque<Conn>>>) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let requests = metrics::global().counter("serve.requests");
+    let errors = metrics::global().counter("serve.errors");
+    let shed_total = metrics::global().counter("serve.shed_total");
+    let queue_rejected = metrics::global().counter("serve.queue_rejected");
+
+    loop {
+        // adopt newly accepted connections (work-stealing: whichever
+        // worker gets there first takes the front one)
+        if let Some(conn) = injector.lock().expect("conn injector lock").pop_front() {
+            conns.push(conn);
+        }
+
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // drain phase: keep answering frames (queued work is still
+            // completing) until every executor has exited and all of this
+            // worker's connections have no response outstanding — then
+            // each gets a typed goodbye instead of a bare EOF.
+            if shared.executors_live.load(Ordering::SeqCst) == 0 {
+                let mut remaining = Vec::new();
+                for conn in conns.drain(..) {
+                    if conn.writer.inflight.load(Ordering::SeqCst) == 0 {
+                        conn.writer
+                            .send(STATUS_GOODBYE, 0, &ErrBody("server shutting down"));
+                        // drop closes the socket after the goodbye frame
+                    } else {
+                        remaining.push(conn);
+                    }
+                }
+                conns = remaining;
+                if conns.is_empty() {
+                    // one worker may still hold injected conns nobody
+                    // adopted; they get goodbyes from whoever adopts them
+                    let mut inj = injector.lock().expect("conn injector lock");
+                    while let Some(conn) = inj.pop_front() {
+                        conn.writer
+                            .send(STATUS_GOODBYE, 0, &ErrBody("server shutting down"));
+                    }
+                    return;
+                }
+            }
+        }
+
+        #[cfg(unix)]
+        let fds: Vec<std::os::unix::io::RawFd> = {
+            use std::os::unix::io::AsRawFd;
+            conns.iter().map(|c| c.stream.as_raw_fd()).collect()
+        };
+        #[cfg(not(unix))]
+        let fds: Vec<readiness::RawFd> = (0..conns.len() as i32).collect();
+
+        for idx in readiness::ready(&fds, POLL_TIMEOUT_MS) {
+            let conn = &mut conns[idx];
+            // drain the socket into the frame buffer
+            let mut scratch = [0u8; 16 * 1024];
+            loop {
+                match conn.stream.read(&mut scratch) {
+                    Ok(0) => {
+                        conn.alive = false;
+                        break;
+                    }
+                    Ok(n) => conn.reader.push(&scratch[..n]),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        conn.alive = false;
+                        break;
+                    }
+                }
+            }
+            // process every complete frame
+            loop {
+                let frame = match conn.reader.next_frame() {
+                    Ok(Some(frame)) => frame,
+                    Ok(None) => break,
+                    Err(_) => {
+                        conn.alive = false;
+                        break;
+                    }
+                };
+                handle_frame(
+                    &frame,
+                    conn,
+                    &shared,
+                    &requests,
+                    &errors,
+                    &shed_total,
+                    &queue_rejected,
+                );
+            }
+        }
+        conns.retain(|c| c.alive && !c.writer.dead.load(Ordering::Relaxed));
+    }
+}
+
+/// Handles one decoded request frame on a worker thread.
+fn handle_frame(
+    frame: &[u8],
+    conn: &mut Conn,
+    shared: &Arc<Shared>,
+    requests: &metrics::Counter,
+    errors: &metrics::Counter,
+    shed_total: &metrics::Counter,
+    queue_rejected: &metrics::Counter,
+) {
+    let Some((kind, id, body)) = parse_request(frame) else {
+        errors.inc();
+        conn.writer.send(STATUS_ERR, 0, &ErrBody("malformed frame"));
+        return;
+    };
+    match kind {
+        KIND_PING => conn.writer.send(STATUS_OK, id, &OkBody(&[])),
+        KIND_SHUTDOWN => {
+            conn.writer.send(STATUS_OK, id, &OkBody(&[]));
+            shared.request_shutdown();
+            // wake the accept loop so it can observe the flag
+            let _ = TcpStream::connect(shared.addr);
+        }
+        KIND_INFER => {
+            requests.inc();
+            if body.len() != shared.input_len {
+                errors.inc();
+                conn.writer
+                    .send(STATUS_ERR, id, &ErrBody("bad input length"));
+                return;
+            }
+            let pending = Pending {
+                input: body,
+                enqueued: Instant::now(),
+                id,
+                writer: conn.writer.clone(),
+            };
+            pending.writer.inflight.fetch_add(1, Ordering::SeqCst);
+            match shared.offer(pending) {
+                Admission::Admitted => {}
+                Admission::AdmittedShedding(victim) => {
+                    shed_total.inc();
+                    victim.writer.send(
+                        STATUS_SHED,
+                        victim.id,
+                        &ErrBody("shed under load (superseded by newer work)"),
+                    );
+                    victim.writer.inflight.fetch_sub(1, Ordering::SeqCst);
+                }
+                Admission::Rejected(bounced) => {
+                    shed_total.inc();
+                    queue_rejected.inc();
+                    bounced
+                        .writer
+                        .send(STATUS_SHED, bounced.id, &ErrBody("queue full, try later"));
+                    bounced.writer.inflight.fetch_sub(1, Ordering::SeqCst);
+                }
+                Admission::Closed(bounced) => {
+                    errors.inc();
+                    bounced
+                        .writer
+                        .send(STATUS_ERR, bounced.id, &ErrBody("shutting down"));
+                    bounced.writer.inflight.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+        _ => {
+            errors.inc();
+            conn.writer
+                .send(STATUS_ERR, id, &ErrBody("unknown request kind"));
+        }
+    }
+}
+
+// ---- replica executors --------------------------------------------------
+
+/// One replica's executor: coalesces up to `max_batch` admitted requests
+/// (or whatever arrived when the oldest request's deadline expires), runs
+/// a single batched inference on the shared model, and writes each
+/// response straight to its connection.
+fn executor_loop(
+    model: Arc<dyn ServeModel>,
+    shared: Arc<Shared>,
+    exec_inflight: Arc<AtomicUsize>,
+    replica: usize,
+) {
+    let config = shared.config;
     let max_batch = config.max_batch.max(1);
     let queue_depth = metrics::global().gauge("serve.queue_depth");
     let inflight = metrics::global().gauge("serve.inflight");
@@ -301,6 +783,7 @@ fn batcher_loop(model: Arc<CompiledVgg>, shared: Arc<Shared>, config: ServeConfi
         metrics::global().histogram_with_bounds("serve.batch_size", &[1, 2, 4, 8, 16, 32, 64, 128]);
     let latency = metrics::global().histogram("serve.latency_ns");
     let batch_run = metrics::global().histogram("serve.batch_run_ns");
+    let replica_run = metrics::global().histogram(&format!("serve.replica{replica}.batch_run_ns"));
 
     loop {
         let batch: Vec<Pending> = {
@@ -314,7 +797,7 @@ fn batcher_loop(model: Arc<CompiledVgg>, shared: Arc<Shared>, config: ServeConfi
                 q = guard;
             }
             if q.items.is_empty() && q.closed {
-                return;
+                break;
             }
             // give the oldest request's deadline a chance to gather company
             let deadline = q.items.front().expect("non-empty").enqueued + config.max_wait;
@@ -328,6 +811,11 @@ fn batcher_loop(model: Arc<CompiledVgg>, shared: Arc<Shared>, config: ServeConfi
                     .wait_timeout(q, deadline - now)
                     .expect("serve queue lock");
                 q = guard;
+                // another replica may have drained the queue while we
+                // gathered; go back to the outer wait instead of spinning
+                if q.items.is_empty() {
+                    break;
+                }
             }
             let take = q.items.len().min(max_batch);
             let batch: Vec<Pending> = q.items.drain(..take).collect();
@@ -340,15 +828,14 @@ fn batcher_loop(model: Arc<CompiledVgg>, shared: Arc<Shared>, config: ServeConfi
 
         let _span = span::span("serve.batch");
         let started = Instant::now();
-        inflight.set(batch.len() as f64);
+        inflight.set(
+            exec_inflight.fetch_add(batch.len(), Ordering::SeqCst) as f64 + batch.len() as f64,
+        );
         batch_sizes.record(batch.len() as u64);
 
-        let (c, hw) = {
-            let (c, hw) = model.input_shape();
-            (c, hw)
-        };
-        let mut images = Tensor::zeros(&[batch.len(), c, hw, hw]);
+        let (c, hw) = model.input_shape();
         let input_len = model.input_len();
+        let mut images = Tensor::zeros(&[batch.len(), c, hw, hw]);
         for (i, pending) in batch.iter().enumerate() {
             images.data_mut()[i * input_len..(i + 1) * input_len].copy_from_slice(&pending.input);
         }
@@ -356,23 +843,30 @@ fn batcher_loop(model: Arc<CompiledVgg>, shared: Arc<Shared>, config: ServeConfi
         let classes = model.classes();
         let run_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         batch_run.record(run_ns);
+        replica_run.record(run_ns);
 
         let done = Instant::now();
+        let taken = batch.len();
         for (i, pending) in batch.into_iter().enumerate() {
-            let row = logits.data()[i * classes..(i + 1) * classes].to_vec();
+            let row = &logits.data()[i * classes..(i + 1) * classes];
             let waited = u64::try_from((done - pending.enqueued).as_nanos()).unwrap_or(u64::MAX);
             latency.record(waited);
             // a disconnected client just drops its response
-            let _ = pending.resp.send(Ok(row));
+            pending.writer.send(STATUS_OK, pending.id, &OkBody(row));
+            pending.writer.inflight.fetch_sub(1, Ordering::SeqCst);
         }
-        inflight.set(0.0);
+        inflight.set(exec_inflight.fetch_sub(taken, Ordering::SeqCst) as f64 - taken as f64);
     }
+    // last executor out wakes its peers so they observe the close too
+    shared.executors_live.fetch_sub(1, Ordering::SeqCst);
+    shared.wake.notify_all();
 }
 
 // ---- wire helpers -------------------------------------------------------
 
-/// Reads one length-prefixed frame; `None` on clean EOF at a frame
-/// boundary.
+/// Reads one length-prefixed frame from a blocking stream; `None` on
+/// clean EOF at a frame boundary. (Client-side helper — the server reads
+/// through [`FrameReader`].)
 fn read_frame(stream: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
     let mut len_buf = [0u8; 4];
     match stream.read_exact(&mut len_buf) {
@@ -440,20 +934,30 @@ impl ResponseBody for ErrBody<'_> {
     }
 }
 
-fn write_response(
-    stream: &mut TcpStream,
-    status: u8,
-    id: u64,
-    body: impl ResponseBody,
-) -> io::Result<()> {
-    let mut payload = Vec::with_capacity(13);
-    payload.push(status);
-    payload.extend_from_slice(&id.to_le_bytes());
-    body.encode(&mut payload);
-    write_frame(stream, &payload)
+// ---- client -------------------------------------------------------------
+
+/// A server's answer to one inference request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Success: the logits.
+    Logits(Vec<f32>),
+    /// The server refused the request (protocol error, shutdown, ...).
+    Refused(String),
+    /// Admission control shed the request under overload — retry later.
+    Shed(String),
 }
 
-// ---- client -------------------------------------------------------------
+impl Reply {
+    /// Collapses to the pre-shedding API: logits or an error string
+    /// (shed replies read as errors prefixed with `shed: `).
+    pub fn into_result(self) -> Result<Vec<f32>, String> {
+        match self {
+            Reply::Logits(logits) => Ok(logits),
+            Reply::Refused(msg) => Err(msg),
+            Reply::Shed(msg) => Err(format!("shed: {msg}")),
+        }
+    }
+}
 
 /// A blocking client for the serving protocol.
 pub struct Client {
@@ -473,7 +977,7 @@ impl Client {
         Ok(Client { stream, next_id: 0 })
     }
 
-    fn request(&mut self, kind: u8, input: &[f32]) -> io::Result<Result<Vec<f32>, String>> {
+    fn request(&mut self, kind: u8, input: &[f32]) -> io::Result<Reply> {
         self.next_id += 1;
         let id = self.next_id;
         let mut payload = Vec::with_capacity(13 + input.len() * 4);
@@ -494,6 +998,12 @@ impl Client {
             ));
         }
         let status = response[0];
+        if status == STATUS_GOODBYE {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "server sent goodbye (shutting down)",
+            ));
+        }
         let got_id = u64::from_le_bytes(response[1..9].try_into().expect("8 bytes"));
         if got_id != id {
             return Err(io::Error::new(
@@ -501,31 +1011,38 @@ impl Client {
                 format!("response id {got_id} does not match request id {id}"),
             ));
         }
-        if status == STATUS_OK {
-            let n = u32::from_le_bytes(response[9..13].try_into().expect("4 bytes")) as usize;
-            let body = &response[13..];
-            if body.len() != n * 4 {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "response length mismatch",
-                ));
+        match status {
+            STATUS_OK => {
+                let n = u32::from_le_bytes(response[9..13].try_into().expect("4 bytes")) as usize;
+                let body = &response[13..];
+                if body.len() != n * 4 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "response length mismatch",
+                    ));
+                }
+                Ok(Reply::Logits(
+                    body.chunks_exact(4)
+                        .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
+                        .collect(),
+                ))
             }
-            Ok(Ok(body
-                .chunks_exact(4)
-                .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
-                .collect()))
-        } else {
-            Ok(Err(String::from_utf8_lossy(&response[13..]).into_owned()))
+            STATUS_SHED => Ok(Reply::Shed(
+                String::from_utf8_lossy(&response[13..]).into_owned(),
+            )),
+            _ => Ok(Reply::Refused(
+                String::from_utf8_lossy(&response[13..]).into_owned(),
+            )),
         }
     }
 
-    /// Runs inference on one flattened image, returning logits or the
-    /// server's error message.
+    /// Runs inference on one flattened image.
     ///
     /// # Errors
     ///
-    /// Returns socket-level I/O errors.
-    pub fn infer(&mut self, input: &[f32]) -> io::Result<Result<Vec<f32>, String>> {
+    /// Returns socket-level I/O errors; a shutdown-time goodbye frame
+    /// surfaces as [`io::ErrorKind::ConnectionAborted`].
+    pub fn infer(&mut self, input: &[f32]) -> io::Result<Reply> {
         self.request(KIND_INFER, input)
     }
 
@@ -536,8 +1053,8 @@ impl Client {
     /// Returns socket-level I/O errors or a server-side refusal.
     pub fn ping(&mut self) -> io::Result<()> {
         match self.request(KIND_PING, &[])? {
-            Ok(_) => Ok(()),
-            Err(msg) => Err(io::Error::other(msg)),
+            Reply::Logits(_) => Ok(()),
+            Reply::Refused(msg) | Reply::Shed(msg) => Err(io::Error::other(msg)),
         }
     }
 
@@ -548,15 +1065,39 @@ impl Client {
     /// Returns socket-level I/O errors.
     pub fn shutdown_server(&mut self) -> io::Result<()> {
         match self.request(KIND_SHUTDOWN, &[])? {
-            Ok(_) => Ok(()),
-            Err(msg) => Err(io::Error::other(msg)),
+            Reply::Logits(_) => Ok(()),
+            Reply::Refused(msg) | Reply::Shed(msg) => Err(io::Error::other(msg)),
+        }
+    }
+
+    /// Reads one more frame and confirms it is the server's typed
+    /// goodbye — what a connection receives right before the shutdown
+    /// close, instead of a bare EOF.
+    ///
+    /// # Errors
+    ///
+    /// Returns socket-level I/O errors, or `InvalidData` if the next
+    /// frame (when present) is not a goodbye.
+    pub fn expect_goodbye(&mut self) -> io::Result<()> {
+        match read_frame(&mut self.stream)? {
+            Some(frame) if frame.first() == Some(&STATUS_GOODBYE) => Ok(()),
+            Some(frame) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected goodbye frame, got status {:?}", frame.first()),
+            )),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed without a goodbye frame",
+            )),
         }
     }
 }
 
 // ---- load generator -----------------------------------------------------
 
-/// Result of one closed-loop load run.
+/// Result of one closed-loop load run. All latency statistics are
+/// per-request over the **merged** stream of every client's completed
+/// requests — one population, so `median_ns == p50_ns` by construction.
 #[derive(Debug, Clone)]
 pub struct LoadStats {
     /// Concurrency level (number of closed-loop clients).
@@ -565,6 +1106,8 @@ pub struct LoadStats {
     pub requests: u64,
     /// Requests that returned an error.
     pub errors: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
     /// Wall-clock of the whole run.
     pub elapsed: Duration,
     /// Exact per-request latency quantiles, in nanoseconds.
@@ -597,6 +1140,49 @@ impl LoadStats {
             (self.elapsed.as_nanos() / u128::from(self.requests)) as u64
         }
     }
+
+    /// Per-request median latency over the merged stream — identical to
+    /// [`LoadStats::p50_ns`]; kept as a named accessor so snapshot
+    /// writers can't accidentally mix populations again.
+    pub fn median_ns(&self) -> u64 {
+        self.p50_ns
+    }
+}
+
+/// Builds a [`LoadStats`] from a merged per-request latency stream.
+/// Callers sort nothing; quantiles and the mean are all computed here,
+/// over the same population.
+pub fn stats_from_latencies(
+    concurrency: usize,
+    mut latencies: Vec<u64>,
+    errors: u64,
+    shed: u64,
+    elapsed: Duration,
+) -> LoadStats {
+    latencies.sort_unstable();
+    let quantile = |q: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        latencies[rank - 1]
+    };
+    let mean = if latencies.is_empty() {
+        0
+    } else {
+        (latencies.iter().map(|&v| u128::from(v)).sum::<u128>() / latencies.len() as u128) as u64
+    };
+    LoadStats {
+        concurrency,
+        requests: latencies.len() as u64,
+        errors,
+        shed,
+        elapsed,
+        p50_ns: quantile(0.50),
+        p90_ns: quantile(0.90),
+        p99_ns: quantile(0.99),
+        mean_ns: mean,
+    }
 }
 
 /// Runs `concurrency` closed-loop clients, each issuing
@@ -616,12 +1202,13 @@ pub fn load_generate(
     let mut handles = Vec::new();
     for worker in 0..concurrency {
         handles.push(std::thread::spawn(
-            move || -> io::Result<(Vec<u64>, u64)> {
+            move || -> io::Result<(Vec<u64>, u64, u64)> {
                 let mut client = Client::connect(addr)?;
                 // deterministic per-worker input stream (cheap LCG)
                 let mut state = 0x9E3779B97F4A7C15u64 ^ (worker as u64) << 32;
                 let mut latencies = Vec::with_capacity(requests_per_client);
                 let mut errors = 0u64;
+                let mut shed = 0u64;
                 let mut input = vec![0f32; input_len];
                 for _ in 0..requests_per_client {
                     for slot in input.iter_mut() {
@@ -632,48 +1219,35 @@ pub fn load_generate(
                     }
                     let sent = Instant::now();
                     match client.infer(&input)? {
-                        Ok(_) => latencies
+                        Reply::Logits(_) => latencies
                             .push(u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX)),
-                        Err(_) => errors += 1,
+                        Reply::Refused(_) => errors += 1,
+                        Reply::Shed(_) => shed += 1,
                     }
                 }
-                Ok((latencies, errors))
+                Ok((latencies, errors, shed))
             },
         ));
     }
     let mut latencies = Vec::new();
     let mut errors = 0u64;
+    let mut shed = 0u64;
     for handle in handles {
-        let (worker_latencies, worker_errors) = handle
+        let (worker_latencies, worker_errors, worker_shed) = handle
             .join()
             .map_err(|_| io::Error::other("load worker panicked"))??;
         latencies.extend(worker_latencies);
         errors += worker_errors;
+        shed += worker_shed;
     }
     let elapsed = started.elapsed();
-    latencies.sort_unstable();
-    let quantile = |q: f64| -> u64 {
-        if latencies.is_empty() {
-            return 0;
-        }
-        let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
-        latencies[rank - 1]
-    };
-    let mean = if latencies.is_empty() {
-        0
-    } else {
-        (latencies.iter().map(|&v| u128::from(v)).sum::<u128>() / latencies.len() as u128) as u64
-    };
-    Ok(LoadStats {
+    Ok(stats_from_latencies(
         concurrency,
-        requests: latencies.len() as u64,
+        latencies,
         errors,
+        shed,
         elapsed,
-        p50_ns: quantile(0.50),
-        p90_ns: quantile(0.90),
-        p99_ns: quantile(0.99),
-        mean_ns: mean,
-    })
+    ))
 }
 
 #[cfg(test)]
@@ -707,16 +1281,60 @@ mod tests {
     }
 
     #[test]
+    fn frame_reader_reassembles_split_frames() {
+        let mut reader = FrameReader::default();
+        let payload = b"hello frame";
+        let mut wire = u32::to_le_bytes(payload.len() as u32).to_vec();
+        wire.extend_from_slice(payload);
+        // feed byte by byte: no frame until the last byte lands
+        for &b in &wire[..wire.len() - 1] {
+            reader.push(&[b]);
+            assert!(reader.next_frame().unwrap().is_none());
+        }
+        reader.push(&wire[wire.len() - 1..]);
+        assert_eq!(reader.next_frame().unwrap().unwrap(), payload);
+        assert!(reader.next_frame().unwrap().is_none());
+
+        // two frames in one push both come out
+        reader.push(&wire);
+        reader.push(&wire);
+        assert_eq!(reader.next_frame().unwrap().unwrap(), payload);
+        assert_eq!(reader.next_frame().unwrap().unwrap(), payload);
+
+        // an oversized length prefix is an error, not an allocation
+        let mut oversized = FrameReader::default();
+        oversized.push(&u32::to_le_bytes(u32::MAX));
+        assert!(oversized.next_frame().is_err());
+    }
+
+    #[test]
+    fn merged_stream_median_equals_p50() {
+        let stats = stats_from_latencies(
+            4,
+            vec![900, 100, 500, 300, 700],
+            0,
+            0,
+            Duration::from_millis(10),
+        );
+        assert_eq!(stats.median_ns(), stats.p50_ns);
+        assert_eq!(stats.p50_ns, 500);
+        assert_eq!(stats.p99_ns, 900);
+        assert_eq!(stats.mean_ns, 500);
+        assert_eq!(stats.requests, 5);
+    }
+
+    #[test]
     fn serve_roundtrip_batches_and_shuts_down() {
         let model = compiled_tiny();
         let input_len = model.input_len();
-        let classes = model.classes();
+        let classes = ServeModel::classes(model.as_ref());
         let mut server = Server::bind(
             "127.0.0.1:0",
-            Arc::clone(&model),
+            Arc::<CompiledVgg>::clone(&model) as Arc<dyn ServeModel>,
             ServeConfig {
                 max_batch: 4,
                 max_wait: Duration::from_millis(5),
+                ..ServeConfig::default()
             },
         )
         .unwrap();
@@ -725,46 +1343,100 @@ mod tests {
         // responses must match a direct batched model run exactly
         let mut r = init::rng(7);
         let images = init::normal(&[3, 3, 8, 8], 0.0, 1.0, &mut r);
-        let direct = model.run(&images);
+        let direct = CompiledVgg::run(&model, &images);
         let mut client = Client::connect(addr).unwrap();
         client.ping().unwrap();
         for i in 0..3 {
             let row = &images.data()[i * input_len..(i + 1) * input_len];
-            let logits = client.infer(row).unwrap().unwrap();
+            let logits = client.infer(row).unwrap().into_result().unwrap();
             assert_eq!(logits.len(), classes);
             assert_eq!(logits, &direct.data()[i * classes..(i + 1) * classes]);
         }
 
         // wrong input length is a protocol-level error, not a hang
-        let err = client.infer(&[1.0, 2.0]).unwrap().unwrap_err();
+        let err = client
+            .infer(&[1.0, 2.0])
+            .unwrap()
+            .into_result()
+            .unwrap_err();
         assert!(err.contains("length"), "unexpected error: {err}");
 
         // concurrent clients coalesce into batches
         let stats = load_generate(addr, 4, 10, input_len).unwrap();
         assert_eq!(stats.requests, 40);
         assert_eq!(stats.errors, 0);
+        assert_eq!(stats.shed, 0);
         assert!(stats.p99_ns >= stats.p50_ns);
         let sizes = metrics::global()
             .histogram_with_bounds("serve.batch_size", &[1, 2, 4, 8, 16, 32, 64, 128]);
-        assert!(sizes.count() > 0, "batcher recorded no batches");
+        assert!(sizes.count() > 0, "no executor recorded batches");
 
-        // remote shutdown drains and stops both threads
+        // remote shutdown drains, says goodbye, and stops every thread
         client.shutdown_server().unwrap();
+        client.expect_goodbye().unwrap();
         server.wait();
         assert!(server.shutting_down());
-        assert!(
-            Client::connect(addr).is_err() || {
-                // the listener may accept one last queued connection; a fresh
-                // request on it must be refused
-                true
-            }
-        );
+    }
+
+    #[test]
+    fn replicated_server_answers_correctly_under_concurrency() {
+        let model = compiled_tiny();
+        let input_len = model.input_len();
+        let classes = ServeModel::classes(model.as_ref());
+        let mut server = Server::bind(
+            "127.0.0.1:0",
+            Arc::<CompiledVgg>::clone(&model) as Arc<dyn ServeModel>,
+            ServeConfig {
+                replicas: 2,
+                conn_workers: 2,
+                max_batch: 2,
+                max_wait: Duration::from_micros(200),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        // every response must equal the model's own single-image run —
+        // replicas share frozen weights/ranges, so batch composition and
+        // replica assignment must not change results
+        let mut r = init::rng(11);
+        let images = init::normal(&[4, 3, 8, 8], 0.0, 1.0, &mut r);
+        let direct = CompiledVgg::run(&model, &images);
+        let mut workers = Vec::new();
+        for w in 0..4usize {
+            let row = images.data()[w * input_len..(w + 1) * input_len].to_vec();
+            let want = direct.data()[w * classes..(w + 1) * classes].to_vec();
+            workers.push(std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for _ in 0..8 {
+                    let got = client.infer(&row).unwrap().into_result().unwrap();
+                    assert_eq!(got, want, "replica answered with wrong logits");
+                }
+            }));
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        // both replica histograms exist; at least one ran batches
+        let r0 = metrics::global().histogram("serve.replica0.batch_run_ns");
+        let r1 = metrics::global().histogram("serve.replica1.batch_run_ns");
+        assert!(r0.count() + r1.count() > 0, "no replica recorded a batch");
+        assert_eq!(metrics::global().gauge("serve.replicas").get(), 2.0);
+
+        server.shutdown();
+        assert!(server.shutting_down());
     }
 
     #[test]
     fn local_shutdown_joins_threads() {
         let model = compiled_tiny();
-        let mut server = Server::bind("127.0.0.1:0", model, ServeConfig::default()).unwrap();
+        let mut server = Server::bind(
+            "127.0.0.1:0",
+            model as Arc<dyn ServeModel>,
+            ServeConfig::default(),
+        )
+        .unwrap();
         server.shutdown();
         assert!(server.shutting_down());
     }

@@ -1,31 +1,52 @@
-//! `adq-serve` — dynamic-batching integer inference server.
+//! `adq-serve` — scaled-out integer inference server.
 //!
 //! ```text
 //! adq-serve serve    [--addr 127.0.0.1:0] [--port-file PATH]
 //!                    [--max-batch N] [--max-wait-ms MS]
+//!                    [--replicas N] [--conn-workers N]
+//!                    [--queue-cap N] [--overload reject|shed-oldest]
+//!                    [--checkpoint PATH --arch tiny|small]
 //!                    [--seed S] [--resolution R] [--classes K] [--bits B]
 //! adq-serve probe    --addr HOST:PORT [--requests N]
+//!                    [--burst N [--expect-shed 0|1]]
 //! adq-serve shutdown --addr HOST:PORT
-//! adq-serve load-gen [--concurrency 1,4] [--requests N] [--out FILE.json]
-//!                    [--max-batch N] [--max-wait-ms MS] [--seed S] ...
+//! adq-serve load-gen [--concurrency 1,4] [--replicas 1] [--requests N]
+//!                    [--out FILE.json] [--max-batch N] [--max-wait-ms MS]
+//!                    [--queue-cap N] [--seed S] ...
 //! adq-serve help
 //! ```
 //!
-//! `serve` compiles a seeded demo VGG to the bit-packed integer engine
-//! and serves it over the length-prefixed TCP protocol in
-//! `adq_infer::serve`. Port 0 picks an OS-assigned port; `--port-file`
-//! writes the bound address there (same handshake as
-//! `ADQ_METRICS_PORT_FILE`), which is how CI's smoke test finds the
-//! server. `ADQ_METRICS_ADDR` / `ADQ_METRICS_PORT_FILE` additionally
-//! bind a Prometheus endpoint exposing the `serve.*` gauges and
-//! histograms.
+//! `serve` lowers a model to the bit-packed integer engine and serves it
+//! over the length-prefixed TCP protocol in `adq_infer::serve`: a fixed
+//! connection-worker pool multiplexes sockets, `--replicas` executor
+//! threads share the packed weights and run batches concurrently, and
+//! the request queue is bounded at `--queue-cap` with `--overload`
+//! picking what happens beyond it (503-style reject frames, or shedding
+//! the oldest queued request). The model is either the seeded demo VGG
+//! (default) or, with `--checkpoint PATH`, a *trained* artifact restored
+//! through the `CheckpointManager` pipeline — pass the same `--arch` /
+//! `--resolution` / `--classes` / `--channels` the training run used.
+//!
+//! Port 0 picks an OS-assigned port; `--port-file` writes the bound
+//! address there (same handshake as `ADQ_METRICS_PORT_FILE`), which is
+//! how CI's smoke test finds the server. `ADQ_METRICS_ADDR` /
+//! `ADQ_METRICS_PORT_FILE` additionally bind a Prometheus endpoint
+//! exposing the `serve.*` gauges, counters and histograms.
+//!
+//! `probe --burst N` opens N concurrent connections that fire
+//! simultaneously — against a small `--queue-cap` this demonstrates
+//! typed shed frames over the wire (`--expect-shed 1` turns "no request
+//! was shed" into an error for CI).
 //!
 //! `load-gen` runs the serving benchmark fully in-process: it measures
 //! the *unbatched float* `deploy.rs` path on the same model as the
 //! baseline, then drives the batched integer server at each requested
-//! concurrency level, and writes `bench_check`-compatible records
-//! (`median_ns` = mean wall-clock nanoseconds per completed request,
-//! lower is better) plus exact p50/p90/p99 latencies to `--out`.
+//! concurrency level and replica count, and writes `bench_check`
+//! records to `--out`. All latency statistics (`median_ns` == `p50_ns`,
+//! `p90_ns`, `p99_ns`, `mean_ns`) are per-request over the merged
+//! stream of every client's completions; `ns_per_request` is wall-clock
+//! time over completed requests — the lower-is-better throughput metric
+//! the bench gates compare.
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -33,8 +54,12 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use adq::core::checkpoint::{restore_model, CheckpointManager, RunCheckpoint};
 use adq::core::deploy::DeployedVgg;
-use adq::infer::serve::{load_generate, Client, LoadStats, ServeConfig, Server};
+use adq::infer::serve::{
+    load_generate, stats_from_latencies, Client, LoadStats, OverloadPolicy, Reply, ServeConfig,
+    Server,
+};
 use adq::infer::{CompileOptions, CompiledVgg};
 use adq::nn::{QuantModel, Vgg};
 use adq::quant::BitWidth;
@@ -101,9 +126,20 @@ fn get<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T,
     }
 }
 
-/// The demo model every mode shares: a seeded small VGG with every
-/// layer quantized at `--bits`, compiled against a seeded calibration
-/// batch. Deterministic, so `serve` and `load-gen` agree on weights.
+/// Builds the served model: either the seeded demo VGG, or — with
+/// `--checkpoint PATH` — a trained artifact restored through the PR-2
+/// checkpoint pipeline. Returns the float model too so `load-gen` can
+/// measure the `deploy.rs` baseline on identical weights.
+fn build_model(flags: &Flags) -> Result<(Vgg, CompiledVgg), String> {
+    match flags.get("checkpoint") {
+        Some(path) => checkpoint_model(flags, path),
+        None => demo_model(flags),
+    }
+}
+
+/// The demo model: a seeded small VGG with every layer quantized at
+/// `--bits`, compiled against a seeded calibration batch. Deterministic,
+/// so `serve`, `probe` and `load-gen` agree on weights.
 fn demo_model(flags: &Flags) -> Result<(Vgg, CompiledVgg), String> {
     let seed: u64 = get(flags, "seed", 0)?;
     let resolution: usize = get(flags, "resolution", 16)?;
@@ -114,11 +150,69 @@ fn demo_model(flags: &Flags) -> Result<(Vgg, CompiledVgg), String> {
     for index in 0..model.layer_stats().len() {
         model.set_bits_of(index, Some(bits));
     }
-    let mut rng = init::rng(seed ^ 0xCA11B8A7E);
-    let calibration = init::normal(&[16, 3, resolution, resolution], 0.0, 1.0, &mut rng);
-    let compiled = CompiledVgg::compile(&model, &calibration, CompileOptions::default())
-        .map_err(|e| e.to_string())?;
+    let compiled = compile_with_seeded_calibration(&model, flags)?;
     Ok((model, compiled))
+}
+
+/// Restores a trained checkpoint (a `.ckpt` file, or a checkpoint
+/// directory whose latest is taken) onto a freshly constructed model and
+/// lowers it to the integer engine. Architecture flags must match the
+/// originating run; the construction seed is irrelevant because every
+/// parameter is overwritten by the restore.
+fn checkpoint_model(flags: &Flags, path: &str) -> Result<(Vgg, CompiledVgg), String> {
+    let ckpt = load_checkpoint(path)?;
+    let resolution: usize = get(flags, "resolution", 16)?;
+    let classes: usize = get(flags, "classes", 10)?;
+    let channels: usize = get(flags, "channels", 3)?;
+    let arch = flags.get("arch").map(String::as_str).unwrap_or("small");
+    let mut model = match arch {
+        "tiny" => Vgg::tiny(channels, resolution, classes, 0),
+        "small" => Vgg::small(channels, resolution, classes, 0),
+        other => return Err(format!("flag --arch: unknown architecture `{other}`")),
+    };
+    restore_model(&mut model, &ckpt).map_err(|e| {
+        format!(
+            "cannot restore {path} onto --arch {arch} --resolution {resolution} \
+             --classes {classes} --channels {channels}: {e}"
+        )
+    })?;
+    println!(
+        "restored checkpoint {path} ({} completed iterations, bits {:?})",
+        ckpt.iterations.len(),
+        ckpt.bits
+            .iter()
+            .map(|b| b.map(|b| b.get()))
+            .collect::<Vec<_>>()
+    );
+    let compiled = compile_with_seeded_calibration(&model, flags)?;
+    Ok((model, compiled))
+}
+
+fn load_checkpoint(path: &str) -> Result<RunCheckpoint, String> {
+    let p = std::path::Path::new(path);
+    if p.is_dir() {
+        CheckpointManager::new(p)
+            .and_then(|m| m.load_latest())
+            .map_err(|e| format!("cannot load checkpoint dir {path}: {e}"))?
+            .ok_or_else(|| format!("checkpoint dir {path} holds no checkpoints"))
+    } else {
+        RunCheckpoint::load(p).map_err(|e| format!("cannot load checkpoint {path}: {e}"))
+    }
+}
+
+/// Post-training activation calibration for the serving binary: a seeded
+/// normal batch at the model's input shape (`--calib-seed`,
+/// `--calib-batch`). Deterministic, so every process lowering the same
+/// weights with the same flags produces bit-identical range tables.
+fn compile_with_seeded_calibration(model: &Vgg, flags: &Flags) -> Result<CompiledVgg, String> {
+    let seed: u64 = get(flags, "calib-seed", get(flags, "seed", 0)?)?;
+    let batch: usize = get(flags, "calib-batch", 16)?;
+    let stats = model.layer_stats();
+    let hw = stats[0].input_hw;
+    let channels = stats[0].geom.as_ref().map_or(3, |g| g.in_channels);
+    let mut rng = init::rng(seed ^ 0xCA11B8A7E);
+    let calibration = init::normal(&[batch, channels, hw, hw], 0.0, 1.0, &mut rng);
+    CompiledVgg::compile(model, &calibration, CompileOptions::default()).map_err(|e| e.to_string())
 }
 
 fn serve_config(flags: &Flags) -> Result<ServeConfig, String> {
@@ -126,9 +220,22 @@ fn serve_config(flags: &Flags) -> Result<ServeConfig, String> {
     if max_wait_ms < 0.0 || max_wait_ms.is_nan() {
         return Err(format!("flag --max-wait-ms: `{max_wait_ms}` must be >= 0"));
     }
+    let overload = match flags.get("overload").map(String::as_str) {
+        None | Some("reject") => OverloadPolicy::Reject,
+        Some("shed-oldest") => OverloadPolicy::ShedOldest,
+        Some(other) => {
+            return Err(format!(
+                "flag --overload: `{other}` is not reject|shed-oldest"
+            ))
+        }
+    };
     Ok(ServeConfig {
         max_batch: get(flags, "max-batch", 8)?,
         max_wait: Duration::from_secs_f64(max_wait_ms / 1000.0),
+        conn_workers: get(flags, "conn-workers", 2)?,
+        replicas: get(flags, "replicas", 1)?,
+        queue_cap: get(flags, "queue-cap", 256)?,
+        overload,
     })
 }
 
@@ -141,7 +248,7 @@ fn required_addr(flags: &Flags) -> Result<SocketAddr, String> {
 }
 
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
-    let (_, compiled) = demo_model(flags)?;
+    let (_, compiled) = build_model(flags)?;
     let config = serve_config(flags)?;
     let addr = flags
         .get("addr")
@@ -158,12 +265,18 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             .map(|p| p.bits())
             .collect::<Vec<_>>()
     );
-    let mut server = Server::bind(addr.as_str(), Arc::clone(&compiled), config)
+    let mut server = Server::bind(addr.as_str(), Arc::clone(&compiled) as _, config)
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let bound = server.local_addr();
     println!(
-        "serving on {bound} (max batch {}, max wait {:?})",
-        config.max_batch, config.max_wait
+        "serving on {bound} ({} replicas, {} conn workers, queue cap {}, {:?} on overload, \
+         max batch {}, max wait {:?})",
+        config.replicas.max(1),
+        config.conn_workers.max(1),
+        config.queue_cap.max(1),
+        config.overload,
+        config.max_batch,
+        config.max_wait
     );
     if let Some(port_file) = flags.get("port-file") {
         std::fs::write(port_file, bound.to_string())
@@ -195,12 +308,16 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
 
 fn cmd_probe(flags: &Flags) -> Result<(), String> {
     let addr = required_addr(flags)?;
+    let burst: usize = get(flags, "burst", 0)?;
+    if burst > 0 {
+        return cmd_probe_burst(flags, addr, burst);
+    }
     let requests: usize = get(flags, "requests", 3)?;
     let mut client = Client::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
     client.ping().map_err(|e| format!("ping failed: {e}"))?;
     // the demo model is deterministic, so the probe recomputes the
     // expected input length and class count from the same flags
-    let (_, compiled) = demo_model(flags)?;
+    let (_, compiled) = build_model(flags)?;
     let input_len = compiled.input_len();
     let mut rng = init::rng(get(flags, "probe-seed", 7u64)?);
     for i in 0..requests {
@@ -208,6 +325,7 @@ fn cmd_probe(flags: &Flags) -> Result<(), String> {
         let logits = client
             .infer(image.data())
             .map_err(|e| format!("request {i}: {e}"))?
+            .into_result()
             .map_err(|msg| format!("request {i} refused: {msg}"))?;
         if logits.len() != compiled.classes() {
             return Err(format!(
@@ -227,6 +345,57 @@ fn cmd_probe(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Fires `burst` single-request clients at once. Against a server with a
+/// small `--queue-cap` this drives admission control: some requests get
+/// logits, the rest get typed shed frames — never a dropped connection
+/// or a missing response.
+fn cmd_probe_burst(flags: &Flags, addr: SocketAddr, burst: usize) -> Result<(), String> {
+    let (_, compiled) = build_model(flags)?;
+    let input_len = compiled.input_len();
+    let classes = compiled.classes();
+    let probe_seed: u64 = get(flags, "probe-seed", 7)?;
+    let barrier = Arc::new(std::sync::Barrier::new(burst));
+    let mut handles = Vec::with_capacity(burst);
+    for worker in 0..burst {
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || -> Result<Reply, String> {
+            // connect first, then release the whole burst at once
+            let mut client =
+                Client::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+            let mut rng = init::rng(probe_seed ^ (worker as u64) << 16);
+            let image = init::normal(&[1, 1, 1, input_len], 0.0, 1.0, &mut rng);
+            barrier.wait();
+            client
+                .infer(image.data())
+                .map_err(|e| format!("burst request {worker}: {e}"))
+        }));
+    }
+    let (mut ok, mut shed) = (0usize, 0usize);
+    for handle in handles {
+        let reply = handle
+            .join()
+            .map_err(|_| "burst worker panicked".to_string())??;
+        match reply {
+            Reply::Logits(logits) => {
+                if logits.len() != classes {
+                    return Err(format!("expected {classes} logits, got {}", logits.len()));
+                }
+                ok += 1;
+            }
+            Reply::Shed(_) => shed += 1,
+            Reply::Refused(msg) => return Err(format!("burst request refused: {msg}")),
+        }
+    }
+    println!("burst of {burst}: {ok} answered, {shed} shed, every request got a typed response");
+    if ok == 0 {
+        return Err("burst: no request was answered".to_string());
+    }
+    if get(flags, "expect-shed", 0usize)? > 0 && shed == 0 {
+        return Err("burst: expected at least one shed response, saw none".to_string());
+    }
+    Ok(())
+}
+
 fn cmd_shutdown(flags: &Flags) -> Result<(), String> {
     let addr = required_addr(flags)?;
     let mut client = Client::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
@@ -243,34 +412,19 @@ fn float_unbatched_baseline(model: &Vgg, requests: usize, seed: u64) -> Result<L
     let deployed = DeployedVgg::from_trained(model).map_err(|e| e.to_string())?;
     let stats = model.layer_stats();
     let hw = stats[0].input_hw;
+    let channels = stats[0].geom.as_ref().map_or(3, |g| g.in_channels);
     let mut rng = init::rng(seed ^ 0xF10A7);
     let mut latencies = Vec::with_capacity(requests);
     let started = Instant::now();
     for _ in 0..requests {
-        let image = init::normal(&[1, 3, hw, hw], 0.0, 1.0, &mut rng);
+        let image = init::normal(&[1, channels, hw, hw], 0.0, 1.0, &mut rng);
         let sent = Instant::now();
         let (logits, _) = deployed.run(&image);
         assert!(!logits.is_empty());
         latencies.push(u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX));
     }
     let elapsed = started.elapsed();
-    latencies.sort_unstable();
-    let quantile = |q: f64| -> u64 {
-        let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
-        latencies[rank - 1]
-    };
-    let mean =
-        (latencies.iter().map(|&v| u128::from(v)).sum::<u128>() / latencies.len() as u128) as u64;
-    Ok(LoadStats {
-        concurrency: 1,
-        requests: latencies.len() as u64,
-        errors: 0,
-        elapsed,
-        p50_ns: quantile(0.50),
-        p90_ns: quantile(0.90),
-        p99_ns: quantile(0.99),
-        mean_ns: mean,
-    })
+    Ok(stats_from_latencies(1, latencies, 0, 0, elapsed))
 }
 
 fn record_json(name: &str, stats: &LoadStats) -> String {
@@ -278,40 +432,51 @@ fn record_json(name: &str, stats: &LoadStats) -> String {
         concat!(
             "  {{\"name\": \"{}\", \"median_ns\": {}, \"mean_ns\": {}, ",
             "\"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, ",
-            "\"throughput_rps\": {:.2}, \"concurrency\": {}, \"requests\": {}}}"
+            "\"ns_per_request\": {}, \"throughput_rps\": {:.2}, ",
+            "\"concurrency\": {}, \"requests\": {}, \"shed\": {}}}"
         ),
         name,
-        stats.ns_per_request(),
+        stats.median_ns(),
         stats.mean_ns,
         stats.p50_ns,
         stats.p90_ns,
         stats.p99_ns,
+        stats.ns_per_request(),
         stats.throughput_rps(),
         stats.concurrency,
-        stats.requests
+        stats.requests,
+        stats.shed
     )
 }
 
 fn cmd_load_gen(flags: &Flags) -> Result<(), String> {
-    let (model, compiled) = demo_model(flags)?;
-    let config = serve_config(flags)?;
+    let (model, compiled) = build_model(flags)?;
+    // --replicas is a sweep list here (not a single count as in `serve`);
+    // the per-level server overrides ServeConfig::replicas anyway
+    let mut scalar_flags = flags.clone();
+    scalar_flags.remove("replicas");
+    let config = serve_config(&scalar_flags)?;
     let requests: usize = get(flags, "requests", 64)?;
     let seed: u64 = get(flags, "seed", 0)?;
     let out = flags
         .get("out")
         .cloned()
         .unwrap_or_else(|| "BENCH_serving.json".to_string());
-    let concurrency: Vec<usize> = flags
-        .get("concurrency")
-        .map(String::as_str)
-        .unwrap_or("1,4")
-        .split(',')
-        .map(|c| {
-            c.trim()
-                .parse()
-                .map_err(|_| format!("flag --concurrency: cannot parse `{c}`"))
-        })
-        .collect::<Result<_, _>>()?;
+    let parse_list = |name: &str, default: &str| -> Result<Vec<usize>, String> {
+        flags
+            .get(name)
+            .map(String::as_str)
+            .unwrap_or(default)
+            .split(',')
+            .map(|c| {
+                c.trim()
+                    .parse()
+                    .map_err(|_| format!("flag --{name}: cannot parse `{c}`"))
+            })
+            .collect()
+    };
+    let concurrency = parse_list("concurrency", "1,4")?;
+    let replicas = parse_list("replicas", "1")?;
 
     // the slow scalar baseline gets a smaller (but still exact) sample
     let baseline_requests = (requests / 4).max(8);
@@ -326,40 +491,66 @@ fn cmd_load_gen(flags: &Flags) -> Result<(), String> {
 
     let compiled = Arc::new(compiled);
     let input_len = compiled.input_len();
-    let mut server = Server::bind("127.0.0.1:0", Arc::clone(&compiled), config)
-        .map_err(|e| format!("cannot bind load-gen server: {e}"))?;
-    let addr = server.local_addr();
-
     let mut records = vec![record_json("serving/float_unbatched", &baseline)];
     let mut speedups = Vec::new();
-    for &c in &concurrency {
+    let run_level = |server_addr: SocketAddr, c: usize| -> Result<LoadStats, String> {
         // warm up the packing scratch and branch predictors off-record
-        load_generate(addr, c, 4, input_len).map_err(|e| e.to_string())?;
-        let stats = load_generate(addr, c, requests, input_len).map_err(|e| e.to_string())?;
+        load_generate(server_addr, c, 4, input_len).map_err(|e| e.to_string())?;
+        let stats =
+            load_generate(server_addr, c, requests, input_len).map_err(|e| e.to_string())?;
         if stats.errors > 0 {
             return Err(format!(
                 "load-gen at concurrency {c}: {} errors",
                 stats.errors
             ));
         }
-        let speedup = baseline.ns_per_request() as f64 / stats.ns_per_request() as f64;
-        println!(
-            "  int8_batched_c{c}: {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms ({speedup:.1}x vs float unbatched)",
-            stats.throughput_rps(),
-            stats.p50_ns as f64 / 1e6,
-            stats.p99_ns as f64 / 1e6
-        );
-        records.push(record_json(&format!("serving/int8_batched_c{c}"), &stats));
-        speedups.push(speedup);
-    }
-    server.shutdown();
+        Ok(stats)
+    };
 
-    // the server ran in-process, so its batcher metrics are ours to read
+    for (i, &r) in replicas.iter().enumerate() {
+        let level_config = ServeConfig {
+            replicas: r,
+            ..config
+        };
+        let mut server = Server::bind("127.0.0.1:0", Arc::clone(&compiled) as _, level_config)
+            .map_err(|e| format!("cannot bind load-gen server: {e}"))?;
+        let addr = server.local_addr();
+        // the first replica count sweeps every concurrency level (the
+        // committed per-concurrency records); additional counts measure
+        // replica scaling at the highest concurrency only
+        let levels: &[usize] = if i == 0 {
+            &concurrency
+        } else {
+            std::slice::from_ref(concurrency.iter().max().expect("non-empty concurrency"))
+        };
+        for &c in levels {
+            let stats = run_level(addr, c)?;
+            let name = if i == 0 {
+                format!("serving/int8_batched_c{c}")
+            } else {
+                format!("serving/int8_batched_c{c}_r{r}")
+            };
+            let speedup = baseline.ns_per_request() as f64 / stats.ns_per_request() as f64;
+            println!(
+                "  {}: {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms, {} shed ({speedup:.1}x vs float unbatched)",
+                name.trim_start_matches("serving/"),
+                stats.throughput_rps(),
+                stats.p50_ns as f64 / 1e6,
+                stats.p99_ns as f64 / 1e6,
+                stats.shed
+            );
+            records.push(record_json(&name, &stats));
+            speedups.push(speedup);
+        }
+        server.shutdown();
+    }
+
+    // the servers ran in-process, so their executor metrics are ours
     let batch_runs = metrics::global().histogram("serve.batch_run_ns");
     let served = metrics::global().counter("serve.requests").get();
     if batch_runs.count() > 0 {
         println!(
-            "  batcher: {} batches for {} requests (avg {:.1}/batch), batch compute p50 {:.2} ms",
+            "  executors: {} batches for {} requests (avg {:.1}/batch), batch compute p50 {:.2} ms",
             batch_runs.count(),
             served,
             served as f64 / batch_runs.count() as f64,
@@ -377,21 +568,26 @@ fn cmd_load_gen(flags: &Flags) -> Result<(), String> {
 
 fn print_help() {
     println!(
-        "adq-serve — dynamic-batching integer inference server\n\
+        "adq-serve — scaled-out integer inference server\n\
          \n\
          usage: adq-serve <command> [flags]\n\
          \n\
          commands:\n\
-         \x20 serve      compile the demo model and serve it over TCP\n\
+         \x20 serve      lower a model to the integer engine and serve it over TCP\n\
          \x20            --addr 127.0.0.1:0  --port-file PATH\n\
+         \x20            --replicas N  --conn-workers N\n\
+         \x20            --queue-cap N  --overload reject|shed-oldest\n\
          \x20            --max-batch N  --max-wait-ms MS\n\
+         \x20            --checkpoint PATH  --arch tiny|small  --channels C\n\
          \x20            --seed S  --resolution R  --classes K  --bits B\n\
          \x20 probe      send a few inference requests, check the responses\n\
          \x20            --addr HOST:PORT  --requests N\n\
+         \x20            --burst N  --expect-shed 0|1   (overload drill)\n\
          \x20 shutdown   ask a running server to drain and stop\n\
          \x20            --addr HOST:PORT\n\
          \x20 load-gen   in-process serving benchmark -> BENCH_serving.json\n\
-         \x20            --concurrency 1,4  --requests N  --out FILE.json\n\
+         \x20            --concurrency 1,4  --replicas 1,2,4  --requests N\n\
+         \x20            --out FILE.json\n\
          \x20 help       this message"
     );
 }
