@@ -120,16 +120,20 @@ grep -q "heap peak" "$trace_dir/report.md" || {
 }
 TRACE_SMOKE_DIR="$trace_dir"
 
-# Serving smoke: boot adq-serve with 2 replicas and a deliberately tiny
-# admission queue (port-file handshake, same idiom as the metrics
-# endpoint), probe it with real inference requests over the wire, drive
-# a burst that must observe a typed shed frame, confirm the shed counter
-# on the Prometheus page via adq-watch --scrape, then shut down cleanly.
+# Serving smoke: boot adq-serve with 2 replicas, a deliberately tiny
+# admission queue and the request-lifecycle access log on (port-file
+# handshake, same idiom as the metrics endpoint), probe it with real
+# inference requests over the wire, drive a burst that must observe a
+# typed shed frame, confirm the shed counter on the Prometheus page via
+# adq-watch --scrape, shut down cleanly, then reconcile the access log
+# against the scraped counters and render the per-stage attribution
+# report from it.
 echo "==> tier-1: serving smoke (adq-serve replicas / probe / shed / scrape / shutdown)"
 serve_dir="$(mktemp -d)"
 ADQ_METRICS_ADDR=127.0.0.1:0 ADQ_METRICS_PORT_FILE="$serve_dir/metrics.port" \
 ./target/release/adq-serve serve --addr 127.0.0.1:0 \
     --replicas 2 --queue-cap 1 --max-wait-ms 100 \
+    --access-log "$serve_dir/access.jsonl" \
     --port-file "$serve_dir/serve.port" >/dev/null &
 serve_pid=$!
 for _ in $(seq 1 100); do
@@ -170,9 +174,79 @@ echo "$scrape_out" | grep -Eq 'adq_serve_replicas 2' || {
     kill "$serve_pid" 2>/dev/null || true
     exit 1
 }
+echo "$scrape_out" | grep -q 'adq_serve_stage_queue_wait_ns_bucket' || {
+    echo "ci: per-stage serving histograms are missing from the scrape" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+}
+# the counters the access log must reconcile with, as of this scrape
+serve_requests="$(echo "$scrape_out" | awk '$1 == "adq_serve_requests" {print $2}')"
+serve_shed="$(echo "$scrape_out" | awk '$1 == "adq_serve_shed_total" {print $2}')"
 ./target/release/adq-serve shutdown --addr "$serve_addr"
 wait "$serve_pid" || {
     echo "ci: adq-serve did not shut down cleanly" >&2
+    exit 1
+}
+echo "==> tier-1: access-log reconciliation + adq-report --serving"
+access_log="$serve_dir/access.jsonl"
+test -s "$access_log" || {
+    echo "ci: adq-serve wrote no access log" >&2
+    exit 1
+}
+# record schema: every request line carries a trace id, an outcome and
+# the stage waterfall; the close wrote exactly one summary line
+head -n 1 "$access_log" | grep -q '"trace_id"' || {
+    echo "ci: access-log records lack trace ids" >&2
+    exit 1
+}
+head -n 1 "$access_log" | grep -q '"queue_wait_ns"' || {
+    echo "ci: access-log records lack stage deltas" >&2
+    exit 1
+}
+[[ "$(grep -c '"summary"' "$access_log")" -eq 1 ]] || {
+    echo "ci: access log does not end with exactly one summary line" >&2
+    exit 1
+}
+# the summary's exemplars repeat record objects, so count request lines
+# as non-summary lines rather than by field
+access_records="$(grep -cv '"summary"' "$access_log")"
+access_shed="$(grep -c '"outcome":"shed"' "$access_log" || true)"
+[[ "$access_records" -eq "$serve_requests" ]] || {
+    echo "ci: access log holds $access_records records but serve.requests is $serve_requests" >&2
+    exit 1
+}
+[[ "$access_shed" -ge 1 ]] || {
+    echo "ci: the shed burst left no shed record in the access log" >&2
+    exit 1
+}
+# per-stage attribution report over the log; --decompose-within enforces
+# that the stage-median sum explains the end-to-end median within 10%
+./target/release/adq-report --serving "$access_log" --decompose-within 0.10 \
+    >"$serve_dir/serving_report.md" || {
+    echo "ci: adq-report --serving failed on the smoke access log" >&2
+    cat "$serve_dir/serving_report.md" >&2
+    exit 1
+}
+grep -q "Per-stage latency attribution" "$serve_dir/serving_report.md" || {
+    echo "ci: serving report lacks the stage attribution table" >&2
+    exit 1
+}
+# adq-watch must flag the deliberate overload (queue pinned at cap 1
+# while the burst shed) from the access log alone — exit 1 is the signal
+if ./target/release/adq-watch --once --access-log "$access_log" \
+    >"$serve_dir/watch_access.txt" 2>&1; then
+    echo "ci: adq-watch --access-log did not flag the deliberate overload" >&2
+    exit 1
+fi
+grep -q "access-log:" "$serve_dir/watch_access.txt" || {
+    echo "ci: adq-watch --access-log rendered no stage-breakdown line" >&2
+    exit 1
+}
+# the observation-only contract (identical bytes with the log on/off)
+# must stay enforced by tier-1
+contract_tests="$(cargo test --release -q -p adq-infer --test access_log -- --list)"
+echo "$contract_tests" | grep -q "access_log_does_not_change_response_bytes" || {
+    echo "ci: the observation-only contract test is missing from tier-1" >&2
     exit 1
 }
 rm -rf "$serve_dir"
@@ -260,6 +334,12 @@ if [[ "$BENCH" -eq 1 ]]; then
             --key ns_per_request --max-regress 0.25
         cargo run --release -p adq-bench --bin bench_check -- \
             "$serving_baseline" BENCH_serving.json --key p99_ns --max-regress 1.0
+        # server-side queueing tail from the access log (records lacking
+        # the key — e.g. the float baseline — are skipped): same loose
+        # cap as p99_ns, queue waits swing with scheduling noise
+        cargo run --release -p adq-bench --bin bench_check -- \
+            "$serving_baseline" BENCH_serving.json \
+            --key queue_wait_p99_ns --max-regress 1.0
         rm -f "$serving_baseline"
     else
         echo "==> bench: no committed serving baseline yet (first snapshot)"

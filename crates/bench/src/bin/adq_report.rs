@@ -11,17 +11,23 @@
 //!   regressions between two runs (exit 1 when any regress).
 //! * `--validate-trace trace.json` checks an exported Chrome trace's shape
 //!   (exit 2 when malformed).
+//! * `--serving access.jsonl` renders per-stage latency attribution from a
+//!   serving access log (exit 1 on count mismatches, or when
+//!   `--decompose-within <frac>` finds the stage-median sum further than
+//!   that fraction from the end-to-end median).
 //!
 //! ```text
 //! adq-report <run.jsonl> [--metrics <metrics.json>] [--out <report.md>]
 //!            [--json <report.json>] [--reconcile-trace <trace.json>]
 //! adq-report --diff <old.jsonl> <new.jsonl> [--max-regress <frac>]
 //! adq-report --validate-trace <trace.json>
+//! adq-report --serving <access.jsonl> [--decompose-within <frac>]
 //! ```
 
 use std::collections::{BTreeMap, HashMap};
 use std::process::ExitCode;
 
+use adq_telemetry::lifecycle::{self, RequestRecord};
 use adq_telemetry::trace::{self, TraceSpan};
 use adq_telemetry::TelemetryEvent;
 use serde_json::json;
@@ -32,7 +38,8 @@ fn usage() -> ExitCode {
          [--json <report.json>] [--memory-json <mem.json>] \
          [--reconcile-trace <trace.json>]\n       \
          adq-report --diff <old.jsonl> <new.jsonl> \
-         [--max-regress <frac>]\n       adq-report --validate-trace <trace.json>"
+         [--max-regress <frac>]\n       adq-report --validate-trace <trace.json>\n       \
+         adq-report --serving <access.jsonl> [--decompose-within <frac>]"
     );
     ExitCode::from(2)
 }
@@ -55,6 +62,14 @@ fn main() -> ExitCode {
                 diff(old, new, max_regress)
             }
             _ => usage(),
+        },
+        "--serving" => match args.get(1) {
+            Some(path) => {
+                let decompose_within =
+                    flag_value(&args, "--decompose-within").and_then(|raw| raw.parse::<f64>().ok());
+                serving(path, decompose_within)
+            }
+            None => usage(),
         },
         path if !path.starts_with("--") => report(path, &args),
         _ => usage(),
@@ -227,6 +242,241 @@ fn diff(old_path: &str, new_path: &str, max_regress: f64) -> ExitCode {
         );
         for regression in &regressions {
             eprintln!("  {regression}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+// ----------------------------------------------------------------- serving
+
+/// Picks one stage delta out of a [`RequestRecord`].
+type StagePick = fn(&RequestRecord) -> u64;
+
+/// Stage accessors for the serving attribution table, in pipeline order.
+const STAGES: [(&str, StagePick); 5] = [
+    ("admit", |r| r.admit_ns),
+    ("queue-wait", |r| r.queue_wait_ns),
+    ("batch-wait", |r| r.batch_wait_ns),
+    ("exec", |r| r.exec_ns),
+    ("write", |r| r.write_ns),
+];
+
+/// Exemplar waterfalls shown when the log carries no closing summary.
+const COMPUTED_EXEMPLARS: usize = 8;
+
+/// Nanoseconds as a fixed-point millisecond cell.
+fn fmt_stage_ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+/// One-line ASCII waterfall: each lifecycle stage gets a run of its
+/// letter, width proportional to its share of the stage sum (zero-length
+/// stages are elided; every non-zero stage keeps at least one cell).
+fn waterfall(record: &RequestRecord, width: usize) -> String {
+    let sum = record.stage_sum_ns();
+    if sum == 0 {
+        return "-".to_string();
+    }
+    let letters = ['A', 'Q', 'B', 'E', 'W'];
+    let mut bar = String::new();
+    for (i, (_, stage)) in STAGES.iter().enumerate() {
+        let ns = stage(record);
+        if ns == 0 {
+            continue;
+        }
+        let cells = ((ns as f64 / sum as f64) * width as f64).round().max(1.0) as usize;
+        bar.extend(std::iter::repeat_n(letters[i], cells));
+    }
+    bar
+}
+
+/// `adq-report --serving`: per-stage latency attribution, outcome/shed
+/// accounting reconciled against the closing summary, and tail-exemplar
+/// waterfalls, all from a serving access log.
+fn serving(path: &str, decompose_within: Option<f64>) -> ExitCode {
+    let view = match lifecycle::read_records(path) {
+        Ok(view) => view,
+        Err(err) => {
+            eprintln!("adq-report: cannot read {path}: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let count = |outcome: &str| view.records.iter().filter(|r| r.outcome == outcome).count() as u64;
+    let (ok, shed, errors, refused) = (
+        count(lifecycle::OUTCOME_OK),
+        count(lifecycle::OUTCOME_SHED),
+        count(lifecycle::OUTCOME_ERROR),
+        count(lifecycle::OUTCOME_GOODBYE_REFUSED),
+    );
+    let mut failures = Vec::new();
+
+    let mut md = String::new();
+    md.push_str(&format!("# adq-report --serving — {path}\n\n"));
+    md.push_str(&format!(
+        "{} request record(s): {ok} ok, {shed} shed, {errors} error, \
+         {refused} goodbye-refused ({} malformed line(s) skipped).\n",
+        view.records.len(),
+        view.malformed
+    ));
+    match &view.summary {
+        Some(summary) => {
+            md.push_str(&format!(
+                "Log closed cleanly: summary counts {} record(s), {} dropped at the \
+                 channel, {} write error(s).\n\n",
+                summary.records, summary.dropped, summary.write_errors
+            ));
+            let expected = view.records.len() as u64;
+            if summary.records != expected {
+                failures.push(format!(
+                    "summary claims {} records but the log holds {expected}",
+                    summary.records
+                ));
+            }
+            for (label, claimed, counted) in [
+                ("ok", summary.ok, ok),
+                ("shed", summary.shed, shed),
+                ("error", summary.errors, errors),
+                ("goodbye-refused", summary.goodbye_refused, refused),
+            ] {
+                if claimed != counted {
+                    failures.push(format!(
+                        "summary claims {claimed} {label} record(s) but the log holds {counted}"
+                    ));
+                }
+            }
+        }
+        None => md.push_str(
+            "No closing summary — the server was still running (or was killed) when \
+             this log was read.\n\n",
+        ),
+    }
+
+    // Per-stage latency attribution over completed requests
+    let ok_records: Vec<&RequestRecord> = view
+        .records
+        .iter()
+        .filter(|r| r.outcome == lifecycle::OUTCOME_OK)
+        .collect();
+    if ok_records.is_empty() {
+        md.push_str("No completed requests — no stage attribution to render.\n");
+    } else {
+        let quantile = |pick: fn(&RequestRecord) -> u64, q: f64| {
+            let mut sample: Vec<u64> = ok_records.iter().map(|r| pick(r)).collect();
+            lifecycle::exact_quantile_ns(&mut sample, q)
+        };
+        let mean = |pick: fn(&RequestRecord) -> u64| {
+            ok_records.iter().map(|r| pick(r)).sum::<u64>() / ok_records.len() as u64
+        };
+        md.push_str(&format!(
+            "## Per-stage latency attribution ({} ok requests, ms)\n\n",
+            ok_records.len()
+        ));
+        let mut rows = Vec::new();
+        for (name, pick) in STAGES {
+            rows.push(vec![
+                name.to_string(),
+                fmt_stage_ms(quantile(pick, 0.5)),
+                fmt_stage_ms(quantile(pick, 0.9)),
+                fmt_stage_ms(quantile(pick, 0.99)),
+                fmt_stage_ms(mean(pick)),
+            ]);
+        }
+        for (name, pick) in [
+            (
+                "stage sum",
+                RequestRecord::stage_sum_ns as fn(&RequestRecord) -> u64,
+            ),
+            ("total", |r: &RequestRecord| r.total_ns),
+        ] {
+            rows.push(vec![
+                format!("**{name}**"),
+                fmt_stage_ms(quantile(pick, 0.5)),
+                fmt_stage_ms(quantile(pick, 0.9)),
+                fmt_stage_ms(quantile(pick, 0.99)),
+                fmt_stage_ms(mean(pick)),
+            ]);
+        }
+        md_table(&mut md, &["stage", "p50", "p90", "p99", "mean"], &rows);
+
+        // Decomposition check: the stage medians must add up to (about)
+        // the end-to-end median, or the instrumentation has a hole.
+        let stage_p50_sum: u64 = STAGES.iter().map(|(_, pick)| quantile(*pick, 0.5)).sum();
+        let total_p50 = quantile(|r| r.total_ns, 0.5);
+        let gap = if total_p50 > 0 {
+            (stage_p50_sum as f64 - total_p50 as f64).abs() / total_p50 as f64
+        } else {
+            0.0
+        };
+        md.push_str(&format!(
+            "Decomposition: stage p50s sum to {} ms vs end-to-end p50 {} ms \
+             ({:.1}% apart).\n\n",
+            fmt_stage_ms(stage_p50_sum),
+            fmt_stage_ms(total_p50),
+            gap * 100.0
+        ));
+        if let Some(within) = decompose_within {
+            if gap > within {
+                failures.push(format!(
+                    "stage-median sum {} ms is {:.1}% from the end-to-end p50 {} ms \
+                     (allowed {:.1}%)",
+                    fmt_stage_ms(stage_p50_sum),
+                    gap * 100.0,
+                    fmt_stage_ms(total_p50),
+                    within * 100.0
+                ));
+            }
+        }
+
+        // Tail exemplars: the summary's ring-buffer survivors when the log
+        // closed cleanly, else the slowest completed requests we can see.
+        let exemplars: Vec<RequestRecord> = match &view.summary {
+            Some(summary) if !summary.exemplars.is_empty() => summary.exemplars.clone(),
+            _ => {
+                let mut computed: Vec<RequestRecord> =
+                    ok_records.iter().map(|r| (*r).clone()).collect();
+                computed.sort_by_key(|r| std::cmp::Reverse(r.total_ns));
+                computed.truncate(COMPUTED_EXEMPLARS);
+                computed
+            }
+        };
+        if !exemplars.is_empty() {
+            md.push_str("## Tail exemplars (slowest requests)\n\n");
+            let rows: Vec<Vec<String>> = exemplars
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.trace_id.to_string(),
+                        r.conn_id.to_string(),
+                        r.replica.map_or_else(|| "-".to_string(), |v| v.to_string()),
+                        r.batch_size
+                            .map_or_else(|| "-".to_string(), |v| v.to_string()),
+                        fmt_stage_ms(r.total_ns),
+                        format!("`{}`", waterfall(r, 32)),
+                    ]
+                })
+                .collect();
+            md_table(
+                &mut md,
+                &[
+                    "trace",
+                    "conn",
+                    "replica",
+                    "batch",
+                    "total ms",
+                    "waterfall (A admit, Q queue, B batch-wait, E exec, W write)",
+                ],
+                &rows,
+            );
+        }
+    }
+
+    print!("{md}");
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("adq-report: {} serving check(s) failed:", failures.len());
+        for failure in &failures {
+            eprintln!("  {failure}");
         }
         ExitCode::FAILURE
     }

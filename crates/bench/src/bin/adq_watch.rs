@@ -2,32 +2,37 @@
 //! plus a one-shot Prometheus endpoint checker.
 //!
 //! ```text
-//! adq-watch <run.jsonl>              follow the stream (refreshing dashboard)
-//! adq-watch --once <run.jsonl>       read once, render once, exit
-//! adq-watch --scrape <host:port>     scrape + validate the metrics endpoint
-//! adq-watch --poll-ms <n> <file>     follow with a custom poll interval
+//! adq-watch <run.jsonl>                follow the stream (refreshing dashboard)
+//! adq-watch --once <run.jsonl>         read once, render once, exit
+//! adq-watch --scrape <host:port>       scrape + validate the metrics endpoint
+//! adq-watch --poll-ms <n> <file>       follow with a custom poll interval
+//! adq-watch --access-log <acc.jsonl>   tail a serving access log (stage
+//!                                      breakdown line; --once reads once)
 //! ```
 //!
 //! Exit status: `0` healthy, `1` when any [`adq_telemetry::RunHealth`]
 //! anomaly was raised (or the scrape was invalid), `2` on usage/IO
 //! errors — so CI can gate on a run's health without parsing output.
 
-use adq_bench::watch::{self, WatchState};
+use adq_bench::watch::{self, ServeLogState, WatchState};
 
-const USAGE: &str =
-    "usage: adq-watch [--once] [--poll-ms <n>] <run.jsonl>\n       adq-watch --scrape <host:port>";
+const USAGE: &str = "usage: adq-watch [--once] [--poll-ms <n>] <run.jsonl>\n       \
+     adq-watch [--once] [--poll-ms <n>] --access-log <access.jsonl>\n       \
+     adq-watch --scrape <host:port>";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut once = false;
     let mut poll_ms: u64 = 200;
     let mut scrape: Option<String> = None;
+    let mut access_log: Option<String> = None;
     let mut path: Option<String> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--once" => once = true,
             "--scrape" => scrape = iter.next(),
+            "--access-log" => access_log = iter.next(),
             "--poll-ms" => {
                 poll_ms = iter
                     .next()
@@ -56,6 +61,30 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if let Some(log_path) = access_log {
+        let state = if once {
+            let mut state = ServeLogState::new();
+            match watch::apply_access_log_file(&mut state, &log_path) {
+                Ok(_) => {
+                    println!("{}", state.render_line());
+                    state
+                }
+                Err(err) => {
+                    eprintln!("error: cannot read {log_path}: {err}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            match watch::follow_access_log(&log_path, poll_ms) {
+                Ok(state) => state,
+                Err(err) => {
+                    eprintln!("error: cannot follow {log_path}: {err}");
+                    std::process::exit(2);
+                }
+            }
+        };
+        std::process::exit(i32::from(!state.alerts.is_empty()));
     }
     let Some(path) = path else {
         eprintln!("{USAGE}");

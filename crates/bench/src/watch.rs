@@ -11,12 +11,13 @@
 //! tests drive the dashboard and the watchdog deterministically without
 //! sleeping. Only [`follow`] touches the wall clock and the terminal.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fs::File;
 use std::io::{BufRead, BufReader, Seek, SeekFrom};
 use std::path::Path;
 
 use adq_telemetry::health::{DEFAULT_COLLAPSE_FRACTION, DEFAULT_STALL_SECS, DEFAULT_WARMUP_EPOCHS};
+use adq_telemetry::lifecycle::{self, LogLine, LogSummary, RequestRecord};
 use adq_telemetry::{HealthMonitor, RunHealth};
 use serde_json::Value;
 
@@ -486,6 +487,66 @@ fn plain_sample(line: &str) -> Option<(&str, f64)> {
     Some((name, value.parse().ok()?))
 }
 
+/// Estimates a quantile for a Prometheus histogram family from its
+/// cumulative `<metric>_bucket{le="..."}` samples, interpolating
+/// linearly within the bucket holding the target rank (the classic
+/// `histogram_quantile` estimator). `None` when the page has no such
+/// family or it is empty. A rank landing in the `+Inf` bucket returns
+/// the highest finite bound — the estimate saturates rather than
+/// inventing mass beyond the instrumented range.
+pub fn bucket_quantile(text: &str, metric: &str, q: f64) -> Option<f64> {
+    let prefix = format!("{metric}_bucket{{le=\"");
+    let mut buckets: Vec<(f64, f64)> = Vec::new();
+    let mut saw_inf = 0.0f64;
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix(&prefix) else {
+            continue;
+        };
+        let (le, count) = rest.split_once("\"}")?;
+        let count: f64 = count.trim().parse().ok()?;
+        if le == "+Inf" {
+            saw_inf = count;
+        } else {
+            buckets.push((le.parse().ok()?, count));
+        }
+    }
+    if saw_inf <= 0.0 {
+        return None;
+    }
+    buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let rank = (q.clamp(0.0, 1.0) * saw_inf).max(1.0);
+    let mut lower_bound = 0.0f64;
+    let mut lower_cum = 0.0f64;
+    for (bound, cum) in &buckets {
+        if *cum >= rank {
+            let span = cum - lower_cum;
+            let t = if span > 0.0 {
+                (rank - lower_cum) / span
+            } else {
+                1.0
+            };
+            return Some(lower_bound + t * (bound - lower_bound));
+        }
+        lower_bound = *bound;
+        lower_cum = *cum;
+    }
+    // target rank sits in the +Inf bucket: saturate at the top bound
+    Some(lower_bound)
+}
+
+/// Nanoseconds rendered for a dashboard one-liner.
+fn fmt_ns_short(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.1}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
 /// Condenses a Prometheus page's `adq_serve_*` samples — replica fan-out,
 /// queue/batch/in-flight gauges, request totals and the admission-control
 /// shed counters — into one human line. `None` when the page carries no
@@ -548,7 +609,206 @@ pub fn serving_summary(text: &str) -> Option<String> {
             None => parts.push(format!("{s} shed")),
         }
     }
+    // per-stage tails, when the server exports the stage histograms:
+    // queue-wait p99 against exec p99 splits "slow server" into
+    // "overloaded queue" vs. "slow model"
+    if let Some(p99) = bucket_quantile(text, "adq_serve_stage_queue_wait_ns", 0.99) {
+        parts.push(format!("queue-wait p99 {}", fmt_ns_short(p99)));
+    }
+    if let Some(p99) = bucket_quantile(text, "adq_serve_stage_exec_ns", 0.99) {
+        parts.push(format!("exec p99 {}", fmt_ns_short(p99)));
+    }
     Some(format!("serving: {}", parts.join(", ")))
+}
+
+// ---- serving access-log tail --------------------------------------------
+
+/// Trailing `ok` records kept for the live stage-quantile estimate.
+const STAGE_WINDOW: usize = 512;
+
+/// Rolling view of a serving access log (`adq-watch --access-log`):
+/// outcome tallies, a trailing window of stage waterfalls for live
+/// p50/p99 per stage, and a [`HealthMonitor`] watching for sustained
+/// queue saturation. Pure over lines, like [`WatchState`].
+pub struct ServeLogState {
+    /// Per-request records applied.
+    pub records: u64,
+    /// Lines that parsed as neither record nor summary.
+    pub malformed: u64,
+    /// `ok` records seen.
+    pub ok: u64,
+    /// `shed` records seen.
+    pub shed: u64,
+    /// `error` records seen.
+    pub errors: u64,
+    /// `goodbye-refused` records seen.
+    pub goodbye_refused: u64,
+    /// The closing summary once the server shuts the log.
+    pub summary: Option<LogSummary>,
+    /// Every anomaly raised so far.
+    pub alerts: Vec<RunHealth>,
+    window: VecDeque<RequestRecord>,
+    health: HealthMonitor,
+}
+
+impl Default for ServeLogState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeLogState {
+    /// A fresh access-log dashboard.
+    pub fn new() -> Self {
+        Self {
+            records: 0,
+            malformed: 0,
+            ok: 0,
+            shed: 0,
+            errors: 0,
+            goodbye_refused: 0,
+            summary: None,
+            alerts: Vec::new(),
+            window: VecDeque::new(),
+            health: HealthMonitor::default(),
+        }
+    }
+
+    /// Applies one access-log line; returns the anomaly it raised, if
+    /// any (also appended to [`ServeLogState::alerts`]).
+    pub fn apply_line(&mut self, line: &str) -> Option<RunHealth> {
+        match lifecycle::parse_line(line) {
+            Some(LogLine::Record(record)) => {
+                self.records += 1;
+                match record.outcome.as_str() {
+                    lifecycle::OUTCOME_OK => self.ok += 1,
+                    lifecycle::OUTCOME_SHED => self.shed += 1,
+                    lifecycle::OUTCOME_GOODBYE_REFUSED => self.goodbye_refused += 1,
+                    _ => self.errors += 1,
+                }
+                let raised =
+                    self.health
+                        .observe_queue(record.queue_depth, record.queue_cap, self.shed);
+                if record.outcome == lifecycle::OUTCOME_OK {
+                    self.window.push_back(record);
+                    if self.window.len() > STAGE_WINDOW {
+                        self.window.pop_front();
+                    }
+                }
+                if let Some(alert) = &raised {
+                    self.alerts.push(alert.clone());
+                }
+                raised
+            }
+            Some(LogLine::Summary(summary)) => {
+                self.summary = Some(summary);
+                None
+            }
+            None => {
+                if !line.trim().is_empty() {
+                    self.malformed += 1;
+                }
+                None
+            }
+        }
+    }
+
+    /// Stage quantile in nanoseconds over the trailing `ok` window.
+    fn stage_quantile(&self, stage: fn(&RequestRecord) -> u64, q: f64) -> u64 {
+        let mut sample: Vec<u64> = self.window.iter().map(stage).collect();
+        lifecycle::exact_quantile_ns(&mut sample, q)
+    }
+
+    /// One dashboard line: outcome tallies plus the live per-stage
+    /// breakdown over the trailing window.
+    pub fn render_line(&self) -> String {
+        let mut out = format!(
+            "access-log: {} records ({} ok, {} shed, {} error, {} goodbye-refused)",
+            self.records, self.ok, self.shed, self.errors, self.goodbye_refused
+        );
+        if !self.window.is_empty() {
+            out.push_str(&format!(
+                ", stages p50 queue {} | batch {} | exec {} | write {}, total p99 {}",
+                fmt_ns_short(self.stage_quantile(|r| r.queue_wait_ns, 0.5) as f64),
+                fmt_ns_short(self.stage_quantile(|r| r.batch_wait_ns, 0.5) as f64),
+                fmt_ns_short(self.stage_quantile(|r| r.exec_ns, 0.5) as f64),
+                fmt_ns_short(self.stage_quantile(|r| r.write_ns, 0.5) as f64),
+                fmt_ns_short(self.stage_quantile(|r| r.total_ns, 0.99) as f64),
+            ));
+        }
+        if self.malformed > 0 {
+            out.push_str(&format!(", {} malformed", self.malformed));
+        }
+        if !self.alerts.is_empty() {
+            out.push_str(&format!(", {} alert(s)", self.alerts.len()));
+        }
+        if self.summary.is_some() {
+            out.push_str(" [closed]");
+        }
+        out
+    }
+}
+
+/// Reads every complete line currently in an access log into `state`,
+/// holding back a partial trailing line; returns the offset reached.
+pub fn apply_access_log_file(
+    state: &mut ServeLogState,
+    path: impl AsRef<Path>,
+) -> std::io::Result<u64> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return reader.stream_position();
+        }
+        if !line.ends_with('\n') {
+            return Ok(reader.stream_position()? - line.len() as u64);
+        }
+        if let Some(alert) = state.apply_line(&line) {
+            eprintln!("!! [{}] {}", alert.kind(), alert.describe());
+        }
+    }
+}
+
+/// Tails a serving access log live, printing the stage-breakdown line on
+/// growth, until the server closes the log (summary line observed).
+/// Returns the final state so the caller can set its exit code.
+pub fn follow_access_log(path: &str, poll_ms: u64) -> std::io::Result<ServeLogState> {
+    let mut state = ServeLogState::new();
+    let mut offset = apply_access_log_file(&mut state, path)?;
+    println!("{}", state.render_line());
+    while state.summary.is_none() {
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len < offset {
+            // truncated / rewritten underneath us: start over
+            state = ServeLogState::new();
+            offset = 0;
+        }
+        let mut grew = false;
+        if len > offset {
+            file.seek(SeekFrom::Start(offset))?;
+            let mut reader = BufReader::new(file);
+            let mut line = String::new();
+            loop {
+                line.clear();
+                if reader.read_line(&mut line)? == 0 || !line.ends_with('\n') {
+                    break;
+                }
+                offset += line.len() as u64;
+                grew = true;
+                if let Some(alert) = state.apply_line(&line) {
+                    eprintln!("!! [{}] {}", alert.kind(), alert.describe());
+                }
+            }
+        }
+        if grew {
+            println!("{}", state.render_line());
+        }
+    }
+    Ok(state)
 }
 
 #[cfg(test)]
@@ -804,5 +1064,175 @@ adq_serve_inflight 2\n";
             serving_summary("adq_serve_latency_ns_bucket{le=\"+Inf\"} 4\n"),
             None
         );
+    }
+
+    #[test]
+    fn bucket_quantile_interpolates_cumulative_buckets() {
+        let page = "\
+adq_serve_stage_exec_ns_bucket{le=\"1000\"} 5\n\
+adq_serve_stage_exec_ns_bucket{le=\"10000\"} 9\n\
+adq_serve_stage_exec_ns_bucket{le=\"+Inf\"} 10\n\
+adq_serve_stage_exec_ns_sum 50000\n\
+adq_serve_stage_exec_ns_count 10\n";
+        let m = "adq_serve_stage_exec_ns";
+        // rank 5 lands exactly at the first bucket's top edge
+        assert_eq!(bucket_quantile(page, m, 0.5), Some(1000.0));
+        // rank 9 at the second bucket's top edge
+        assert_eq!(bucket_quantile(page, m, 0.9), Some(10000.0));
+        // rank 9.9 falls in +Inf: saturate at the highest finite bound
+        assert_eq!(bucket_quantile(page, m, 0.99), Some(10000.0));
+        // a tiny quantile still targets at least one sample
+        assert_eq!(bucket_quantile(page, m, 0.0), Some(200.0));
+        // absent metric / empty histogram → no estimate
+        assert_eq!(bucket_quantile(page, "adq_serve_stage_write_ns", 0.5), None);
+        assert_eq!(
+            bucket_quantile("adq_x_bucket{le=\"+Inf\"} 0\n", "adq_x", 0.5),
+            None
+        );
+    }
+
+    #[test]
+    fn serving_summary_appends_stage_p99s_when_exposed() {
+        let page = "\
+adq_serve_requests 120\n\
+adq_serve_queue_depth 3\n\
+adq_serve_queue_cap 256\n\
+adq_serve_replicas 2\n\
+adq_serve_inflight 8\n\
+adq_serve_shed_total 5\n\
+adq_serve_queue_rejected 4\n\
+adq_serve_batch_size_bucket{le=\"8\"} 30\n\
+adq_serve_batch_size_bucket{le=\"+Inf\"} 30\n\
+adq_serve_batch_size_sum 120\n\
+adq_serve_batch_size_count 30\n\
+adq_serve_stage_queue_wait_ns_bucket{le=\"1000\"} 30\n\
+adq_serve_stage_queue_wait_ns_bucket{le=\"+Inf\"} 30\n\
+adq_serve_stage_exec_ns_bucket{le=\"2000000\"} 30\n\
+adq_serve_stage_exec_ns_bucket{le=\"+Inf\"} 30\n";
+        let summary = serving_summary(page).expect("serving metrics present");
+        assert_eq!(
+            summary,
+            "serving: 2 replicas, queue depth 3/256, inflight 8, 120 requests, \
+             30 batches (avg 4.0/batch), 5 shed (4 rejected), \
+             queue-wait p99 990ns, exec p99 2.0ms"
+        );
+    }
+
+    fn log_record(
+        outcome: &str,
+        queue_depth: u64,
+        queue_cap: u64,
+        exec_ns: u64,
+        total_ns: u64,
+    ) -> String {
+        serde_json::to_string(&RequestRecord {
+            trace_id: 1,
+            conn_id: 1,
+            replica: Some(0),
+            batch_size: Some(1),
+            outcome: outcome.to_string(),
+            admit_ns: 10,
+            queue_wait_ns: 100,
+            batch_wait_ns: 200,
+            exec_ns,
+            write_ns: 50,
+            total_ns,
+            queue_depth,
+            queue_cap,
+            ts_ns: 0,
+        })
+        .expect("record serializes")
+    }
+
+    #[test]
+    fn serve_log_state_tallies_outcomes_and_renders_stages() {
+        let mut state = ServeLogState::new();
+        assert_eq!(
+            state.apply_line(&log_record(lifecycle::OUTCOME_OK, 0, 4, 3000, 5000)),
+            None
+        );
+        assert_eq!(
+            state.apply_line(&log_record(lifecycle::OUTCOME_OK, 1, 4, 1000, 2000)),
+            None
+        );
+        state.apply_line(&log_record(lifecycle::OUTCOME_ERROR, 0, 4, 0, 100));
+        state.apply_line("not json");
+        assert_eq!((state.records, state.ok, state.errors), (3, 2, 1));
+        assert_eq!(state.malformed, 1);
+        let line = state.render_line();
+        assert!(
+            line.starts_with("access-log: 3 records (2 ok, 0 shed, 1 error, 0 goodbye-refused)"),
+            "unexpected render: {line}"
+        );
+        // window holds only ok records: nearest-rank p50 of {1000, 3000}
+        assert!(line.contains("exec 1.0µs"), "unexpected render: {line}");
+        assert!(
+            line.contains("total p99 5.0µs"),
+            "unexpected render: {line}"
+        );
+        assert!(line.contains("1 malformed"), "unexpected render: {line}");
+        assert!(state.summary.is_none());
+        // summary line closes the log
+        let closing = "{\"summary\":{\"records\":3,\"dropped\":0,\"write_errors\":0,\
+             \"ok\":2,\"shed\":0,\"errors\":1,\"goodbye_refused\":0,\"exemplars\":[]}}";
+        state.apply_line(closing);
+        let summary = state.summary.as_ref().expect("summary parsed");
+        assert_eq!((summary.records, summary.ok), (3, 2));
+        assert!(state.render_line().ends_with("[closed]"));
+    }
+
+    #[test]
+    fn serve_log_state_raises_queue_saturation_once_per_episode() {
+        let mut state = ServeLogState::new();
+        // depth pinned at cap but no sheds yet: not an overload signal
+        assert_eq!(
+            state.apply_line(&log_record(lifecycle::OUTCOME_OK, 4, 4, 1000, 2000)),
+            None
+        );
+        // shed while pinned: edge-triggered alert
+        let alert = state
+            .apply_line(&log_record(lifecycle::OUTCOME_SHED, 4, 4, 0, 500))
+            .expect("saturation raised");
+        assert_eq!(alert.kind(), "queue_saturated");
+        // still pinned, still shedding: same episode, no re-fire
+        assert_eq!(
+            state.apply_line(&log_record(lifecycle::OUTCOME_SHED, 4, 4, 0, 500)),
+            None
+        );
+        // drain below cap resets the episode...
+        assert_eq!(
+            state.apply_line(&log_record(lifecycle::OUTCOME_OK, 1, 4, 1000, 2000)),
+            None
+        );
+        // ...so the next pinned-and-shedding record fires again
+        assert!(state
+            .apply_line(&log_record(lifecycle::OUTCOME_SHED, 4, 4, 0, 500))
+            .is_some());
+        assert_eq!(state.alerts.len(), 2);
+        assert_eq!((state.ok, state.shed), (2, 3));
+    }
+
+    #[test]
+    fn apply_access_log_file_holds_back_partial_lines() {
+        let dir = std::env::temp_dir().join(format!(
+            "adq_watch_log_{}_{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("access.jsonl");
+        let full = log_record(lifecycle::OUTCOME_OK, 0, 4, 1000, 2000);
+        let partial = &log_record(lifecycle::OUTCOME_OK, 0, 4, 1000, 2000)[..20];
+        std::fs::write(&path, format!("{full}\n{partial}")).unwrap();
+        let mut state = ServeLogState::new();
+        let offset = apply_access_log_file(&mut state, &path).unwrap();
+        // only the complete line was consumed; the tail stays pending
+        assert_eq!(state.records, 1);
+        assert_eq!(state.malformed, 0);
+        assert_eq!(offset, full.len() as u64 + 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

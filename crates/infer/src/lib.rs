@@ -30,6 +30,6 @@ pub mod serve;
 pub use compile::{CompileError, CompileOptions, CompiledVgg};
 pub use qgemm::{Container, PackedMatrix};
 pub use serve::{
-    load_generate, stats_from_latencies, Client, LoadStats, OverloadPolicy, Reply, ServeConfig,
-    ServeModel, Server,
+    load_generate, load_generate_traced, stats_from_latencies, Client, LoadStats, OverloadPolicy,
+    Reply, ServeConfig, ServeModel, Server, TracedLoad,
 };

@@ -40,6 +40,15 @@
 //! on every connection right before closing it during shutdown — a client
 //! never sees an unexplained EOF mid-request.
 //!
+//! The high bit of the kind byte ([`FLAG_TRACED`]) is a version-tolerant
+//! tracing opt-in: a client setting it on an infer request receives the
+//! server-assigned **trace id** as an 8-byte LE trailer appended after
+//! the response body (any status), which lets it join its client-side
+//! latency against the server's access-log record for the same request.
+//! Clients that never set the bit get byte-identical responses to the
+//! pre-tracing protocol, and old servers answer flagged kinds with a
+//! typed `unknown request kind` error rather than misparsing them.
+//!
 //! ## Observability
 //!
 //! `serve.queue_depth` / `serve.inflight` / `serve.replicas` /
@@ -50,15 +59,34 @@
 //! `serve.shed_total` / `serve.queue_rejected` counters — all through the
 //! global [`adq_telemetry::metrics`] registry, so a `MetricsEndpoint` in
 //! the same process exposes them to Prometheus and `adq-watch --scrape`.
+//!
+//! Every request additionally gets monotonic stage stamps (frame-read →
+//! admit → dequeue → batch-formed → replica-exec → response-written)
+//! feeding the `serve.stage.{queue_wait,batch_wait,exec,write}_ns`
+//! histograms, so a `serve.latency_ns` tail can be attributed to queue
+//! wait vs. batch formation vs. execution vs. the socket write. With
+//! [`Server::bind_logged`] the same stamps become one
+//! [`RequestRecord`](adq_telemetry::lifecycle::RequestRecord) per request
+//! (trace id, conn id, replica, batch size, stage deltas, outcome:
+//! `ok`/`shed`/`error`/`goodbye-refused`) in a JSONL access log
+//! ([`adq_telemetry::lifecycle::AccessLog`]) for `adq-report --serving`
+//! and `adq-watch --access-log`; `serve.access_log.{records,dropped,
+//! write_errors}` count the log's own health. Logging is observation-only
+//! by contract — access log on vs. off yields byte-identical responses
+//! (`tests/access_log.rs` enforces it).
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use adq_telemetry::lifecycle::{
+    AccessLog, AccessLogHandle, RequestRecord, OUTCOME_ERROR, OUTCOME_GOODBYE_REFUSED, OUTCOME_OK,
+    OUTCOME_SHED,
+};
 use adq_telemetry::metrics;
 use adq_telemetry::span;
 use adq_tensor::Tensor;
@@ -71,6 +99,16 @@ const KIND_INFER: u8 = 1;
 const KIND_PING: u8 = 2;
 /// Request kind: stop the server after draining the queue.
 const KIND_SHUTDOWN: u8 = 3;
+
+/// High bit of the kind byte: the client opts into tracing, and the
+/// response carries the server-assigned trace id as an 8-byte LE
+/// trailer after the body. Old servers reject flagged kinds with a
+/// typed error; old clients never set the bit and see the unchanged
+/// protocol.
+const FLAG_TRACED: u8 = 0x80;
+
+/// Mask selecting the request kind under [`FLAG_TRACED`].
+const KIND_MASK: u8 = 0x7F;
 
 /// Response status: success, payload carries logits.
 const STATUS_OK: u8 = 0;
@@ -262,8 +300,9 @@ impl ConnWriter {
 
     /// Writes one response frame, retrying `WouldBlock` with short sleeps
     /// up to [`WRITE_STALL_LIMIT`]; a connection that stays unwritable is
-    /// marked dead and silently dropped from then on.
-    fn send(&self, status: u8, id: u64, body: &dyn ResponseBody) {
+    /// marked dead and silently dropped from then on. `trace` appends the
+    /// trace-id trailer for clients that set [`FLAG_TRACED`].
+    fn send(&self, status: u8, id: u64, body: &dyn ResponseBody, trace: Option<u64>) {
         if self.dead.load(Ordering::Relaxed) {
             return;
         }
@@ -271,6 +310,9 @@ impl ConnWriter {
         payload.push(status);
         payload.extend_from_slice(&id.to_le_bytes());
         body.encode(&mut payload);
+        if let Some(trace_id) = trace {
+            payload.extend_from_slice(&trace_id.to_le_bytes());
+        }
         let mut frame = Vec::with_capacity(4 + payload.len());
         frame.extend_from_slice(&u32::to_le_bytes(payload.len() as u32));
         frame.extend_from_slice(&payload);
@@ -303,11 +345,25 @@ impl ConnWriter {
     }
 }
 
-/// One admitted inference request.
+/// Saturating `Duration` → nanoseconds for metric/record fields.
+fn ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// One admitted inference request, with its lifecycle stamps so far.
 struct Pending {
     input: Vec<f32>,
+    /// Frame fully read off the socket (lifecycle origin).
+    received: Instant,
+    /// Handed to admission control (queue-wait origin).
     enqueued: Instant,
     id: u64,
+    /// Server-assigned trace id (unique per server).
+    trace_id: u64,
+    /// Whether the client opted into the trace-id response trailer.
+    traced: bool,
+    /// Accept-order id of the connection the request arrived on.
+    conn_id: u64,
     writer: ConnWriter,
 }
 
@@ -340,9 +396,48 @@ struct Shared {
     config: ServeConfig,
     addr: SocketAddr,
     input_len: usize,
+    /// Source of per-server trace ids (first id is 1). Per-server — not
+    /// process-global — so a server's id sequence is deterministic given
+    /// its request sequence (the byte-identity contract test relies on
+    /// this).
+    trace_counter: AtomicU64,
+    /// Producer half of the access log, when one is attached.
+    log: Option<AccessLogHandle>,
+    /// Server start, the zero point for record `ts_ns` ordering stamps.
+    started: Instant,
 }
 
 impl Shared {
+    fn next_trace_id(&self) -> u64 {
+        self.trace_counter.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn ts_ns(&self) -> u64 {
+        ns(self.started.elapsed())
+    }
+
+    /// Logs a non-`ok` outcome: stages that never happened stay zero.
+    /// Call after the refusal response is written so `total_ns` spans
+    /// frame-read → response-written like the `ok` records.
+    fn log_refusal(&self, outcome: &str, pending: &Pending, queue_wait_ns: u64, depth: u64) {
+        let Some(log) = &self.log else { return };
+        log.record(RequestRecord {
+            trace_id: pending.trace_id,
+            conn_id: pending.conn_id,
+            replica: None,
+            batch_size: None,
+            outcome: outcome.to_string(),
+            admit_ns: ns(pending.enqueued.saturating_duration_since(pending.received)),
+            queue_wait_ns,
+            batch_wait_ns: 0,
+            exec_ns: 0,
+            write_ns: 0,
+            total_ns: ns(pending.received.elapsed()),
+            queue_depth: depth,
+            queue_cap: self.config.queue_cap.max(1) as u64,
+            ts_ns: self.ts_ns(),
+        });
+    }
     fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         let mut q = self.queue.lock().expect("serve queue lock");
@@ -392,6 +487,9 @@ pub struct Server {
     accept_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
     executor_handles: Vec<JoinHandle<()>>,
+    /// Owned so the summary line is written after every producer thread
+    /// has been joined (no record can race the close).
+    access_log: Option<AccessLog>,
 }
 
 impl Server {
@@ -407,6 +505,24 @@ impl Server {
         model: Arc<dyn ServeModel>,
         config: ServeConfig,
     ) -> io::Result<Server> {
+        Self::bind_logged(addr, model, config, None)
+    }
+
+    /// [`Server::bind`] with an optional JSONL access log attached: one
+    /// [`RequestRecord`] per request flows through the log's writer
+    /// thread, and shutdown closes the log (summary line + flush) after
+    /// the service threads have joined. Logging is observation-only —
+    /// responses are byte-identical with and without it.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket-level error from binding.
+    pub fn bind_logged(
+        addr: impl ToSocketAddrs,
+        model: Arc<dyn ServeModel>,
+        config: ServeConfig,
+        access_log: Option<AccessLog>,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let conn_workers = config.conn_workers.max(1);
@@ -419,6 +535,9 @@ impl Server {
             config,
             addr: local,
             input_len: model.input_len(),
+            trace_counter: AtomicU64::new(0),
+            log: access_log.as_ref().map(AccessLog::handle),
+            started: Instant::now(),
         });
 
         // register the serving metrics eagerly so a scrape sees the full
@@ -428,6 +547,13 @@ impl Server {
         m.counter("serve.errors");
         m.counter("serve.shed_total");
         m.counter("serve.queue_rejected");
+        m.counter("serve.access_log.records");
+        m.counter("serve.access_log.dropped");
+        m.counter("serve.access_log.write_errors");
+        m.histogram("serve.stage.queue_wait_ns");
+        m.histogram("serve.stage.batch_wait_ns");
+        m.histogram("serve.stage.exec_ns");
+        m.histogram("serve.stage.write_ns");
         m.gauge("serve.queue_depth").set(0.0);
         m.gauge("serve.inflight").set(0.0);
         m.gauge("serve.replicas").set(replicas as f64);
@@ -476,6 +602,7 @@ impl Server {
             accept_handle: Some(accept_handle),
             worker_handles,
             executor_handles,
+            access_log,
         })
     }
 
@@ -514,10 +641,15 @@ impl Server {
         for handle in self.worker_handles.drain(..) {
             let _ = handle.join();
         }
+        // every producer thread is gone; drain + summarise the log
+        if let Some(log) = self.access_log.take() {
+            log.close();
+        }
     }
 }
 
 fn accept_loop(listener: TcpListener, injector: Arc<Mutex<VecDeque<Conn>>>, shared: Arc<Shared>) {
+    let mut next_conn_id = 0u64;
     for stream in listener.incoming() {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
@@ -530,10 +662,11 @@ fn accept_loop(listener: TcpListener, injector: Arc<Mutex<VecDeque<Conn>>>, shar
         let Ok(write_half) = stream.try_clone() else {
             continue;
         };
+        next_conn_id += 1;
         injector
             .lock()
             .expect("conn injector lock")
-            .push_back(Conn::new(stream, ConnWriter::new(write_half)));
+            .push_back(Conn::new(stream, ConnWriter::new(write_half), next_conn_id));
     }
 }
 
@@ -576,15 +709,18 @@ struct Conn {
     stream: TcpStream,
     reader: FrameReader,
     writer: ConnWriter,
+    /// Accept-order id, carried into access-log records.
+    conn_id: u64,
     alive: bool,
 }
 
 impl Conn {
-    fn new(stream: TcpStream, writer: ConnWriter) -> Self {
+    fn new(stream: TcpStream, writer: ConnWriter, conn_id: u64) -> Self {
         Self {
             stream,
             reader: FrameReader::default(),
             writer,
+            conn_id,
             alive: true,
         }
     }
@@ -617,7 +753,7 @@ fn conn_worker_loop(shared: Arc<Shared>, injector: Arc<Mutex<VecDeque<Conn>>>) {
                 for conn in conns.drain(..) {
                     if conn.writer.inflight.load(Ordering::SeqCst) == 0 {
                         conn.writer
-                            .send(STATUS_GOODBYE, 0, &ErrBody("server shutting down"));
+                            .send(STATUS_GOODBYE, 0, &ErrBody("server shutting down"), None);
                         // drop closes the socket after the goodbye frame
                     } else {
                         remaining.push(conn);
@@ -630,7 +766,7 @@ fn conn_worker_loop(shared: Arc<Shared>, injector: Arc<Mutex<VecDeque<Conn>>>) {
                     let mut inj = injector.lock().expect("conn injector lock");
                     while let Some(conn) = inj.pop_front() {
                         conn.writer
-                            .send(STATUS_GOODBYE, 0, &ErrBody("server shutting down"));
+                            .send(STATUS_GOODBYE, 0, &ErrBody("server shutting down"), None);
                     }
                     return;
                 }
@@ -699,58 +835,100 @@ fn handle_frame(
     shed_total: &metrics::Counter,
     queue_rejected: &metrics::Counter,
 ) {
-    let Some((kind, id, body)) = parse_request(frame) else {
+    // frame-read stamp: the request is fully off the socket
+    let received = Instant::now();
+    let Some((kind, traced, id, body)) = parse_request(frame) else {
+        // unparseable bytes carry no id and get no lifecycle record
         errors.inc();
-        conn.writer.send(STATUS_ERR, 0, &ErrBody("malformed frame"));
+        conn.writer
+            .send(STATUS_ERR, 0, &ErrBody("malformed frame"), None);
         return;
     };
     match kind {
-        KIND_PING => conn.writer.send(STATUS_OK, id, &OkBody(&[])),
+        KIND_PING => conn.writer.send(STATUS_OK, id, &OkBody(&[]), None),
         KIND_SHUTDOWN => {
-            conn.writer.send(STATUS_OK, id, &OkBody(&[]));
+            conn.writer.send(STATUS_OK, id, &OkBody(&[]), None);
             shared.request_shutdown();
             // wake the accept loop so it can observe the flag
             let _ = TcpStream::connect(shared.addr);
         }
         KIND_INFER => {
             requests.inc();
+            let trace_id = shared.next_trace_id();
+            let echo = traced.then_some(trace_id);
             if body.len() != shared.input_len {
                 errors.inc();
                 conn.writer
-                    .send(STATUS_ERR, id, &ErrBody("bad input length"));
+                    .send(STATUS_ERR, id, &ErrBody("bad input length"), echo);
+                if let Some(log) = &shared.log {
+                    log.record(RequestRecord {
+                        trace_id,
+                        conn_id: conn.conn_id,
+                        replica: None,
+                        batch_size: None,
+                        outcome: OUTCOME_ERROR.to_string(),
+                        admit_ns: 0,
+                        queue_wait_ns: 0,
+                        batch_wait_ns: 0,
+                        exec_ns: 0,
+                        write_ns: 0,
+                        total_ns: ns(received.elapsed()),
+                        queue_depth: 0,
+                        queue_cap: shared.config.queue_cap.max(1) as u64,
+                        ts_ns: shared.ts_ns(),
+                    });
+                }
                 return;
             }
             let pending = Pending {
                 input: body,
+                received,
                 enqueued: Instant::now(),
                 id,
+                trace_id,
+                traced,
+                conn_id: conn.conn_id,
                 writer: conn.writer.clone(),
             };
             pending.writer.inflight.fetch_add(1, Ordering::SeqCst);
+            let cap = shared.config.queue_cap.max(1) as u64;
             match shared.offer(pending) {
                 Admission::Admitted => {}
                 Admission::AdmittedShedding(victim) => {
                     shed_total.inc();
+                    let waited = ns(victim.enqueued.elapsed());
                     victim.writer.send(
                         STATUS_SHED,
                         victim.id,
                         &ErrBody("shed under load (superseded by newer work)"),
+                        victim.traced.then_some(victim.trace_id),
                     );
+                    // evicted from a full queue: the victim's queue wait
+                    // ran from its admission to its eviction
+                    shared.log_refusal(OUTCOME_SHED, &victim, waited, cap);
                     victim.writer.inflight.fetch_sub(1, Ordering::SeqCst);
                 }
                 Admission::Rejected(bounced) => {
                     shed_total.inc();
                     queue_rejected.inc();
-                    bounced
-                        .writer
-                        .send(STATUS_SHED, bounced.id, &ErrBody("queue full, try later"));
+                    bounced.writer.send(
+                        STATUS_SHED,
+                        bounced.id,
+                        &ErrBody("queue full, try later"),
+                        bounced.traced.then_some(bounced.trace_id),
+                    );
+                    shared.log_refusal(OUTCOME_SHED, &bounced, 0, cap);
                     bounced.writer.inflight.fetch_sub(1, Ordering::SeqCst);
                 }
                 Admission::Closed(bounced) => {
                     errors.inc();
-                    bounced
-                        .writer
-                        .send(STATUS_ERR, bounced.id, &ErrBody("shutting down"));
+                    bounced.writer.send(
+                        STATUS_ERR,
+                        bounced.id,
+                        &ErrBody("shutting down"),
+                        bounced.traced.then_some(bounced.trace_id),
+                    );
+                    shared.log_refusal(OUTCOME_GOODBYE_REFUSED, &bounced, 0, 0);
                     bounced.writer.inflight.fetch_sub(1, Ordering::SeqCst);
                 }
             }
@@ -758,7 +936,7 @@ fn handle_frame(
         _ => {
             errors.inc();
             conn.writer
-                .send(STATUS_ERR, id, &ErrBody("unknown request kind"));
+                .send(STATUS_ERR, id, &ErrBody("unknown request kind"), None);
         }
     }
 }
@@ -777,6 +955,7 @@ fn executor_loop(
 ) {
     let config = shared.config;
     let max_batch = config.max_batch.max(1);
+    let queue_cap = config.queue_cap.max(1) as u64;
     let queue_depth = metrics::global().gauge("serve.queue_depth");
     let inflight = metrics::global().gauge("serve.inflight");
     let batch_sizes =
@@ -784,9 +963,13 @@ fn executor_loop(
     let latency = metrics::global().histogram("serve.latency_ns");
     let batch_run = metrics::global().histogram("serve.batch_run_ns");
     let replica_run = metrics::global().histogram(&format!("serve.replica{replica}.batch_run_ns"));
+    let stage_queue_wait = metrics::global().histogram("serve.stage.queue_wait_ns");
+    let stage_batch_wait = metrics::global().histogram("serve.stage.batch_wait_ns");
+    let stage_exec = metrics::global().histogram("serve.stage.exec_ns");
+    let stage_write = metrics::global().histogram("serve.stage.write_ns");
 
     loop {
-        let batch: Vec<Pending> = {
+        let (batch, claim, depth_after): (Vec<Pending>, Instant, u64) = {
             let mut q = shared.queue.lock().expect("serve queue lock");
             // wait for the first request (or close)
             while q.items.is_empty() && !q.closed {
@@ -799,6 +982,9 @@ fn executor_loop(
             if q.items.is_empty() && q.closed {
                 break;
             }
+            // dequeue stamp: this replica claimed the queue front and the
+            // batch-formation window (the gather below) begins
+            let claim = Instant::now();
             // give the oldest request's deadline a chance to gather company
             let deadline = q.items.front().expect("non-empty").enqueued + config.max_wait;
             while q.items.len() < max_batch && !q.closed {
@@ -820,13 +1006,14 @@ fn executor_loop(
             let take = q.items.len().min(max_batch);
             let batch: Vec<Pending> = q.items.drain(..take).collect();
             queue_depth.set(q.items.len() as f64);
-            batch
+            (batch, claim, q.items.len() as u64)
         };
         if batch.is_empty() {
             continue;
         }
 
         let _span = span::span("serve.batch");
+        // batch-formed stamp: gathering is over, execution starts
         let started = Instant::now();
         inflight.set(
             exec_inflight.fetch_add(batch.len(), Ordering::SeqCst) as f64 + batch.len() as f64,
@@ -841,18 +1028,54 @@ fn executor_loop(
         }
         let logits = model.run(&images);
         let classes = model.classes();
-        let run_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let run_ns = ns(started.elapsed());
         batch_run.record(run_ns);
         replica_run.record(run_ns);
 
+        // replica-exec done: tensor assembly + integer GEMMs + requant
         let done = Instant::now();
+        let exec_ns = ns(done.saturating_duration_since(started));
         let taken = batch.len();
         for (i, pending) in batch.into_iter().enumerate() {
             let row = &logits.data()[i * classes..(i + 1) * classes];
-            let waited = u64::try_from((done - pending.enqueued).as_nanos()).unwrap_or(u64::MAX);
-            latency.record(waited);
+            // a request that arrived mid-gather was never waiting on the
+            // queue: clamp its dequeue stamp into [enqueued, started]
+            let dequeue = claim.clamp(pending.enqueued, started);
+            let queue_wait_ns = ns(dequeue.saturating_duration_since(pending.enqueued));
+            let batch_wait_ns = ns(started.saturating_duration_since(dequeue));
+            let write_from = Instant::now();
             // a disconnected client just drops its response
-            pending.writer.send(STATUS_OK, pending.id, &OkBody(row));
+            pending.writer.send(
+                STATUS_OK,
+                pending.id,
+                &OkBody(row),
+                pending.traced.then_some(pending.trace_id),
+            );
+            let written = Instant::now();
+            let write_ns = ns(written.saturating_duration_since(write_from));
+            stage_queue_wait.record(queue_wait_ns);
+            stage_batch_wait.record(batch_wait_ns);
+            stage_exec.record(exec_ns);
+            stage_write.record(write_ns);
+            latency.record(ns(written.saturating_duration_since(pending.enqueued)));
+            if let Some(log) = &shared.log {
+                log.record(RequestRecord {
+                    trace_id: pending.trace_id,
+                    conn_id: pending.conn_id,
+                    replica: Some(replica as u64),
+                    batch_size: Some(taken as u64),
+                    outcome: OUTCOME_OK.to_string(),
+                    admit_ns: ns(pending.enqueued.saturating_duration_since(pending.received)),
+                    queue_wait_ns,
+                    batch_wait_ns,
+                    exec_ns,
+                    write_ns,
+                    total_ns: ns(written.saturating_duration_since(pending.received)),
+                    queue_depth: depth_after,
+                    queue_cap,
+                    ts_ns: shared.ts_ns(),
+                });
+            }
             pending.writer.inflight.fetch_sub(1, Ordering::SeqCst);
         }
         inflight.set(exec_inflight.fetch_sub(taken, Ordering::SeqCst) as f64 - taken as f64);
@@ -892,12 +1115,14 @@ fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> io::Result<()> {
     stream.flush()
 }
 
-/// Parses a request payload into `(kind, id, floats)`.
-fn parse_request(payload: &[u8]) -> Option<(u8, u64, Vec<f32>)> {
+/// Parses a request payload into `(kind, traced, id, floats)`; `traced`
+/// is the [`FLAG_TRACED`] bit of the kind byte.
+fn parse_request(payload: &[u8]) -> Option<(u8, bool, u64, Vec<f32>)> {
     if payload.len() < 13 {
         return None;
     }
-    let kind = payload[0];
+    let kind = payload[0] & KIND_MASK;
+    let traced = payload[0] & FLAG_TRACED != 0;
     let id = u64::from_le_bytes(payload[1..9].try_into().ok()?);
     let n = u32::from_le_bytes(payload[9..13].try_into().ok()?) as usize;
     let body = &payload[13..];
@@ -908,7 +1133,7 @@ fn parse_request(payload: &[u8]) -> Option<(u8, u64, Vec<f32>)> {
         .chunks_exact(4)
         .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
         .collect();
-    Some((kind, id, floats))
+    Some((kind, traced, id, floats))
 }
 
 struct OkBody<'a>(&'a [f32]);
@@ -978,10 +1203,23 @@ impl Client {
     }
 
     fn request(&mut self, kind: u8, input: &[f32]) -> io::Result<Reply> {
+        Ok(self.request_traced(kind, input, false)?.0)
+    }
+
+    /// One request/response round trip. With `traced` the request sets
+    /// [`FLAG_TRACED`] and the response's 8-byte trace-id trailer is
+    /// stripped and returned; without it the wire bytes are identical to
+    /// the pre-tracing protocol.
+    fn request_traced(
+        &mut self,
+        kind: u8,
+        input: &[f32],
+        traced: bool,
+    ) -> io::Result<(Reply, Option<u64>)> {
         self.next_id += 1;
         let id = self.next_id;
         let mut payload = Vec::with_capacity(13 + input.len() * 4);
-        payload.push(kind);
+        payload.push(if traced { kind | FLAG_TRACED } else { kind });
         payload.extend_from_slice(&id.to_le_bytes());
         payload.extend_from_slice(&u32::to_le_bytes(input.len() as u32));
         for v in input {
@@ -1011,29 +1249,33 @@ impl Client {
                 format!("response id {got_id} does not match request id {id}"),
             ));
         }
-        match status {
+        // the trailer is only ever present when this request asked for it
+        let (body, trace_id) = if traced && response.len() >= 13 + 8 {
+            let split = response.len() - 8;
+            let trace = u64::from_le_bytes(response[split..].try_into().expect("8 bytes"));
+            (&response[13..split], Some(trace))
+        } else {
+            (&response[13..], None)
+        };
+        let reply = match status {
             STATUS_OK => {
                 let n = u32::from_le_bytes(response[9..13].try_into().expect("4 bytes")) as usize;
-                let body = &response[13..];
                 if body.len() != n * 4 {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
                         "response length mismatch",
                     ));
                 }
-                Ok(Reply::Logits(
+                Reply::Logits(
                     body.chunks_exact(4)
                         .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
                         .collect(),
-                ))
+                )
             }
-            STATUS_SHED => Ok(Reply::Shed(
-                String::from_utf8_lossy(&response[13..]).into_owned(),
-            )),
-            _ => Ok(Reply::Refused(
-                String::from_utf8_lossy(&response[13..]).into_owned(),
-            )),
-        }
+            STATUS_SHED => Reply::Shed(String::from_utf8_lossy(body).into_owned()),
+            _ => Reply::Refused(String::from_utf8_lossy(body).into_owned()),
+        };
+        Ok((reply, trace_id))
     }
 
     /// Runs inference on one flattened image.
@@ -1044,6 +1286,18 @@ impl Client {
     /// surfaces as [`io::ErrorKind::ConnectionAborted`].
     pub fn infer(&mut self, input: &[f32]) -> io::Result<Reply> {
         self.request(KIND_INFER, input)
+    }
+
+    /// Runs inference with tracing: the request sets [`FLAG_TRACED`] and
+    /// the reply comes back with the server-assigned trace id (when the
+    /// server echoed one), joinable against the server's access log.
+    ///
+    /// # Errors
+    ///
+    /// Returns socket-level I/O errors; a shutdown-time goodbye frame
+    /// surfaces as [`io::ErrorKind::ConnectionAborted`].
+    pub fn infer_traced(&mut self, input: &[f32]) -> io::Result<(Reply, Option<u64>)> {
+        self.request_traced(KIND_INFER, input, true)
     }
 
     /// Liveness check.
@@ -1185,6 +1439,18 @@ pub fn stats_from_latencies(
     }
 }
 
+/// A traced load run: the merged latency statistics plus the server's
+/// trace ids for every successfully answered request, for joining
+/// client-side latencies against the server's access-log records.
+#[derive(Debug, Clone)]
+pub struct TracedLoad {
+    /// The merged closed-loop statistics (as [`load_generate`]).
+    pub stats: LoadStats,
+    /// Server-assigned trace ids of the OK responses, in no particular
+    /// order (one per counted request when the server echoes ids).
+    pub trace_ids: Vec<u64>,
+}
+
 /// Runs `concurrency` closed-loop clients, each issuing
 /// `requests_per_client` inference requests back-to-back, and merges the
 /// exact latency distribution.
@@ -1198,15 +1464,42 @@ pub fn load_generate(
     requests_per_client: usize,
     input_len: usize,
 ) -> io::Result<LoadStats> {
+    Ok(run_load(addr, concurrency, requests_per_client, input_len, false)?.stats)
+}
+
+/// [`load_generate`] with [`FLAG_TRACED`] set on every request,
+/// additionally collecting the server-assigned trace ids so callers can
+/// join against the server's access log for per-stage attribution.
+///
+/// # Errors
+///
+/// Returns the first socket-level failure any client hits.
+pub fn load_generate_traced(
+    addr: SocketAddr,
+    concurrency: usize,
+    requests_per_client: usize,
+    input_len: usize,
+) -> io::Result<TracedLoad> {
+    run_load(addr, concurrency, requests_per_client, input_len, true)
+}
+
+fn run_load(
+    addr: SocketAddr,
+    concurrency: usize,
+    requests_per_client: usize,
+    input_len: usize,
+    traced: bool,
+) -> io::Result<TracedLoad> {
     let started = Instant::now();
     let mut handles = Vec::new();
     for worker in 0..concurrency {
         handles.push(std::thread::spawn(
-            move || -> io::Result<(Vec<u64>, u64, u64)> {
+            move || -> io::Result<(Vec<u64>, Vec<u64>, u64, u64)> {
                 let mut client = Client::connect(addr)?;
                 // deterministic per-worker input stream (cheap LCG)
                 let mut state = 0x9E3779B97F4A7C15u64 ^ (worker as u64) << 32;
                 let mut latencies = Vec::with_capacity(requests_per_client);
+                let mut trace_ids = Vec::new();
                 let mut errors = 0u64;
                 let mut shed = 0u64;
                 let mut input = vec![0f32; input_len];
@@ -1218,36 +1511,45 @@ pub fn load_generate(
                         *slot = ((state >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0;
                     }
                     let sent = Instant::now();
-                    match client.infer(&input)? {
-                        Reply::Logits(_) => latencies
-                            .push(u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX)),
+                    let (reply, trace_id) = if traced {
+                        client.infer_traced(&input)?
+                    } else {
+                        (client.infer(&input)?, None)
+                    };
+                    match reply {
+                        Reply::Logits(_) => {
+                            latencies
+                                .push(u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                            if let Some(id) = trace_id {
+                                trace_ids.push(id);
+                            }
+                        }
                         Reply::Refused(_) => errors += 1,
                         Reply::Shed(_) => shed += 1,
                     }
                 }
-                Ok((latencies, errors, shed))
+                Ok((latencies, trace_ids, errors, shed))
             },
         ));
     }
     let mut latencies = Vec::new();
+    let mut trace_ids = Vec::new();
     let mut errors = 0u64;
     let mut shed = 0u64;
     for handle in handles {
-        let (worker_latencies, worker_errors, worker_shed) = handle
+        let (worker_latencies, worker_traces, worker_errors, worker_shed) = handle
             .join()
             .map_err(|_| io::Error::other("load worker panicked"))??;
         latencies.extend(worker_latencies);
+        trace_ids.extend(worker_traces);
         errors += worker_errors;
         shed += worker_shed;
     }
     let elapsed = started.elapsed();
-    Ok(stats_from_latencies(
-        concurrency,
-        latencies,
-        errors,
-        shed,
-        elapsed,
-    ))
+    Ok(TracedLoad {
+        stats: stats_from_latencies(concurrency, latencies, errors, shed, elapsed),
+        trace_ids,
+    })
 }
 
 #[cfg(test)]

@@ -14,6 +14,9 @@
 //!   accuracy-vs-energy trade-off going off a cliff).
 //! * [`RunHealth::Stalled`] — no new events arrived within the watchdog
 //!   window, typically a hung worker pool or a filled disk.
+//! * [`RunHealth::QueueSaturated`] — the serving admission queue is
+//!   pinned at its `--queue-cap` bound while shed counters rise: the
+//!   server is in sustained overload, not a transient burst.
 //!
 //! Detection is edge-triggered: each anomaly is raised when it starts,
 //! not on every subsequent observation, so a dashboard can log events
@@ -58,6 +61,16 @@ pub enum RunHealth {
         /// Seconds since the last observed event.
         idle_secs: u64,
     },
+    /// The serving admission queue is pinned at capacity while requests
+    /// are being shed: sustained overload.
+    QueueSaturated {
+        /// Observed queue depth.
+        depth: u64,
+        /// The queue bound (`--queue-cap`).
+        cap: u64,
+        /// Cumulative shed count at the observation.
+        shed: u64,
+    },
 }
 
 impl RunHealth {
@@ -67,6 +80,7 @@ impl RunHealth {
             RunHealth::NonFiniteLoss { .. } => "non_finite_loss",
             RunHealth::AccuracyCollapse { .. } => "accuracy_collapse",
             RunHealth::Stalled { .. } => "stalled",
+            RunHealth::QueueSaturated { .. } => "queue_saturated",
         }
     }
 
@@ -87,6 +101,9 @@ impl RunHealth {
             RunHealth::Stalled { idle_secs } => {
                 format!("no telemetry events for {idle_secs}s (stalled run?)")
             }
+            RunHealth::QueueSaturated { depth, cap, shed } => {
+                format!("serve queue saturated at {depth}/{cap} with {shed} shed (overload)")
+            }
         }
     }
 }
@@ -102,6 +119,8 @@ pub struct HealthMonitor {
     loss_bad: bool,
     collapsed: bool,
     stalled: bool,
+    saturated: bool,
+    last_shed: u64,
 }
 
 impl Default for HealthMonitor {
@@ -126,6 +145,8 @@ impl HealthMonitor {
             loss_bad: false,
             collapsed: false,
             stalled: false,
+            saturated: false,
+            last_shed: 0,
         }
     }
 
@@ -145,6 +166,8 @@ impl HealthMonitor {
         self.loss_bad = false;
         self.collapsed = false;
         self.stalled = false;
+        self.saturated = false;
+        self.last_shed = 0;
     }
 
     /// Observes one completed epoch; returns any newly raised anomalies.
@@ -200,6 +223,30 @@ impl HealthMonitor {
     /// Re-arms the stall watchdog after events resume.
     pub fn reset_stall(&mut self) {
         self.stalled = false;
+    }
+
+    /// Observes one serving-queue sample (depth, bound, cumulative shed
+    /// count); raises [`RunHealth::QueueSaturated`] on the edge where the
+    /// queue is pinned at capacity *and* the shed counter has risen since
+    /// the previous sample — a full queue that is still keeping up (no new
+    /// sheds) is load, not overload. The detector re-arms once depth
+    /// drops below the bound.
+    pub fn observe_queue(&mut self, depth: u64, cap: u64, shed_total: u64) -> Option<RunHealth> {
+        let shedding = shed_total > self.last_shed;
+        self.last_shed = shed_total;
+        if cap == 0 || depth < cap {
+            self.saturated = false;
+            return None;
+        }
+        if !shedding || self.saturated {
+            return None;
+        }
+        self.saturated = true;
+        Some(RunHealth::QueueSaturated {
+            depth,
+            cap,
+            shed: shed_total,
+        })
     }
 }
 
@@ -276,6 +323,43 @@ mod tests {
     }
 
     #[test]
+    fn queue_saturation_needs_pinned_depth_and_rising_sheds() {
+        let mut m = HealthMonitor::default();
+        // Full queue but nothing shed yet: keeping up, not overload.
+        assert!(m.observe_queue(256, 256, 0).is_none());
+        // Depth pinned at cap while the shed counter rises → raise once.
+        let raised = m.observe_queue(256, 256, 5).expect("saturation");
+        assert_eq!(raised.kind(), "queue_saturated");
+        assert_eq!(
+            raised,
+            RunHealth::QueueSaturated {
+                depth: 256,
+                cap: 256,
+                shed: 5
+            }
+        );
+        // Still saturated: edge-triggered, no duplicate.
+        assert!(m.observe_queue(256, 256, 9).is_none());
+        // Drain below the bound re-arms the detector.
+        assert!(m.observe_queue(100, 256, 9).is_none());
+        assert!(m.observe_queue(256, 256, 12).is_some());
+    }
+
+    #[test]
+    fn queue_saturation_ignores_sheds_while_below_capacity() {
+        let mut m = HealthMonitor::default();
+        // Sheds observed while depth is below the bound (e.g. shed-oldest
+        // already drained the queue) never raise.
+        assert!(m.observe_queue(10, 256, 3).is_none());
+        assert!(m.observe_queue(12, 256, 7).is_none());
+        // A zero capacity (no bound configured) is always quiet.
+        assert!(m.observe_queue(50, 0, 99).is_none());
+        // Saturation with *stale* shed counts stays quiet: the counter
+        // must rise in the same sample the queue is pinned.
+        assert!(m.observe_queue(256, 256, 7).is_none());
+    }
+
+    #[test]
     fn descriptions_are_single_lines() {
         let events = [
             RunHealth::NonFiniteLoss {
@@ -289,6 +373,11 @@ mod tests {
                 best: 0.7,
             },
             RunHealth::Stalled { idle_secs: 180 },
+            RunHealth::QueueSaturated {
+                depth: 256,
+                cap: 256,
+                shed: 41,
+            },
         ];
         for event in &events {
             let line = event.describe();

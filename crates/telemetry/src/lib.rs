@@ -31,8 +31,13 @@
 //!   the registry (and resource totals) in Prometheus text exposition
 //!   format for live scraping.
 //! * [`health`] — [`HealthMonitor`]/[`RunHealth`], typed anomaly
-//!   detection (non-finite loss, accuracy collapse, stalled run) over
-//!   the event stream, used by `adq-watch`.
+//!   detection (non-finite loss, accuracy collapse, stalled run, queue
+//!   saturation) over the event stream, used by `adq-watch`.
+//! * [`lifecycle`] — serving request-lifecycle records: one
+//!   [`RequestRecord`] per request with per-stage nanosecond deltas,
+//!   the JSONL [`AccessLog`] with its off-hot-path writer thread, and
+//!   [`TailExemplars`] retaining the K slowest requests for tail
+//!   attribution (`adq-report --serving`).
 //! * [`env`] — hardened parsing for the `ADQ_*` tuning knobs: invalid
 //!   values produce a typed warning (logged once, counted in
 //!   `telemetry.env.invalid`) and fall back to the documented default
@@ -47,6 +52,7 @@ pub mod endpoint;
 pub mod env;
 pub mod event;
 pub mod health;
+pub mod lifecycle;
 pub mod metrics;
 pub mod sink;
 pub mod span;
@@ -56,6 +62,7 @@ pub use alloc::CountingAllocator;
 pub use endpoint::MetricsEndpoint;
 pub use event::TelemetryEvent;
 pub use health::{HealthMonitor, RunHealth};
+pub use lifecycle::{AccessLog, AccessLogHandle, LogSummary, RequestRecord, TailExemplars};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, ScopedTimer};
 pub use sink::{ConsoleSink, JsonlSink, MemorySink, MultiSink, NullSink, TelemetrySink};
 pub use span::{AttrValue, SpanGuard, SpanRecord};

@@ -5,6 +5,7 @@
 //!                    [--max-batch N] [--max-wait-ms MS]
 //!                    [--replicas N] [--conn-workers N]
 //!                    [--queue-cap N] [--overload reject|shed-oldest]
+//!                    [--access-log PATH] [--exemplars K]
 //!                    [--checkpoint PATH --arch tiny|small]
 //!                    [--seed S] [--resolution R] [--classes K] [--bits B]
 //! adq-serve probe    --addr HOST:PORT [--requests N]
@@ -33,6 +34,13 @@
 //! `ADQ_METRICS_PORT_FILE` additionally bind a Prometheus endpoint
 //! exposing the `serve.*` gauges, counters and histograms.
 //!
+//! `--access-log PATH` attaches the request-lifecycle JSONL log: one
+//! record per request (trace id, stage waterfall, outcome), a closing
+//! summary with the `--exemplars K` slowest requests, analyzable with
+//! `adq-report --serving PATH` and tailable with
+//! `adq-watch --access-log PATH`. Logging is observation-only —
+//! responses are byte-identical with and without it.
+//!
 //! `probe --burst N` opens N concurrent connections that fire
 //! simultaneously — against a small `--queue-cap` this demonstrates
 //! typed shed frames over the wire (`--expect-shed 1` turns "no request
@@ -46,7 +54,11 @@
 //! `p90_ns`, `p99_ns`, `mean_ns`) are per-request over the merged
 //! stream of every client's completions; `ns_per_request` is wall-clock
 //! time over completed requests — the lower-is-better throughput metric
-//! the bench gates compare.
+//! the bench gates compare. Each batched record additionally carries
+//! server-side `queue_wait_p99_ns` and `exec_p99_ns`, recovered from a
+//! per-level access log joined to the client's requests by echoed trace
+//! ids, so `bench_check --key queue_wait_p99_ns` can gate queueing
+//! regressions directly.
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -57,14 +69,16 @@ use std::time::{Duration, Instant};
 use adq::core::checkpoint::{restore_model, CheckpointManager, RunCheckpoint};
 use adq::core::deploy::DeployedVgg;
 use adq::infer::serve::{
-    load_generate, stats_from_latencies, Client, LoadStats, OverloadPolicy, Reply, ServeConfig,
-    Server,
+    load_generate, load_generate_traced, stats_from_latencies, Client, LoadStats, OverloadPolicy,
+    Reply, ServeConfig, Server, TracedLoad,
 };
 use adq::infer::{CompileOptions, CompiledVgg};
 use adq::nn::{QuantModel, Vgg};
 use adq::quant::BitWidth;
 use adq::telemetry::endpoint::MetricsEndpoint;
+use adq::telemetry::lifecycle::{self, RequestRecord};
 use adq::telemetry::metrics;
+use adq::telemetry::AccessLog;
 use adq::tensor::init;
 
 fn main() -> ExitCode {
@@ -265,8 +279,23 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             .map(|p| p.bits())
             .collect::<Vec<_>>()
     );
-    let mut server = Server::bind(addr.as_str(), Arc::clone(&compiled) as _, config)
-        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let access_log = match flags.get("access-log") {
+        Some(path) => {
+            let exemplars: usize = get(flags, "exemplars", lifecycle::DEFAULT_EXEMPLARS)?;
+            let log = AccessLog::create(path, exemplars)
+                .map_err(|e| format!("cannot create access log {path}: {e}"))?;
+            println!("access log: {path} ({exemplars} tail exemplars)");
+            Some(log)
+        }
+        None => None,
+    };
+    let mut server = Server::bind_logged(
+        addr.as_str(),
+        Arc::clone(&compiled) as _,
+        config,
+        access_log,
+    )
+    .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let bound = server.local_addr();
     println!(
         "serving on {bound} ({} replicas, {} conn workers, queue cap {}, {:?} on overload, \
@@ -449,6 +478,22 @@ fn record_json(name: &str, stats: &LoadStats) -> String {
     )
 }
 
+/// [`record_json`] plus the server-side stage percentiles recovered from
+/// the access log via echoed trace ids — the keys `bench_check` gates
+/// with `--key queue_wait_p99_ns`.
+fn record_json_traced(
+    name: &str,
+    stats: &LoadStats,
+    queue_wait_p99_ns: u64,
+    exec_p99_ns: u64,
+) -> String {
+    let base = record_json(name, stats);
+    format!(
+        "{}, \"queue_wait_p99_ns\": {queue_wait_p99_ns}, \"exec_p99_ns\": {exec_p99_ns}}}",
+        base.strip_suffix('}').expect("record ends with a brace")
+    )
+}
+
 fn cmd_load_gen(flags: &Flags) -> Result<(), String> {
     let (model, compiled) = build_model(flags)?;
     // --replicas is a sweep list here (not a single count as in `serve`);
@@ -493,18 +538,18 @@ fn cmd_load_gen(flags: &Flags) -> Result<(), String> {
     let input_len = compiled.input_len();
     let mut records = vec![record_json("serving/float_unbatched", &baseline)];
     let mut speedups = Vec::new();
-    let run_level = |server_addr: SocketAddr, c: usize| -> Result<LoadStats, String> {
+    let run_level = |server_addr: SocketAddr, c: usize| -> Result<TracedLoad, String> {
         // warm up the packing scratch and branch predictors off-record
         load_generate(server_addr, c, 4, input_len).map_err(|e| e.to_string())?;
-        let stats =
-            load_generate(server_addr, c, requests, input_len).map_err(|e| e.to_string())?;
-        if stats.errors > 0 {
+        let traced =
+            load_generate_traced(server_addr, c, requests, input_len).map_err(|e| e.to_string())?;
+        if traced.stats.errors > 0 {
             return Err(format!(
                 "load-gen at concurrency {c}: {} errors",
-                stats.errors
+                traced.stats.errors
             ));
         }
-        Ok(stats)
+        Ok(traced)
     };
 
     for (i, &r) in replicas.iter().enumerate() {
@@ -512,8 +557,22 @@ fn cmd_load_gen(flags: &Flags) -> Result<(), String> {
             replicas: r,
             ..config
         };
-        let mut server = Server::bind("127.0.0.1:0", Arc::clone(&compiled) as _, level_config)
-            .map_err(|e| format!("cannot bind load-gen server: {e}"))?;
+        // each level's server keeps a throwaway access log so the records
+        // can carry *server-side* stage percentiles, joined to this
+        // client's requests by the echoed trace ids
+        let log_path = std::env::temp_dir().join(format!(
+            "adq_loadgen_access_{}_{r}.jsonl",
+            std::process::id()
+        ));
+        let log = AccessLog::create(&log_path, lifecycle::DEFAULT_EXEMPLARS)
+            .map_err(|e| format!("cannot create load-gen access log: {e}"))?;
+        let mut server = Server::bind_logged(
+            "127.0.0.1:0",
+            Arc::clone(&compiled) as _,
+            level_config,
+            Some(log),
+        )
+        .map_err(|e| format!("cannot bind load-gen server: {e}"))?;
         let addr = server.local_addr();
         // the first replica count sweeps every concurrency level (the
         // committed per-concurrency records); additional counts measure
@@ -523,26 +582,46 @@ fn cmd_load_gen(flags: &Flags) -> Result<(), String> {
         } else {
             std::slice::from_ref(concurrency.iter().max().expect("non-empty concurrency"))
         };
+        let mut measured: Vec<(String, TracedLoad)> = Vec::new();
         for &c in levels {
-            let stats = run_level(addr, c)?;
+            let traced = run_level(addr, c)?;
             let name = if i == 0 {
                 format!("serving/int8_batched_c{c}")
             } else {
                 format!("serving/int8_batched_c{c}_r{r}")
             };
-            let speedup = baseline.ns_per_request() as f64 / stats.ns_per_request() as f64;
+            let speedup = baseline.ns_per_request() as f64 / traced.stats.ns_per_request() as f64;
             println!(
                 "  {}: {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms, {} shed ({speedup:.1}x vs float unbatched)",
                 name.trim_start_matches("serving/"),
-                stats.throughput_rps(),
-                stats.p50_ns as f64 / 1e6,
-                stats.p99_ns as f64 / 1e6,
-                stats.shed
+                traced.stats.throughput_rps(),
+                traced.stats.p50_ns as f64 / 1e6,
+                traced.stats.p99_ns as f64 / 1e6,
+                traced.stats.shed
             );
-            records.push(record_json(&name, &stats));
             speedups.push(speedup);
+            measured.push((name, traced));
         }
+        // shutdown joins the service threads and closes the log (summary
+        // line + flush), so the read below sees every record
         server.shutdown();
+        let view = lifecycle::read_records(&log_path)
+            .map_err(|e| format!("cannot read load-gen access log: {e}"))?;
+        let by_trace: HashMap<u64, &RequestRecord> =
+            view.records.iter().map(|rec| (rec.trace_id, rec)).collect();
+        for (name, traced) in &measured {
+            let level_records: Vec<&RequestRecord> = traced
+                .trace_ids
+                .iter()
+                .filter_map(|id| by_trace.get(id).copied())
+                .collect();
+            let mut queue: Vec<u64> = level_records.iter().map(|rec| rec.queue_wait_ns).collect();
+            let mut exec: Vec<u64> = level_records.iter().map(|rec| rec.exec_ns).collect();
+            let q99 = lifecycle::exact_quantile_ns(&mut queue, 0.99);
+            let e99 = lifecycle::exact_quantile_ns(&mut exec, 0.99);
+            records.push(record_json_traced(name, &traced.stats, q99, e99));
+        }
+        std::fs::remove_file(&log_path).ok();
     }
 
     // the servers ran in-process, so their executor metrics are ours
@@ -578,6 +657,7 @@ fn print_help() {
          \x20            --replicas N  --conn-workers N\n\
          \x20            --queue-cap N  --overload reject|shed-oldest\n\
          \x20            --max-batch N  --max-wait-ms MS\n\
+         \x20            --access-log PATH  --exemplars K\n\
          \x20            --checkpoint PATH  --arch tiny|small  --channels C\n\
          \x20            --seed S  --resolution R  --classes K  --bits B\n\
          \x20 probe      send a few inference requests, check the responses\n\
